@@ -1,0 +1,37 @@
+"""Shared configuration for the per-table/figure benchmark harness.
+
+Profile selection: set ``REPRO_PROFILE`` to ``smoke`` (default; minutes),
+``fast`` (tens of minutes), or ``paper`` (paper-scale: full suites, 10
+folds, GA population 2500 — hours in pure Python).  EXPERIMENTS.md records
+which profile produced the committed numbers.
+"""
+
+import os
+
+import pytest
+
+from repro.eval.config import ReproConfig
+
+_PROFILES = {
+    "smoke": ReproConfig.smoke,
+    "fast": ReproConfig.fast,
+    "paper": ReproConfig.paper,
+}
+
+
+@pytest.fixture(scope="session")
+def config() -> ReproConfig:
+    name = os.environ.get("REPRO_PROFILE", "smoke")
+    if name not in _PROFILES:
+        raise ValueError(f"REPRO_PROFILE must be one of {sorted(_PROFILES)}")
+    return _PROFILES[name]()
+
+
+@pytest.fixture(scope="session")
+def profile_name() -> str:
+    return os.environ.get("REPRO_PROFILE", "smoke")
+
+
+def emit(title: str, body: str) -> None:
+    print(f"\n=== {title} ===")
+    print(body)

@@ -1,0 +1,37 @@
+"""Design-choice ablations (DESIGN.md §2): choices the paper fixed.
+
+* IR2vec concatenates symbolic + flow-aware encodings — what does each
+  half contribute on its own?
+* The GNN fixes adaptive max pooling, GATv2 attention, and heterogeneous
+  edge types — what happens when each is flipped?
+"""
+
+from benchmarks.conftest import emit
+from repro.eval import experiments as E
+
+
+def test_ir2vec_encoding_ablation(benchmark, config, profile_name):
+    rows = benchmark.pedantic(E.ir2vec_encoding_ablation, args=(config,),
+                              rounds=1, iterations=1)
+    emit(f"IR2vec encoding ablation (profile={profile_name})",
+         E.render_encoding_ablation(rows))
+    assert len(rows) == 6          # 2 suites x 3 encodings
+    for row in rows:
+        assert 0.0 <= row["accuracy"] <= 1.0
+    # Structural check: the concat rows exist for both suites and use the
+    # full 512 dimensions.
+    concat = [r for r in rows if r["encoding"] == "concat (paper)"]
+    assert {r["suite"] for r in concat} == {"MBI", "CORR"}
+    assert all(r["dim"] == 512 for r in concat)
+
+
+def test_gnn_design_ablation(benchmark, config, profile_name):
+    rows = benchmark.pedantic(E.gnn_design_ablation, args=(config, "CORR"),
+                              rounds=1, iterations=1)
+    emit(f"GNN design ablation, CorrBench (profile={profile_name})",
+         E.render_gnn_ablation(rows))
+    assert [r["variant"] for r in rows] == [
+        "paper (max, GATv2, hetero)", "mean pooling", "no attention",
+        "homogeneous edges"]
+    for row in rows:
+        assert 0.0 <= row["accuracy"] <= 1.0

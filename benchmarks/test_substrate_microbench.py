@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the substrates (throughput-style measurements)."""
+
+import numpy as np
+
+from repro.datasets import load_mbi
+from repro.embeddings.ir2vec import default_encoder
+from repro.frontend import compile_c
+from repro.graphs import build_program_graph, build_vocabulary
+from repro.mpi.simulator import simulate
+from repro.nn import Adam, batch_graphs, cross_entropy
+from repro.models.gnn_model import _GNNNetwork
+
+_SAMPLE = load_mbi().samples[0]
+
+
+def test_bench_compile_o0(benchmark):
+    benchmark(compile_c, _SAMPLE.source, _SAMPLE.name, "O0")
+
+
+def test_bench_compile_os(benchmark):
+    benchmark(compile_c, _SAMPLE.source, _SAMPLE.name, "Os")
+
+
+def test_bench_ir2vec_encoding(benchmark):
+    module = compile_c(_SAMPLE.source, _SAMPLE.name, "Os")
+    encoder = default_encoder()
+    vec = benchmark(encoder.encode, module)
+    assert vec.shape == (512,)
+
+
+def test_bench_programl_build(benchmark):
+    module = compile_c(_SAMPLE.source, _SAMPLE.name, "O0")
+    graph = benchmark(build_program_graph, module)
+    assert graph.num_nodes > 0
+
+
+def test_bench_simulator_run(benchmark):
+    module = compile_c(_SAMPLE.source, _SAMPLE.name, "O0")
+    report = benchmark(simulate, module, 2)
+    assert report.steps > 0
+
+
+def test_bench_gnn_training_step(benchmark):
+    samples = load_mbi(subsample=120).samples[:32]
+    graphs = [build_program_graph(compile_c(s.source, s.name, "O0"))
+              for s in samples]
+    vocab = build_vocabulary(graphs)
+    batch = batch_graphs(graphs, vocab)
+    labels = np.array([0, 1] * 16)
+    rng = np.random.default_rng(0)
+    net = _GNNNetwork(len(vocab), 2, rng)
+    opt = Adam(net.parameters())
+
+    def step():
+        loss = cross_entropy(net(batch), labels)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        return float(loss.data)
+
+    result = benchmark(step)
+    assert result > 0
+
+
+def test_bench_o2_pipeline_with_gvn_licm(benchmark):
+    # Full -O2 pipeline including the GVN + LICM scalar stage.
+    benchmark(compile_c, _SAMPLE.source, _SAMPLE.name, "O2")
+
+
+def test_bench_mutation_engine(benchmark):
+    from repro.datasets import MutationEngine
+    from repro.datasets.labels import CORRECT
+
+    correct = next(s for s in load_mbi() if s.label == CORRECT)
+    engine = MutationEngine(seed=0)
+    mutants = benchmark(engine.mutate_sample, correct, 4)
+    assert mutants

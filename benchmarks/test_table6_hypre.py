@@ -1,0 +1,16 @@
+"""Table VI: Hypre-like real-case predictions."""
+
+from benchmarks.conftest import emit
+from repro.eval import experiments as E
+
+
+def test_table6_hypre(benchmark, config, profile_name):
+    rows = benchmark.pedantic(E.table6_hypre, args=(config,),
+                              rounds=1, iterations=1)
+    emit(f"Table VI (profile={profile_name})", E.render_table6(rows))
+    assert len(rows) == 4
+    # Each row classifies all six Hypre columns.
+    for row in rows:
+        hits = [row[f"{c}_hit"] for c in
+                ("O0-ok", "O2-ok", "Os-ok", "O0-ko", "O2-ko", "Os-ko")]
+        assert len(hits) == 6

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: train an MPI error detector and check new code.
+
+Trains the paper's IR2vec + decision-tree pipeline on a slice of the
+MBI-style suite and then classifies:
+
+1. held-out suite programs the model never saw (a correct code and a
+   call-ordering deadlock) — the in-distribution setting of the paper's
+   Intra experiments, and
+2. a hand-written minimal recv/recv deadlock — an out-of-distribution
+   probe.  The paper's Hypre study (Table VI) shows exactly this regime
+   is where benchmark-trained models get brittle, so treat this verdict
+   as a demonstration of the limitation, not of the headline accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MPIErrorDetector
+from repro.datasets import load_mbi
+from repro.ml import GAConfig
+
+HANDWRITTEN_DEADLOCK = """
+#include <mpi.h>
+int main(int argc, char** argv) {
+  int rank;
+  int buffer[8];
+  MPI_Status status;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  int peer = (rank == 0) ? 1 : 0;
+  /* both ranks receive first: classic call-ordering deadlock */
+  MPI_Recv(buffer, 8, MPI_INT, peer, 0, MPI_COMM_WORLD, &status);
+  MPI_Send(buffer, 8, MPI_INT, peer, 0, MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    print("Loading the MBI-style dataset (generated, deterministic)...")
+    training = load_mbi(subsample=600)
+    correct, incorrect = training.correct_incorrect_counts()
+    print(f"  training on {len(training)} codes "
+          f"({correct} correct / {incorrect} incorrect)")
+
+    # Held-out programs: in the full suite but not in the training slice.
+    full = load_mbi()
+    trained_names = {s.name for s in training.samples}
+    held_out = [s for s in full if s.name not in trained_names][:40]
+
+    print("Training the IR2vec + decision-tree detector "
+          "(-Os IR, vector normalization, GA feature selection)...")
+    detector = MPIErrorDetector(
+        method="ir2vec",
+        ga_config=GAConfig(population_size=150, generations=8),
+    )
+    detector.train(training, labels="binary")
+
+    print(f"\nchecking {len(held_out)} held-out suite programs "
+          "(the paper's Intra setting):")
+    hits = 0
+    for i, sample in enumerate(held_out):
+        result = detector.check(sample.source, sample.name)
+        hit = result.is_correct == sample.is_correct
+        hits += hit
+        if i < 6:                      # show the first few verdicts
+            marker = "HIT " if hit else "MISS"
+            print(f"  [{marker}] {sample.name:44s} truth={sample.label:<18} "
+                  f"predicted={result.label}")
+    print(f"  ... held-out accuracy: {hits}/{len(held_out)} "
+          f"= {hits / len(held_out):.2f}  (paper-scale training reaches "
+          "~0.92, Table II)")
+
+    print("\nhand-written minimal deadlock (out of distribution — "
+          "see Table VI):")
+    result = detector.check(HANDWRITTEN_DEADLOCK, "handwritten.c")
+    print(f"  recv/recv deadlock -> {result.label}  ({result.detail})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Ablation study: can the detector flag error types it never saw?
+
+Reproduces the Section V-E protocol on MPI-CorrBench: each error label is
+removed from every training fold, and we measure how often validation
+samples of the removed label are still classified Incorrect.  High scores
+mean the error shares code patterns with the remaining labels (the paper
+uses this to quantify error-pattern similarity — e.g. MissingCall drops
+from ~75% to 44% when ArgError is removed too).
+
+Run:  python examples/unseen_error_ablation.py
+"""
+
+from repro.datasets.labels import CORR_LABELS
+from repro.eval import ReproConfig, run_pair_ablation, run_single_ablation
+from repro.eval.reporting import render_series, render_table
+
+
+def main() -> None:
+    config = ReproConfig.fast()
+    corr = config.corrbench()
+    print(f"MPI-CorrBench: {len(corr)} codes, labels: {', '.join(CORR_LABELS)}\n")
+
+    print("Single-label ablation (Fig. 8 protocol):")
+    single = run_single_ablation(corr, config, CORR_LABELS)
+    print(render_series(dict(sorted(single.items(), key=lambda kv: -kv[1]))))
+
+    pairs = (("MissingCall", "ArgError"),
+             ("MissplacedCall", "ArgError"),
+             ("ArgMismatch", "ArgError"))
+    print("\nPair ablation (Fig. 9 protocol):")
+    result = run_pair_ablation(corr, config, pairs)
+    rows = [[f"{a} + {b}", f"{acc_a:.3f}", f"{acc_b:.3f}",
+             f"{acc_a - single[a]:+.3f}"]
+            for (a, b), (acc_a, acc_b) in result.items()]
+    print(render_table(["excluded pair", "1st acc", "2nd acc",
+                        "1st delta vs single"], rows))
+    print("\nNegative deltas mean the second error carried patterns the "
+          "model was using to recognize the first one.")
+
+
+if __name__ == "__main__":
+    main()

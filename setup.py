@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs cannot build; ``pip install -e . --no-build-isolation
+--no-use-pep517`` (or ``python setup.py develop``) uses this shim instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — reproduction of "MPI Errors Detection using GNN Embedding and
+Vector Embedding over LLVM IR" (arXiv:2403.02518).
+
+Subpackages
+-----------
+``ir`` / ``frontend`` / ``passes``
+    mini LLVM IR, mini-C compiler, -O0/-O2/-Os pipelines.
+``mpi``
+    MPI API model + rank-interleaving runtime simulator.
+``datasets``
+    MBI and MPI-CorrBench style benchmark generators, Hypre case study.
+``embeddings`` / ``graphs``
+    IR2vec (TransE seeds, symbolic + flow-aware) and ProGraML graphs.
+``nn`` / ``ml``
+    numpy autograd + GATv2 GNN; decision tree, GA, metrics, CV.
+``models`` / ``core``
+    the paper's two pipelines and the user-facing detector API.
+``verify``
+    baseline tools: ITAC, MUST, PARCOACH, MPI-Checker analogues.
+``eval``
+    per-table/figure experiment drivers.
+"""
+
+from repro.core import (
+    DetectionResult,
+    MPIErrorDetector,
+    SuspectCallSite,
+    SuspectFunction,
+    localize_call_sites,
+    localize_error,
+)
+from repro.datasets import MutationEngine
+
+__version__ = "1.0.0"
+__all__ = [
+    "MPIErrorDetector", "DetectionResult",
+    "localize_error", "localize_call_sites",
+    "SuspectFunction", "SuspectCallSite",
+    "MutationEngine",
+    "__version__",
+]

@@ -1,0 +1,378 @@
+"""Command-line interface.
+
+One executable front door over the library, mirroring how the paper's
+artifact is used day to day:
+
+=============  ==============================================================
+subcommand     what it does
+=============  ==============================================================
+compile        mini-C file → textual IR at -O0 / -O2 / -Os
+simulate       run a program on the virtual MPI runtime, print the outcome
+verify         run one of the baseline tool analogues on a file
+generate       write an MBI / CorrBench / Mix style suite to a directory
+train          train an IR2vec or GNN detector on a suite, pickle it
+check          classify C files with a trained detector
+experiment     regenerate one of the paper's tables / figures
+mutate         inject MPI bugs into a correct program (mutation operators)
+=============  ==============================================================
+
+Every subcommand is a plain function taking parsed args and returning an
+exit code, so the test suite drives ``main([...])`` in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+#: experiment name → (driver, renderer) factory; drivers live in
+#: repro.eval.experiments and all take a ReproConfig.
+_EXPERIMENTS = {
+    "fig1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9",
+    "table2", "table3", "table4", "table5", "table6",
+    "seeds", "mutation", "ablation-encoding", "ablation-gnn",
+}
+
+
+def _read_source(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.frontend import CompileError, compile_c
+    from repro.ir.printer import print_module
+
+    try:
+        module = compile_c(_read_source(args.file), os.path.basename(args.file),
+                           args.opt, verify=not args.no_verify)
+    except CompileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    text = print_module(module)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.frontend import CompileError, compile_c
+    from repro.mpi.simulator import simulate
+
+    try:
+        module = compile_c(_read_source(args.file), os.path.basename(args.file),
+                           args.opt, verify=False)
+    except CompileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    report = simulate(module, args.nprocs, seed=args.seed,
+                      max_steps=args.max_steps)
+    print(f"outcome: {report.outcome.name}  (steps={report.steps})")
+    for event in report.events:
+        print(f"  [{event.kind}] rank {event.rank} in {event.call}: "
+              f"{event.detail}")
+    return 0 if report.clean else 2
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.datasets.loader import Sample
+    from repro.verify import ITACTool, MPICheckerTool, MUSTTool, ParcoachTool
+
+    tools = {
+        "itac": lambda: ITACTool(nprocs=args.nprocs),
+        "must": lambda: MUSTTool(nprocs=args.nprocs),
+        "parcoach": ParcoachTool,
+        "mpi-checker": MPICheckerTool,
+    }
+    tool = tools[args.tool]()
+    sample = Sample(name=os.path.basename(args.file),
+                    source=_read_source(args.file), label="?", suite="CLI")
+    verdict = tool.check_sample(sample)
+    print(f"{tool.name}: {verdict.verdict}")
+    for kind in verdict.detected_kinds:
+        print(f"  detected: {kind}")
+    if verdict.detail:
+        print(f"  detail: {verdict.detail}")
+    return 0 if verdict.verdict == "correct" else 2
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.eval.config import ReproConfig
+
+    config = ReproConfig()
+    if args.subsample:
+        config.mbi_subsample = args.subsample
+        config.corr_subsample = args.subsample
+    dataset = config.dataset(args.suite)
+    os.makedirs(args.directory, exist_ok=True)
+    manifest_lines = []
+    for sample in dataset:
+        path = os.path.join(args.directory, sample.name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(sample.source)
+        manifest_lines.append(f"{sample.name}\t{sample.label}")
+    manifest = os.path.join(args.directory, "MANIFEST.tsv")
+    with open(manifest, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(manifest_lines) + "\n")
+    print(f"wrote {len(dataset)} codes to {args.directory} "
+          f"(labels in MANIFEST.tsv)")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import MPIErrorDetector
+    from repro.eval.config import ReproConfig
+
+    config = getattr(ReproConfig, args.profile)()
+    dataset = config.dataset(args.dataset)
+    detector = MPIErrorDetector(method=args.method, ga_config=config.ga,
+                                epochs=config.gnn_epochs, lr=config.gnn_lr)
+    detector.train(dataset, labels=args.labels)
+    detector.save(args.output)
+    print(f"trained {args.method} on {dataset.name} ({len(dataset)} codes), "
+          f"saved to {args.output}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.core import MPIErrorDetector
+
+    detector = MPIErrorDetector.load(args.model)
+    exit_code = 0
+    for path in args.files:
+        result = detector.check(_read_source(path), os.path.basename(path))
+        print(f"{path}: {result.label}")
+        if not result.is_correct:
+            exit_code = 2
+    return exit_code
+
+
+def cmd_mutate(args: argparse.Namespace) -> int:
+    from repro.datasets.loader import Sample
+    from repro.datasets.mutation import MutationEngine
+
+    sample = Sample(name=os.path.basename(args.file),
+                    source=_read_source(args.file), label="Correct",
+                    suite=args.suite)
+    engine = MutationEngine(seed=args.seed)
+    mutants = engine.mutate_sample(sample, per_sample=args.count)
+    if not mutants:
+        print("no applicable mutation operators", file=sys.stderr)
+        return 1
+    os.makedirs(args.directory, exist_ok=True)
+    for m in mutants:
+        path = os.path.join(args.directory, m.sample.name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(m.sample.source)
+        print(f"{m.sample.name}\t{m.operator}\t{m.sample.label}")
+    return 0
+
+
+def cmd_localize(args: argparse.Namespace) -> int:
+    from repro.core import MPIErrorDetector
+    from repro.core.localize import localize_call_sites, localize_error
+    from repro.models.ir2vec_model import IR2vecModel
+
+    detector = MPIErrorDetector.load(args.model)
+    if detector.method != "ir2vec" or not isinstance(detector.model,
+                                                     IR2vecModel):
+        print("error: localization requires an ir2vec detector",
+              file=sys.stderr)
+        return 1
+    source = _read_source(args.file)
+    print("function-level suspects:")
+    for s in localize_error(source, detector.model,
+                            opt_level=detector.opt_level,
+                            embedding_seed=detector.embedding_seed):
+        print(f"  #{s.rank} {s.name:<20} isolated={s.isolated_verdict:<10} "
+              f"influence={s.influence:.3f}")
+    print("call-site suspects:")
+    suspects = localize_call_sites(source, detector.model,
+                                   opt_level=detector.opt_level,
+                                   embedding_seed=detector.embedding_seed,
+                                   top=args.top)
+    for s in suspects:
+        print(f"  {s}")
+    if not suspects:
+        print("  (no non-boilerplate MPI calls)")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.eval import experiments as E
+    from repro.eval.config import ReproConfig
+    from repro.eval.reporting import render_series, render_table
+
+    config = getattr(ReproConfig, args.profile)()
+    name = args.name
+
+    if name == "fig1":
+        for suite, counts in E.fig1_error_distribution(config).items():
+            data = [[label, n] for label, n in counts.items()]
+            print(render_table(["label", "codes"], data, f"Fig. 1 — {suite}"))
+    elif name == "fig2":
+        for suite, rows in E.fig2_code_size(config).items():
+            data = [[lbl, v["min"], v["median"], v["max"]]
+                    for lbl, v in rows.items()]
+            print(render_table(["label", "min", "median", "max"], data,
+                               f"Fig. 2 — {suite}"))
+    elif name == "fig3":
+        for suite, (ok, ko) in E.fig3_correct_incorrect(config).items():
+            print(f"{suite}: correct={ok} incorrect={ko}")
+    elif name == "fig6":
+        acc, support = E.fig6_per_label_with_support(config)
+        print(render_series(acc, title="Fig. 6 — per-label accuracy (MBI)"))
+        print("support:", dict(sorted(support.items())))
+    elif name == "fig7":
+        for suite, tools in E.fig7_tool_metric_bars(config).items():
+            data = [[tool, *m.values()] for tool, m in tools.items()]
+            print(render_table(["tool", "Recall", "Precision", "F1",
+                                "Accuracy"], data, f"Fig. 7 — {suite}"))
+    elif name == "fig8":
+        for suite, accs in E.fig8_single_ablation(config).items():
+            print(render_series(accs, title=f"Fig. 8 — {suite}"))
+    elif name == "fig9":
+        pairs = E.fig9_pair_ablation(config)
+        data = [[f"{a} + {b}", v1, v2] for (a, b), (v1, v2) in pairs.items()]
+        print(render_table(["pair", "1st excluded", "2nd excluded"], data,
+                           "Fig. 9 — pair ablation (CorrBench)"))
+    elif name == "table2":
+        print(E.render_table2(E.table2_model_results(config)))
+    elif name == "table3":
+        rows = E.table3_tool_comparison(config)
+        data = [[r["tool"], r["TP"], r["TN"], r["FP"], r["FN"], r["TO"],
+                 r["Recall"], r["Precision"], r["F1"], r["Accuracy"]]
+                for r in rows]
+        print(render_table(["tool", "TP", "TN", "FP", "FN", "TO", "Recall",
+                            "Precision", "F1", "Accuracy"], data,
+                           "Table III — MBI tools"))
+    elif name == "table4":
+        rows = E.table4_options(config)
+        data = [[r["dataset"], r["normalization"], r["opt"], r["Recall"],
+                 r["Precision"], r["F1"], r["Accuracy"]] for r in rows]
+        print(render_table(["dataset", "norm", "opt", "Recall", "Precision",
+                            "F1", "Accuracy"], data, "Table IV"))
+    elif name == "table5":
+        rows = E.table5_ga_effect(config)
+        data = [[r["GA"], r["scenario"], r["train"], r["val"], r["Accuracy"]]
+                for r in rows]
+        print(render_table(["GA", "scenario", "train", "val", "Accuracy"],
+                           data, "Table V"))
+    elif name == "table6":
+        print(E.render_table6(E.table6_hypre(config)))
+    elif name == "seeds":
+        print(E.render_seed_study(E.seed_sensitivity(config)))
+    elif name == "mutation":
+        print(E.render_mutation_detection(
+            E.mutation_detection(config, "MBI"), "MBI"))
+        print(E.render_mutation_cross(E.mutation_augmented_cross(config)))
+    elif name == "ablation-encoding":
+        print(E.render_encoding_ablation(E.ir2vec_encoding_ablation(config)))
+    elif name == "ablation-gnn":
+        print(E.render_gnn_ablation(E.gnn_design_ablation(config)))
+    else:  # pragma: no cover - argparse choices guard this
+        print(f"unknown experiment {name}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mpi",
+        description="MPI error detection via IR embeddings and GNNs "
+                    "(reproduction of arXiv:2403.02518)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile mini-C to textual IR")
+    p.add_argument("file")
+    p.add_argument("-O", "--opt", choices=("O0", "O2", "Os"), default="O0")
+    p.add_argument("-o", "--output")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the IR verifier")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("simulate", help="run a program on the virtual MPI")
+    p.add_argument("file")
+    p.add_argument("-n", "--nprocs", type=int, default=2)
+    p.add_argument("-O", "--opt", choices=("O0", "O2", "Os"), default="O0")
+    p.add_argument("--seed", type=int, default=0,
+                   help="interleaving schedule seed")
+    p.add_argument("--max-steps", type=int, default=400_000)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("verify", help="run a baseline tool analogue")
+    p.add_argument("file")
+    p.add_argument("--tool", choices=("itac", "must", "parcoach",
+                                      "mpi-checker"), default="itac")
+    p.add_argument("-n", "--nprocs", type=int, default=3)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("generate", help="write a benchmark suite to disk")
+    p.add_argument("suite", choices=("mbi", "corrbench", "mix"))
+    p.add_argument("directory")
+    p.add_argument("--subsample", type=int, default=None)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("train", help="train a detector and pickle it")
+    p.add_argument("-d", "--dataset", choices=("mbi", "corrbench", "mix"),
+                   default="mbi")
+    p.add_argument("-m", "--method", choices=("ir2vec", "gnn"),
+                   default="ir2vec")
+    p.add_argument("--labels", choices=("binary", "type"), default="binary")
+    p.add_argument("--profile", choices=("smoke", "fast", "paper"),
+                   default="smoke")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("check", help="classify C files with a trained model")
+    p.add_argument("model")
+    p.add_argument("files", nargs="+")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("mutate", help="inject MPI bugs into a correct code")
+    p.add_argument("file")
+    p.add_argument("directory")
+    p.add_argument("--suite", choices=("MBI", "CORR"), default="MBI",
+                   help="label taxonomy for the mutants")
+    p.add_argument("--count", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_mutate)
+
+    p = sub.add_parser("localize",
+                       help="rank suspect functions / MPI call sites")
+    p.add_argument("model", help="pickled ir2vec detector (see 'train')")
+    p.add_argument("file")
+    p.add_argument("--top", type=int, default=None,
+                   help="show only the N most suspect call sites")
+    p.set_defaults(func=cmd_localize)
+
+    p = sub.add_parser("experiment",
+                       help="regenerate one of the paper's tables/figures")
+    p.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p.add_argument("--profile", choices=("smoke", "fast", "paper"),
+                   default="smoke")
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Public API: train / apply MPI error detectors on C source code."""
+
+from repro.core.detector import DetectionResult, MPIErrorDetector
+from repro.core.localize import (
+    SuspectCallSite,
+    SuspectFunction,
+    localize_call_sites,
+    localize_error,
+)
+
+__all__ = [
+    "MPIErrorDetector", "DetectionResult",
+    "localize_error", "localize_call_sites",
+    "SuspectFunction", "SuspectCallSite",
+]

@@ -1,0 +1,120 @@
+"""High-level detector facade — the paper's contribution as a library.
+
+Wraps the full pipeline (C → IR → features → model) behind two methods:
+
+>>> detector = MPIErrorDetector(method="ir2vec")
+>>> detector.train(load_mbi(), labels="binary")
+>>> detector.check(source_code).label
+'Incorrect'
+
+``method`` selects the IR2vec+DT pipeline (default) or the GNN;
+``labels`` selects binary (correct/incorrect) or error-type prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.datasets.labels import CORRECT, binary_label
+from repro.datasets.loader import Dataset, Sample
+from repro.embeddings.ir2vec import default_encoder
+from repro.frontend import compile_c
+from repro.graphs.programl import build_program_graph
+from repro.graphs.vocab import build_vocabulary
+from repro.ml.genetic import GAConfig
+from repro.models.features import graph_dataset, ir2vec_feature_matrix
+from repro.models.gnn_model import GNNModel
+from repro.models.ir2vec_model import IR2vecModel
+
+
+@dataclass
+class DetectionResult:
+    label: str
+    is_correct: bool
+    method: str
+    detail: str = ""
+
+
+class MPIErrorDetector:
+    """Train an ML-based MPI error detector and apply it to new code."""
+
+    def __init__(self, method: str = "ir2vec", *, opt_level: Optional[str] = None,
+                 normalization: str = "vector", use_ga: bool = True,
+                 ga_config: Optional[GAConfig] = None, epochs: int = 10,
+                 lr: float = 4e-4, embedding_seed: int = 42, seed: int = 0):
+        if method not in ("ir2vec", "gnn"):
+            raise ValueError("method must be 'ir2vec' or 'gnn'")
+        self.method = method
+        # Paper defaults: -Os IR for IR2vec, -O0 for the GNN.
+        self.opt_level = opt_level or ("Os" if method == "ir2vec" else "O0")
+        self.embedding_seed = embedding_seed
+        self.label_mode = "binary"
+        if method == "ir2vec":
+            self.model: Union[IR2vecModel, GNNModel] = IR2vecModel(
+                normalization=normalization, use_ga=use_ga, ga_config=ga_config)
+        else:
+            self.model = GNNModel(epochs=epochs, lr=lr, seed=seed)
+        self._trained = False
+
+    # ------------------------------------------------------------------ train
+    def train(self, dataset: Dataset, labels: str = "binary") -> "MPIErrorDetector":
+        """Fit on a labeled dataset; ``labels`` is 'binary' or 'type'."""
+        if labels not in ("binary", "type"):
+            raise ValueError("labels must be 'binary' or 'type'")
+        self.label_mode = labels
+        y = np.array([s.binary if labels == "binary" else s.label
+                      for s in dataset.samples])
+        if self.method == "ir2vec":
+            X = ir2vec_feature_matrix(dataset, self.opt_level, self.embedding_seed)
+            self.model.fit(X, y)
+        else:
+            graphs = graph_dataset(dataset, self.opt_level)
+            self.model.fit(graphs, y, build_vocabulary(graphs))
+        self._trained = True
+        return self
+
+    # ------------------------------------------------------------------ predict
+    def check(self, source: str, name: str = "input.c") -> DetectionResult:
+        """Classify one C source file."""
+        if not self._trained:
+            raise RuntimeError("call train() before check()")
+        module = compile_c(source, name, self.opt_level, verify=False)
+        if self.method == "ir2vec":
+            feature = default_encoder(self.embedding_seed).encode(module)
+            label = str(self.model.predict(feature[None, :])[0])
+        else:
+            graph = build_program_graph(module)
+            label = str(self.model.predict([graph])[0])
+        return DetectionResult(
+            label=label,
+            is_correct=label == CORRECT,
+            method=self.method,
+            detail=f"opt={self.opt_level}, labels={self.label_mode}",
+        )
+
+    def check_samples(self, samples: Sequence[Sample]) -> List[DetectionResult]:
+        return [self.check(s.source, s.name) for s in samples]
+
+    # ------------------------------------------------------------------ persist
+    def save(self, path: str) -> None:
+        """Pickle the trained detector (model + configuration)."""
+        import pickle
+
+        if not self._trained:
+            raise RuntimeError("call train() before save()")
+        with open(path, "wb") as fh:
+            pickle.dump(self, fh)
+
+    @staticmethod
+    def load(path: str) -> "MPIErrorDetector":
+        """Load a detector previously stored with :meth:`save`."""
+        import pickle
+
+        with open(path, "rb") as fh:
+            detector = pickle.load(fh)
+        if not isinstance(detector, MPIErrorDetector):
+            raise TypeError(f"{path} does not contain an MPIErrorDetector")
+        return detector

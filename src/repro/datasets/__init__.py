@@ -1,0 +1,26 @@
+"""Benchmark-suite substrates: MBI and MPI-CorrBench style generators.
+
+The paper trains on the MPI Bugs Initiative (~2000 C codes, 9 error
+labels) and MPI-CorrBench level-zero (~400 codes, 4 labels).  Neither
+suite ships with this reproduction, so :mod:`repro.datasets.mbi` and
+:mod:`repro.datasets.corrbench` regenerate structurally equivalent
+programs: the same error taxonomy, the same MPI feature coverage, label
+distributions matching the paper's Fig. 1, code-size distributions
+matching Fig. 2 (including the ``mpitest.h`` bias in CorrBench correct
+codes), and deterministic seeding.
+"""
+
+from repro.datasets.loader import Dataset, Sample, load_corrbench, load_mbi, load_mix
+from repro.datasets.labels import (
+    CORR_LABELS,
+    CORRECT,
+    MBI_LABELS,
+    binary_label,
+)
+from repro.datasets.mutation import Mutant, MutationEngine
+
+__all__ = [
+    "Dataset", "Sample", "load_mbi", "load_corrbench", "load_mix",
+    "MBI_LABELS", "CORR_LABELS", "CORRECT", "binary_label",
+    "MutationEngine", "Mutant",
+]

@@ -1,0 +1,452 @@
+"""MPI-CorrBench-style (level zero) benchmark generator.
+
+~415 small C kernels across the 4 CorrBench labels plus correct codes.
+Two reproduction-critical properties from the paper (Section III):
+
+* error labels are encoded in the file *names*
+  (``ArgError-MPIIrecv-Count-1.c``) — CorrBench has no in-file headers;
+* **correct codes include ``mpitest.h``**, whose expansion pushes them to
+  ≥103 LoC, creating the size bias the paper detects and removes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from repro.datasets.labels import CORRECT
+from repro.datasets.loader import Sample
+from repro.datasets.templates import (
+    COLLECTIVES,
+    DTYPES,
+    Prog,
+    REDUCE_OPS,
+    collective_call,
+    filler_compute,
+)
+
+#: Per-label counts (Fig. 1(a) / Fig. 3 shapes: 214 incorrect + 202 correct).
+CORR_COUNTS: Dict[str, int] = {
+    CORRECT: 202,
+    "ArgError": 148,
+    "ArgMismatch": 31,
+    "MissplacedCall": 20,
+    "MissingCall": 15,
+}
+
+_CALLS_WITH_ARGS = (
+    # (call template-id, param variants for ArgError)
+    ("MPISend", ("Count", "Tag", "Rank", "Buffer", "Type", "Comm")),
+    ("MPIRecv", ("Count", "Tag", "Rank", "Buffer", "Type", "Comm")),
+    ("MPIIsend", ("Count", "Tag", "Rank", "Type")),
+    ("MPIIrecv", ("Count", "Tag", "Rank", "Type")),
+    ("MPIBcast", ("Count", "Root", "Type", "Comm")),
+    ("MPIReduce", ("Count", "Root", "Type", "Op")),
+    ("MPIAllreduce", ("Count", "Type", "Op")),
+    ("MPIGather", ("Count", "Root", "Type")),
+    ("MPIScatter", ("Count", "Root", "Type")),
+    ("MPIBarrier", ("Comm",)),
+)
+
+
+def _corr_prog(min_procs: int = 2) -> Prog:
+    prog = Prog(min_procs=0)   # CorrBench kernels skip the MBI banner
+    prog.min_procs = 0
+    return prog
+
+
+def _bad_value(param: str, i: int) -> Dict[str, str]:
+    """Produce the knob overrides that corrupt one parameter."""
+    if param == "Count":
+        return {"count": "-1" if i % 2 == 0 else "-5"}
+    if param == "Tag":
+        return {"tag": "-2" if i % 2 == 0 else "123456789"}
+    if param in ("Rank", "Root"):
+        return {"peer": "nprocs + 1" if i % 2 == 0 else "-3"}
+    if param == "Buffer":
+        return {"buf": "NULL"}
+    if param == "Type":
+        return {"mpitype": "MPI_DATATYPE_NULL"}
+    if param == "Comm":
+        return {"comm": "MPI_COMM_NULL"}
+    if param == "Op":
+        return {"red_op": "MPI_OP_NULL"}
+    raise ValueError(param)
+
+
+def _emit_call(prog: Prog, call_id: str, *, count: str = "4", tag: str = "0",
+               peer: str = "", buf: str = "", mpitype: str = "MPI_INT",
+               comm: str = "MPI_COMM_WORLD", red_op: str = "MPI_SUM") -> None:
+    """Emit a two-rank kernel around one (possibly corrupted) MPI call."""
+    ctype = "int"
+    n = "8"
+    prog.decl(f"{ctype} buffer[{n}];")
+    prog.decl("MPI_Status status;")
+    b = buf or "buffer"
+    if call_id == "MPISend":
+        dest = peer or "1"
+        prog.stmt("if (rank == 0) {")
+        prog.stmt(f"  MPI_Send({b}, {count}, {mpitype}, {dest}, {tag}, {comm});")
+        prog.stmt("}")
+        prog.stmt("if (rank == 1) {")
+        prog.stmt(f"  MPI_Recv(buffer, 8, MPI_INT, 0, {tag if tag.isdigit() else '0'}, "
+                  "MPI_COMM_WORLD, &status);")
+        prog.stmt("}")
+    elif call_id == "MPIRecv":
+        src = peer or "0"
+        prog.stmt("if (rank == 0) {")
+        prog.stmt("  MPI_Send(buffer, 4, MPI_INT, 1, 0, MPI_COMM_WORLD);")
+        prog.stmt("}")
+        prog.stmt("if (rank == 1) {")
+        prog.stmt(f"  MPI_Recv({b}, {count}, {mpitype}, {src}, {tag}, {comm}, &status);")
+        prog.stmt("}")
+    elif call_id in ("MPIIsend", "MPIIrecv"):
+        prog.decl("MPI_Request request;")
+        if call_id == "MPIIsend":
+            dest = peer or "1"
+            prog.stmt("if (rank == 0) {")
+            prog.stmt(f"  MPI_Isend({b}, {count}, {mpitype}, {dest}, {tag}, {comm}, "
+                      "&request);")
+            prog.stmt("  MPI_Wait(&request, &status);")
+            prog.stmt("}")
+            prog.stmt("if (rank == 1) {")
+            prog.stmt("  MPI_Recv(buffer, 8, MPI_INT, 0, 0, MPI_COMM_WORLD, &status);")
+            prog.stmt("}")
+        else:
+            src = peer or "0"
+            prog.stmt("if (rank == 0) {")
+            prog.stmt("  MPI_Send(buffer, 4, MPI_INT, 1, 0, MPI_COMM_WORLD);")
+            prog.stmt("}")
+            prog.stmt("if (rank == 1) {")
+            prog.stmt(f"  MPI_Irecv({b}, {count}, {mpitype}, {src}, {tag}, {comm}, "
+                      "&request);")
+            prog.stmt("  MPI_Wait(&request, &status);")
+            prog.stmt("}")
+    elif call_id == "MPIBcast":
+        root = peer or "0"
+        prog.stmt(f"MPI_Bcast({b}, {count}, {mpitype}, {root}, {comm});")
+    elif call_id == "MPIReduce":
+        root = peer or "0"
+        prog.decl("int result[8];")
+        prog.stmt(f"MPI_Reduce({b}, result, {count}, {mpitype}, {red_op}, {root}, {comm});")
+    elif call_id == "MPIAllreduce":
+        prog.decl("int result[8];")
+        prog.stmt(f"MPI_Allreduce({b}, result, {count}, {mpitype}, {red_op}, {comm});")
+    elif call_id == "MPIGather":
+        root = peer or "0"
+        prog.decl("int* gathered = (int*) malloc(nprocs * 8 * sizeof(int));")
+        prog.stmt(f"MPI_Gather({b}, {count}, {mpitype}, gathered, {count}, {mpitype}, "
+                  f"{root}, {comm});")
+    elif call_id == "MPIScatter":
+        root = peer or "0"
+        prog.decl("int* scattered = (int*) malloc(nprocs * 8 * sizeof(int));")
+        prog.stmt(f"MPI_Scatter(scattered, {count}, {mpitype}, {b}, {count}, "
+                  f"{mpitype}, {root}, {comm});")
+    elif call_id == "MPIBarrier":
+        prog.stmt(f"MPI_Barrier({comm});")
+    else:
+        raise ValueError(call_id)
+
+
+class CorrBenchGenerator:
+    def __init__(self, seed: int = 20210512):
+        self.seed = seed
+
+    def _arg_error_cases(self) -> List[Tuple[str, Callable]]:
+        cases: List[Tuple[str, Callable]] = []
+        for call_id, params in _CALLS_WITH_ARGS:
+            for param in params:
+                for variant in (1, 2, 3):
+                    name = f"ArgError-{call_id}-{param}-{variant}.c"
+
+                    def make(call_id=call_id, param=param, variant=variant):
+                        prog = _corr_prog()
+                        overrides = _bad_value(param, variant)
+                        _emit_call(prog, call_id, **overrides)
+                        return prog
+
+                    cases.append((name, make))
+        return cases
+
+    def _arg_mismatch_cases(self) -> List[Tuple[str, Callable]]:
+        cases: List[Tuple[str, Callable]] = []
+        typed = ("MPIBcast", "MPIReduce", "MPIAllreduce", "MPIGather", "MPIScatter")
+        for j, call_id in enumerate(typed):
+            for variant in (1, 2, 3):
+                name = f"ArgMismatch-{call_id}-Type-{variant}.c"
+
+                def make(call_id=call_id, variant=variant, j=j):
+                    prog = _corr_prog()
+                    a = DTYPES[variant % len(DTYPES)][1]
+                    b = DTYPES[(variant + 2) % len(DTYPES)][1]
+                    prog.stmt("if (rank == 0) {")
+                    _emit_call(prog, call_id, mpitype=a)
+                    prog.stmt("} else {")
+                    _emit_call(prog, call_id, mpitype=b)
+                    prog.stmt("}")
+                    return prog
+
+                cases.append((name, make))
+        rooted = ("MPIBcast", "MPIReduce", "MPIGather", "MPIScatter")
+        for call_id in rooted:
+            for variant in (1, 2):
+                name = f"ArgMismatch-{call_id}-Root-{variant}.c"
+
+                def make(call_id=call_id, variant=variant):
+                    prog = _corr_prog()
+                    _emit_call(prog, call_id, peer="rank" if variant == 1
+                               else "(rank + 1) % nprocs")
+                    return prog
+
+                cases.append((name, make))
+        for variant in (1, 2, 3, 4):
+            name = f"ArgMismatch-MPISendRecv-Type-{variant}.c"
+
+            def make(variant=variant):
+                prog = _corr_prog()
+                send = DTYPES[variant % len(DTYPES)][1]
+                recv = DTYPES[(variant + 1) % len(DTYPES)][1]
+                prog.decl("int buffer[8];")
+                prog.decl("MPI_Status status;")
+                prog.stmt("if (rank == 0) {")
+                prog.stmt(f"  MPI_Send(buffer, 4, {send}, 1, 0, MPI_COMM_WORLD);")
+                prog.stmt("}")
+                prog.stmt("if (rank == 1) {")
+                prog.stmt(f"  MPI_Recv(buffer, 4, {recv}, 0, 0, MPI_COMM_WORLD, &status);")
+                prog.stmt("}")
+                return prog
+
+            cases.append((name, make))
+        for variant in (1, 2):
+            name = f"ArgMismatch-MPISendRecv-Count-{variant}.c"
+
+            def make(variant=variant):
+                prog = _corr_prog()
+                prog.decl("int buffer[16];")
+                prog.decl("MPI_Status status;")
+                big = 8 * variant
+                prog.stmt("if (rank == 0) {")
+                prog.stmt(f"  MPI_Send(buffer, {big}, MPI_INT, 1, 0, MPI_COMM_WORLD);")
+                prog.stmt("}")
+                prog.stmt("if (rank == 1) {")
+                prog.stmt(f"  MPI_Recv(buffer, {big // 2}, MPI_INT, 0, 0, "
+                          "MPI_COMM_WORLD, &status);")
+                prog.stmt("}")
+                return prog
+
+            cases.append((name, make))
+        return cases
+
+    def _missplaced_cases(self) -> List[Tuple[str, Callable]]:
+        cases: List[Tuple[str, Callable]] = []
+        for j, coll in enumerate(("MPIBarrier", "MPIBcast", "MPIReduce", "MPIAllreduce")):
+            for variant in (1, 2):
+                name = f"MissplacedCall-{coll}-Order-{variant}.c"
+
+                def make(coll=coll, variant=variant, j=j):
+                    prog = _corr_prog()
+                    a = COLLECTIVES[j % len(COLLECTIVES)]
+                    b = COLLECTIVES[(j + 1 + variant) % len(COLLECTIVES)]
+                    prog.stmt("if (rank == 0) {")
+                    prog.stmt("  " + collective_call(prog, a, suffix="A"))
+                    prog.stmt("  " + collective_call(prog, b, suffix="B"))
+                    prog.stmt("} else {")
+                    prog.stmt("  " + collective_call(prog, b, suffix="C"))
+                    prog.stmt("  " + collective_call(prog, a, suffix="D"))
+                    prog.stmt("}")
+                    return prog
+
+                cases.append((name, make))
+        for variant in (1, 2, 3):
+            name = f"MissplacedCall-MPIInit-Late-{variant}.c"
+
+            def make(variant=variant):
+                prog = _corr_prog()
+                prog.init = False
+                prog.stmt("MPI_Init(&argc, &argv);")
+                prog.stmt("MPI_Barrier(MPI_COMM_WORLD);")
+                return prog
+
+            cases.append((name, make))
+        for variant in (1, 2, 3):
+            name = f"MissplacedCall-MPIFinalize-Early-{variant}.c"
+
+            def make(variant=variant):
+                prog = _corr_prog()
+                prog.finalize = False
+                prog.stmt("MPI_Finalize();")
+                prog.stmt("MPI_Barrier(MPI_COMM_WORLD);")
+                return prog
+
+            cases.append((name, make))
+        for variant in (1, 2, 3):
+            name = f"MissplacedCall-MPIRecv-Order-{variant}.c"
+
+            def make(variant=variant):
+                prog = _corr_prog()
+                prog.decl("int buffer[8];")
+                prog.decl("MPI_Status status;")
+                prog.stmt("int peer = (rank == 0) ? 1 : 0;")
+                prog.stmt("if (rank < 2) {")
+                prog.stmt(f"  MPI_Recv(buffer, {4 * variant}, MPI_INT, peer, 0, "
+                          "MPI_COMM_WORLD, &status);")
+                prog.stmt(f"  MPI_Send(buffer, {4 * variant}, MPI_INT, peer, 0, "
+                          "MPI_COMM_WORLD);")
+                prog.stmt("}")
+                return prog
+
+            cases.append((name, make))
+        return cases
+
+    def _missing_cases(self) -> List[Tuple[str, Callable]]:
+        cases: List[Tuple[str, Callable]] = []
+        for variant in (1, 2, 3):
+            name = f"MissingCall-MPIWait-{variant}.c"
+
+            def make(variant=variant):
+                prog = _corr_prog()
+                prog.decl("int buffer[128];")
+                prog.decl("MPI_Request request;")
+                prog.decl("MPI_Status status;")
+                prog.stmt("if (rank == 0) {")
+                prog.stmt(f"  MPI_Isend(buffer, {64 * variant}, MPI_INT, 1, 0, "
+                          "MPI_COMM_WORLD, &request);")
+                prog.stmt("}")
+                prog.stmt("if (rank == 1) {")
+                prog.stmt(f"  MPI_Recv(buffer, {64 * variant}, MPI_INT, 0, 0, "
+                          "MPI_COMM_WORLD, &status);")
+                prog.stmt("}")
+                return prog
+
+            cases.append((name, make))
+        for variant in (1, 2, 3):
+            name = f"MissingCall-MPIFinalize-{variant}.c"
+
+            def make(variant=variant):
+                prog = _corr_prog()
+                prog.finalize = False
+                prog.stmt("MPI_Barrier(MPI_COMM_WORLD);")
+                return prog
+
+            cases.append((name, make))
+        for variant in (1, 2, 3):
+            name = f"MissingCall-MPIRecv-{variant}.c"
+
+            def make(variant=variant):
+                prog = _corr_prog()
+                prog.decl("int buffer[8];")
+                prog.stmt("if (rank == 0) {")
+                prog.stmt(f"  MPI_Ssend(buffer, {variant * 2}, MPI_INT, 1, 0, "
+                          "MPI_COMM_WORLD);")
+                prog.stmt("}")
+                return prog
+
+            cases.append((name, make))
+        for j, coll in enumerate(("MPIBarrier", "MPIBcast", "MPIAllreduce")):
+            for variant in (1, 2):
+                name = f"MissingCall-{coll}-{variant}.c"
+
+                def make(coll=coll, variant=variant, j=j):
+                    prog = _corr_prog()
+                    op = COLLECTIVES[j % len(COLLECTIVES)]
+                    prog.stmt("if (rank > 0) {")
+                    prog.stmt("  " + collective_call(prog, op))
+                    prog.stmt("}")
+                    return prog
+
+                cases.append((name, make))
+        return cases
+
+    def _correct_cases(self, rng: random.Random, count: int) -> List[Tuple[str, Callable]]:
+        cases: List[Tuple[str, Callable]] = []
+        i = 0
+        while len(cases) < count:
+            kind = i % 5
+            name = f"Correct-kernel-{i + 1:03d}.c"
+
+            def make(i=i, kind=kind):
+                prog = _corr_prog()
+                # CorrBench correct codes include the test-helper header —
+                # this is the size bias the paper removes.
+                prog.includes = ["<mpi.h>", "<stdio.h>", "<stdlib.h>", '"mpitest.h"']
+                local = random.Random(self.seed * 977 + i)
+                filler_compute(local, prog)
+                if kind == 0:
+                    ctype, mpitype = DTYPES[i % len(DTYPES)]
+                    prog.decl(f"{ctype} buffer[8];")
+                    prog.decl("MPI_Status status;")
+                    prog.stmt("if (rank == 0) {")
+                    prog.stmt(f"  MPI_Send(buffer, 4, {mpitype}, 1, 1, MPI_COMM_WORLD);")
+                    prog.stmt("}")
+                    prog.stmt("if (rank == 1) {")
+                    prog.stmt(f"  MPI_Recv(buffer, 4, {mpitype}, 0, 1, MPI_COMM_WORLD, "
+                              "&status);")
+                    prog.stmt("}")
+                elif kind == 1:
+                    op = COLLECTIVES[i % len(COLLECTIVES)]
+                    prog.stmt(collective_call(prog, op,
+                                              ctype=DTYPES[i % len(DTYPES)][0],
+                                              mpitype=DTYPES[i % len(DTYPES)][1],
+                                              red_op=REDUCE_OPS[i % len(REDUCE_OPS)]))
+                elif kind == 2:
+                    prog.decl("int buffer[8];")
+                    prog.decl("MPI_Request request;")
+                    prog.decl("MPI_Status status;")
+                    prog.stmt("if (rank == 0) {")
+                    prog.stmt("  MPI_Isend(buffer, 4, MPI_INT, 1, 0, MPI_COMM_WORLD, "
+                              "&request);")
+                    prog.stmt("  MPI_Wait(&request, &status);")
+                    prog.stmt("}")
+                    prog.stmt("if (rank == 1) {")
+                    prog.stmt("  MPI_Irecv(buffer, 4, MPI_INT, 0, 0, MPI_COMM_WORLD, "
+                              "&request);")
+                    prog.stmt("  MPI_Wait(&request, &status);")
+                    prog.stmt("}")
+                elif kind == 3:
+                    a = COLLECTIVES[i % len(COLLECTIVES)]
+                    b = COLLECTIVES[(i + 2) % len(COLLECTIVES)]
+                    prog.stmt(collective_call(prog, a, suffix="A"))
+                    prog.stmt(collective_call(prog, b, suffix="B"))
+                else:
+                    prog.decl("int buffer[8];")
+                    prog.decl("MPI_Status status;")
+                    prog.stmt("int peer = (rank == 0) ? 1 : 0;")
+                    prog.stmt("if (rank < 2) {")
+                    prog.stmt("  MPI_Sendrecv(buffer, 4, MPI_INT, peer, 2, buffer, 4, "
+                              "MPI_INT, peer, 2, MPI_COMM_WORLD, &status);")
+                    prog.stmt("}")
+                return prog
+
+            cases.append((name, make))
+            i += 1
+        return cases
+
+    def generate(self) -> List[Sample]:
+        rng = random.Random(self.seed)
+        samples: List[Sample] = []
+        plans = [
+            ("ArgError", self._arg_error_cases()),
+            ("ArgMismatch", self._arg_mismatch_cases()),
+            ("MissplacedCall", self._missplaced_cases()),
+            ("MissingCall", self._missing_cases()),
+            (CORRECT, self._correct_cases(rng, CORR_COUNTS[CORRECT])),
+        ]
+        for label, cases in plans:
+            want = CORR_COUNTS[label]
+            picked = cases[:want]
+            # Cycle with numbered suffixes if templates are fewer than quota.
+            k = 0
+            while len(picked) < want:
+                name, make = cases[k % len(cases)]
+                stem = name[:-2]
+                picked.append((f"{stem}-v{k // len(cases) + 2}.c", make))
+                k += 1
+            for name, make in picked:
+                prog = make()
+                samples.append(Sample(name=name, source=prog.render(),
+                                      label=label, suite="CORR"))
+        return samples
+
+
+def generate_corrbench(seed: int = 20210512) -> List[Sample]:
+    return CorrBenchGenerator(seed).generate()

@@ -1,0 +1,151 @@
+"""Hypre-like real-case study (paper Section V-F, Table VI).
+
+The paper evaluates its cross-trained models on Hypre 2.10.1, where
+commit bc3158e fixed a bug caused by *reusing the same tag* in two
+concurrent MPI exchange phases.  Hypre itself is a ~400 kLoC library we
+cannot ship, so this module generates a structurally analogous program: a
+multigrid-style iterative solver with halo exchanges, reductions, and a
+two-phase neighbour exchange whose *incorrect* version uses one tag for
+both phases (messages can cross phases) and whose *correct* version uses
+distinct tags — the same bug class, in a code an order of magnitude
+larger and shaped unlike any benchmark sample.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.datasets.loader import Sample
+
+_SOLVER_TEMPLATE = r"""
+/* hypre-like structured multigrid solver (synthetic reproduction case) */
+#include <mpi.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+#define GRID 64
+#define LEVELS 3
+#define ITERS 4
+
+double local_grid[GRID];
+double halo_left[4];
+double halo_right[4];
+
+int solver_rank = 0;
+int solver_size = 1;
+
+void grid_init(double* grid, int n, int rank) {
+  int i;
+  for (i = 0; i < n; i++) {
+    grid[i] = (double)(rank * n + i) * 0.001;
+  }
+}
+
+double grid_norm(double* grid, int n) {
+  double acc = 0.0;
+  int i;
+  for (i = 0; i < n; i++) {
+    acc = acc + grid[i] * grid[i];
+  }
+  return acc;
+}
+
+void smooth_level(double* grid, int n, double omega) {
+  int i;
+  for (i = 1; i < n - 1; i++) {
+    grid[i] = grid[i] + omega * (grid[i - 1] - 2.0 * grid[i] + grid[i + 1]);
+  }
+}
+
+void restrict_level(double* fine, double* coarse, int n) {
+  int i;
+  for (i = 0; i < n / 2; i++) {
+    coarse[i] = 0.5 * (fine[2 * i] + fine[2 * i + 1]);
+  }
+}
+
+void prolong_level(double* coarse, double* fine, int n) {
+  int i;
+  for (i = 0; i < n / 2; i++) {
+    fine[2 * i] = coarse[i];
+    fine[2 * i + 1] = coarse[i];
+  }
+}
+
+void exchange_halo(double* grid, int n, int rank, int size) {
+  MPI_Status status;
+  int left = rank - 1;
+  int right = rank + 1;
+  /* phase 1: send boundary to the right neighbour, receive from left */
+  if (right < size) {
+    MPI_Send(&grid[n - 4], 4, MPI_DOUBLE, right, __TAG_PHASE1__, MPI_COMM_WORLD);
+  }
+  if (left >= 0) {
+    MPI_Recv(halo_left, 4, MPI_DOUBLE, left, __TAG_PHASE1__, MPI_COMM_WORLD, &status);
+  }
+  /* phase 2: send boundary to the left neighbour, receive from right */
+  if (left >= 0) {
+    MPI_Send(&grid[0], 4, MPI_DOUBLE, left, __TAG_PHASE2__, MPI_COMM_WORLD);
+  }
+  if (right < size) {
+    MPI_Recv(halo_right, 4, MPI_DOUBLE, right, __TAG_PHASE2__, MPI_COMM_WORLD, &status);
+  }
+}
+
+double residual_allreduce(double local) {
+  double global = 0.0;
+  MPI_Allreduce(&local, &global, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  return global;
+}
+
+int main(int argc, char** argv) {
+  double coarse[GRID];
+  double residual = 0.0;
+  int it, level;
+
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &solver_rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &solver_size);
+
+  grid_init(local_grid, GRID, solver_rank);
+
+  for (it = 0; it < ITERS; it++) {
+    for (level = 0; level < LEVELS; level++) {
+      smooth_level(local_grid, GRID, 0.5);
+      exchange_halo(local_grid, GRID, solver_rank, solver_size);
+      restrict_level(local_grid, coarse, GRID);
+      smooth_level(coarse, GRID / 2, 0.6);
+      prolong_level(coarse, local_grid, GRID);
+    }
+    residual = residual_allreduce(grid_norm(local_grid, GRID));
+    if (solver_rank == 0) {
+      printf("iter %d residual %f\n", it, residual);
+    }
+    MPI_Barrier(MPI_COMM_WORLD);
+  }
+
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+
+def hypre_pair() -> Tuple[Sample, Sample]:
+    """(correct, incorrect) versions of the solver.
+
+    Incorrect: both exchange phases use tag 0 — with more than two ranks
+    a phase-2 message can match a phase-1 receive (the bc3158e bug).
+    Correct: distinct per-phase tags.
+    """
+    correct_src = (_SOLVER_TEMPLATE
+                   .replace("__TAG_PHASE1__", "100")
+                   .replace("__TAG_PHASE2__", "101"))
+    incorrect_src = (_SOLVER_TEMPLATE
+                     .replace("__TAG_PHASE1__", "0")
+                     .replace("__TAG_PHASE2__", "0"))
+    return (
+        Sample(name="hypre-ok.c", source=correct_src, label="Correct",
+               suite="HYPRE"),
+        Sample(name="hypre-ko.c", source=incorrect_src, label="Message Race",
+               suite="HYPRE"),
+    )

@@ -1,0 +1,48 @@
+"""Error-label taxonomies of the two benchmark suites (paper Section III)."""
+
+from __future__ import annotations
+
+CORRECT = "Correct"
+
+# MBI groups its 9 error types by manifestation context:
+#   single call:     Invalid Parameter
+#   single process:  Resource Leak, Request Lifecycle, Epoch Lifecycle,
+#                    Local Concurrency
+#   multi-processes: Parameter Matching, Message Race, Call Ordering,
+#                    Global Concurrency
+MBI_LABELS = (
+    "Invalid Parameter",
+    "Parameter Matching",
+    "Call Ordering",
+    "Local Concurrency",
+    "Request Lifecycle",
+    "Epoch Lifecycle",
+    "Message Race",
+    "Global Concurrency",
+    "Resource Leak",
+)
+
+# MPI-CorrBench's classification.
+CORR_LABELS = (
+    "ArgError",
+    "ArgMismatch",
+    "MissplacedCall",
+    "MissingCall",
+)
+
+#: CorrBench label encoded in file names (ArgError-MPIIRecv-Count-1.c ...).
+CORR_NAME_PREFIX = {
+    "ArgError": "ArgError",
+    "ArgMismatch": "ArgMismatch",
+    "MissplacedCall": "MissplacedCall",
+    "MissingCall": "MissingCall",
+}
+
+
+def binary_label(label: str) -> str:
+    """Collapse any error label to the Cross-scenario binary scheme."""
+    return CORRECT if label == CORRECT else "Incorrect"
+
+
+def is_correct(label: str) -> bool:
+    return label == CORRECT

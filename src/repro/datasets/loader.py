@@ -1,0 +1,139 @@
+"""Dataset containers and loading entry points.
+
+``load_mbi`` / ``load_corrbench`` / ``load_mix`` build the three datasets
+of the paper (Section III).  CorrBench is loaded *debiased* by default —
+the ``mpitest.h`` include is stripped from correct codes exactly like the
+paper's preprocessing fix — pass ``debias=False`` to study the raw bias.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.labels import CORRECT, binary_label
+
+
+@dataclass
+class Sample:
+    """One benchmark program with its ground-truth label."""
+
+    name: str
+    source: str
+    label: str
+    suite: str                      # 'MBI' | 'CORR'
+    features: Tuple[str, ...] = ()
+
+    @property
+    def is_correct(self) -> bool:
+        return self.label == CORRECT
+
+    @property
+    def binary(self) -> str:
+        return binary_label(self.label)
+
+
+_MPITEST_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"mpitest\.h"\s*$', re.MULTILINE)
+
+
+def strip_mpitest_header(source: str) -> str:
+    """The paper's debias step: drop the ``mpitest.h`` include."""
+    return _MPITEST_INCLUDE_RE.sub("", source)
+
+
+@dataclass
+class Dataset:
+    """A labeled collection of samples."""
+
+    name: str
+    samples: List[Sample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def labels(self) -> List[str]:
+        return [s.label for s in self.samples]
+
+    def label_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for s in self.samples:
+            counts[s.label] = counts.get(s.label, 0) + 1
+        return counts
+
+    def correct_incorrect_counts(self) -> Tuple[int, int]:
+        correct = sum(1 for s in self.samples if s.is_correct)
+        return correct, len(self.samples) - correct
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "Dataset":
+        return Dataset(name or self.name, [self.samples[i] for i in indices])
+
+    def without_labels(self, excluded: Sequence[str]) -> "Dataset":
+        excluded_set = set(excluded)
+        return Dataset(self.name,
+                       [s for s in self.samples if s.label not in excluded_set])
+
+    def merged_with(self, other: "Dataset", name: str = "Mix") -> "Dataset":
+        return Dataset(name, list(self.samples) + list(other.samples))
+
+
+_CACHE: Dict[Tuple, Dataset] = {}
+
+
+def load_mbi(seed: int = 20240304, subsample: Optional[int] = None) -> Dataset:
+    """The MBI-style dataset (~1860 codes, 9 error labels + correct)."""
+    key = ("mbi", seed, subsample)
+    if key not in _CACHE:
+        from repro.datasets.mbi import generate_mbi
+
+        samples = generate_mbi(seed)
+        _CACHE[key] = Dataset("MBI", _maybe_subsample(samples, subsample, seed))
+    return _CACHE[key]
+
+
+def load_corrbench(seed: int = 20210512, debias: bool = True,
+                   subsample: Optional[int] = None) -> Dataset:
+    """The MPI-CorrBench-style dataset (~415 codes, 4 error labels)."""
+    key = ("corr", seed, debias, subsample)
+    if key not in _CACHE:
+        from repro.datasets.corrbench import generate_corrbench
+
+        samples = generate_corrbench(seed)
+        if debias:
+            samples = [replace(s, source=strip_mpitest_header(s.source))
+                       for s in samples]
+        _CACHE[key] = Dataset("MPI-CorrBench",
+                              _maybe_subsample(samples, subsample, seed))
+    return _CACHE[key]
+
+
+def load_mix(seed: int = 20240304, subsample: Optional[int] = None) -> Dataset:
+    """MBI + (debiased) MPI-CorrBench, the paper's third dataset."""
+    mbi = load_mbi(seed, subsample)
+    corr = load_corrbench(debias=True,
+                          subsample=max(1, subsample // 4) if subsample else None)
+    return mbi.merged_with(corr, name="Mix")
+
+
+def _maybe_subsample(samples: List[Sample], subsample: Optional[int],
+                     seed: int) -> List[Sample]:
+    """Stratified subsample preserving label proportions (fast profiles)."""
+    if subsample is None or subsample >= len(samples):
+        return samples
+    import random
+
+    rng = random.Random(seed * 31 + subsample)
+    by_label: Dict[str, List[Sample]] = {}
+    for s in samples:
+        by_label.setdefault(s.label, []).append(s)
+    total = len(samples)
+    chosen: List[Sample] = []
+    for label, group in sorted(by_label.items()):
+        k = max(2, round(len(group) / total * subsample))
+        k = min(k, len(group))
+        chosen.extend(rng.sample(group, k))
+    rng.shuffle(chosen)
+    return chosen

@@ -1,0 +1,382 @@
+"""MPI-aware mutation operators — bug injection into correct codes.
+
+The paper's Section V-F/VI names mutation techniques as the way to scale
+beyond the two correctness suites: "We can use mutation techniques or
+GitHub to acquire new incorrect cases."  This module implements that
+direction.  Each operator takes a *correct* program and injects one
+known MPI error, producing a new labeled incorrect sample whose label
+follows the taxonomy of the suite it came from (MBI error types for MBI
+codes, CorrBench types for CorrBench codes).
+
+Operators (suite-appropriate label in parentheses):
+
+==================  =======================================  =================
+operator            what it does                             MBI / CORR label
+==================  =======================================  =================
+drop_call           deletes one MPI call statement           per call kind /
+                                                             MissingCall
+tag_mismatch        bumps the tag of one side of a match     Parameter
+                                                             Matching /
+                                                             ArgMismatch
+datatype_mismatch   changes the datatype of one side         Parameter
+                                                             Matching /
+                                                             ArgMismatch
+invalid_count       replaces a count argument with -1        Invalid Parameter
+                                                             / ArgError
+invalid_rank        replaces a peer rank with a huge value   Invalid Parameter
+                                                             / ArgError
+root_divergence     makes a collective root rank-dependent   Parameter
+                                                             Matching /
+                                                             ArgMismatch
+detach_wait         Isend instead of Send, no wait           Request Lifecycle
+                                                             / MissplacedCall
+==================  =======================================  =================
+
+All mutants are plain C text produced by structured statement rewriting
+(the generated suites keep one MPI call per line), so they go through the
+identical ``compile_c`` → embedding/graph pipeline as suite codes.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.labels import CORRECT
+from repro.datasets.loader import Dataset, Sample
+from repro.datasets.seeding import stable_seed
+
+# One MPI call statement per line.  The suite generators emit bare calls;
+# hand-written code often wraps one in a single-line rank guard, so an
+# optional ``if (...) {`` prefix and ``}`` suffix are captured and kept.
+# Group 1: prefix (indent + optional guard), group 2: callee,
+# group 3: argument text, group 4: suffix (optional closing brace).
+_CALL_RE = re.compile(
+    r"^([ \t]*(?:if[ \t]*\([^)\n]*\)[ \t]*\{[ \t]*)?)"
+    r"(MPI_[A-Za-z_]+)\(([^;\n]*)\);"
+    r"([ \t]*\}?[ \t]*)$",
+    re.MULTILINE)
+
+#: Calls whose removal leaves an un-matched communication / missing
+#: completion, keyed to the MBI label of the resulting bug.
+_DROP_LABELS_MBI: Dict[str, str] = {
+    "MPI_Recv": "Call Ordering",
+    "MPI_Send": "Call Ordering",
+    "MPI_Barrier": "Call Ordering",
+    "MPI_Wait": "Request Lifecycle",
+    "MPI_Waitall": "Request Lifecycle",
+    "MPI_Request_free": "Resource Leak",
+    "MPI_Win_free": "Resource Leak",
+    "MPI_Comm_free": "Resource Leak",
+    "MPI_Win_fence": "Epoch Lifecycle",
+    "MPI_Win_unlock": "Epoch Lifecycle",
+    "MPI_Gather": "Call Ordering",
+    "MPI_Reduce": "Call Ordering",
+    "MPI_Bcast": "Call Ordering",
+    "MPI_Allreduce": "Call Ordering",
+    "MPI_Alltoall": "Call Ordering",
+    "MPI_Scan": "Call Ordering",
+    "MPI_Exscan": "Call Ordering",
+}
+
+#: Point-to-point / collective calls with (tag position, count position,
+#: datatype position, peer-rank position, root position) in their argument
+#: list; -1 = not applicable.  Positions follow the MPI C bindings.
+@dataclass(frozen=True)
+class _ArgSlots:
+    count: int = -1
+    datatype: int = -1
+    peer: int = -1
+    tag: int = -1
+    root: int = -1
+
+
+_ARG_SLOTS: Dict[str, _ArgSlots] = {
+    "MPI_Send": _ArgSlots(count=1, datatype=2, peer=3, tag=4),
+    "MPI_Ssend": _ArgSlots(count=1, datatype=2, peer=3, tag=4),
+    "MPI_Rsend": _ArgSlots(count=1, datatype=2, peer=3, tag=4),
+    "MPI_Bsend": _ArgSlots(count=1, datatype=2, peer=3, tag=4),
+    "MPI_Isend": _ArgSlots(count=1, datatype=2, peer=3, tag=4),
+    "MPI_Issend": _ArgSlots(count=1, datatype=2, peer=3, tag=4),
+    "MPI_Recv": _ArgSlots(count=1, datatype=2, peer=3, tag=4),
+    "MPI_Irecv": _ArgSlots(count=1, datatype=2, peer=3, tag=4),
+    "MPI_Send_init": _ArgSlots(count=1, datatype=2, peer=3, tag=4),
+    "MPI_Recv_init": _ArgSlots(count=1, datatype=2, peer=3, tag=4),
+    "MPI_Bcast": _ArgSlots(count=1, datatype=2, root=3),
+    "MPI_Reduce": _ArgSlots(count=2, datatype=3, root=5),
+    "MPI_Gather": _ArgSlots(count=1, datatype=2, root=6),
+    "MPI_Scatter": _ArgSlots(count=1, datatype=2, root=6),
+    "MPI_Allreduce": _ArgSlots(count=2, datatype=3),
+    "MPI_Scan": _ArgSlots(count=2, datatype=3),
+    "MPI_Exscan": _ArgSlots(count=2, datatype=3),
+    "MPI_Alltoall": _ArgSlots(count=1, datatype=2),
+}
+
+_DATATYPES = ("MPI_INT", "MPI_FLOAT", "MPI_DOUBLE", "MPI_LONG", "MPI_CHAR")
+
+
+@dataclass
+class MPICall:
+    """One matched MPI call statement inside a source string."""
+
+    name: str
+    indent: str          # prefix: indentation plus any single-line guard
+    args: List[str]
+    start: int           # span of the whole statement in the source
+    end: int
+    suffix: str = ""     # closing brace of a single-line guard, if any
+
+    def render(self) -> str:
+        return f"{self.indent}{self.name}({', '.join(self.args)});{self.suffix}"
+
+
+def split_args(text: str) -> List[str]:
+    """Split an argument list on top-level commas (parens-aware)."""
+    args: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        args.append(tail)
+    return args
+
+
+def find_mpi_calls(source: str) -> List[MPICall]:
+    """All single-line MPI call statements in ``source``."""
+    calls: List[MPICall] = []
+    for m in _CALL_RE.finditer(source):
+        prefix, suffix = m.group(1), m.group(4)
+        # A guard prefix must come with its closing brace (and vice versa)
+        # or the rewrite would unbalance the line.
+        if ("{" in prefix) != ("}" in suffix):
+            continue
+        calls.append(MPICall(name=m.group(2), indent=prefix,
+                             args=split_args(m.group(3)),
+                             start=m.start(), end=m.end(), suffix=suffix))
+    return calls
+
+
+def _replace_span(source: str, call: MPICall, new_text: str) -> str:
+    return source[:call.start] + new_text + source[call.end:]
+
+
+def _suite_label(suite: str, mbi_label: str, corr_label: str) -> str:
+    return mbi_label if suite == "MBI" else corr_label
+
+
+# ---------------------------------------------------------------------------
+# Operators.  Each returns (mutated_source, label) or None if inapplicable.
+# ---------------------------------------------------------------------------
+
+MutationResult = Optional[Tuple[str, str]]
+
+
+def drop_call(source: str, suite: str, rng: random.Random) -> MutationResult:
+    """Delete one droppable MPI call statement."""
+    candidates = [c for c in find_mpi_calls(source) if c.name in _DROP_LABELS_MBI]
+    if not candidates:
+        return None
+    victim = rng.choice(candidates)
+    replacement = f"{victim.indent}/* call removed by mutation */{victim.suffix}"
+    mutated = _replace_span(source, victim, replacement)
+    label = _suite_label(suite, _DROP_LABELS_MBI[victim.name], "MissingCall")
+    return mutated, label
+
+
+def tag_mismatch(source: str, suite: str, rng: random.Random) -> MutationResult:
+    """Bump the tag of one side of a send/recv pair so tags diverge."""
+    candidates = [c for c in find_mpi_calls(source)
+                  if _ARG_SLOTS.get(c.name, _ArgSlots()).tag >= 0
+                  and len(c.args) > _ARG_SLOTS[c.name].tag
+                  and c.args[_ARG_SLOTS[c.name].tag].lstrip("-").isdigit()]
+    if not candidates:
+        return None
+    victim = rng.choice(candidates)
+    slot = _ARG_SLOTS[victim.name].tag
+    victim.args[slot] = str(int(victim.args[slot]) + 100)
+    mutated = _replace_span(source, victim, victim.render())
+    return mutated, _suite_label(suite, "Parameter Matching", "ArgMismatch")
+
+
+def datatype_mismatch(source: str, suite: str,
+                      rng: random.Random) -> MutationResult:
+    """Change the datatype of one side of a matched transfer."""
+    candidates = [c for c in find_mpi_calls(source)
+                  if _ARG_SLOTS.get(c.name, _ArgSlots()).datatype >= 0
+                  and len(c.args) > _ARG_SLOTS[c.name].datatype
+                  and c.args[_ARG_SLOTS[c.name].datatype] in _DATATYPES]
+    if not candidates:
+        return None
+    victim = rng.choice(candidates)
+    slot = _ARG_SLOTS[victim.name].datatype
+    old = victim.args[slot]
+    victim.args[slot] = rng.choice([d for d in _DATATYPES if d != old])
+    mutated = _replace_span(source, victim, victim.render())
+    return mutated, _suite_label(suite, "Parameter Matching", "ArgMismatch")
+
+
+def invalid_count(source: str, suite: str, rng: random.Random) -> MutationResult:
+    """Replace a count argument with -1 (invalid at the single-call level)."""
+    candidates = [c for c in find_mpi_calls(source)
+                  if _ARG_SLOTS.get(c.name, _ArgSlots()).count >= 0
+                  and len(c.args) > _ARG_SLOTS[c.name].count]
+    if not candidates:
+        return None
+    victim = rng.choice(candidates)
+    victim.args[_ARG_SLOTS[victim.name].count] = "-1"
+    mutated = _replace_span(source, victim, victim.render())
+    return mutated, _suite_label(suite, "Invalid Parameter", "ArgError")
+
+
+def invalid_rank(source: str, suite: str, rng: random.Random) -> MutationResult:
+    """Replace a peer rank with a rank far outside the communicator."""
+    candidates = [c for c in find_mpi_calls(source)
+                  if _ARG_SLOTS.get(c.name, _ArgSlots()).peer >= 0
+                  and len(c.args) > _ARG_SLOTS[c.name].peer
+                  and c.args[_ARG_SLOTS[c.name].peer].lstrip("-").isdigit()]
+    if not candidates:
+        return None
+    victim = rng.choice(candidates)
+    victim.args[_ARG_SLOTS[victim.name].peer] = "9999"
+    mutated = _replace_span(source, victim, victim.render())
+    return mutated, _suite_label(suite, "Invalid Parameter", "ArgError")
+
+
+def root_divergence(source: str, suite: str,
+                    rng: random.Random) -> MutationResult:
+    """Make a rooted collective's root rank-dependent (root mismatch)."""
+    candidates = [c for c in find_mpi_calls(source)
+                  if _ARG_SLOTS.get(c.name, _ArgSlots()).root >= 0
+                  and len(c.args) > _ARG_SLOTS[c.name].root
+                  and c.args[_ARG_SLOTS[c.name].root].lstrip("-").isdigit()]
+    if not candidates:
+        return None
+    victim = rng.choice(candidates)
+    victim.args[_ARG_SLOTS[victim.name].root] = "rank"
+    mutated = _replace_span(source, victim, victim.render())
+    return mutated, _suite_label(suite, "Parameter Matching", "ArgMismatch")
+
+
+def detach_wait(source: str, suite: str, rng: random.Random) -> MutationResult:
+    """Turn a blocking send into an Isend whose request is never completed."""
+    candidates = [c for c in find_mpi_calls(source) if c.name == "MPI_Send"]
+    if not candidates:
+        return None
+    victim = rng.choice(candidates)
+    new_call = MPICall(name="MPI_Isend", indent=victim.indent,
+                       args=victim.args + ["&mut_req"],
+                       start=victim.start, end=victim.end,
+                       suffix=victim.suffix)
+    mutated = _replace_span(source, victim, new_call.render())
+    # Declare the request next to the other locals (after MPI_Status or the
+    # first buffer declaration — the generated codes always have one).
+    decl = "  MPI_Request mut_req;\n"
+    anchor = mutated.find("MPI_Init(")
+    line_start = mutated.rfind("\n", 0, anchor) + 1
+    mutated = mutated[:line_start] + decl + mutated[line_start:]
+    return mutated, _suite_label(suite, "Request Lifecycle", "MissplacedCall")
+
+
+#: Operator registry, in a stable order (deterministic given a seed).
+OPERATORS: Dict[str, Callable[[str, str, random.Random], MutationResult]] = {
+    "drop_call": drop_call,
+    "tag_mismatch": tag_mismatch,
+    "datatype_mismatch": datatype_mismatch,
+    "invalid_count": invalid_count,
+    "invalid_rank": invalid_rank,
+    "root_divergence": root_divergence,
+    "detach_wait": detach_wait,
+}
+
+
+@dataclass
+class Mutant:
+    """A mutation product: the new sample plus provenance."""
+
+    sample: Sample
+    operator: str
+    origin: str
+
+
+class MutationEngine:
+    """Applies bug-injection operators to correct programs.
+
+    >>> engine = MutationEngine(seed=3)
+    >>> mutants = engine.mutate_sample(correct_sample, per_sample=2)
+    >>> all(not m.sample.is_correct for m in mutants)
+    True
+    """
+
+    def __init__(self, seed: int = 0,
+                 operators: Optional[Sequence[str]] = None):
+        unknown = set(operators or ()) - set(OPERATORS)
+        if unknown:
+            raise ValueError(f"unknown operators: {sorted(unknown)}")
+        self.operator_names = tuple(operators) if operators else tuple(OPERATORS)
+        self.seed = seed
+
+    def mutate_sample(self, sample: Sample, per_sample: int = 1) -> List[Mutant]:
+        """Up to ``per_sample`` distinct mutants of one correct sample."""
+        if sample.label != CORRECT:
+            raise ValueError("mutation operators expect a correct program")
+        rng = random.Random(stable_seed(self.seed, sample.name))
+        ops = list(self.operator_names)
+        rng.shuffle(ops)
+        mutants: List[Mutant] = []
+        seen_sources = {sample.source}
+        for op_name in ops:
+            if len(mutants) >= per_sample:
+                break
+            result = OPERATORS[op_name](sample.source, sample.suite, rng)
+            if result is None:
+                continue
+            mutated, label = result
+            if mutated in seen_sources:
+                continue
+            seen_sources.add(mutated)
+            name = f"Mutant-{op_name}-{sample.name}"
+            mutants.append(Mutant(
+                sample=Sample(name=name, source=mutated, label=label,
+                              suite=sample.suite, features=sample.features),
+                operator=op_name, origin=sample.name))
+        return mutants
+
+    def augment(self, dataset: Dataset, per_sample: int = 1,
+                max_mutants: Optional[int] = None,
+                name: Optional[str] = None) -> Dataset:
+        """Dataset plus mutants of its correct codes (order preserved)."""
+        mutants = self.mutants_of(dataset, per_sample, max_mutants)
+        return Dataset(name or f"{dataset.name}+mutants",
+                       list(dataset.samples) + [m.sample for m in mutants])
+
+    def mutants_of(self, dataset: Dataset, per_sample: int = 1,
+                   max_mutants: Optional[int] = None) -> List[Mutant]:
+        """Mutants derived from every correct sample of ``dataset``."""
+        out: List[Mutant] = []
+        for sample in dataset.samples:
+            if sample.label != CORRECT:
+                continue
+            out.extend(self.mutate_sample(sample, per_sample))
+            if max_mutants is not None and len(out) >= max_mutants:
+                return out[:max_mutants]
+        return out
+
+    def mutant_dataset(self, dataset: Dataset, per_sample: int = 1,
+                       max_mutants: Optional[int] = None,
+                       name: Optional[str] = None) -> Dataset:
+        """Only the mutants, as their own dataset (for validation use)."""
+        mutants = self.mutants_of(dataset, per_sample, max_mutants)
+        return Dataset(name or f"{dataset.name}-mutants",
+                       [m.sample for m in mutants])

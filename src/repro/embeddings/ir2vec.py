@@ -1,0 +1,147 @@
+"""IR2vec program encodings (symbolic + flow-aware).
+
+Symbolic: every instruction folds its opcode, result type, and operand
+kinds through the seed embeddings with the IR2vec weights
+(W_opcode=1, W_type=0.5, W_arg=0.2); instruction vectors sum into
+function vectors, function vectors into the 256-d module vector.
+
+Flow-aware: the instruction vectors are additionally propagated along
+use-def chains and control-flow successors for a fixed number of
+iterations before aggregation, exposing data/control context exactly as
+IR2vec's reaching-definition augmentation does.
+
+``encode_module`` returns the paper's concatenated 512-d feature
+(symbolic ‖ flow-aware).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.embeddings.transe import SeedEmbeddings, train_seed_embeddings
+from repro.embeddings.triplets import (
+    abstract_type,
+    extract_triplets,
+    instruction_entity,
+    operand_entity,
+)
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+
+W_OPCODE = 1.0
+W_TYPE = 0.5
+W_ARG = 0.2
+FLOW_BETA = 0.4          # weight of use-def propagation
+FLOW_GAMMA = 0.2         # weight of control-flow propagation
+FLOW_ITERATIONS = 3
+
+
+class IR2VecEncoder:
+    """Encodes modules against a trained seed-embedding table."""
+
+    def __init__(self, seeds: SeedEmbeddings):
+        self.seeds = seeds
+        self.dim = seeds.dim
+
+    # -- public API ----------------------------------------------------------
+    def symbolic(self, module: Module) -> np.ndarray:
+        vectors = self._instruction_vectors(module)
+        return self._aggregate(module, vectors)
+
+    def flow_aware(self, module: Module) -> np.ndarray:
+        vectors = self._instruction_vectors(module)
+        vectors = self._propagate(module, vectors)
+        return self._aggregate(module, vectors)
+
+    def encode(self, module: Module) -> np.ndarray:
+        """The paper's feature: concat(symbolic, flow-aware) → 2*dim."""
+        base = self._instruction_vectors(module)
+        symbolic = self._aggregate(module, base)
+        flow = self._aggregate(module, self._propagate(module, dict(base)))
+        return np.concatenate([symbolic, flow])
+
+    # -- internals ----------------------------------------------------------
+    def _instruction_vectors(self, module: Module) -> Dict[int, np.ndarray]:
+        seeds = self.seeds
+        vectors: Dict[int, np.ndarray] = {}
+        for fn in module.defined_functions():
+            for block in fn.blocks:
+                for inst in block.instructions:
+                    vec = W_OPCODE * seeds.entity(instruction_entity(inst))
+                    vec = vec + W_TYPE * seeds.entity(abstract_type(inst.type))
+                    for op in inst.operands:
+                        vec = vec + W_ARG * seeds.entity(operand_entity(op))
+                    vectors[id(inst)] = vec
+        return vectors
+
+    def _propagate(self, module: Module,
+                   vectors: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        current = dict(vectors)
+        for _ in range(FLOW_ITERATIONS):
+            nxt: Dict[int, np.ndarray] = {}
+            for fn in module.defined_functions():
+                for block in fn.blocks:
+                    insts = block.instructions
+                    for pos, inst in enumerate(insts):
+                        vec = vectors[id(inst)].copy()
+                        # Use-def flow: operands defined by instructions.
+                        defs = [current[id(op)] for op in inst.operands
+                                if isinstance(op, Instruction) and id(op) in current]
+                        if defs:
+                            vec += FLOW_BETA * (sum(defs) / len(defs))
+                        # Control flow: previous instruction or block preds.
+                        if pos > 0:
+                            vec += FLOW_GAMMA * current[id(insts[pos - 1])]
+                        else:
+                            preds = [current[id(p.instructions[-1])]
+                                     for p in block.predecessors()
+                                     if p.instructions]
+                            if preds:
+                                vec += FLOW_GAMMA * (sum(preds) / len(preds))
+                        nxt[id(inst)] = vec
+            current = nxt
+        return current
+
+    def _aggregate(self, module: Module, vectors: Dict[int, np.ndarray]) -> np.ndarray:
+        total = np.zeros(self.dim)
+        for fn in module.defined_functions():
+            fn_vec = np.zeros(self.dim)
+            for block in fn.blocks:
+                for inst in block.instructions:
+                    fn_vec += vectors[id(inst)]
+            total += fn_vec
+        return total
+
+
+_DEFAULT_ENCODERS: Dict[int, IR2VecEncoder] = {}
+
+
+def default_encoder(seed: int = 42, corpus: Optional[List[Module]] = None,
+                    dim: int = 256) -> IR2VecEncoder:
+    """Encoder with seed embeddings trained on a small canonical corpus.
+
+    IR2vec ships pretrained seed embeddings; we train ours once per seed
+    on a fixed mini-corpus of MPI kernels and cache the encoder.
+    """
+    if seed not in _DEFAULT_ENCODERS:
+        from repro.frontend import compile_c
+
+        if corpus is None:
+            from repro.datasets import load_mbi
+
+            samples = list(load_mbi())[::9][:160]
+            corpus = [compile_c(s.source, s.name, "O0") for s in samples]
+        triples = []
+        for module in corpus:
+            triples.extend(extract_triplets(module))
+        seeds = train_seed_embeddings(triples, dim=dim, seed=seed,
+                                      epochs=25, batch_size=8192)
+        _DEFAULT_ENCODERS[seed] = IR2VecEncoder(seeds)
+    return _DEFAULT_ENCODERS[seed]
+
+
+def encode_module(module: Module, seed: int = 42) -> np.ndarray:
+    """One-call encoding with the default seed-embedding table."""
+    return default_encoder(seed).encode(module)

@@ -1,0 +1,98 @@
+"""Harvest (head, relation, tail) triples from IR for seed-embedding training.
+
+Mirrors IR2vec's relation set:
+
+* ``TypeOf``  — opcode → abstract type of the result,
+* ``NextInst`` — opcode → opcode of the next instruction,
+* ``Arg``     — opcode → abstract kind of each operand.
+
+Entities are opcodes (calls specialized by callee so ``call:MPI_Send``
+and ``call:printf`` embed differently — the paper's models rely on MPI
+call identity), abstract types, and operand kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.ir.instructions import CallInst, Instruction
+from repro.ir.module import Function, Module
+from repro.ir.types import ArrayType, FloatType, IntType, PointerType, StructType, Type
+from repro.ir.values import Argument, Constant, ConstantString, GlobalVariable, UndefValue
+
+Triple = Tuple[str, str, str]
+
+
+def abstract_type(t: Type) -> str:
+    if t.is_void:
+        return "voidTy"
+    if isinstance(t, IntType):
+        return f"i{t.bits}Ty"
+    if isinstance(t, FloatType):
+        return "floatTy" if t.bits == 32 else "doubleTy"
+    if isinstance(t, PointerType):
+        return "ptrTy"
+    if isinstance(t, ArrayType):
+        return "arrayTy"
+    if isinstance(t, StructType):
+        return "structTy"
+    return "unkTy"
+
+
+def instruction_entity(inst: Instruction) -> str:
+    """Entity name for an instruction (calls keyed by callee)."""
+    if isinstance(inst, CallInst):
+        return f"call:{inst.callee_name}"
+    return inst.opcode
+
+
+def operand_entity(op) -> str:
+    if isinstance(op, Instruction):
+        return instruction_entity(op)
+    if isinstance(op, ConstantString):
+        return "stringConst"
+    if isinstance(op, Constant):
+        if op.value is None:
+            return "nullConst"
+        return "constant"
+    if isinstance(op, Argument):
+        return "argument"
+    if isinstance(op, GlobalVariable):
+        return "globalVar"
+    if isinstance(op, UndefValue):
+        return "undef"
+    if isinstance(op, Function):
+        return f"call:{op.name}"
+    return "value"
+
+
+def extract_triplets(module: Module) -> List[Triple]:
+    triples: List[Triple] = []
+    for fn in module.defined_functions():
+        for block in fn.blocks:
+            insts = block.instructions
+            for pos, inst in enumerate(insts):
+                head = instruction_entity(inst)
+                triples.append((head, "TypeOf", abstract_type(inst.type)))
+                if pos + 1 < len(insts):
+                    triples.append((head, "NextInst", instruction_entity(insts[pos + 1])))
+                else:
+                    for succ in block.successors():
+                        if succ.instructions:
+                            triples.append(
+                                (head, "NextInst", instruction_entity(succ.instructions[0]))
+                            )
+                for op in inst.operands:
+                    triples.append((head, "Arg", operand_entity(op)))
+    return triples
+
+
+def entity_vocabulary(modules: Iterable[Module]) -> Tuple[List[str], List[str]]:
+    """Collect (entities, relations) across a corpus."""
+    entities: Set[str] = set()
+    relations: Set[str] = {"TypeOf", "NextInst", "Arg"}
+    for module in modules:
+        for h, r, t in extract_triplets(module):
+            entities.add(h)
+            entities.add(t)
+    return sorted(entities), sorted(relations)

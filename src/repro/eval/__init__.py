@@ -1,0 +1,17 @@
+"""Experiment harness: one driver per table/figure of the paper."""
+
+from repro.eval.config import ReproConfig
+from repro.eval.scenarios import (
+    run_cross,
+    run_intra_cv,
+    run_per_label,
+    run_per_label_with_support,
+)
+from repro.eval.ablation import run_pair_ablation, run_single_ablation
+
+__all__ = [
+    "ReproConfig",
+    "run_intra_cv", "run_cross", "run_per_label",
+    "run_per_label_with_support",
+    "run_single_ablation", "run_pair_ablation",
+]

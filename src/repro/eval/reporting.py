@@ -1,0 +1,42 @@
+"""Plain-text table/series rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(series: Dict[str, float], title: str = "",
+                  bar_width: int = 40) -> str:
+    """ASCII bar chart for figure-style results (values in [0, 1])."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not series:
+        return title
+    label_width = max(len(k) for k in series)
+    for key, value in series.items():
+        filled = int(round(max(0.0, min(1.0, value)) * bar_width))
+        bar = "#" * filled + "." * (bar_width - filled)
+        lines.append(f"{key.ljust(label_width)} |{bar}| {value:.3f}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,127 @@
+"""Intra / Mix / Cross evaluation scenarios (paper Section V).
+
+Intra and Mix use 10-fold cross-validation with predictions aggregated
+over all validation folds; Cross trains on one full suite and validates
+on the other with binary labels (the suites' error taxonomies differ).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.loader import Dataset
+from repro.eval.config import ReproConfig
+from repro.graphs.vocab import build_vocabulary
+from repro.ml.crossval import stratified_kfold_indices
+from repro.ml.metrics import (
+    MetricReport,
+    compute_metrics,
+    confusion_from_predictions,
+    per_label_accuracy,
+    per_label_support,
+)
+from repro.models.features import graph_dataset, ir2vec_feature_matrix
+from repro.models.gnn_model import GNNModel
+from repro.models.ir2vec_model import IR2vecModel
+
+
+def _binary_labels(dataset: Dataset) -> np.ndarray:
+    return np.array([s.binary for s in dataset.samples])
+
+
+def _make_model(method: str, config: ReproConfig, *, use_ga: bool = True,
+                normalization: Optional[str] = None):
+    if method == "ir2vec":
+        return IR2vecModel(normalization=normalization or config.normalization,
+                           use_ga=use_ga, ga_config=config.ga)
+    if method == "gnn":
+        return GNNModel(epochs=config.gnn_epochs, lr=config.gnn_lr,
+                        batch_size=config.gnn_batch_size, seed=config.seed)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _features_for(method: str, dataset: Dataset, config: ReproConfig,
+                  opt_level: Optional[str] = None):
+    if method == "ir2vec":
+        return ir2vec_feature_matrix(dataset, opt_level or config.ir2vec_opt,
+                                     config.embedding_seed)
+    return graph_dataset(dataset, opt_level or config.gnn_opt)
+
+
+def run_intra_cv(method: str, dataset: Dataset, config: ReproConfig, *,
+                 labels: Optional[np.ndarray] = None, use_ga: bool = True,
+                 normalization: Optional[str] = None,
+                 opt_level: Optional[str] = None,
+                 ) -> Tuple[MetricReport, np.ndarray, np.ndarray]:
+    """K-fold CV; returns (metrics, y_true, y_pred) aggregated over folds.
+
+    ``labels`` defaults to binary correct/incorrect; pass error-type
+    labels for the multi-class experiments (Fig. 6).
+    """
+    y = labels if labels is not None else _binary_labels(dataset)
+    features = _features_for(method, dataset, config, opt_level)
+    y_true: List[str] = []
+    y_pred: List[str] = []
+    for train_idx, val_idx in stratified_kfold_indices(
+            [s.label for s in dataset.samples], config.folds, config.seed):
+        model = _make_model(method, config, use_ga=use_ga,
+                            normalization=normalization)
+        if method == "ir2vec":
+            model.fit(features[train_idx], y[train_idx])
+            pred = model.predict(features[val_idx])
+        else:
+            train_graphs = [features[i] for i in train_idx]
+            vocab = build_vocabulary(train_graphs)
+            model.fit(train_graphs, y[train_idx], vocab)
+            pred = model.predict([features[i] for i in val_idx])
+        y_true.extend(y[val_idx])
+        y_pred.extend(pred)
+    counts = confusion_from_predictions(y_true, y_pred)
+    return compute_metrics(counts), np.array(y_true), np.array(y_pred)
+
+
+def run_cross(method: str, train_ds: Dataset, val_ds: Dataset,
+              config: ReproConfig, *, use_ga: bool = True,
+              normalization: Optional[str] = None) -> MetricReport:
+    """Train on one suite, validate on the other (binary labels)."""
+    y_train = _binary_labels(train_ds)
+    y_val = _binary_labels(val_ds)
+    model = _make_model(method, config, use_ga=use_ga, normalization=normalization)
+    if method == "ir2vec":
+        X_train = _features_for(method, train_ds, config)
+        X_val = _features_for(method, val_ds, config)
+        model.fit(X_train, y_train)
+        pred = model.predict(X_val)
+    else:
+        g_train = _features_for(method, train_ds, config)
+        g_val = _features_for(method, val_ds, config)
+        vocab = build_vocabulary(g_train)
+        model.fit(g_train, y_train, vocab)
+        pred = model.predict(g_val)
+    counts = confusion_from_predictions(list(y_val), list(pred))
+    return compute_metrics(counts)
+
+
+def run_per_label(dataset: Dataset, config: ReproConfig,
+                  method: str = "ir2vec") -> Dict[str, float]:
+    """Multi-class CV; per-label accuracy (paper Fig. 6 protocol)."""
+    acc, _ = run_per_label_with_support(dataset, config, method)
+    return acc
+
+
+def run_per_label_with_support(
+        dataset: Dataset, config: ReproConfig, method: str = "ir2vec",
+        ) -> Tuple[Dict[str, float], Dict[str, int]]:
+    """Per-label accuracy plus validation support counts.
+
+    Support matters when shape-checking the series: a subsampled profile
+    can leave a rare label (Resource Leak has 14 instances even at paper
+    scale) with one or two validation samples, where accuracy is noise.
+    """
+    type_labels = np.array([s.label for s in dataset.samples])
+    _, y_true, y_pred = run_intra_cv(method, dataset, config, labels=type_labels)
+    all_labels = sorted(set(type_labels))
+    return (per_label_accuracy(all_labels, y_true, y_pred),
+            per_label_support(all_labels, y_true))

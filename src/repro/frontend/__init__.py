@@ -1,0 +1,10 @@
+"""Mini-C frontend: preprocessor, lexer, parser, sema, and IR codegen.
+
+Compiles the C subset used by the MBI / MPI-CorrBench benchmark programs
+(and the Hypre-like case study) down to :mod:`repro.ir`, replacing the
+clang step of the paper's pipeline.
+"""
+
+from repro.frontend.compiler import CompileError, compile_c, preprocess_and_count_loc
+
+__all__ = ["compile_c", "CompileError", "preprocess_and_count_loc"]

@@ -1,0 +1,243 @@
+"""AST node definitions for the mini-C frontend.
+
+Named ``cast`` (C AST) to avoid shadowing Python's :mod:`ast` module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# C types (frontend-level; lowered to repro.ir types in sema/codegen)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CType:
+    """A C type: base name + pointer depth + optional array dims."""
+
+    base: str                      # 'int', 'double', 'void', 'MPI_Comm', 'struct X', ...
+    pointers: int = 0
+    array_dims: Tuple[Optional[int], ...] = ()
+    is_const: bool = False
+
+    def pointer_to(self) -> "CType":
+        return CType(self.base, self.pointers + 1, self.array_dims, self.is_const)
+
+    def deref(self) -> "CType":
+        if self.array_dims:
+            return CType(self.base, self.pointers, self.array_dims[1:], self.is_const)
+        if self.pointers == 0:
+            raise ValueError(f"cannot dereference non-pointer type {self}")
+        return CType(self.base, self.pointers - 1, (), self.is_const)
+
+    def decay(self) -> "CType":
+        """Array-to-pointer decay."""
+        if self.array_dims:
+            return CType(self.base, self.pointers + 1, self.array_dims[1:], self.is_const)
+        return self
+
+    @property
+    def is_pointerish(self) -> bool:
+        return self.pointers > 0 or bool(self.array_dims)
+
+    def __str__(self) -> str:
+        s = self.base + "*" * self.pointers
+        for d in self.array_dims:
+            s += f"[{d if d is not None else ''}]"
+        return s
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class StrLit(Expr):
+    value: str
+
+
+@dataclass
+class CharLit(Expr):
+    value: int
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str                # '-', '!', '~', '&', '*', '++', '--', 'p++', 'p--'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Assign(Expr):
+    op: str                # '=', '+=', ...
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: List[Expr]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    base: Expr
+    field: str
+    arrow: bool            # True for '->'
+
+
+@dataclass
+class CastExpr(Expr):
+    to: CType
+    operand: Expr
+
+
+@dataclass
+class SizeOf(Expr):
+    target: CType
+
+
+@dataclass
+class Comma(Expr):
+    parts: List[Expr]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class Declaration(Stmt):
+    ctype: CType
+    name: str
+    init: Optional[Expr] = None
+    init_list: Optional[List[Expr]] = None   # brace initializer for arrays
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr]
+
+
+@dataclass
+class Compound(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class FunctionDef:
+    ret: CType
+    name: str
+    params: List[Param]
+    body: Optional[Compound]       # None for prototypes
+    vararg: bool = False
+
+
+@dataclass
+class GlobalDecl:
+    decl: Declaration
+
+
+@dataclass
+class TranslationUnit:
+    items: List[object] = field(default_factory=list)   # FunctionDef | GlobalDecl

@@ -1,0 +1,80 @@
+"""Tokenizer for the mini-C frontend."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+KEYWORDS = frozenset({
+    "void", "char", "short", "int", "long", "float", "double", "signed",
+    "unsigned", "const", "static", "extern", "struct", "union", "enum",
+    "typedef", "if", "else", "while", "for", "do", "return", "break",
+    "continue", "sizeof", "switch", "case", "default", "goto",
+})
+
+# Ordered longest-first so maximal munch falls out of the regex alternation.
+_PUNCT = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "?", ":", ",", ";", "(", ")", "[", "]", "{", "}", ".",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fF]?|\d+[eE][+-]?\d+[fF]?)
+  | (?P<int>0[xX][0-9a-fA-F]+|\d+)[uUlL]*
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"(?:[^"\\\n]|\\.)*")
+  | (?P<char>'(?:[^'\\\n]|\\.)')
+  | (?P<punct>""" + "|".join(re.escape(p) for p in _PUNCT) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass
+class Token:
+    kind: str          # 'kw', 'ident', 'int', 'float', 'string', 'char', 'punct', 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+class LexError(ValueError):
+    pass
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            snippet = source[pos:pos + 20]
+            raise LexError(f"line {line}: cannot tokenize at {snippet!r}")
+        text = m.group(0)
+        if m.lastgroup in ("ws", "comment"):
+            line += text.count("\n")
+            pos = m.end()
+            continue
+        kind = m.lastgroup
+        if kind == "ident" and text in KEYWORDS:
+            kind = "kw"
+        elif kind == "int":
+            text = m.group("int")  # strip u/l suffixes
+        assert kind is not None
+        tokens.append(Token(kind, text, line))
+        line += text.count("\n")
+        pos = m.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

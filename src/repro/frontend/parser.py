@@ -1,0 +1,544 @@
+"""Recursive-descent parser for the mini-C subset.
+
+Covers the constructs present in the MBI / MPI-CorrBench style benchmark
+programs: scalar and pointer declarations, arrays, all control flow except
+``switch``/``goto``, the full C expression grammar with precedence, and
+function definitions/prototypes.  Typedef names (including every ``MPI_*``
+handle type) are tracked so declarations can be distinguished from
+expressions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.frontend import cast as A
+from repro.frontend.lexer import Token, tokenize
+
+BUILTIN_TYPE_NAMES = {
+    "void", "char", "short", "int", "long", "float", "double",
+    "signed", "unsigned", "size_t", "int64_t", "int32_t", "uint64_t",
+    "MPI_Comm", "MPI_Datatype", "MPI_Op", "MPI_Request", "MPI_Status",
+    "MPI_Win", "MPI_Group", "MPI_Info", "MPI_Aint", "MPI_Errhandler",
+    "MPI_Message", "MPI_File", "MPI_Fint", "MPI_Count",
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+# Binary operator precedence (higher binds tighter).
+_BINOP_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class CParseError(ValueError):
+    pass
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.typedefs: Set[str] = set(BUILTIN_TYPE_NAMES)
+        # User typedef name -> underlying CType (resolved at use sites).
+        self.typedef_map: dict = {}
+
+    # -- token helpers ------------------------------------------------------
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def advance(self) -> Token:
+        tok = self.tok
+        self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        if self.tok.text == text and self.tok.kind in ("punct", "kw"):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if self.tok.text != text:
+            raise CParseError(
+                f"line {self.tok.line}: expected {text!r}, got {self.tok.text!r}"
+            )
+        return self.advance()
+
+    def error(self, message: str) -> CParseError:
+        return CParseError(f"line {self.tok.line}: {message} (at {self.tok.text!r})")
+
+    # -- type parsing ------------------------------------------------------
+    def at_type(self) -> bool:
+        tok = self.tok
+        if tok.kind == "kw" and tok.text in (
+            "void", "char", "short", "int", "long", "float", "double",
+            "signed", "unsigned", "const", "static", "extern", "struct",
+        ):
+            return True
+        return tok.kind == "ident" and tok.text in self.typedefs
+
+    def parse_type_specifier(self) -> A.CType:
+        is_const = False
+        while self.tok.text in ("const", "static", "extern"):
+            is_const = is_const or self.tok.text == "const"
+            self.advance()
+        parts: List[str] = []
+        if self.accept("struct"):
+            name = self.advance().text
+            base = f"struct {name}"
+        else:
+            while self.tok.text in ("void", "char", "short", "int", "long",
+                                    "float", "double", "signed", "unsigned"):
+                parts.append(self.advance().text)
+            if parts:
+                base = " ".join(parts)
+            elif self.tok.kind == "ident" and self.tok.text in self.typedefs:
+                base = self.advance().text
+            else:
+                raise self.error("expected type specifier")
+        while self.tok.text == "const":
+            is_const = True
+            self.advance()
+        if base in self.typedef_map:
+            underlying = self.typedef_map[base]
+            ctype = A.CType(underlying.base, underlying.pointers,
+                            underlying.array_dims, is_const)
+        else:
+            ctype = A.CType(_normalize_base(base), is_const=is_const)
+        while self.accept("*"):
+            ctype = ctype.pointer_to()
+            while self.tok.text == "const":
+                self.advance()
+        return ctype
+
+    # -- top level ------------------------------------------------------------
+    def parse_translation_unit(self) -> A.TranslationUnit:
+        unit = A.TranslationUnit()
+        while self.tok.kind != "eof":
+            if self.accept(";"):
+                continue
+            if self.tok.text == "typedef":
+                self._parse_typedef()
+                continue
+            item = self._parse_external_declaration()
+            if item is not None:
+                if isinstance(item, list):
+                    unit.items.extend(item)
+                else:
+                    unit.items.append(item)
+        return unit
+
+    def _parse_typedef(self) -> None:
+        self.expect("typedef")
+        underlying = self.parse_type_specifier()
+        name = self.advance().text
+        self.typedefs.add(name)
+        self.typedef_map[name] = underlying
+        self.expect(";")
+
+    def _parse_external_declaration(self):
+        base = self.parse_type_specifier()
+        # declarator
+        ctype = base
+        while self.accept("*"):
+            ctype = ctype.pointer_to()
+        if self.tok.kind != "ident":
+            raise self.error("expected declarator name")
+        name = self.advance().text
+        if self.tok.text == "(":
+            return self._parse_function(ctype, name)
+        # global variable(s)
+        decls: List[A.GlobalDecl] = []
+        while True:
+            dims: List[Optional[int]] = []
+            while self.accept("["):
+                if self.tok.text == "]":
+                    dims.append(None)
+                else:
+                    dims.append(self._parse_const_int())
+                self.expect("]")
+            vtype = A.CType(ctype.base, ctype.pointers, tuple(dims), ctype.is_const)
+            init = None
+            init_list = None
+            if self.accept("="):
+                if self.tok.text == "{":
+                    init_list = self._parse_brace_init()
+                else:
+                    init = self.parse_assignment()
+            decls.append(A.GlobalDecl(A.Declaration(vtype, name, init, init_list)))
+            if not self.accept(","):
+                break
+            ctype2 = base
+            while self.accept("*"):
+                ctype2 = ctype2.pointer_to()
+            ctype = ctype2
+            name = self.advance().text
+        self.expect(";")
+        return decls
+
+    def _parse_function(self, ret: A.CType, name: str) -> A.FunctionDef:
+        self.expect("(")
+        params: List[A.Param] = []
+        vararg = False
+        if not self.accept(")"):
+            if self.tok.text == "void" and self.peek().text == ")":
+                self.advance()
+            else:
+                while True:
+                    if self.accept("..."):
+                        vararg = True
+                        break
+                    ptype = self.parse_type_specifier()
+                    pname = ""
+                    if self.tok.kind == "ident":
+                        pname = self.advance().text
+                    dims: List[Optional[int]] = []
+                    while self.accept("["):
+                        if self.tok.text != "]":
+                            self._parse_const_int()
+                        self.expect("]")
+                        dims.append(None)
+                    if dims:
+                        # Array parameters decay to pointers.
+                        ptype = ptype.pointer_to()
+                    params.append(A.Param(ptype, pname or f"arg{len(params)}"))
+                    if not self.accept(","):
+                        break
+            if self.tokens[self.pos - 1].text != ")":
+                self.expect(")")
+        if self.accept(";"):
+            return A.FunctionDef(ret, name, params, None, vararg)
+        body = self.parse_compound()
+        return A.FunctionDef(ret, name, params, body, vararg)
+
+    def _parse_const_int(self) -> int:
+        expr = self.parse_conditional()
+        value = _eval_const(expr)
+        if value is None:
+            raise self.error("expected integer constant expression")
+        return value
+
+    def _parse_brace_init(self) -> List[A.Expr]:
+        self.expect("{")
+        items: List[A.Expr] = []
+        if not self.accept("}"):
+            while True:
+                items.append(self.parse_assignment())
+                if not self.accept(","):
+                    break
+                if self.tok.text == "}":
+                    break
+            self.expect("}")
+        return items
+
+    # -- statements ------------------------------------------------------------
+    def parse_compound(self) -> A.Compound:
+        self.expect("{")
+        body: List[A.Stmt] = []
+        while not self.accept("}"):
+            body.extend(self.parse_statement())
+        return A.Compound(body)
+
+    def parse_statement(self) -> List[A.Stmt]:
+        tok = self.tok
+        if tok.text == "{":
+            return [self.parse_compound()]
+        if tok.text == ";":
+            self.advance()
+            return [A.ExprStmt(None)]
+        if tok.text == "if":
+            self.advance()
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            then = _single(self.parse_statement())
+            otherwise = None
+            if self.accept("else"):
+                otherwise = _single(self.parse_statement())
+            return [A.If(cond, then, otherwise)]
+        if tok.text == "while":
+            self.advance()
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            return [A.While(cond, _single(self.parse_statement()))]
+        if tok.text == "do":
+            self.advance()
+            body = _single(self.parse_statement())
+            self.expect("while")
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            self.expect(";")
+            return [A.DoWhile(body, cond)]
+        if tok.text == "for":
+            self.advance()
+            self.expect("(")
+            init: Optional[A.Stmt] = None
+            if not self.accept(";"):
+                if self.at_type():
+                    init = A.Compound(self.parse_declaration())
+                else:
+                    init = A.ExprStmt(self.parse_expression())
+                    self.expect(";")
+            cond = None
+            if not self.accept(";"):
+                cond = self.parse_expression()
+                self.expect(";")
+            step = None
+            if self.tok.text != ")":
+                step = self.parse_expression()
+            self.expect(")")
+            return [A.For(init, cond, step, _single(self.parse_statement()))]
+        if tok.text == "return":
+            self.advance()
+            value = None
+            if self.tok.text != ";":
+                value = self.parse_expression()
+            self.expect(";")
+            return [A.Return(value)]
+        if tok.text == "break":
+            self.advance()
+            self.expect(";")
+            return [A.Break()]
+        if tok.text == "continue":
+            self.advance()
+            self.expect(";")
+            return [A.Continue()]
+        if self.at_type():
+            return self.parse_declaration()
+        expr = self.parse_expression()
+        self.expect(";")
+        return [A.ExprStmt(expr)]
+
+    def parse_declaration(self) -> List[A.Stmt]:
+        base = self.parse_type_specifier()
+        decls: List[A.Stmt] = []
+        while True:
+            ctype = base
+            while self.accept("*"):
+                ctype = ctype.pointer_to()
+            name = self.advance().text
+            dims: List[Optional[int]] = []
+            while self.accept("["):
+                if self.tok.text == "]":
+                    dims.append(None)
+                else:
+                    dims.append(self._parse_const_int())
+                self.expect("]")
+            vtype = A.CType(ctype.base, ctype.pointers, tuple(dims), ctype.is_const)
+            init = None
+            init_list = None
+            if self.accept("="):
+                if self.tok.text == "{":
+                    init_list = self._parse_brace_init()
+                else:
+                    init = self.parse_assignment()
+            decls.append(A.Declaration(vtype, name, init, init_list))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        return decls
+
+    # -- expressions ------------------------------------------------------------
+    def parse_expression(self) -> A.Expr:
+        expr = self.parse_assignment()
+        if self.tok.text != ",":
+            return expr
+        parts = [expr]
+        while self.accept(","):
+            parts.append(self.parse_assignment())
+        return A.Comma(parts)
+
+    def parse_assignment(self) -> A.Expr:
+        lhs = self.parse_conditional()
+        if self.tok.text in _ASSIGN_OPS and self.tok.kind == "punct":
+            op = self.advance().text
+            rhs = self.parse_assignment()
+            return A.Assign(op, lhs, rhs)
+        return lhs
+
+    def parse_conditional(self) -> A.Expr:
+        cond = self.parse_binary(1)
+        if self.accept("?"):
+            then = self.parse_expression()
+            self.expect(":")
+            otherwise = self.parse_conditional()
+            return A.Ternary(cond, then, otherwise)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> A.Expr:
+        lhs = self.parse_unary()
+        while True:
+            op = self.tok.text
+            prec = _BINOP_PREC.get(op)
+            if prec is None or prec < min_prec or self.tok.kind != "punct":
+                return lhs
+            self.advance()
+            rhs = self.parse_binary(prec + 1)
+            lhs = A.Binary(op, lhs, rhs)
+
+    def parse_unary(self) -> A.Expr:
+        tok = self.tok
+        if tok.text in ("-", "!", "~", "+"):
+            self.advance()
+            operand = self.parse_unary()
+            if tok.text == "+":
+                return operand
+            return A.Unary(tok.text, operand)
+        if tok.text == "&":
+            self.advance()
+            return A.Unary("&", self.parse_unary())
+        if tok.text == "*":
+            self.advance()
+            return A.Unary("*", self.parse_unary())
+        if tok.text in ("++", "--"):
+            self.advance()
+            return A.Unary(tok.text, self.parse_unary())
+        if tok.text == "sizeof":
+            self.advance()
+            if self.tok.text == "(" and self._is_type_after_paren():
+                self.expect("(")
+                target = self.parse_type_specifier()
+                self.expect(")")
+                return A.SizeOf(target)
+            operand = self.parse_unary()
+            return A.SizeOf(A.CType("int"))  # sizeof expr: treated as int-sized
+        if tok.text == "(" and self._is_type_after_paren():
+            self.expect("(")
+            to = self.parse_type_specifier()
+            self.expect(")")
+            return A.CastExpr(to, self.parse_unary())
+        return self.parse_postfix()
+
+    def _is_type_after_paren(self) -> bool:
+        nxt = self.peek()
+        if nxt.kind == "kw" and nxt.text in (
+            "void", "char", "short", "int", "long", "float", "double",
+            "signed", "unsigned", "const", "struct",
+        ):
+            return True
+        return nxt.kind == "ident" and nxt.text in self.typedefs
+
+    def parse_postfix(self) -> A.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("["):
+                index = self.parse_expression()
+                self.expect("]")
+                expr = A.Index(expr, index)
+            elif self.tok.text == "(" and isinstance(expr, A.Ident):
+                self.advance()
+                args: List[A.Expr] = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                    self.expect(")")
+                expr = A.Call(expr.name, args)
+            elif self.accept("."):
+                expr = A.Member(expr, self.advance().text, arrow=False)
+            elif self.accept("->"):
+                expr = A.Member(expr, self.advance().text, arrow=True)
+            elif self.tok.text in ("++", "--"):
+                op = "p" + self.advance().text
+                expr = A.Unary(op, expr)
+            else:
+                return expr
+
+    def parse_primary(self) -> A.Expr:
+        tok = self.tok
+        if tok.kind == "int":
+            self.advance()
+            return A.IntLit(int(tok.text, 0))
+        if tok.kind == "float":
+            self.advance()
+            return A.FloatLit(float(tok.text.rstrip("fF")))
+        if tok.kind == "string":
+            self.advance()
+            text = _unescape(tok.text[1:-1])
+            # Adjacent string literal concatenation.
+            while self.tok.kind == "string":
+                text += _unescape(self.advance().text[1:-1])
+            return A.StrLit(text)
+        if tok.kind == "char":
+            self.advance()
+            return A.CharLit(ord(_unescape(tok.text[1:-1])))
+        if tok.kind == "ident":
+            self.advance()
+            return A.Ident(tok.text)
+        if self.accept("("):
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise self.error("expected expression")
+
+
+def _normalize_base(base: str) -> str:
+    words = base.split()
+    if "double" in words:
+        return "double"
+    if "float" in words:
+        return "float"
+    if "char" in words:
+        return "char"
+    if "short" in words:
+        return "short"
+    if "long" in words:
+        return "long"
+    if words == ["unsigned"] or "int" in words or words == ["signed"]:
+        if "unsigned" in words and "int" in words:
+            return "unsigned"
+        if words == ["unsigned"]:
+            return "unsigned"
+        return "int"
+    return base
+
+
+def _unescape(text: str) -> str:
+    return (
+        text.replace("\\n", "\n").replace("\\t", "\t").replace("\\0", "\0")
+        .replace('\\"', '"').replace("\\'", "'").replace("\\\\", "\\")
+    )
+
+
+def _single(stmts: List[A.Stmt]) -> A.Stmt:
+    return stmts[0] if len(stmts) == 1 else A.Compound(stmts)
+
+
+def _eval_const(expr: A.Expr) -> Optional[int]:
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.CharLit):
+        return expr.value
+    if isinstance(expr, A.Unary) and expr.op == "-":
+        inner = _eval_const(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, A.Binary):
+        lhs, rhs = _eval_const(expr.lhs), _eval_const(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+               "*": lambda a, b: a * b, "/": lambda a, b: a // b if b else 0,
+               "%": lambda a, b: a % b if b else 0,
+               "<<": lambda a, b: a << b, ">>": lambda a, b: a >> b}
+        fn = ops.get(expr.op)
+        return fn(lhs, rhs) if fn else None
+    return None
+
+
+def parse_c(source: str) -> A.TranslationUnit:
+    """Parse preprocessed C source into a translation unit."""
+    return Parser(source).parse_translation_unit()

@@ -1,0 +1,7 @@
+"""ProGraML-style program graph construction over :mod:`repro.ir`."""
+
+from repro.graphs.programl import ProgramGraph, build_program_graph
+from repro.graphs.vocab import GraphVocabulary, build_vocabulary
+
+__all__ = ["ProgramGraph", "build_program_graph", "GraphVocabulary",
+           "build_vocabulary"]

@@ -1,0 +1,72 @@
+"""A compact LLVM-IR-like intermediate representation.
+
+This package implements the substrate the paper's models consume: a typed,
+SSA-capable IR with functions, basic blocks, and an instruction taxonomy
+mirroring LLVM (alloca/load/store, arithmetic, icmp, branches, calls, phi,
+getelementptr, casts).  It supports textual printing and parsing
+(round-trip), CFG and dominator analyses, and structural verification.
+"""
+
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+    DOUBLE,
+    FLOAT,
+    I1,
+    I8,
+    I32,
+    I64,
+    VOID,
+    ptr,
+)
+from repro.ir.values import Argument, Constant, GlobalVariable, Value, ConstantString
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_module
+from repro.ir.parser import parse_module
+from repro.ir.analysis import (
+    compute_dominators,
+    dominance_frontiers,
+    postorder,
+    reachable_blocks,
+    reverse_postorder,
+)
+from repro.ir.verifier import VerificationError, verify_module
+
+__all__ = [
+    "Type", "VoidType", "IntType", "FloatType", "PointerType", "ArrayType",
+    "StructType", "FunctionType", "VOID", "I1", "I8", "I32", "I64", "FLOAT",
+    "DOUBLE", "ptr",
+    "Value", "Constant", "ConstantString", "Argument", "GlobalVariable",
+    "Instruction", "AllocaInst", "LoadInst", "StoreInst", "BinaryInst",
+    "ICmpInst", "BranchInst", "CondBranchInst", "ReturnInst", "CallInst",
+    "GEPInst", "PhiInst", "CastInst", "SelectInst", "UnreachableInst",
+    "Module", "Function", "BasicBlock", "IRBuilder",
+    "print_module", "parse_module",
+    "compute_dominators", "dominance_frontiers", "postorder",
+    "reverse_postorder", "reachable_blocks",
+    "verify_module", "VerificationError",
+]

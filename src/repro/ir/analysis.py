@@ -1,0 +1,111 @@
+"""CFG analyses: reachability, orderings, dominators, dominance frontiers.
+
+Dominators use the Cooper–Harvey–Kennedy iterative algorithm; frontiers use
+the standard two-predecessor walk.  These power mem2reg's phi placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.module import BasicBlock, Function
+
+
+def reachable_blocks(fn: Function) -> List[BasicBlock]:
+    """Blocks reachable from the entry, in discovery (DFS preorder) order."""
+    if not fn.blocks:
+        return []
+    seen: Set[int] = set()
+    order: List[BasicBlock] = []
+    stack = [fn.entry]
+    while stack:
+        block = stack.pop()
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        order.append(block)
+        stack.extend(reversed(block.successors()))
+    return order
+
+
+def postorder(fn: Function) -> List[BasicBlock]:
+    result: List[BasicBlock] = []
+    seen: Set[int] = set()
+
+    def visit(block: BasicBlock) -> None:
+        if id(block) in seen:
+            return
+        seen.add(id(block))
+        for succ in block.successors():
+            visit(succ)
+        result.append(block)
+
+    if fn.blocks:
+        visit(fn.entry)
+    return result
+
+
+def reverse_postorder(fn: Function) -> List[BasicBlock]:
+    return list(reversed(postorder(fn)))
+
+
+def compute_dominators(fn: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
+    """Immediate dominator of each reachable block (entry maps to None)."""
+    rpo = reverse_postorder(fn)
+    if not rpo:
+        return {}
+    index = {id(b): i for i, b in enumerate(rpo)}
+    idom: Dict[int, BasicBlock] = {id(rpo[0]): rpo[0]}
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while index[id(a)] > index[id(b)]:
+                a = idom[id(a)]
+            while index[id(b)] > index[id(a)]:
+                b = idom[id(b)]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo[1:]:
+            preds = [p for p in block.predecessors() if id(p) in idom]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for p in preds[1:]:
+                new_idom = intersect(p, new_idom)
+            if idom.get(id(block)) is not new_idom:
+                idom[id(block)] = new_idom
+                changed = True
+
+    result: Dict[BasicBlock, Optional[BasicBlock]] = {}
+    for block in rpo:
+        result[block] = None if block is rpo[0] else idom.get(id(block))
+    return result
+
+
+def dominance_frontiers(fn: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    idom = compute_dominators(fn)
+    frontiers: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in idom}
+    for block in idom:
+        preds = [p for p in block.predecessors() if p in idom]
+        if len(preds) < 2:
+            continue
+        for pred in preds:
+            runner: Optional[BasicBlock] = pred
+            while runner is not None and runner is not idom[block]:
+                frontiers[runner].add(block)
+                runner = idom[runner]
+    return frontiers
+
+
+def dominates(idom: Dict[BasicBlock, Optional[BasicBlock]],
+              a: BasicBlock, b: BasicBlock) -> bool:
+    """True if ``a`` dominates ``b`` under the given idom tree."""
+    node: Optional[BasicBlock] = b
+    while node is not None:
+        if node is a:
+            return True
+        node = idom.get(node)
+    return False

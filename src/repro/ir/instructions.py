@@ -1,0 +1,301 @@
+"""Instruction set of the mini LLVM IR.
+
+The opcode taxonomy deliberately mirrors LLVM's: the embedding layers
+(IR2vec seed triples, ProGraML node text) key off ``Instruction.opcode``
+exactly as the paper's pipeline keys off LLVM opcodes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.ir.types import FunctionType, PointerType, Type, VOID, I1
+from repro.ir.values import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.module import BasicBlock, Function
+
+BINARY_OPCODES = (
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "fadd", "fsub", "fmul", "fdiv", "frem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+)
+
+CAST_OPCODES = (
+    "trunc", "zext", "sext", "fptrunc", "fpext", "fptosi", "sitofp",
+    "ptrtoint", "inttoptr", "bitcast",
+)
+
+ICMP_PREDICATES = ("eq", "ne", "sgt", "sge", "slt", "sle", "ugt", "uge", "ult", "ule")
+FCMP_PREDICATES = ("oeq", "one", "ogt", "oge", "olt", "ole")
+
+
+class Instruction(Value):
+    """Base instruction: a Value with operands and a parent basic block."""
+
+    opcode: str = "?"
+
+    def __init__(self, type_: Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(type_, name)
+        self.operands: List[Value] = []
+        self.parent: Optional["BasicBlock"] = None
+        for op in operands:
+            self._add_operand(op)
+
+    # -- operand bookkeeping ----------------------------------------------
+    def _add_operand(self, op: Value) -> None:
+        if not isinstance(op, Value):
+            raise TypeError(f"operand of {self.opcode} must be a Value, got {op!r}")
+        self.operands.append(op)
+        op.add_use(self)
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                old.remove_use(self)
+                new.add_use(self)
+
+    def set_operand(self, index: int, new: Value) -> None:
+        old = self.operands[index]
+        self.operands[index] = new
+        old.remove_use(self)
+        new.add_use(self)
+
+    def drop_operands(self) -> None:
+        for op in self.operands:
+            op.remove_use(self)
+        self.operands = []
+
+    # -- classification -----------------------------------------------------
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (BranchInst, CondBranchInst, ReturnInst, UnreachableInst))
+
+    @property
+    def has_side_effects(self) -> bool:
+        return isinstance(self, (StoreInst, CallInst)) or self.is_terminator
+
+    def successors(self) -> Tuple["BasicBlock", ...]:
+        return ()
+
+    def erase(self) -> None:
+        """Unlink from parent block and drop operand uses."""
+        if self.parent is not None:
+            self.parent.instructions.remove(self)
+            self.parent = None
+        self.drop_operands()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.opcode} {self.ref}>"
+
+
+class AllocaInst(Instruction):
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: Type, name: str = "", array_size: Optional[Value] = None):
+        ops = [array_size] if array_size is not None else []
+        super().__init__(PointerType(allocated_type), ops, name)
+        self.allocated_type = allocated_type
+
+    @property
+    def array_size(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+
+class LoadInst(Instruction):
+    opcode = "load"
+
+    def __init__(self, pointer: Value, name: str = ""):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"load requires pointer operand, got {pointer.type}")
+        super().__init__(pointer.type.pointee, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class StoreInst(Instruction):
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"store requires pointer destination, got {pointer.type}")
+        super().__init__(VOID, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class BinaryInst(Instruction):
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
+        if opcode not in BINARY_OPCODES:
+            raise ValueError(f"unknown binary opcode {opcode!r}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.opcode = opcode
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class ICmpInst(Instruction):
+    opcode = "icmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in ICMP_PREDICATES:
+            raise ValueError(f"unknown icmp predicate {predicate!r}")
+        super().__init__(I1, [lhs, rhs], name)
+        self.predicate = predicate
+
+
+class FCmpInst(Instruction):
+    opcode = "fcmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in FCMP_PREDICATES:
+            raise ValueError(f"unknown fcmp predicate {predicate!r}")
+        super().__init__(I1, [lhs, rhs], name)
+        self.predicate = predicate
+
+
+class CastInst(Instruction):
+    def __init__(self, opcode: str, value: Value, to_type: Type, name: str = ""):
+        if opcode not in CAST_OPCODES:
+            raise ValueError(f"unknown cast opcode {opcode!r}")
+        super().__init__(to_type, [value], name)
+        self.opcode = opcode
+
+
+class SelectInst(Instruction):
+    opcode = "select"
+
+    def __init__(self, cond: Value, true_value: Value, false_value: Value, name: str = ""):
+        super().__init__(true_value.type, [cond, true_value, false_value], name)
+
+
+class GEPInst(Instruction):
+    """getelementptr — pointer arithmetic over arrays/structs."""
+
+    opcode = "getelementptr"
+
+    def __init__(self, pointer: Value, indices: Sequence[Value], result_type: Type, name: str = ""):
+        super().__init__(result_type, [pointer, *indices], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def indices(self) -> List[Value]:
+        return self.operands[1:]
+
+
+class CallInst(Instruction):
+    opcode = "call"
+
+    def __init__(self, callee: "Function | Value", args: Sequence[Value], name: str = ""):
+        # ``callee`` may be a Function or an external declaration value whose
+        # type is a FunctionType (direct calls only in this IR).
+        ftype = callee.type
+        if isinstance(ftype, PointerType):
+            ftype = ftype.pointee
+        if not isinstance(ftype, FunctionType):
+            raise TypeError(f"call target {callee!r} is not a function")
+        super().__init__(ftype.ret, [callee, *args], name)
+
+    @property
+    def callee(self):
+        return self.operands[0]
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands[1:]
+
+    @property
+    def callee_name(self) -> str:
+        return self.callee.name
+
+
+class BranchInst(Instruction):
+    opcode = "br"
+
+    def __init__(self, target: "BasicBlock"):
+        super().__init__(VOID, [])
+        self.target = target
+
+    def successors(self):
+        return (self.target,)
+
+
+class CondBranchInst(Instruction):
+    opcode = "br"
+
+    def __init__(self, cond: Value, true_block: "BasicBlock", false_block: "BasicBlock"):
+        super().__init__(VOID, [cond])
+        self.true_block = true_block
+        self.false_block = false_block
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    def successors(self):
+        return (self.true_block, self.false_block)
+
+
+class ReturnInst(Instruction):
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(VOID, [value] if value is not None else [])
+
+    @property
+    def return_value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+
+class UnreachableInst(Instruction):
+    opcode = "unreachable"
+
+    def __init__(self):
+        super().__init__(VOID, [])
+
+
+class PhiInst(Instruction):
+    """SSA phi node; incoming pairs of (value, predecessor block)."""
+
+    opcode = "phi"
+
+    def __init__(self, type_: Type, name: str = ""):
+        super().__init__(type_, [], name)
+        self.incoming_blocks: List["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        self._add_operand(value)
+        self.incoming_blocks.append(block)
+
+    @property
+    def incoming(self) -> List[Tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def remove_incoming_for(self, block: "BasicBlock") -> None:
+        keep_ops, keep_blocks = [], []
+        for value, pred in zip(self.operands, self.incoming_blocks):
+            if pred is block:
+                value.remove_use(self)
+            else:
+                keep_ops.append(value)
+                keep_blocks.append(pred)
+        self.operands = keep_ops
+        self.incoming_blocks = keep_blocks

@@ -1,0 +1,76 @@
+"""Natural-loop detection over the dominator tree.
+
+A back edge is an edge ``latch → header`` where the header dominates the
+latch; the natural loop of that edge is the header plus every block that
+reaches the latch without passing through the header.  Loops sharing a
+header are merged (LLVM's LoopInfo does the same).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.ir.analysis import compute_dominators, dominates, reachable_blocks
+from repro.ir.module import BasicBlock, Function
+
+
+@dataclass
+class Loop:
+    """One natural loop: header, members, and the latch blocks."""
+
+    header: BasicBlock
+    blocks: Set[int] = field(default_factory=set)     # ids of member blocks
+    members: List[BasicBlock] = field(default_factory=list)
+    latches: List[BasicBlock] = field(default_factory=list)
+
+    def contains(self, block: BasicBlock) -> bool:
+        return id(block) in self.blocks
+
+    def _add(self, block: BasicBlock) -> None:
+        if id(block) not in self.blocks:
+            self.blocks.add(id(block))
+            self.members.append(block)
+
+    def outside_predecessors(self) -> List[BasicBlock]:
+        """Predecessors of the header that are not loop members."""
+        return [p for p in self.header.predecessors() if not self.contains(p)]
+
+    def preheader(self) -> Optional[BasicBlock]:
+        """The unique out-of-loop predecessor of the header, if any.
+
+        The mini-C frontend emits exactly this shape for ``for``/``while``
+        loops, so hoisting passes can require it instead of restructuring
+        the CFG.
+        """
+        outside = self.outside_predecessors()
+        if len(outside) == 1:
+            return outside[0]
+        return None
+
+
+def find_loops(fn: Function) -> List[Loop]:
+    """All natural loops of ``fn`` (loops with a shared header merged)."""
+    idom = compute_dominators(fn)
+    if not idom:
+        return []
+    loops: Dict[int, Loop] = {}
+    for block in reachable_blocks(fn):
+        for succ in block.successors():
+            if succ not in idom:
+                continue
+            if not dominates(idom, succ, block):
+                continue
+            # block → succ is a back edge; succ is the header.
+            loop = loops.setdefault(id(succ), Loop(header=succ))
+            loop._add(succ)
+            loop.latches.append(block)
+            # Collect the body: walk predecessors backwards from the latch.
+            stack = [block]
+            while stack:
+                current = stack.pop()
+                if loop.contains(current):
+                    continue
+                loop._add(current)
+                stack.extend(current.predecessors())
+    return list(loops.values())

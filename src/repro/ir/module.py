@@ -1,0 +1,174 @@
+"""Module / Function / BasicBlock containers for the mini LLVM IR."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.ir.instructions import Instruction, PhiInst
+from repro.ir.types import FunctionType, Type
+from repro.ir.values import Argument, GlobalVariable, Value
+
+
+class BasicBlock(Value):
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    def __init__(self, name: str, parent: Optional["Function"] = None):
+        # Blocks are label values; their "type" is irrelevant, use VOID.
+        from repro.ir.types import VOID
+
+        super().__init__(VOID, name)
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+
+    # -- structure ----------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        if self.is_terminated:
+            raise ValueError(f"block {self.name} already has a terminator")
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert_before_terminator(self, inst: Instruction) -> Instruction:
+        pos = len(self.instructions)
+        if self.is_terminated:
+            pos -= 1
+        inst.parent = self
+        self.instructions.insert(pos, inst)
+        return inst
+
+    def insert_front(self, inst: Instruction) -> Instruction:
+        inst.parent = self
+        # Phis stay clustered at the top of the block like in LLVM.
+        pos = 0
+        if not isinstance(inst, PhiInst):
+            while pos < len(self.instructions) and isinstance(self.instructions[pos], PhiInst):
+                pos += 1
+        self.instructions.insert(pos, inst)
+        return inst
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> Tuple["BasicBlock", ...]:
+        term = self.terminator
+        return term.successors() if term is not None else ()
+
+    def predecessors(self) -> List["BasicBlock"]:
+        if self.parent is None:
+            return []
+        return [b for b in self.parent.blocks if self in b.successors()]
+
+    def phis(self) -> List[PhiInst]:
+        return [i for i in self.instructions if isinstance(i, PhiInst)]
+
+    @property
+    def ref(self) -> str:
+        return f"%{self.name}"
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"
+
+
+class Function(Value):
+    """A function definition (with blocks) or declaration (without)."""
+
+    def __init__(self, name: str, ftype: FunctionType, module: Optional["Module"] = None,
+                 arg_names: Optional[Sequence[str]] = None):
+        super().__init__(ftype, name)
+        self.ftype = ftype
+        self.module = module
+        names = list(arg_names) if arg_names else [f"arg{i}" for i in range(len(ftype.params))]
+        self.arguments: List[Argument] = [
+            Argument(t, n, i) for i, (t, n) in enumerate(zip(ftype.params, names))
+        ]
+        self.blocks: List[BasicBlock] = []
+        self._name_counter = 0
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no body")
+        return self.blocks[0]
+
+    def add_block(self, name: str = "") -> BasicBlock:
+        name = name or self.unique_name("bb")
+        existing = {b.name for b in self.blocks}
+        if name in existing:
+            base = name
+            while name in existing:
+                name = f"{base}{self._name_counter}"
+                self._name_counter += 1
+        block = BasicBlock(name, self)
+        self.blocks.append(block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def unique_name(self, hint: str = "t") -> str:
+        self._name_counter += 1
+        return f"{hint}{self._name_counter}"
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    @property
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "decl" if self.is_declaration else f"{len(self.blocks)} blocks"
+        return f"<Function {self.name} ({kind})>"
+
+
+class Module:
+    """Compilation unit: globals + functions, in declaration order."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+        self.struct_types: Dict[str, Type] = {}
+
+    def add_function(self, name: str, ftype: FunctionType,
+                     arg_names: Optional[Sequence[str]] = None) -> Function:
+        if name in self.functions:
+            existing = self.functions[name]
+            if existing.ftype != ftype and not existing.is_declaration:
+                raise ValueError(f"function {name} redefined with different type")
+            return existing
+        fn = Function(name, ftype, self, arg_names)
+        self.functions[name] = fn
+        return fn
+
+    def get_function(self, name: str) -> Optional[Function]:
+        return self.functions.get(name)
+
+    def add_global(self, gv: GlobalVariable) -> GlobalVariable:
+        self.globals[gv.name] = gv
+        return gv
+
+    def defined_functions(self) -> List[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    def instruction_count(self) -> int:
+        return sum(len(b.instructions) for f in self.defined_functions() for b in f.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Module {self.name}: {len(self.functions)} functions>"

@@ -1,0 +1,437 @@
+"""Parser for the textual mini LLVM IR emitted by :mod:`repro.ir.printer`.
+
+Two passes: first collect function signatures (so calls can reference
+functions defined later in the module), then parse bodies.  Forward
+references to locals (phi operands) are resolved through placeholder
+values patched once the whole function has been read.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+    BINARY_OPCODES,
+    CAST_OPCODES,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+)
+from repro.ir.values import Constant, ConstantString, GlobalVariable, UndefValue, Value
+
+
+class ParseError(ValueError):
+    pass
+
+
+def _unescape_cstring(ref: str) -> str:
+    """Decode a ``c"..."`` literal with LLVM-style \\XX hex escapes."""
+    body = ref[2:]
+    if body.endswith('"'):
+        body = body[:-1]
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 2 < len(body) + 1:
+            out.append(chr(int(body[i + 1:i + 3], 16)))
+            i += 3
+        else:
+            out.append(ch)
+            i += 1
+    # Strip the trailing NUL the printer appends.
+    text = "".join(out)
+    return text[:-1] if text.endswith("\x00") else text
+
+
+class _Cursor:
+    """Character cursor with small helpers over one line of IR text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def eof(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, literal: str) -> None:
+        self.skip_ws()
+        if not self.text.startswith(literal, self.pos):
+            raise ParseError(f"expected {literal!r} at ...{self.text[self.pos:self.pos + 30]!r}")
+        self.pos += len(literal)
+
+    def accept(self, literal: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def word(self) -> str:
+        self.skip_ws()
+        m = re.match(r"[A-Za-z0-9_.$-]+", self.text[self.pos:])
+        if not m:
+            raise ParseError(f"expected word at ...{self.text[self.pos:self.pos + 30]!r}")
+        self.pos += m.end()
+        return m.group(0)
+
+    def rest(self) -> str:
+        return self.text[self.pos:]
+
+
+def _parse_type(cur: _Cursor) -> Type:
+    cur.skip_ws()
+    if cur.accept("void"):
+        base: Type = VOID
+    elif cur.accept("double"):
+        base = FloatType(64)
+    elif cur.accept("float"):
+        base = FloatType(32)
+    elif cur.peek() == "i" and re.match(r"i\d+", cur.rest()):
+        m = re.match(r"i(\d+)", cur.rest())
+        assert m is not None
+        cur.pos += m.end()
+        base = IntType(int(m.group(1)))
+    elif cur.accept("["):
+        count = int(cur.word())
+        cur.expect("x")
+        element = _parse_type(cur)
+        cur.expect("]")
+        base = ArrayType(element, count)
+    elif cur.accept("%struct."):
+        base = StructType(cur.word())
+    else:
+        raise ParseError(f"cannot parse type at ...{cur.rest()[:30]!r}")
+    while cur.accept("*"):
+        base = PointerType(base)
+    return base
+
+
+class _FunctionParser:
+    def __init__(self, module: Module, fn: Function):
+        self.module = module
+        self.fn = fn
+        self.locals: Dict[str, Value] = {a.name: a for a in fn.arguments}
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.placeholders: Dict[str, Value] = {}
+
+    # -- value resolution -------------------------------------------------
+    def block(self, name: str) -> BasicBlock:
+        if name not in self.blocks:
+            bb = BasicBlock(name, self.fn)
+            self.blocks[name] = bb
+        return self.blocks[name]
+
+    def value(self, type_: Type, ref: str) -> Value:
+        if ref == "null":
+            return Constant(type_, None)
+        if ref == "undef":
+            return UndefValue(type_)
+        if ref.startswith('c"'):
+            return ConstantString(_unescape_cstring(ref))
+        if ref.startswith("@"):
+            name = ref[1:]
+            if name in self.module.functions:
+                return self.module.functions[name]
+            if name in self.module.globals:
+                return self.module.globals[name]
+            raise ParseError(f"unknown global {ref}")
+        if ref.startswith("%"):
+            name = ref[1:]
+            if name in self.locals:
+                return self.locals[name]
+            if name not in self.placeholders:
+                self.placeholders[name] = Value(type_, name)
+            return self.placeholders[name]
+        if type_.is_float:
+            return Constant(type_, float(ref))
+        return Constant(type_, int(ref))
+
+    def define_local(self, name: str, value: Value) -> None:
+        self.locals[name] = value
+        if name in self.placeholders:
+            self.placeholders.pop(name).replace_all_uses_with(value)
+
+    def finish(self) -> None:
+        if self.placeholders:
+            missing = ", ".join(sorted(self.placeholders))
+            raise ParseError(f"unresolved locals in @{self.fn.name}: {missing}")
+
+    # -- operand helpers ----------------------------------------------------
+    def operand(self, cur: _Cursor) -> Value:
+        type_ = _parse_type(cur)
+        return self.value(type_, self._ref(cur))
+
+    def _ref(self, cur: _Cursor) -> str:
+        cur.skip_ws()
+        if cur.rest().startswith('c"'):
+            m = re.match(r'c"(?:[^"\\]|\\.)*"(?:\\00)?', cur.rest())
+            if not m:
+                raise ParseError("bad string constant")
+            cur.pos += m.end()
+            return m.group(0)
+        m = re.match(r"[@%]?[A-Za-z0-9_.$-]+", cur.rest())
+        if not m:
+            raise ParseError(f"expected value ref at ...{cur.rest()[:30]!r}")
+        cur.pos += m.end()
+        return m.group(0)
+
+    # -- instruction parsing -----------------------------------------------
+    def parse_instruction(self, line: str, block: BasicBlock) -> None:
+        cur = _Cursor(line.strip())
+        name = ""
+        if cur.peek() == "%":
+            save = cur.pos
+            ref = self._ref(cur)
+            if cur.accept("="):
+                name = ref[1:]
+            else:
+                cur.pos = save
+        op = cur.word()
+
+        inst: Optional[Value] = None
+        if op == "alloca":
+            allocated = _parse_type(cur)
+            size = self.operand(cur) if cur.accept(",") else None
+            inst = AllocaInst(allocated, name, size)
+        elif op == "load":
+            _parse_type(cur)  # result type, redundant with pointer pointee
+            cur.expect(",")
+            inst = LoadInst(self.operand(cur), name)
+        elif op == "store":
+            value = self.operand(cur)
+            cur.expect(",")
+            StoreInst_ = StoreInst(value, self.operand(cur))
+            block.append(StoreInst_)
+            return
+        elif op in BINARY_OPCODES:
+            type_ = _parse_type(cur)
+            lhs = self.value(type_, self._ref(cur))
+            cur.expect(",")
+            rhs = self.value(type_, self._ref(cur))
+            inst = BinaryInst(op, lhs, rhs, name)
+        elif op in ("icmp", "fcmp"):
+            predicate = cur.word()
+            type_ = _parse_type(cur)
+            lhs = self.value(type_, self._ref(cur))
+            cur.expect(",")
+            rhs = self.value(type_, self._ref(cur))
+            cls = ICmpInst if op == "icmp" else FCmpInst
+            inst = cls(predicate, lhs, rhs, name)
+        elif op in CAST_OPCODES:
+            value = self.operand(cur)
+            cur.expect("to")
+            inst = CastInst(op, value, _parse_type(cur), name)
+        elif op == "select":
+            cond = self.operand(cur)
+            cur.expect(",")
+            tv = self.operand(cur)
+            cur.expect(",")
+            fv = self.operand(cur)
+            inst = SelectInst(cond, tv, fv, name)
+        elif op == "getelementptr":
+            pointer = self.operand(cur)
+            indices: List[Value] = []
+            while cur.accept(","):
+                indices.append(self.operand(cur))
+            cur.expect("to")
+            inst = GEPInst(pointer, indices, _parse_type(cur), name)
+        elif op == "call":
+            _parse_type(cur)  # return type, implied by callee
+            callee_ref = self._ref(cur)
+            callee = self.value(VOID, callee_ref)
+            cur.expect("(")
+            args: List[Value] = []
+            if not cur.accept(")"):
+                while True:
+                    args.append(self.operand(cur))
+                    if cur.accept(")"):
+                        break
+                    cur.expect(",")
+            inst = CallInst(callee, args, name)
+        elif op == "br":
+            if cur.accept("label"):
+                block.append(BranchInst(self.block(self._ref(cur)[1:])))
+                return
+            cond = self.operand(cur)
+            cur.expect(",")
+            cur.expect("label")
+            t = self.block(self._ref(cur)[1:])
+            cur.expect(",")
+            cur.expect("label")
+            f = self.block(self._ref(cur)[1:])
+            block.append(CondBranchInst(cond, t, f))
+            return
+        elif op == "ret":
+            if cur.accept("void"):
+                block.append(ReturnInst())
+            else:
+                block.append(ReturnInst(self.operand(cur)))
+            return
+        elif op == "unreachable":
+            block.append(UnreachableInst())
+            return
+        elif op == "phi":
+            type_ = _parse_type(cur)
+            phi = PhiInst(type_, name)
+            while cur.accept("["):
+                value = self.value(type_, self._ref(cur))
+                cur.expect(",")
+                pred = self.block(self._ref(cur)[1:])
+                cur.expect("]")
+                phi.add_incoming(value, pred)
+                if not cur.accept(","):
+                    break
+            block.append(phi)
+            if name:
+                self.define_local(name, phi)
+            return
+        else:
+            raise ParseError(f"unknown opcode {op!r} in line: {line!r}")
+
+        assert inst is not None
+        block.append(inst)
+        if name:
+            self.define_local(name, inst)
+
+
+_DEFINE_RE = re.compile(r"^(define|declare)\s+(.*?)\s*@([A-Za-z0-9_.$-]+)\((.*?)\)\s*({)?\s*$")
+_GLOBAL_RE = re.compile(r"^@([A-Za-z0-9_.$-]+)\s*=\s*(global|constant)\s+(.*)$")
+_LABEL_RE = re.compile(r"^([A-Za-z0-9_.$-]+):\s*$")
+
+
+def _parse_params(text: str) -> Tuple[List[Type], List[str], bool]:
+    params: List[Type] = []
+    names: List[str] = []
+    vararg = False
+    text = text.strip()
+    if not text:
+        return params, names, vararg
+    depth = 0
+    parts, buf = [], []
+    for ch in text:
+        if ch == "," and depth == 0:
+            parts.append("".join(buf))
+            buf = []
+            continue
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        buf.append(ch)
+    parts.append("".join(buf))
+    for i, part in enumerate(parts):
+        part = part.strip()
+        if part == "...":
+            vararg = True
+            continue
+        cur = _Cursor(part)
+        params.append(_parse_type(cur))
+        cur.skip_ws()
+        rest = cur.rest().strip()
+        names.append(rest[1:] if rest.startswith("%") else f"arg{i}")
+    return params, names, vararg
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    module = Module(name)
+    lines = [ln.rstrip() for ln in text.splitlines()]
+
+    # Pass 1: module-level entities (globals + all function signatures).
+    i = 0
+    pending_bodies: List[Tuple[Function, List[str]]] = []
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line or line.startswith(";"):
+            m = re.match(r"; ModuleID = '(.*)'", line)
+            if m:
+                module.name = m.group(1)
+            continue
+        gm = _GLOBAL_RE.match(line)
+        if gm:
+            gname, kind, rest = gm.groups()
+            cur = _Cursor(rest)
+            vtype = _parse_type(cur)
+            init_text = cur.rest().strip()
+            initializer: Optional[Constant] = None
+            if init_text and init_text != "zeroinitializer":
+                if init_text.startswith('c"'):
+                    initializer = ConstantString(_unescape_cstring(init_text))
+                elif vtype.is_float:
+                    initializer = Constant(vtype, float(init_text))
+                else:
+                    initializer = Constant(vtype, int(init_text))
+            module.add_global(GlobalVariable(vtype, gname, initializer, kind == "constant"))
+            continue
+        dm = _DEFINE_RE.match(line)
+        if dm:
+            kind, ret_text, fname, params_text, brace = dm.groups()
+            ret = _parse_type(_Cursor(ret_text))
+            params, arg_names, vararg = _parse_params(params_text)
+            fn = module.add_function(fname, FunctionType(ret, tuple(params), vararg), arg_names)
+            if kind == "define":
+                body: List[str] = []
+                while i < len(lines):
+                    body_line = lines[i]
+                    i += 1
+                    if body_line.strip() == "}":
+                        break
+                    body.append(body_line)
+                pending_bodies.append((fn, body))
+            continue
+        raise ParseError(f"cannot parse module-level line: {line!r}")
+
+    # Pass 2: function bodies.
+    for fn, body in pending_bodies:
+        parser = _FunctionParser(module, fn)
+        current: Optional[BasicBlock] = None
+        for raw in body:
+            line = raw.strip()
+            if not line or line.startswith(";"):
+                continue
+            lm = _LABEL_RE.match(line)
+            if lm:
+                current = parser.block(lm.group(1))
+                if current not in fn.blocks:
+                    fn.blocks.append(current)
+                continue
+            if current is None:
+                current = parser.block("entry")
+                fn.blocks.append(current)
+            parser.parse_instruction(line, current)
+        parser.finish()
+    return module

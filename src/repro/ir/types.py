@@ -1,0 +1,165 @@
+"""Type system for the mini LLVM IR.
+
+Types are interned value objects: two structurally identical types compare
+equal and hash equal, so they can key dictionaries (e.g. vocabulary tables
+in the embedding layers).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class Type:
+    """Base class of all IR types."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return ()
+
+    # -- convenience predicates -------------------------------------------
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (ArrayType, StructType))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self}>"
+
+
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """Arbitrary-width integer type (i1, i8, i32, i64...)."""
+
+    def __init__(self, bits: int):
+        if bits <= 0:
+            raise ValueError("integer width must be positive")
+        self.bits = bits
+
+    def _key(self) -> tuple:
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+class FloatType(Type):
+    """IEEE floating point type ('float' = 32 bits, 'double' = 64 bits)."""
+
+    def __init__(self, bits: int):
+        if bits not in (32, 64):
+            raise ValueError("float width must be 32 or 64")
+        self.bits = bits
+
+    def _key(self) -> tuple:
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return "float" if self.bits == 32 else "double"
+
+
+class PointerType(Type):
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    def _key(self) -> tuple:
+        return (self.pointee,)
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(Type):
+    def __init__(self, element: Type, count: int):
+        if count < 0:
+            raise ValueError("array count must be non-negative")
+        self.element = element
+        self.count = count
+
+    def _key(self) -> tuple:
+        return (self.element, self.count)
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+class StructType(Type):
+    def __init__(self, name: str, fields: Tuple[Type, ...] = ()):
+        self.name = name
+        self.fields = tuple(fields)
+
+    def _key(self) -> tuple:
+        # Named structs are nominal, like LLVM identified structs.
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return f"%struct.{self.name}"
+
+
+class FunctionType(Type):
+    def __init__(self, ret: Type, params: Tuple[Type, ...], vararg: bool = False):
+        self.ret = ret
+        self.params = tuple(params)
+        self.vararg = vararg
+
+    def _key(self) -> tuple:
+        return (self.ret, self.params, self.vararg)
+
+    def __str__(self) -> str:
+        parts = [str(p) for p in self.params]
+        if self.vararg:
+            parts.append("...")
+        return f"{self.ret} ({', '.join(parts)})"
+
+
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I32 = IntType(32)
+I64 = IntType(64)
+FLOAT = FloatType(32)
+DOUBLE = FloatType(64)
+
+
+def ptr(t: Type) -> PointerType:
+    """Shorthand for :class:`PointerType`."""
+    return PointerType(t)
+
+
+def type_size_bits(t: Type) -> int:
+    """Approximate bit size used by the simulator's memory model."""
+    if isinstance(t, IntType):
+        return t.bits
+    if isinstance(t, FloatType):
+        return t.bits
+    if isinstance(t, PointerType):
+        return 64
+    if isinstance(t, ArrayType):
+        return t.count * type_size_bits(t.element)
+    if isinstance(t, StructType):
+        return sum(type_size_bits(f) for f in t.fields) or 64
+    raise ValueError(f"type {t} has no size")

@@ -1,0 +1,139 @@
+"""Value hierarchy for the mini LLVM IR.
+
+Every operand in the IR is a :class:`Value`: constants, function arguments,
+global variables, and instructions (defined in ``instructions.py``).
+Use-def edges are tracked explicitly so passes can rewrite operands and the
+ProGraML builder can emit data-flow edges without re-deriving them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.ir.types import PointerType, Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.instructions import Instruction
+
+
+class Value:
+    """Base class for everything that can be used as an operand."""
+
+    def __init__(self, type_: Type, name: str = ""):
+        self.type = type_
+        self.name = name
+        self.uses: List["Instruction"] = []
+
+    def add_use(self, user: "Instruction") -> None:
+        self.uses.append(user)
+
+    def remove_use(self, user: "Instruction") -> None:
+        # A user may reference the same value several times; remove one
+        # bookkeeping entry per removed operand slot.
+        try:
+            self.uses.remove(user)
+        except ValueError:
+            pass
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        """Rewrite every user's operand list, moving uses to ``new``."""
+        for user in list(self.uses):
+            user.replace_operand(self, new)
+
+    @property
+    def ref(self) -> str:
+        """Textual reference (e.g. ``%x``, ``@f``, ``42``)."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.ref}: {self.type}>"
+
+
+class Constant(Value):
+    """Integer / float / null constant."""
+
+    def __init__(self, type_: Type, value):
+        super().__init__(type_, name="")
+        self.value = value
+
+    @property
+    def ref(self) -> str:
+        if isinstance(self.type, PointerType) and self.value is None:
+            return "null"
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and not isinstance(other, ConstantString)
+            and self.type == other.type
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class ConstantString(Constant):
+    """A string literal.
+
+    Real LLVM materializes these as global arrays and decays them to
+    ``i8*`` at use sites; we give them ``i8*`` type directly so they can
+    appear inline as call operands.
+    """
+
+    def __init__(self, text: str):
+        from repro.ir.types import I8
+
+        super().__init__(PointerType(I8), text)
+        self.text = text
+
+    @property
+    def ref(self) -> str:
+        # LLVM-style escaping: printable ASCII except '"' and '\' verbatim,
+        # everything else as two-digit hex (\0A etc.).
+        out = []
+        for ch in self.text:
+            code = ord(ch)
+            if 32 <= code < 127 and ch not in ('"', "\\"):
+                out.append(ch)
+            else:
+                out.append(f"\\{code:02X}")
+        return 'c"' + "".join(out) + '\\00"'
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstantString) and self.text == other.text
+
+    def __hash__(self) -> int:
+        return hash(("cstr", self.text))
+
+
+class Argument(Value):
+    """Formal parameter of a function."""
+
+    def __init__(self, type_: Type, name: str, index: int):
+        super().__init__(type_, name)
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """Module-level variable; its type is a pointer to the value type."""
+
+    def __init__(self, value_type: Type, name: str, initializer: Optional[Constant] = None,
+                 is_constant: bool = False):
+        super().__init__(PointerType(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.is_constant = is_constant
+
+    @property
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+
+class UndefValue(Value):
+    """LLVM 'undef' — produced by mem2reg for reads of uninitialized slots."""
+
+    @property
+    def ref(self) -> str:
+        return "undef"

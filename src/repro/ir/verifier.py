@@ -1,0 +1,84 @@
+"""Structural verifier for the mini LLVM IR.
+
+Checks the invariants every pass must preserve; the property-based test
+suite runs the verifier after each pass pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instructions import Instruction, PhiInst
+from repro.ir.module import Function, Module
+from repro.ir.analysis import reachable_blocks
+
+
+class VerificationError(Exception):
+    def __init__(self, problems: List[str]):
+        super().__init__("; ".join(problems))
+        self.problems = problems
+
+
+def verify_function(fn: Function) -> List[str]:
+    problems: List[str] = []
+    if fn.is_declaration:
+        return problems
+
+    names: dict = {}
+    for block in fn.blocks:
+        if block.parent is not fn:
+            problems.append(f"{fn.name}/{block.name}: wrong parent")
+        if not block.instructions:
+            problems.append(f"{fn.name}/{block.name}: empty block")
+            continue
+        if block.terminator is None:
+            problems.append(f"{fn.name}/{block.name}: missing terminator")
+        for pos, inst in enumerate(block.instructions):
+            if inst.parent is not block:
+                problems.append(f"{fn.name}/{block.name}: instruction with stale parent")
+            if inst.is_terminator and pos != len(block.instructions) - 1:
+                problems.append(f"{fn.name}/{block.name}: terminator not last")
+            if isinstance(inst, PhiInst) and pos > 0 and not isinstance(
+                block.instructions[pos - 1], PhiInst
+            ):
+                problems.append(f"{fn.name}/{block.name}: phi not grouped at block head")
+            if inst.name:
+                if inst.name in names:
+                    problems.append(f"{fn.name}: duplicate SSA name %{inst.name}")
+                names[inst.name] = inst
+
+    reachable = set(id(b) for b in reachable_blocks(fn))
+    for block in fn.blocks:
+        if id(block) not in reachable:
+            continue
+        for succ in block.successors():
+            if succ not in fn.blocks:
+                problems.append(f"{fn.name}/{block.name}: successor {succ.name} not in function")
+        for phi in block.phis():
+            preds = {id(p) for p in block.predecessors() if id(p) in reachable}
+            incoming = {id(b) for b in phi.incoming_blocks}
+            if incoming != preds:
+                problems.append(
+                    f"{fn.name}/{block.name}: phi %{phi.name} incoming blocks "
+                    f"do not match predecessors"
+                )
+
+    # Use-def consistency: every operand that is an instruction must record
+    # this user in its use list.
+    for block in fn.blocks:
+        for inst in block.instructions:
+            for op in inst.operands:
+                if isinstance(op, Instruction) and inst not in op.uses:
+                    problems.append(
+                        f"{fn.name}: {inst.opcode} uses %{op.name} without a use edge"
+                    )
+    return problems
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`VerificationError` if any invariant is broken."""
+    problems: List[str] = []
+    for fn in module.functions.values():
+        problems.extend(verify_function(fn))
+    if problems:
+        raise VerificationError(problems)

@@ -1,0 +1,19 @@
+"""Classic-ML substrate: decision tree, GA feature selection, CV, metrics."""
+
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.genetic import GAConfig, GeneticFeatureSelector
+from repro.ml.crossval import kfold_indices, stratified_kfold_indices
+from repro.ml.metrics import (
+    ConfusionCounts,
+    MetricReport,
+    compute_metrics,
+    confusion_from_predictions,
+)
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "GeneticFeatureSelector", "GAConfig",
+    "kfold_indices", "stratified_kfold_indices",
+    "ConfusionCounts", "MetricReport", "compute_metrics",
+    "confusion_from_predictions",
+]

@@ -1,0 +1,37 @@
+"""K-fold cross-validation index generators (plain and stratified)."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+def kfold_indices(n: int, k: int = 10, seed: int = 0
+                  ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_indices, validation_indices) for each of k folds."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    for i in range(k):
+        val = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train, val
+
+
+def stratified_kfold_indices(labels: Sequence[str], k: int = 10, seed: int = 0
+                             ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Stratified folds: every fold mirrors the global label distribution."""
+    rng = np.random.default_rng(seed)
+    labels = np.asarray(labels)
+    fold_members: List[List[int]] = [[] for _ in range(k)]
+    for label in np.unique(labels):
+        members = np.where(labels == label)[0]
+        members = members[rng.permutation(len(members))]
+        for pos, idx in enumerate(members):
+            fold_members[pos % k].append(int(idx))
+    folds = [np.asarray(sorted(f), dtype=np.int64) for f in fold_members]
+    for i in range(k):
+        val = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train, val

@@ -1,0 +1,136 @@
+"""Evaluation metrics (paper Table I).
+
+The first block are the usual classification metrics; the second are
+MBI-defined tool metrics that additionally account for codes a tool fails
+to process: CE (compilation errors), TO (timeouts), RE (runtime errors).
+
+Note: the paper's Table I defines Specificity as ``1 - TN/(TN+FP)`` —
+that formula as printed is the false-positive *rate*; the values the
+paper reports (e.g. ITAC 0.995, PARCOACH 0.088) are consistent with the
+conventional specificity ``TN/(TN+FP)``, which is what we compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+
+@dataclass
+class ConfusionCounts:
+    tp: int = 0
+    tn: int = 0
+    fp: int = 0
+    fn: int = 0
+    ce: int = 0      # compilation errors
+    to: int = 0      # timeouts
+    re: int = 0      # runtime errors
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.tn + self.fp + self.fn
+
+    @property
+    def errors(self) -> int:
+        return self.ce + self.to + self.re
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            self.tp + other.tp, self.tn + other.tn, self.fp + other.fp,
+            self.fn + other.fn, self.ce + other.ce, self.to + other.to,
+            self.re + other.re,
+        )
+
+
+@dataclass
+class MetricReport:
+    counts: ConfusionCounts
+    recall: float = 0.0
+    precision: float = 0.0
+    f1: float = 0.0
+    accuracy: float = 0.0
+    coverage: float = 0.0
+    conclusiveness: float = 0.0
+    specificity: float = 0.0
+    overall_accuracy: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        c = self.counts
+        return {
+            "TP": c.tp, "TN": c.tn, "FP": c.fp, "FN": c.fn,
+            "CE": c.ce, "TO": c.to, "RE": c.re,
+            "Recall": self.recall, "Precision": self.precision,
+            "F1": self.f1, "Accuracy": self.accuracy,
+            "Coverage": self.coverage, "Conclusiveness": self.conclusiveness,
+            "Specificity": self.specificity,
+            "OverallAccuracy": self.overall_accuracy,
+        }
+
+
+def compute_metrics(counts: ConfusionCounts) -> MetricReport:
+    tp, tn, fp, fn = counts.tp, counts.tn, counts.fp, counts.fn
+    total = counts.total
+    errors = counts.errors
+    denom_all = total + errors
+
+    def safe(num: float, den: float) -> float:
+        return num / den if den else 0.0
+
+    recall = safe(tp, tp + fn)
+    precision = safe(tp, tp + fp)
+    f1 = safe(2 * precision * recall, precision + recall)
+    return MetricReport(
+        counts=counts,
+        recall=recall,
+        precision=precision,
+        f1=f1,
+        accuracy=safe(tp + tn, total),
+        coverage=1.0 - safe(counts.ce, denom_all),
+        conclusiveness=1.0 - safe(errors, denom_all),
+        specificity=safe(tn, tn + fp),
+        overall_accuracy=safe(tp + tn, denom_all),
+    )
+
+
+def confusion_from_predictions(y_true: Sequence[str], y_pred: Sequence[str],
+                               positive: str = "Incorrect") -> ConfusionCounts:
+    """Binary confusion counts; 'positive' = a code containing an error."""
+    counts = ConfusionCounts()
+    for truth, pred in zip(y_true, y_pred):
+        truth_pos = truth == positive
+        pred_pos = pred == positive
+        if truth_pos and pred_pos:
+            counts.tp += 1
+        elif truth_pos:
+            counts.fn += 1
+        elif pred_pos:
+            counts.fp += 1
+        else:
+            counts.tn += 1
+    return counts
+
+
+def per_label_accuracy(labels: Sequence[str], y_true: Sequence[str],
+                       y_pred: Sequence[str]) -> Dict[str, float]:
+    """Fraction of samples of each true label predicted exactly (Fig. 6)."""
+    totals: Dict[str, int] = {}
+    hits: Dict[str, int] = {}
+    for truth, pred in zip(y_true, y_pred):
+        totals[truth] = totals.get(truth, 0) + 1
+        if truth == pred:
+            hits[truth] = hits.get(truth, 0) + 1
+    return {lbl: hits.get(lbl, 0) / totals[lbl] for lbl in labels if lbl in totals}
+
+
+def per_label_support(labels: Sequence[str],
+                      y_true: Sequence[str]) -> Dict[str, int]:
+    """Validation-sample count per true label.
+
+    Accuracy estimates on a handful of samples are noise; shape
+    assertions over Fig. 6/8-style series should only consider labels
+    whose support clears a threshold.
+    """
+    totals: Dict[str, int] = {}
+    for truth in y_true:
+        totals[truth] = totals.get(truth, 0) + 1
+    return {lbl: totals[lbl] for lbl in labels if lbl in totals}

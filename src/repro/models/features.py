@@ -1,0 +1,64 @@
+"""Dataset → feature extraction (compilation, embeddings, graphs), cached.
+
+Feature extraction dominates experiment wall-clock, and the paper reuses
+the same features across many scenarios (Intra/Mix/Cross share vectors),
+so everything here is memoized on (dataset name, sample names, options).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets.loader import Dataset
+from repro.embeddings.ir2vec import default_encoder
+from repro.frontend import compile_c
+from repro.graphs.programl import ProgramGraph, build_program_graph
+from repro.ir.module import Module
+
+_MODULE_CACHE: Dict[Tuple, List[Module]] = {}
+_FEATURE_CACHE: Dict[Tuple, np.ndarray] = {}
+_GRAPH_CACHE: Dict[Tuple, List[ProgramGraph]] = {}
+
+
+def _dataset_key(dataset: Dataset) -> Tuple:
+    return (dataset.name, len(dataset), tuple(s.name for s in dataset.samples[:5]),
+            tuple(s.name for s in dataset.samples[-5:]))
+
+
+def compile_dataset(dataset: Dataset, opt_level: str = "O0") -> List[Module]:
+    """Compile every sample; results cached per (dataset, opt level)."""
+    key = (_dataset_key(dataset), opt_level)
+    if key not in _MODULE_CACHE:
+        _MODULE_CACHE[key] = [
+            compile_c(s.source, s.name, opt_level, verify=False)
+            for s in dataset.samples
+        ]
+    return _MODULE_CACHE[key]
+
+
+def ir2vec_feature_matrix(dataset: Dataset, opt_level: str = "Os",
+                          seed: int = 42) -> np.ndarray:
+    """(n_samples, 512) concat(symbolic, flow-aware) embedding matrix."""
+    key = (_dataset_key(dataset), opt_level, seed)
+    if key not in _FEATURE_CACHE:
+        encoder = default_encoder(seed)
+        modules = compile_dataset(dataset, opt_level)
+        _FEATURE_CACHE[key] = np.stack([encoder.encode(m) for m in modules])
+    return _FEATURE_CACHE[key]
+
+
+def graph_dataset(dataset: Dataset, opt_level: str = "O0") -> List[ProgramGraph]:
+    """ProGraML graphs for every sample (GNN input; paper uses -O0)."""
+    key = (_dataset_key(dataset), opt_level)
+    if key not in _GRAPH_CACHE:
+        modules = compile_dataset(dataset, opt_level)
+        _GRAPH_CACHE[key] = [build_program_graph(m) for m in modules]
+    return _GRAPH_CACHE[key]
+
+
+def clear_caches() -> None:
+    _MODULE_CACHE.clear()
+    _FEATURE_CACHE.clear()
+    _GRAPH_CACHE.clear()

@@ -1,0 +1,23 @@
+"""MPI substrate: API model, virtual datatypes, and the runtime simulator.
+
+``api`` declares every MPI entry point the benchmark suites exercise with
+role metadata (which argument is the count, tag, communicator, ...), used
+by the frontend (builtin declarations), by the static analyzers, and by
+the runtime simulator that powers the dynamic-tool baselines.
+"""
+
+from repro.mpi.api import (
+    MPI_CONSTANTS,
+    MPI_FUNCTIONS,
+    CallClass,
+    MPIFunction,
+    function_info,
+    is_mpi_call,
+)
+from repro.mpi.simulator import MPISimulator, RunOutcome, SimReport
+
+__all__ = [
+    "MPI_FUNCTIONS", "MPI_CONSTANTS", "MPIFunction", "CallClass",
+    "function_info", "is_mpi_call",
+    "MPISimulator", "SimReport", "RunOutcome",
+]

@@ -1,0 +1,366 @@
+"""Model of the MPI C API.
+
+Every function the benchmark generators emit is declared here with:
+
+* its C signature (parameter type strings, parsed by the frontend's sema),
+* a :class:`CallClass` describing its verification-relevant semantics,
+* argument *roles* (``buf``, ``count``, ``datatype``, ``tag``, ``comm``,
+  ``request``, ``root``, ``op``, ...) so the simulator and the static
+  analyzers can interpret call sites without per-function special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+
+class CallClass(Enum):
+    ENV = "env"                       # Init / Finalize / rank / size ...
+    P2P_SEND = "p2p_send"
+    P2P_RECV = "p2p_recv"
+    P2P_PROBE = "p2p_probe"
+    NB_SEND = "nb_send"               # nonblocking sends
+    NB_RECV = "nb_recv"
+    PERSISTENT_INIT = "persistent_init"
+    START = "start"
+    COMPLETION = "completion"         # Wait / Test family
+    REQUEST_FREE = "request_free"
+    COLLECTIVE = "collective"
+    NB_COLLECTIVE = "nb_collective"
+    COMM_MGMT = "comm_mgmt"
+    RMA_WIN = "rma_win"               # window create / free
+    RMA_EPOCH = "rma_epoch"           # fence / lock / unlock / post / start...
+    RMA_OP = "rma_op"                 # Put / Get / Accumulate
+    DATATYPE = "datatype"
+    OP_MGMT = "op_mgmt"
+    BUFFER = "buffer"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class MPIFunction:
+    name: str
+    params: Tuple[str, ...]                 # C type strings, e.g. "void*"
+    call_class: CallClass
+    roles: Dict[str, int] = field(default_factory=dict, hash=False)
+    blocking: bool = True
+    ret: str = "int"
+
+    def role(self, name: str) -> Optional[int]:
+        return self.roles.get(name)
+
+
+def _f(name, params, call_class, blocking=True, ret="int", **roles):
+    return MPIFunction(name, tuple(params), call_class, dict(roles), blocking, ret)
+
+
+_P2P_SEND = ["void*", "int", "MPI_Datatype", "int", "int", "MPI_Comm"]
+_P2P_SEND_ROLES = dict(buf=0, count=1, datatype=2, dest=3, tag=4, comm=5)
+_P2P_ISEND = _P2P_SEND + ["MPI_Request*"]
+_P2P_ISEND_ROLES = dict(buf=0, count=1, datatype=2, dest=3, tag=4, comm=5, request=6)
+_P2P_RECV = ["void*", "int", "MPI_Datatype", "int", "int", "MPI_Comm", "MPI_Status*"]
+_P2P_RECV_ROLES = dict(buf=0, count=1, datatype=2, source=3, tag=4, comm=5, status=6)
+_P2P_IRECV = _P2P_SEND + ["MPI_Request*"]
+_P2P_IRECV_ROLES = dict(buf=0, count=1, datatype=2, source=3, tag=4, comm=5, request=6)
+
+_FUNCS = [
+    # -- environment ---------------------------------------------------------
+    _f("MPI_Init", ["int*", "char***"], CallClass.ENV),
+    _f("MPI_Init_thread", ["int*", "char***", "int", "int*"], CallClass.ENV),
+    _f("MPI_Finalize", [], CallClass.ENV),
+    _f("MPI_Initialized", ["int*"], CallClass.ENV),
+    _f("MPI_Finalized", ["int*"], CallClass.ENV),
+    _f("MPI_Abort", ["MPI_Comm", "int"], CallClass.ENV, comm=0),
+    _f("MPI_Comm_rank", ["MPI_Comm", "int*"], CallClass.ENV, comm=0),
+    _f("MPI_Comm_size", ["MPI_Comm", "int*"], CallClass.ENV, comm=0),
+    _f("MPI_Get_processor_name", ["char*", "int*"], CallClass.ENV),
+    _f("MPI_Wtime", [], CallClass.OTHER, ret="double"),
+    _f("MPI_Error_string", ["int", "char*", "int*"], CallClass.OTHER),
+
+    # -- blocking point-to-point --------------------------------------------
+    _f("MPI_Send", _P2P_SEND, CallClass.P2P_SEND, **_P2P_SEND_ROLES),
+    _f("MPI_Ssend", _P2P_SEND, CallClass.P2P_SEND, **_P2P_SEND_ROLES),
+    _f("MPI_Rsend", _P2P_SEND, CallClass.P2P_SEND, **_P2P_SEND_ROLES),
+    _f("MPI_Bsend", _P2P_SEND, CallClass.P2P_SEND, **_P2P_SEND_ROLES),
+    _f("MPI_Recv", _P2P_RECV, CallClass.P2P_RECV, **_P2P_RECV_ROLES),
+    _f("MPI_Sendrecv",
+       ["void*", "int", "MPI_Datatype", "int", "int",
+        "void*", "int", "MPI_Datatype", "int", "int", "MPI_Comm", "MPI_Status*"],
+       CallClass.P2P_SEND,
+       buf=0, count=1, datatype=2, dest=3, tag=4,
+       recvbuf=5, recvcount=6, recvtype=7, source=8, recvtag=9, comm=10, status=11),
+    _f("MPI_Probe", ["int", "int", "MPI_Comm", "MPI_Status*"],
+       CallClass.P2P_PROBE, source=0, tag=1, comm=2, status=3),
+    _f("MPI_Iprobe", ["int", "int", "MPI_Comm", "int*", "MPI_Status*"],
+       CallClass.P2P_PROBE, blocking=False, source=0, tag=1, comm=2, status=4),
+
+    # -- nonblocking point-to-point -------------------------------------------
+    _f("MPI_Isend", _P2P_ISEND, CallClass.NB_SEND, blocking=False, **_P2P_ISEND_ROLES),
+    _f("MPI_Issend", _P2P_ISEND, CallClass.NB_SEND, blocking=False, **_P2P_ISEND_ROLES),
+    _f("MPI_Irsend", _P2P_ISEND, CallClass.NB_SEND, blocking=False, **_P2P_ISEND_ROLES),
+    _f("MPI_Ibsend", _P2P_ISEND, CallClass.NB_SEND, blocking=False, **_P2P_ISEND_ROLES),
+    _f("MPI_Irecv", _P2P_IRECV, CallClass.NB_RECV, blocking=False, **_P2P_IRECV_ROLES),
+
+    # -- persistent ------------------------------------------------------------
+    _f("MPI_Send_init", _P2P_ISEND, CallClass.PERSISTENT_INIT, blocking=False,
+       **_P2P_ISEND_ROLES),
+    _f("MPI_Ssend_init", _P2P_ISEND, CallClass.PERSISTENT_INIT, blocking=False,
+       **_P2P_ISEND_ROLES),
+    _f("MPI_Recv_init", _P2P_IRECV, CallClass.PERSISTENT_INIT, blocking=False,
+       **_P2P_IRECV_ROLES),
+    _f("MPI_Start", ["MPI_Request*"], CallClass.START, request=0),
+    _f("MPI_Startall", ["int", "MPI_Request*"], CallClass.START, count=0, request=1),
+
+    # -- completion ------------------------------------------------------------
+    _f("MPI_Wait", ["MPI_Request*", "MPI_Status*"], CallClass.COMPLETION,
+       request=0, status=1),
+    _f("MPI_Waitall", ["int", "MPI_Request*", "MPI_Status*"], CallClass.COMPLETION,
+       count=0, request=1, status=2),
+    _f("MPI_Waitany", ["int", "MPI_Request*", "int*", "MPI_Status*"],
+       CallClass.COMPLETION, count=0, request=1, status=3),
+    _f("MPI_Test", ["MPI_Request*", "int*", "MPI_Status*"], CallClass.COMPLETION,
+       blocking=False, request=0, status=2),
+    _f("MPI_Testall", ["int", "MPI_Request*", "int*", "MPI_Status*"],
+       CallClass.COMPLETION, blocking=False, count=0, request=1, status=3),
+    _f("MPI_Request_free", ["MPI_Request*"], CallClass.REQUEST_FREE, request=0),
+    _f("MPI_Cancel", ["MPI_Request*"], CallClass.REQUEST_FREE, request=0),
+
+    # -- collectives ------------------------------------------------------------
+    _f("MPI_Barrier", ["MPI_Comm"], CallClass.COLLECTIVE, comm=0),
+    _f("MPI_Bcast", ["void*", "int", "MPI_Datatype", "int", "MPI_Comm"],
+       CallClass.COLLECTIVE, buf=0, count=1, datatype=2, root=3, comm=4),
+    _f("MPI_Reduce",
+       ["void*", "void*", "int", "MPI_Datatype", "MPI_Op", "int", "MPI_Comm"],
+       CallClass.COLLECTIVE, buf=0, recvbuf=1, count=2, datatype=3, op=4, root=5, comm=6),
+    _f("MPI_Allreduce", ["void*", "void*", "int", "MPI_Datatype", "MPI_Op", "MPI_Comm"],
+       CallClass.COLLECTIVE, buf=0, recvbuf=1, count=2, datatype=3, op=4, comm=5),
+    _f("MPI_Gather",
+       ["void*", "int", "MPI_Datatype", "void*", "int", "MPI_Datatype", "int", "MPI_Comm"],
+       CallClass.COLLECTIVE, buf=0, count=1, datatype=2, recvbuf=3, recvcount=4,
+       recvtype=5, root=6, comm=7),
+    _f("MPI_Allgather",
+       ["void*", "int", "MPI_Datatype", "void*", "int", "MPI_Datatype", "MPI_Comm"],
+       CallClass.COLLECTIVE, buf=0, count=1, datatype=2, recvbuf=3, recvcount=4,
+       recvtype=5, comm=6),
+    _f("MPI_Scatter",
+       ["void*", "int", "MPI_Datatype", "void*", "int", "MPI_Datatype", "int", "MPI_Comm"],
+       CallClass.COLLECTIVE, buf=0, count=1, datatype=2, recvbuf=3, recvcount=4,
+       recvtype=5, root=6, comm=7),
+    _f("MPI_Alltoall",
+       ["void*", "int", "MPI_Datatype", "void*", "int", "MPI_Datatype", "MPI_Comm"],
+       CallClass.COLLECTIVE, buf=0, count=1, datatype=2, recvbuf=3, recvcount=4,
+       recvtype=5, comm=6),
+    _f("MPI_Scan", ["void*", "void*", "int", "MPI_Datatype", "MPI_Op", "MPI_Comm"],
+       CallClass.COLLECTIVE, buf=0, recvbuf=1, count=2, datatype=3, op=4, comm=5),
+    _f("MPI_Exscan", ["void*", "void*", "int", "MPI_Datatype", "MPI_Op", "MPI_Comm"],
+       CallClass.COLLECTIVE, buf=0, recvbuf=1, count=2, datatype=3, op=4, comm=5),
+    _f("MPI_Reduce_scatter_block",
+       ["void*", "void*", "int", "MPI_Datatype", "MPI_Op", "MPI_Comm"],
+       CallClass.COLLECTIVE, buf=0, recvbuf=1, count=2, datatype=3, op=4, comm=5),
+    _f("MPI_Gatherv",
+       ["void*", "int", "MPI_Datatype", "void*", "int*", "int*", "MPI_Datatype",
+        "int", "MPI_Comm"],
+       CallClass.COLLECTIVE, buf=0, count=1, datatype=2, recvbuf=3, recvtype=6,
+       root=7, comm=8),
+    _f("MPI_Scatterv",
+       ["void*", "int*", "int*", "MPI_Datatype", "void*", "int", "MPI_Datatype",
+        "int", "MPI_Comm"],
+       CallClass.COLLECTIVE, buf=0, datatype=3, recvbuf=4, recvcount=5, recvtype=6,
+       root=7, comm=8),
+
+    # -- nonblocking collectives -------------------------------------------------
+    _f("MPI_Ibarrier", ["MPI_Comm", "MPI_Request*"], CallClass.NB_COLLECTIVE,
+       blocking=False, comm=0, request=1),
+    _f("MPI_Ibcast", ["void*", "int", "MPI_Datatype", "int", "MPI_Comm", "MPI_Request*"],
+       CallClass.NB_COLLECTIVE, blocking=False, buf=0, count=1, datatype=2, root=3,
+       comm=4, request=5),
+    _f("MPI_Ireduce",
+       ["void*", "void*", "int", "MPI_Datatype", "MPI_Op", "int", "MPI_Comm",
+        "MPI_Request*"],
+       CallClass.NB_COLLECTIVE, blocking=False, buf=0, recvbuf=1, count=2, datatype=3,
+       op=4, root=5, comm=6, request=7),
+    _f("MPI_Iallreduce",
+       ["void*", "void*", "int", "MPI_Datatype", "MPI_Op", "MPI_Comm", "MPI_Request*"],
+       CallClass.NB_COLLECTIVE, blocking=False, buf=0, recvbuf=1, count=2, datatype=3,
+       op=4, comm=5, request=6),
+
+    # -- communicator management ---------------------------------------------
+    _f("MPI_Comm_split", ["MPI_Comm", "int", "int", "MPI_Comm*"],
+       CallClass.COMM_MGMT, comm=0),
+    _f("MPI_Comm_dup", ["MPI_Comm", "MPI_Comm*"], CallClass.COMM_MGMT, comm=0),
+    _f("MPI_Comm_free", ["MPI_Comm*"], CallClass.COMM_MGMT),
+    _f("MPI_Comm_group", ["MPI_Comm", "MPI_Group*"], CallClass.COMM_MGMT, comm=0),
+    _f("MPI_Group_free", ["MPI_Group*"], CallClass.COMM_MGMT),
+    _f("MPI_Group_incl", ["MPI_Group", "int", "int*", "MPI_Group*"],
+       CallClass.COMM_MGMT),
+
+    # -- one-sided ------------------------------------------------------------
+    _f("MPI_Win_create",
+       ["void*", "MPI_Aint", "int", "MPI_Info", "MPI_Comm", "MPI_Win*"],
+       CallClass.RMA_WIN, buf=0, comm=4, win=5),
+    _f("MPI_Win_allocate",
+       ["MPI_Aint", "int", "MPI_Info", "MPI_Comm", "void*", "MPI_Win*"],
+       CallClass.RMA_WIN, comm=3, win=5),
+    _f("MPI_Win_free", ["MPI_Win*"], CallClass.RMA_WIN, win=0),
+    _f("MPI_Win_fence", ["int", "MPI_Win"], CallClass.RMA_EPOCH, win=1),
+    _f("MPI_Win_lock", ["int", "int", "int", "MPI_Win"], CallClass.RMA_EPOCH,
+       lock_type=0, rank=1, win=3),
+    _f("MPI_Win_unlock", ["int", "MPI_Win"], CallClass.RMA_EPOCH, rank=0, win=1),
+    _f("MPI_Win_lock_all", ["int", "MPI_Win"], CallClass.RMA_EPOCH, win=1),
+    _f("MPI_Win_unlock_all", ["MPI_Win"], CallClass.RMA_EPOCH, win=0),
+    _f("MPI_Win_post", ["MPI_Group", "int", "MPI_Win"], CallClass.RMA_EPOCH, win=2),
+    _f("MPI_Win_start", ["MPI_Group", "int", "MPI_Win"], CallClass.RMA_EPOCH, win=2),
+    _f("MPI_Win_complete", ["MPI_Win"], CallClass.RMA_EPOCH, win=0),
+    _f("MPI_Win_wait", ["MPI_Win"], CallClass.RMA_EPOCH, win=0),
+    _f("MPI_Win_flush", ["int", "MPI_Win"], CallClass.RMA_EPOCH, rank=0, win=1),
+    _f("MPI_Put",
+       ["void*", "int", "MPI_Datatype", "int", "MPI_Aint", "int", "MPI_Datatype",
+        "MPI_Win"],
+       CallClass.RMA_OP, buf=0, count=1, datatype=2, dest=3, win=7),
+    _f("MPI_Get",
+       ["void*", "int", "MPI_Datatype", "int", "MPI_Aint", "int", "MPI_Datatype",
+        "MPI_Win"],
+       CallClass.RMA_OP, buf=0, count=1, datatype=2, source=3, win=7),
+    _f("MPI_Accumulate",
+       ["void*", "int", "MPI_Datatype", "int", "MPI_Aint", "int", "MPI_Datatype",
+        "MPI_Op", "MPI_Win"],
+       CallClass.RMA_OP, buf=0, count=1, datatype=2, dest=3, op=7, win=8),
+
+    # -- datatypes / ops / buffers -------------------------------------------
+    _f("MPI_Type_contiguous", ["int", "MPI_Datatype", "MPI_Datatype*"],
+       CallClass.DATATYPE, count=0, datatype=1),
+    _f("MPI_Type_vector", ["int", "int", "int", "MPI_Datatype", "MPI_Datatype*"],
+       CallClass.DATATYPE, datatype=3),
+    _f("MPI_Type_commit", ["MPI_Datatype*"], CallClass.DATATYPE, datatype=0),
+    _f("MPI_Type_free", ["MPI_Datatype*"], CallClass.DATATYPE, datatype=0),
+    _f("MPI_Op_create", ["void*", "int", "MPI_Op*"], CallClass.OP_MGMT, op=2),
+    _f("MPI_Op_free", ["MPI_Op*"], CallClass.OP_MGMT, op=0),
+    _f("MPI_Buffer_attach", ["void*", "int"], CallClass.BUFFER, buf=0, count=1),
+    _f("MPI_Buffer_detach", ["void*", "int*"], CallClass.BUFFER, buf=0),
+]
+
+MPI_FUNCTIONS: Dict[str, MPIFunction] = {f.name: f for f in _FUNCS}
+
+
+# ---------------------------------------------------------------------------
+# Constants.  Handle-valued constants use disjoint ranges so the simulator
+# can classify a raw integer: communicators 9xx, datatypes 10xx, ops 11xx,
+# special sentinels negative.
+# ---------------------------------------------------------------------------
+
+MPI_CONSTANTS: Dict[str, int] = {
+    "MPI_SUCCESS": 0,
+    "MPI_ERR_ARG": 13,
+    "MPI_ERR_COUNT": 2,
+    "MPI_ERR_TYPE": 3,
+    "MPI_ERR_TAG": 4,
+    "MPI_ERR_COMM": 5,
+    "MPI_ERR_RANK": 6,
+    "MPI_ANY_SOURCE": -1,
+    "MPI_ANY_TAG": -1,
+    "MPI_PROC_NULL": -2,
+    "MPI_ROOT": -3,
+    "MPI_UNDEFINED": -32766,
+    "MPI_COMM_WORLD": 900,
+    "MPI_COMM_SELF": 901,
+    "MPI_COMM_NULL": 902,
+    "MPI_DATATYPE_NULL": 1000,
+    "MPI_CHAR": 1001,
+    "MPI_SIGNED_CHAR": 1002,
+    "MPI_UNSIGNED_CHAR": 1003,
+    "MPI_BYTE": 1004,
+    "MPI_SHORT": 1005,
+    "MPI_UNSIGNED_SHORT": 1006,
+    "MPI_INT": 1007,
+    "MPI_UNSIGNED": 1008,
+    "MPI_LONG": 1009,
+    "MPI_UNSIGNED_LONG": 1010,
+    "MPI_LONG_LONG": 1011,
+    "MPI_FLOAT": 1012,
+    "MPI_DOUBLE": 1013,
+    "MPI_LONG_DOUBLE": 1014,
+    "MPI_C_BOOL": 1015,
+    "MPI_INT8_T": 1016,
+    "MPI_INT32_T": 1017,
+    "MPI_INT64_T": 1018,
+    "MPI_UINT64_T": 1019,
+    "MPI_OP_NULL": 1100,
+    "MPI_MAX": 1101,
+    "MPI_MIN": 1102,
+    "MPI_SUM": 1103,
+    "MPI_PROD": 1104,
+    "MPI_LAND": 1105,
+    "MPI_BAND": 1106,
+    "MPI_LOR": 1107,
+    "MPI_BOR": 1108,
+    "MPI_LXOR": 1109,
+    "MPI_BXOR": 1110,
+    "MPI_MAXLOC": 1111,
+    "MPI_MINLOC": 1112,
+    "MPI_REQUEST_NULL": 1200,
+    "MPI_GROUP_NULL": 1300,
+    "MPI_GROUP_EMPTY": 1301,
+    "MPI_WIN_NULL": 1400,
+    "MPI_INFO_NULL": 1500,
+    "MPI_ERRHANDLER_NULL": 1600,
+    "MPI_ERRORS_ARE_FATAL": 1601,
+    "MPI_ERRORS_RETURN": 1602,
+    "MPI_MAX_PROCESSOR_NAME": 256,
+    "MPI_MAX_ERROR_STRING": 512,
+    "MPI_LOCK_EXCLUSIVE": 234,
+    "MPI_LOCK_SHARED": 235,
+    "MPI_MODE_NOCHECK": 1024,
+    "MPI_MODE_NOSTORE": 2048,
+    "MPI_MODE_NOPUT": 4096,
+    "MPI_MODE_NOPRECEDE": 8192,
+    "MPI_MODE_NOSUCCEED": 16384,
+    "MPI_TAG_UB": 32767,
+    "MPI_THREAD_SINGLE": 0,
+    "MPI_THREAD_FUNNELED": 1,
+    "MPI_THREAD_SERIALIZED": 2,
+    "MPI_THREAD_MULTIPLE": 3,
+}
+
+# Pointer-valued sentinels (modelled as null-like magic pointers).
+MPI_POINTER_CONSTANTS: Dict[str, int] = {
+    "MPI_STATUS_IGNORE": 0,
+    "MPI_STATUSES_IGNORE": 0,
+    "MPI_IN_PLACE": -101,
+    "MPI_BOTTOM": 0,
+}
+
+# Datatype handle -> (C element kind, size in bytes); used for matching.
+DATATYPE_INFO: Dict[int, Tuple[str, int]] = {
+    MPI_CONSTANTS["MPI_CHAR"]: ("char", 1),
+    MPI_CONSTANTS["MPI_SIGNED_CHAR"]: ("char", 1),
+    MPI_CONSTANTS["MPI_UNSIGNED_CHAR"]: ("char", 1),
+    MPI_CONSTANTS["MPI_BYTE"]: ("byte", 1),
+    MPI_CONSTANTS["MPI_SHORT"]: ("int", 2),
+    MPI_CONSTANTS["MPI_UNSIGNED_SHORT"]: ("int", 2),
+    MPI_CONSTANTS["MPI_INT"]: ("int", 4),
+    MPI_CONSTANTS["MPI_UNSIGNED"]: ("int", 4),
+    MPI_CONSTANTS["MPI_LONG"]: ("int", 8),
+    MPI_CONSTANTS["MPI_UNSIGNED_LONG"]: ("int", 8),
+    MPI_CONSTANTS["MPI_LONG_LONG"]: ("int", 8),
+    MPI_CONSTANTS["MPI_FLOAT"]: ("float", 4),
+    MPI_CONSTANTS["MPI_DOUBLE"]: ("float", 8),
+    MPI_CONSTANTS["MPI_LONG_DOUBLE"]: ("float", 16),
+    MPI_CONSTANTS["MPI_INT8_T"]: ("int", 1),
+    MPI_CONSTANTS["MPI_INT32_T"]: ("int", 4),
+    MPI_CONSTANTS["MPI_INT64_T"]: ("int", 8),
+    MPI_CONSTANTS["MPI_UINT64_T"]: ("int", 8),
+}
+
+COLLECTIVE_NAMES = frozenset(
+    f.name for f in _FUNCS if f.call_class in (CallClass.COLLECTIVE, CallClass.NB_COLLECTIVE)
+)
+
+
+def is_mpi_call(name: str) -> bool:
+    return name in MPI_FUNCTIONS
+
+
+def function_info(name: str) -> Optional[MPIFunction]:
+    return MPI_FUNCTIONS.get(name)

@@ -1,0 +1,22 @@
+"""Minimal vectorized reverse-mode autograd + GNN layers (numpy).
+
+Replaces PyTorch Geometric for the paper's GNN pipeline: embedding table,
+GATv2 convolution, heterogeneous (per-edge-type) aggregation, global max
+pooling over batched disjoint-union graphs, fully connected layers, Adam,
+and cross-entropy — everything the Section IV-B model needs.
+"""
+
+from repro.nn.tensor import Tensor, concat, gather_rows, relu, leaky_relu
+from repro.nn.layers import Embedding, Linear, Parameter
+from repro.nn.gnn import GATv2Conv, HeteroGATLayer, global_max_pool
+from repro.nn.optim import Adam
+from repro.nn.loss import cross_entropy
+from repro.nn.batching import GraphBatch, batch_graphs
+
+__all__ = [
+    "Tensor", "concat", "gather_rows", "relu", "leaky_relu",
+    "Parameter", "Linear", "Embedding",
+    "GATv2Conv", "HeteroGATLayer", "global_max_pool",
+    "Adam", "cross_entropy",
+    "GraphBatch", "batch_graphs",
+]

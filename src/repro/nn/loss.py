@@ -1,0 +1,32 @@
+"""Cross-entropy loss with integrated softmax."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy of (B, C) logits against integer labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    z = logits.data - logits.data.max(axis=1, keepdims=True)
+    exp = np.exp(z)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = len(labels)
+    nll = -np.log(np.clip(probs[np.arange(n), labels], 1e-12, None)).mean()
+
+    def backward(out: Tensor) -> None:
+        if not logits.requires_grad:
+            return
+        grad = probs.copy()
+        grad[np.arange(n), labels] -= 1.0
+        logits._accumulate(out.grad * grad / n)
+
+    return Tensor._make(np.asarray(nll), (logits,), backward)
+
+
+def softmax_probabilities(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(z)
+    return exp / exp.sum(axis=1, keepdims=True)

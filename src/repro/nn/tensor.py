@@ -1,0 +1,325 @@
+"""Reverse-mode autograd over numpy arrays.
+
+Only the operations the GNN pipeline needs, each fully vectorized:
+elementwise arithmetic, matmul, activations, reductions, row gather /
+scatter-add, segment softmax and segment max (the message-passing and
+pooling primitives).
+
+Performance notes (per the HPC guides): segment reductions avoid
+``np.add.at`` (an order of magnitude slower than ``reduceat``) via
+:class:`SegmentContext`, which presorts indices once per batch and is
+reused across layers and epochs; tensors are float32.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+DTYPE = np.float32
+
+
+class SegmentContext:
+    """Precomputed sort order + run boundaries for segment reductions."""
+
+    def __init__(self, index: np.ndarray, num_segments: int):
+        index = np.asarray(index, dtype=np.int64)
+        self.index = index
+        self.num_segments = num_segments
+        self.order = np.argsort(index, kind="stable")
+        sorted_idx = index[self.order]
+        if len(sorted_idx):
+            self.run_starts = np.flatnonzero(
+                np.r_[True, sorted_idx[1:] != sorted_idx[:-1]])
+            self.run_segments = sorted_idx[self.run_starts]
+        else:
+            self.run_starts = np.zeros(0, dtype=np.int64)
+            self.run_segments = np.zeros(0, dtype=np.int64)
+
+    def sum(self, values: np.ndarray) -> np.ndarray:
+        out = np.zeros((self.num_segments,) + values.shape[1:], dtype=values.dtype)
+        if len(self.order):
+            sums = np.add.reduceat(values[self.order], self.run_starts, axis=0)
+            out[self.run_segments] = sums
+        return out
+
+    def max(self, values: np.ndarray) -> np.ndarray:
+        out = np.full((self.num_segments,) + values.shape[1:], -np.inf,
+                      dtype=values.dtype)
+        if len(self.order):
+            maxs = np.maximum.reduceat(values[self.order], self.run_starts, axis=0)
+            out[self.run_segments] = maxs
+        return out
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev")
+
+    def __init__(self, data, requires_grad: bool = False,
+                 _prev: Tuple["Tensor", ...] = (),
+                 _backward: Optional[Callable[[], None]] = None):
+        self.data = np.asarray(data, dtype=DTYPE)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self._backward = _backward
+        self._prev = _prev
+
+    # -- helpers --------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tensor(shape={self.data.shape}, grad={'yes' if self.requires_grad else 'no'})"
+
+    # -- graph construction ----------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Tuple["Tensor", ...],
+              backward: Callable[["Tensor"], None]) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _prev=parents)
+        if requires:
+            out._backward = lambda: backward(out)
+        return out
+
+    # -- arithmetic --------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad, other.data.shape))
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad * other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad * self.data, other.data.shape))
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * Tensor(-1.0)
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad / other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(
+                    -out.grad * self.data / (other.data ** 2), other.data.shape))
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ out.grad)
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # -- reductions --------------------------------------------------------------
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.data.shape).copy())
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims),
+                            (self,), backward)
+
+    def mean(self) -> "Tensor":
+        n = self.data.size
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(np.full_like(self.data, out.grad / n))
+
+        return Tensor._make(np.asarray(self.data.mean()), (self,), backward)
+
+    # -- backprop driver ----------------------------------------------------------
+    def backward(self) -> None:
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        self.grad = np.ones_like(self.data)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+
+# ---------------------------------------------------------------------------
+# Functional ops
+# ---------------------------------------------------------------------------
+
+def relu(x: Tensor) -> Tensor:
+    mask = x.data > 0
+
+    def backward(out: Tensor) -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def leaky_relu(x: Tensor, slope: float = 0.2) -> Tensor:
+    mask = x.data > 0
+    factor = np.where(mask, 1.0, slope)
+
+    def backward(out: Tensor) -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad * factor)
+
+    return Tensor._make(x.data * factor, (x,), backward)
+
+
+def concat(tensors: List[Tensor], axis: int = 0) -> Tensor:
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(out: Tensor) -> None:
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * out.grad.ndim
+                index[axis] = slice(lo, hi)
+                t._accumulate(out.grad[tuple(index)])
+
+    return Tensor._make(np.concatenate([t.data for t in tensors], axis=axis),
+                        tuple(tensors), backward)
+
+
+def gather_rows(x: Tensor, index: np.ndarray,
+                ctx: Optional[SegmentContext] = None) -> Tensor:
+    """Select rows x[index]; scatter-adds gradients back.
+
+    Passing a :class:`SegmentContext` built over ``index`` (with
+    ``num_segments == len(x)``) makes the backward a sorted reduceat
+    instead of ``np.add.at``.
+    """
+    index = np.asarray(index, dtype=np.int64)
+
+    def backward(out: Tensor) -> None:
+        if not x.requires_grad:
+            return
+        if ctx is not None:
+            x._accumulate(ctx.sum(out.grad))
+        else:
+            grad = np.zeros_like(x.data)
+            np.add.at(grad, index, out.grad)
+            x._accumulate(grad)
+
+    return Tensor._make(x.data[index], (x,), backward)
+
+
+def scatter_add(x: Tensor, index: np.ndarray, num_segments: int,
+                ctx: Optional[SegmentContext] = None) -> Tensor:
+    """Sum rows of x into ``num_segments`` buckets given per-row indices."""
+    ctx = ctx or SegmentContext(index, num_segments)
+    data = ctx.sum(x.data)
+
+    def backward(out: Tensor) -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad[ctx.index])
+
+    return Tensor._make(data, (x,), backward)
+
+
+def segment_softmax(scores: Tensor, index: np.ndarray, num_segments: int,
+                    ctx: Optional[SegmentContext] = None) -> Tensor:
+    """Softmax over groups of rows sharing ``index`` (attention weights)."""
+    ctx = ctx or SegmentContext(index, num_segments)
+    index = ctx.index
+    seg_max = ctx.max(scores.data)
+    seg_max[~np.isfinite(seg_max)] = 0.0
+    shifted = scores.data - seg_max[index]
+    exp = np.exp(np.clip(shifted, -60.0, 60.0))
+    seg_sum = ctx.sum(exp)
+    seg_sum[seg_sum == 0] = 1.0
+    alpha = exp / seg_sum[index]
+
+    def backward(out: Tensor) -> None:
+        if not scores.requires_grad:
+            return
+        # d softmax: alpha * (g - sum_seg(alpha * g))
+        weighted = alpha * out.grad
+        seg_dot = ctx.sum(weighted)
+        scores._accumulate(weighted - alpha * seg_dot[index])
+
+    return Tensor._make(alpha, (scores,), backward)
+
+
+def segment_max(x: Tensor, index: np.ndarray, num_segments: int,
+                ctx: Optional[SegmentContext] = None) -> Tensor:
+    """Per-segment elementwise max over rows (global max pooling)."""
+    ctx = ctx or SegmentContext(index, num_segments)
+    index = ctx.index
+    data = ctx.max(x.data)
+    data[~np.isfinite(data)] = 0.0
+    # Winner rows per (segment, column); exact ties share the gradient.
+    is_max = (x.data == data[index]).astype(DTYPE)
+    counts = ctx.sum(is_max)
+    counts[counts == 0] = 1.0
+
+    def backward(out: Tensor) -> None:
+        if x.requires_grad:
+            x._accumulate(out.grad[index] * is_max / counts[index])
+
+    return Tensor._make(data, (x,), backward)

@@ -1,0 +1,27 @@
+"""Optimization passes and the -O0 / -O2 / -Os pipelines.
+
+The paper compiles each benchmark at ``-O0`` (GNN input), ``-O2``
+(representative), and ``-Os`` (size-biased; IR2vec input).  This package
+reproduces the IR *shape changes* those levels induce: ``-O0`` leaves the
+frontend's alloca/load/store code intact, ``-O2`` promotes to SSA, folds,
+inlines, value-numbers, hoists loop invariants, and cleans the CFG, and
+``-Os`` does the SSA cleanups minus inlining while dropping uncalled
+functions to shrink (and homogenize) module size.
+"""
+
+from repro.passes.pipeline import OPT_LEVELS, run_pipeline
+from repro.passes.mem2reg import promote_memory_to_registers
+from repro.passes.constfold import fold_constants
+from repro.passes.dce import eliminate_dead_code
+from repro.passes.simplifycfg import simplify_cfg
+from repro.passes.instcombine import combine_instructions
+from repro.passes.inliner import inline_functions
+from repro.passes.gvn import global_value_numbering
+from repro.passes.licm import loop_invariant_code_motion
+
+__all__ = [
+    "run_pipeline", "OPT_LEVELS",
+    "promote_memory_to_registers", "fold_constants", "eliminate_dead_code",
+    "simplify_cfg", "combine_instructions", "inline_functions",
+    "global_value_numbering", "loop_invariant_code_motion",
+]

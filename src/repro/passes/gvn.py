@@ -1,0 +1,101 @@
+"""Global value numbering (dominator-scoped CSE for pure expressions).
+
+Walks the dominator tree with a scoped expression table: a pure
+instruction whose expression was already computed by a dominating
+instruction is replaced by that instruction and erased.  Re-using a
+dominating computation is always safe — it has already executed with the
+same operands — so even trapping-at-runtime opcodes like ``sdiv`` are
+eligible (this is reuse, not speculation; contrast LICM, which must not
+hoist them).
+
+Loads and calls are not value-numbered: loads would need alias analysis,
+calls may have side effects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.analysis import compute_dominators
+from repro.ir.instructions import (
+    BinaryInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    SelectInst,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Constant, ConstantString, Value
+
+
+def _operand_key(op: Value) -> Tuple:
+    if isinstance(op, ConstantString):
+        return ("cstr", op.text)
+    if isinstance(op, Constant):
+        return ("c", str(op.type), op.value)
+    return ("v", id(op))
+
+
+def _expression_key(inst: Instruction) -> Optional[Tuple]:
+    """Hashable expression identity, or None if not value-numberable."""
+    ops = tuple(_operand_key(op) for op in inst.operands)
+    if isinstance(inst, BinaryInst):
+        # Commutative opcodes get canonical operand order.
+        if inst.opcode in ("add", "mul", "and", "or", "xor", "fadd", "fmul"):
+            ops = tuple(sorted(ops))
+        return ("bin", inst.opcode, ops)
+    if isinstance(inst, ICmpInst):
+        return ("icmp", inst.predicate, ops)
+    if isinstance(inst, FCmpInst):
+        return ("fcmp", inst.predicate, ops)
+    if isinstance(inst, CastInst):
+        return ("cast", inst.opcode, str(inst.type), ops)
+    if isinstance(inst, SelectInst):
+        return ("select", ops)
+    if isinstance(inst, GEPInst):
+        return ("gep", str(inst.type), ops)
+    return None
+
+
+def gvn_function(fn: Function) -> int:
+    """Run GVN over one function; returns the number of erased instructions."""
+    idom = compute_dominators(fn)
+    if not idom:
+        return 0
+    children: Dict[int, List[BasicBlock]] = {id(b): [] for b in idom}
+    root = None
+    for block, parent in idom.items():
+        if parent is None:
+            root = block
+        else:
+            children[id(parent)].append(block)
+    if root is None:
+        return 0
+
+    erased = 0
+    # Iterative preorder walk carrying copy-on-descend expression tables.
+    stack: List[Tuple[BasicBlock, Dict[Tuple, Instruction]]] = [(root, {})]
+    while stack:
+        block, inherited = stack.pop()
+        table = dict(inherited)
+        for inst in list(block.instructions):
+            key = _expression_key(inst)
+            if key is None:
+                continue
+            existing = table.get(key)
+            if existing is not None:
+                inst.replace_all_uses_with(existing)
+                inst.erase()
+                erased += 1
+            else:
+                table[key] = inst
+        for child in children[id(block)]:
+            stack.append((child, table))
+    return erased
+
+
+def global_value_numbering(module: Module) -> int:
+    """GVN every defined function; returns total erased instructions."""
+    return sum(gvn_function(fn) for fn in module.defined_functions())

@@ -1,0 +1,207 @@
+"""Function inlining (used by the -O2 pipeline).
+
+Small, non-recursive, non-vararg defined callees are cloned into their
+call sites; returned values become phis in the continuation block, and
+callee allocas are hoisted into the caller's entry block so a following
+mem2reg can promote them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Value
+
+DEFAULT_THRESHOLD = 48
+
+
+def _is_recursive(fn: Function) -> bool:
+    for inst in fn.instructions():
+        if isinstance(inst, CallInst) and inst.callee is fn:
+            return True
+    return False
+
+
+def _should_inline(callee: Function, threshold: int) -> bool:
+    if callee.is_declaration or callee.ftype.vararg or callee.name == "main":
+        return False
+    size = sum(len(b.instructions) for b in callee.blocks)
+    if size > threshold:
+        return False
+    return not _is_recursive(callee)
+
+
+def _map_value(value: Value, vmap: Dict[int, Value]) -> Value:
+    return vmap.get(id(value), value)
+
+
+def _clone_instruction(inst: Instruction, vmap: Dict[int, Value],
+                       bmap: Dict[int, BasicBlock], caller: Function) -> Instruction:
+    def m(v: Value) -> Value:
+        return _map_value(v, vmap)
+
+    name = caller.unique_name("inl") if inst.name else ""
+    if isinstance(inst, AllocaInst):
+        size = m(inst.array_size) if inst.array_size is not None else None
+        return AllocaInst(inst.allocated_type, name, size)
+    if isinstance(inst, LoadInst):
+        return LoadInst(m(inst.pointer), name)
+    if isinstance(inst, StoreInst):
+        return StoreInst(m(inst.value), m(inst.pointer))
+    if isinstance(inst, BinaryInst):
+        return BinaryInst(inst.opcode, m(inst.lhs), m(inst.rhs), name)
+    if isinstance(inst, ICmpInst):
+        return ICmpInst(inst.predicate, m(inst.operands[0]), m(inst.operands[1]), name)
+    if isinstance(inst, FCmpInst):
+        return FCmpInst(inst.predicate, m(inst.operands[0]), m(inst.operands[1]), name)
+    if isinstance(inst, CastInst):
+        return CastInst(inst.opcode, m(inst.operands[0]), inst.type, name)
+    if isinstance(inst, SelectInst):
+        c, t, f = inst.operands
+        return SelectInst(m(c), m(t), m(f), name)
+    if isinstance(inst, GEPInst):
+        return GEPInst(m(inst.pointer), [m(i) for i in inst.indices], inst.type, name)
+    if isinstance(inst, CallInst):
+        return CallInst(m(inst.callee), [m(a) for a in inst.args], name)
+    if isinstance(inst, BranchInst):
+        return BranchInst(bmap[id(inst.target)])
+    if isinstance(inst, CondBranchInst):
+        return CondBranchInst(m(inst.cond), bmap[id(inst.true_block)],
+                              bmap[id(inst.false_block)])
+    if isinstance(inst, ReturnInst):
+        value = m(inst.return_value) if inst.return_value is not None else None
+        return ReturnInst(value)
+    if isinstance(inst, UnreachableInst):
+        return UnreachableInst()
+    if isinstance(inst, PhiInst):
+        phi = PhiInst(inst.type, name)
+        # Incoming values filled in a second phase (they may be forward refs).
+        return phi
+    raise TypeError(f"cannot clone {inst!r}")
+
+
+def _inline_call(caller: Function, call: CallInst) -> None:
+    callee: Function = call.callee  # type: ignore[assignment]
+    block = call.parent
+    assert block is not None
+
+    # 1. Split the block at the call site.
+    cont = BasicBlock(caller.unique_name("inlcont"), caller)
+    caller.blocks.insert(caller.blocks.index(block) + 1, cont)
+    idx = block.instructions.index(call)
+    moved = block.instructions[idx + 1:]
+    block.instructions = block.instructions[:idx + 1]
+    for inst in moved:
+        inst.parent = cont
+    cont.instructions = moved
+    # Successor phis that referenced `block` now come from `cont`.
+    for succ in cont.successors():
+        for phi in succ.phis():
+            phi.incoming_blocks = [cont if b is block else b for b in phi.incoming_blocks]
+
+    # 2. Clone callee blocks.
+    vmap: Dict[int, Value] = {}
+    bmap: Dict[int, BasicBlock] = {}
+    for arg, actual in zip(callee.arguments, call.args):
+        vmap[id(arg)] = actual
+    clones: List[BasicBlock] = []
+    insert_at = caller.blocks.index(cont)
+    for src in callee.blocks:
+        clone = BasicBlock(caller.unique_name(f"inl.{src.name}"), caller)
+        bmap[id(src)] = clone
+        clones.append(clone)
+        caller.blocks.insert(insert_at, clone)
+        insert_at += 1
+
+    returns: List[Tuple[Optional[Value], BasicBlock]] = []
+    phi_pairs: List[Tuple[PhiInst, PhiInst]] = []
+    for src in callee.blocks:
+        clone = bmap[id(src)]
+        for inst in src.instructions:
+            if isinstance(inst, ReturnInst):
+                value = _map_value(inst.return_value, vmap) \
+                    if inst.return_value is not None else None
+                returns.append((value, clone))
+                branch = BranchInst(cont)
+                branch.parent = clone
+                clone.instructions.append(branch)
+                continue
+            cloned = _clone_instruction(inst, vmap, bmap, caller)
+            cloned.parent = clone
+            clone.instructions.append(cloned)
+            vmap[id(inst)] = cloned
+            if isinstance(inst, PhiInst):
+                phi_pairs.append((inst, cloned))  # fill later
+
+    # Fill cloned phi incoming lists now that every value is mapped.
+    for src_phi, clone_phi in phi_pairs:
+        for value, pred in src_phi.incoming:
+            clone_phi.add_incoming(_map_value(value, vmap), bmap[id(pred)])
+
+    # Returned values become a phi (or direct value) in the continuation.
+    if not call.type.is_void and call.uses:
+        live_returns = [(v, b) for v, b in returns if v is not None]
+        if len(live_returns) == 1:
+            call.replace_all_uses_with(live_returns[0][0])
+        elif live_returns:
+            phi = PhiInst(call.type, caller.unique_name("inlret"))
+            cont.insert_front(phi)
+            for value, pred in live_returns:
+                phi.add_incoming(value, pred)
+            call.replace_all_uses_with(phi)
+
+    # 3. Hoist cloned entry allocas into the caller's entry block.
+    entry_clone = bmap[id(callee.entry)]
+    if entry_clone is not caller.entry:
+        hoisted = [i for i in entry_clone.instructions if isinstance(i, AllocaInst)]
+        for alloca in hoisted:
+            entry_clone.instructions.remove(alloca)
+            alloca.parent = caller.entry
+            caller.entry.instructions.insert(0, alloca)
+
+    # 4. Replace the call with a branch into the inlined entry.
+    call.erase()
+    branch = BranchInst(entry_clone)
+    branch.parent = block
+    block.instructions.append(branch)
+
+
+def inline_functions(module: Module, threshold: int = DEFAULT_THRESHOLD,
+                     max_rounds: int = 4) -> int:
+    """Inline eligible call sites; returns the number of inlined calls."""
+    inlined = 0
+    for _ in range(max_rounds):
+        sites: List[Tuple[Function, CallInst]] = []
+        for caller in module.defined_functions():
+            for inst in caller.instructions():
+                if isinstance(inst, CallInst) and isinstance(inst.callee, Function):
+                    callee = inst.callee
+                    if callee is not caller and _should_inline(callee, threshold):
+                        sites.append((caller, inst))
+        if not sites:
+            break
+        for caller, call in sites:
+            if call.parent is None:
+                continue  # removed by an earlier inline this round
+            _inline_call(caller, call)
+            inlined += 1
+    return inlined

@@ -1,0 +1,124 @@
+"""Peephole instruction combining (a small subset of LLVM's instcombine)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import BinaryInst, CastInst, ICmpInst, PhiInst, SelectInst
+from repro.ir.module import Module
+from repro.ir.types import IntType
+from repro.ir.values import Constant, ConstantString, Value
+
+
+def _int_const(v: Value) -> Optional[int]:
+    if isinstance(v, Constant) and not isinstance(v, ConstantString) \
+            and isinstance(v.type, IntType):
+        return v.value
+    return None
+
+
+def _simplify(inst) -> Optional[Value]:
+    if isinstance(inst, BinaryInst):
+        lhs, rhs = inst.lhs, inst.rhs
+        rc = _int_const(rhs)
+        lc = _int_const(lhs)
+        op = inst.opcode
+        if op == "add":
+            if rc == 0:
+                return lhs
+            if lc == 0:
+                return rhs
+        elif op == "sub":
+            if rc == 0:
+                return lhs
+            if lhs is rhs:
+                return Constant(inst.type, 0)
+        elif op == "mul":
+            if rc == 1:
+                return lhs
+            if lc == 1:
+                return rhs
+            if rc == 0 or lc == 0:
+                return Constant(inst.type, 0)
+        elif op in ("sdiv", "udiv"):
+            if rc == 1:
+                return lhs
+        elif op == "and":
+            if rc == 0 or lc == 0:
+                return Constant(inst.type, 0)
+            if lhs is rhs:
+                return lhs
+        elif op == "or":
+            if rc == 0:
+                return lhs
+            if lc == 0:
+                return rhs
+            if lhs is rhs:
+                return lhs
+        elif op == "xor":
+            if rc == 0:
+                return lhs
+            if lhs is rhs:
+                return Constant(inst.type, 0)
+        elif op in ("shl", "ashr", "lshr"):
+            if rc == 0:
+                return lhs
+    elif isinstance(inst, CastInst):
+        src = inst.operands[0]
+        if inst.opcode == "bitcast" and src.type == inst.type:
+            return src
+        # Collapse zext(i1 x) != 0 style double conversions: handled below
+        # via icmp pattern; here fold cast-of-cast with matching endpoints.
+        if isinstance(src, CastInst) and src.opcode == inst.opcode == "bitcast":
+            if src.operands[0].type == inst.type:
+                return src.operands[0]
+    elif isinstance(inst, ICmpInst):
+        lhs, rhs = inst.operands
+        # icmp ne (zext i1 x), 0  ->  x ; icmp eq (zext i1 x), 0 -> xor x, 1
+        if (
+            isinstance(lhs, CastInst) and lhs.opcode == "zext"
+            and lhs.operands[0].type == IntType(1) and _int_const(rhs) == 0
+        ):
+            if inst.predicate == "ne":
+                return lhs.operands[0]
+        if lhs is rhs and inst.predicate in ("eq", "sle", "sge", "ule", "uge"):
+            return Constant(inst.type, 1)
+        if lhs is rhs and inst.predicate in ("ne", "slt", "sgt", "ult", "ugt"):
+            return Constant(inst.type, 0)
+    elif isinstance(inst, SelectInst):
+        cond, tv, fv = inst.operands
+        if tv is fv:
+            return tv
+    elif isinstance(inst, PhiInst):
+        # Trivial phi: all incoming values identical (ignoring self).
+        # Constants compare by value (they are not interned).
+        incoming = [v for v in inst.operands if v is not inst]
+        if incoming:
+            first = incoming[0]
+            def same(a: Value, b: Value) -> bool:
+                if a is b:
+                    return True
+                return (isinstance(a, Constant) and isinstance(b, Constant)
+                        and not isinstance(a, ConstantString)
+                        and not isinstance(b, ConstantString)
+                        and a == b)
+            if all(same(v, first) for v in incoming[1:]):
+                return first
+    return None
+
+
+def combine_instructions(module: Module) -> int:
+    combined = 0
+    for fn in module.defined_functions():
+        changed = True
+        while changed:
+            changed = False
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    replacement = _simplify(inst)
+                    if replacement is not None and replacement is not inst:
+                        inst.replace_all_uses_with(replacement)
+                        inst.erase()
+                        combined += 1
+                        changed = True
+    return combined

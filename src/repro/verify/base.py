@@ -1,0 +1,49 @@
+"""Common interface for the baseline verification tools."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.datasets.loader import Sample
+from repro.ml.metrics import ConfusionCounts
+
+
+@dataclass
+class ToolVerdict:
+    """Outcome of running a tool on one code."""
+
+    verdict: str                 # 'correct' | 'incorrect' | 'timeout' |
+    #                              'runtime_error' | 'compile_error'
+    detected_kinds: List[str] = field(default_factory=list)
+    detail: str = ""
+
+
+class VerificationTool:
+    name = "tool"
+
+    def check_sample(self, sample: Sample) -> ToolVerdict:  # pragma: no cover
+        raise NotImplementedError
+
+    def evaluate(self, samples: Sequence[Sample]) -> ConfusionCounts:
+        """Confusion counts over a suite (Table III protocol)."""
+        counts = ConfusionCounts()
+        for sample in samples:
+            verdict = self.check_sample(sample)
+            if verdict.verdict == "compile_error":
+                counts.ce += 1
+            elif verdict.verdict == "timeout":
+                counts.to += 1
+            elif verdict.verdict == "runtime_error":
+                counts.re += 1
+            elif verdict.verdict == "incorrect":
+                if sample.is_correct:
+                    counts.fp += 1
+                else:
+                    counts.tp += 1
+            else:
+                if sample.is_correct:
+                    counts.tn += 1
+                else:
+                    counts.fn += 1
+        return counts

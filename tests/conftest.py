@@ -1,0 +1,18 @@
+"""Test-suite-wide configuration.
+
+Hypothesis is pinned to a deterministic profile so `pytest tests/` is
+reproducible run-to-run: property tests still explore the strategy space,
+but from a fixed derivation seed rather than fresh entropy per run.
+Override locally with ``--hypothesis-seed=random`` to fuzz.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,143 @@
+"""Dataset-generator tests: distributions, determinism, ground truth.
+
+The ground-truth spot checks run the simulator on generated samples and
+assert that incorrect samples actually manifest their labelled error
+class — the property that makes the suites meaningful benchmarks.
+"""
+
+import pytest
+
+from repro.datasets import load_corrbench, load_mbi, load_mix
+from repro.datasets.corrbench import CORR_COUNTS
+from repro.datasets.hypre import hypre_pair
+from repro.datasets.labels import CORR_LABELS, CORRECT, MBI_LABELS
+from repro.datasets.loader import strip_mpitest_header
+from repro.datasets.mbi import MBI_COUNTS
+from repro.frontend import compile_c, preprocess_and_count_loc
+from repro.mpi.simulator import RunOutcome, simulate
+
+#: label -> simulator evidence that the bug is real
+_EVIDENCE = {
+    "Invalid Parameter": lambda r: r.has("invalid_arg"),
+    "Parameter Matching": lambda r: r.has("parameter_matching")
+    or r.has("type_mismatch") or r.has("truncation"),
+    "Call Ordering": lambda r: r.outcome is RunOutcome.DEADLOCK
+    or r.has("call_ordering"),
+    "Local Concurrency": lambda r: r.has("local_concurrency"),
+    "Request Lifecycle": lambda r: r.has("request_lifecycle"),
+    "Epoch Lifecycle": lambda r: r.has("epoch_lifecycle"),
+    "Message Race": lambda r: r.has("message_race"),
+    "Global Concurrency": lambda r: r.has("global_concurrency"),
+    "Resource Leak": lambda r: r.has("resource_leak"),
+}
+
+
+def test_mbi_counts_match_paper_shape():
+    ds = load_mbi()
+    counts = ds.label_counts()
+    assert counts == MBI_COUNTS
+    correct, incorrect = ds.correct_incorrect_counts()
+    assert (correct, incorrect) == (745, 1116)       # Table II totals
+    assert counts["Resource Leak"] == 14             # Section V-A detail
+
+
+def test_corrbench_counts_match_paper_shape():
+    ds = load_corrbench(debias=False)
+    assert ds.label_counts() == CORR_COUNTS
+    correct, incorrect = ds.correct_incorrect_counts()
+    assert (correct, incorrect) == (202, 214)
+
+
+def test_generation_is_deterministic():
+    a = load_mbi()
+    from repro.datasets.mbi import generate_mbi
+
+    b = generate_mbi()
+    assert [s.name for s in a] == [s.name for s in b]
+    assert [s.source for s in a][:50] == [s.source for s in b][:50]
+
+
+def test_mix_is_union():
+    mix = load_mix()
+    assert len(mix) == len(load_mbi()) + len(load_corrbench())
+
+
+def test_corrbench_bias_and_debias():
+    biased = load_corrbench(debias=False)
+    debiased = load_corrbench(debias=True)
+    biased_correct = [preprocess_and_count_loc(s.source)
+                      for s in biased if s.is_correct][:30]
+    biased_incorrect = [preprocess_and_count_loc(s.source)
+                        for s in biased if not s.is_correct][:30]
+    # The paper: correct codes have >= 103 LoC before debias.
+    assert min(biased_correct) >= 103
+    assert max(biased_incorrect) < min(biased_correct)
+    debiased_correct = [preprocess_and_count_loc(s.source)
+                        for s in debiased if s.is_correct][:30]
+    assert max(debiased_correct) < 103
+
+
+def test_strip_mpitest_header_only_touches_include():
+    src = '#include <mpi.h>\n#include "mpitest.h"\nint main() { return 0; }\n'
+    out = strip_mpitest_header(src)
+    assert "mpitest" not in out
+    assert "#include <mpi.h>" in out
+
+
+def test_corrbench_names_encode_labels():
+    ds = load_corrbench()
+    for s in ds:
+        if s.label != CORRECT:
+            assert s.name.startswith(s.label), s.name
+
+
+def test_mbi_headers_present():
+    for s in list(load_mbi())[:20]:
+        assert "The MPI Bugs Initiative" in s.source
+        if s.label != CORRECT:
+            assert s.label in s.source
+
+
+def test_subsample_is_stratified():
+    ds = load_mbi(subsample=300)
+    counts = ds.label_counts()
+    assert set(counts) == set(MBI_COUNTS)
+    # Rough proportionality for the dominant label.
+    assert counts["Call Ordering"] > counts["Invalid Parameter"]
+
+
+@pytest.mark.parametrize("label", MBI_LABELS)
+def test_mbi_incorrect_samples_manifest_their_error(label):
+    ds = load_mbi()
+    samples = [s for s in ds if s.label == label][:4]
+    evidence = _EVIDENCE[label]
+    hits = 0
+    for s in samples:
+        module = compile_c(s.source, s.name, "O0", verify=False)
+        nprocs = 3 if "min_procs" not in s.source else 3
+        report = simulate(module, nprocs=3, max_steps=150_000)
+        if evidence(report):
+            hits += 1
+    assert hits >= len(samples) * 3 // 4, (label, hits, len(samples))
+
+
+def test_mbi_correct_samples_mostly_clean():
+    ds = load_mbi()
+    samples = [s for s in ds if s.is_correct][:24]
+    clean = 0
+    for s in samples:
+        module = compile_c(s.source, s.name, "O0", verify=False)
+        report = simulate(module, nprocs=3, max_steps=150_000)
+        if report.outcome is RunOutcome.OK and not report.events:
+            clean += 1
+    assert clean >= len(samples) * 3 // 4, clean
+
+
+def test_hypre_pair_compiles_and_diverges_only_in_tags():
+    ok, ko = hypre_pair()
+    for opt in ("O0", "O2", "Os"):
+        compile_c(ok.source, ok.name, opt)
+        compile_c(ko.source, ko.name, opt)
+    assert ok.source != ko.source
+    assert ok.source.replace("100", "0").replace("101", "0") == ko.source
+    assert preprocess_and_count_loc(ok.source) > 80   # "real application" scale

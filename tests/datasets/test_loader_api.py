@@ -1,0 +1,88 @@
+"""Dataset / Sample container API and the config dataset dispatcher."""
+
+import pytest
+
+from repro.datasets import CORRECT, Dataset, Sample, binary_label
+from repro.datasets import load_corrbench, load_mbi
+from repro.eval.config import ReproConfig
+
+
+def mk(name, label, suite="MBI"):
+    return Sample(name=name, source="int main() { return 0; }",
+                  label=label, suite=suite)
+
+
+@pytest.fixture()
+def ds():
+    return Dataset("T", [mk("a.c", CORRECT), mk("b.c", "Call Ordering"),
+                         mk("c.c", "Call Ordering"), mk("d.c", "Message Race")])
+
+
+def test_len_iter_and_labels(ds):
+    assert len(ds) == 4
+    assert [s.name for s in ds] == ["a.c", "b.c", "c.c", "d.c"]
+    assert ds.labels() == [CORRECT, "Call Ordering", "Call Ordering",
+                           "Message Race"]
+
+
+def test_label_counts_and_binary(ds):
+    assert ds.label_counts() == {CORRECT: 1, "Call Ordering": 2,
+                                 "Message Race": 1}
+    assert ds.correct_incorrect_counts() == (1, 3)
+    assert [s.binary for s in ds] == ["Correct", "Incorrect", "Incorrect",
+                                      "Incorrect"]
+    assert binary_label("anything else") == "Incorrect"
+
+
+def test_subset_preserves_order_and_name(ds):
+    sub = ds.subset([2, 0])
+    assert [s.name for s in sub] == ["c.c", "a.c"]
+    assert sub.name == "T"
+    named = ds.subset([0], name="other")
+    assert named.name == "other"
+
+
+def test_without_labels(ds):
+    filtered = ds.without_labels(["Call Ordering"])
+    assert {s.label for s in filtered} == {CORRECT, "Message Race"}
+    # Original untouched.
+    assert len(ds) == 4
+
+
+def test_merged_with(ds):
+    other = Dataset("U", [mk("x.c", CORRECT, suite="CORR")])
+    merged = ds.merged_with(other, name="Both")
+    assert merged.name == "Both"
+    assert len(merged) == 5
+    assert merged.samples[-1].suite == "CORR"
+
+
+def test_sample_is_correct_property(ds):
+    assert ds.samples[0].is_correct
+    assert not ds.samples[1].is_correct
+
+
+def test_config_dataset_dispatcher():
+    cfg = ReproConfig(mbi_subsample=40, corr_subsample=30)
+    assert cfg.dataset("mbi").name == "MBI"
+    assert cfg.dataset("CORR").name == "MPI-CorrBench"
+    assert cfg.dataset("Mix").name == "Mix"
+    with pytest.raises(ValueError):
+        cfg.dataset("nope")
+
+
+def test_subsample_caps_at_population():
+    full = load_corrbench()
+    same = load_corrbench(subsample=10_000)
+    assert len(same) == len(full)
+
+
+def test_subsample_keeps_every_label():
+    small = load_mbi(subsample=120)
+    assert len(small.label_counts()) == len(load_mbi().label_counts())
+
+
+def test_loaders_cache_identity():
+    assert load_mbi() is load_mbi()
+    assert load_corrbench(subsample=40) is load_corrbench(subsample=40)
+    assert load_mbi(subsample=40) is not load_mbi(subsample=80)

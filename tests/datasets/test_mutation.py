@@ -1,0 +1,239 @@
+"""Mutation-operator tests: text surgery, labels, compileability, dynamics."""
+
+import random
+
+import pytest
+
+from repro.datasets import CORR_LABELS, CORRECT, MBI_LABELS, MutationEngine
+from repro.datasets import load_corrbench, load_mbi
+from repro.datasets.loader import Sample
+from repro.datasets.mutation import (
+    OPERATORS,
+    detach_wait,
+    drop_call,
+    find_mpi_calls,
+    invalid_count,
+    invalid_rank,
+    root_divergence,
+    split_args,
+    tag_mismatch,
+)
+from repro.frontend import compile_c
+
+PINGPONG = """#include <mpi.h>
+#include <stdio.h>
+
+int main(int argc, char** argv) {
+  int nprocs = -1;
+  int rank = -1;
+  int buf[64];
+  MPI_Status status;
+
+  MPI_Init(&argc, &argv);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Send(buf, 64, MPI_INT, 1, 7, MPI_COMM_WORLD);
+  }
+  if (rank == 1) {
+    MPI_Recv(buf, 64, MPI_INT, 0, 7, MPI_COMM_WORLD, &status);
+  }
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+COLLECTIVE = """#include <mpi.h>
+
+int main(int argc, char** argv) {
+  int rank;
+  int value = 3;
+  int total = 0;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Reduce(&value, &total, 1, MPI_INT, MPI_SUM, 0, MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+
+def mk(source, suite="MBI", name="prog.c"):
+    return Sample(name=name, source=source, label=CORRECT, suite=suite)
+
+
+# ---------------------------------------------------------------------------
+# Parsing helpers
+# ---------------------------------------------------------------------------
+
+def test_split_args_top_level_only():
+    assert split_args("a, f(b, c), d[1, 2]") == ["a", "f(b, c)", "d[1, 2]"]
+    assert split_args("") == []
+    assert split_args("  x ") == ["x"]
+
+
+def test_find_mpi_calls_shapes():
+    calls = find_mpi_calls(PINGPONG)
+    names = [c.name for c in calls]
+    assert "MPI_Send" in names and "MPI_Recv" in names
+    send = next(c for c in calls if c.name == "MPI_Send")
+    assert send.args == ["buf", "64", "MPI_INT", "1", "7", "MPI_COMM_WORLD"]
+    # Spans point exactly at the statement text.
+    assert PINGPONG[send.start:send.end].startswith("    MPI_Send(")
+
+
+# ---------------------------------------------------------------------------
+# Individual operators
+# ---------------------------------------------------------------------------
+
+def test_drop_call_labels_by_suite():
+    rng = random.Random(0)
+    mutated, label = drop_call(PINGPONG, "MBI", rng)
+    assert "call removed by mutation" in mutated
+    assert label in MBI_LABELS
+    mutated, label = drop_call(PINGPONG, "CORR", rng)
+    assert label == "MissingCall"
+
+
+def test_tag_mismatch_changes_one_side_only():
+    rng = random.Random(1)
+    mutated, label = tag_mismatch(PINGPONG, "MBI", rng)
+    assert label == "Parameter Matching"
+    # Exactly one of the two tags moved by +100.
+    assert ("107" in mutated) and mutated.count("107") == 1
+
+
+def test_invalid_count_injects_negative():
+    mutated, label = invalid_count(PINGPONG, "CORR", random.Random(2))
+    assert label == "ArgError"
+    assert "-1, MPI_INT" in mutated
+
+
+def test_invalid_rank_out_of_communicator():
+    mutated, label = invalid_rank(PINGPONG, "MBI", random.Random(3))
+    assert label == "Invalid Parameter"
+    assert "9999" in mutated
+
+
+def test_root_divergence_on_collective():
+    mutated, label = root_divergence(COLLECTIVE, "MBI", random.Random(4))
+    assert label == "Parameter Matching"
+    assert "MPI_SUM, rank, MPI_COMM_WORLD" in mutated
+
+
+def test_root_divergence_skips_p2p_only_code():
+    src = PINGPONG.replace("MPI_Send", "MPI_Ssend")
+    assert root_divergence(src.replace("MPI_Recv(buf, 64, MPI_INT, 0, 7,"
+                                       " MPI_COMM_WORLD, &status);", ""),
+                           "MBI", random.Random(0)) is None
+
+
+def test_detach_wait_declares_request():
+    mutated, label = detach_wait(PINGPONG, "MBI", random.Random(5))
+    assert label == "Request Lifecycle"
+    assert "MPI_Isend" in mutated and "MPI_Request mut_req;" in mutated
+    assert "&mut_req);" in mutated
+
+
+def test_every_operator_output_compiles():
+    for suite, base in (("MBI", PINGPONG), ("CORR", COLLECTIVE)):
+        for op_name, op in OPERATORS.items():
+            result = op(base, suite, random.Random(11))
+            if result is None:
+                continue
+            mutated, label = result
+            module = compile_c(mutated, f"{op_name}.c", "O0", verify=False)
+            assert module.defined_functions(), op_name
+            assert label != CORRECT
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour
+# ---------------------------------------------------------------------------
+
+def test_engine_rejects_incorrect_input():
+    engine = MutationEngine(seed=0)
+    bad = Sample(name="x.c", source=PINGPONG, label="Call Ordering", suite="MBI")
+    with pytest.raises(ValueError):
+        engine.mutate_sample(bad)
+
+
+def test_engine_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        MutationEngine(operators=("no_such_op",))
+
+
+def test_engine_is_deterministic():
+    engine_a = MutationEngine(seed=9)
+    engine_b = MutationEngine(seed=9)
+    sample = mk(PINGPONG)
+    a = engine_a.mutate_sample(sample, per_sample=3)
+    b = engine_b.mutate_sample(sample, per_sample=3)
+    assert [(m.operator, m.sample.source) for m in a] == \
+           [(m.operator, m.sample.source) for m in b]
+
+
+def test_engine_mutants_differ_from_origin_and_each_other():
+    engine = MutationEngine(seed=1)
+    mutants = engine.mutate_sample(mk(PINGPONG), per_sample=4)
+    sources = [m.sample.source for m in mutants]
+    assert len(set(sources)) == len(sources)
+    assert all(src != PINGPONG for src in sources)
+    assert all(m.sample.label != CORRECT for m in mutants)
+
+
+def test_augment_appends_only_incorrect_mutants():
+    ds = load_mbi(subsample=60)
+    engine = MutationEngine(seed=2)
+    augmented = engine.augment(ds, per_sample=1, max_mutants=10)
+    added = augmented.samples[len(ds.samples):]
+    assert 0 < len(added) <= 10
+    assert all(s.label in MBI_LABELS for s in added)
+    assert all(s.name.startswith("Mutant-") for s in added)
+
+
+def test_mutant_dataset_labels_follow_suite_taxonomy():
+    corr = load_corrbench(subsample=60)
+    engine = MutationEngine(seed=3)
+    mutants = engine.mutant_dataset(corr, per_sample=1, max_mutants=12)
+    assert len(mutants) > 0
+    assert all(s.label in CORR_LABELS for s in mutants)
+
+
+def test_suite_mutants_compile_through_pipeline():
+    ds = load_mbi(subsample=40)
+    engine = MutationEngine(seed=4)
+    mutants = engine.mutants_of(ds, per_sample=1, max_mutants=8)
+    for m in mutants:
+        module = compile_c(m.sample.source, m.sample.name, "Os", verify=False)
+        assert module.defined_functions(), m.operator
+
+
+# ---------------------------------------------------------------------------
+# Dynamic ground truth: injected bugs manifest under the simulator
+# ---------------------------------------------------------------------------
+
+def test_dropped_recv_manifests_as_hang():
+    from repro.verify import ITACTool
+
+    rng = random.Random(0)
+    # Force the drop onto the Recv by removing other candidates from the
+    # registry view: apply drop repeatedly until the Recv disappears.
+    for attempt in range(20):
+        result = drop_call(PINGPONG, "MBI", random.Random(attempt))
+        assert result is not None
+        mutated, _ = result
+        if "MPI_Recv" not in mutated and "MPI_Send(" in mutated:
+            break
+    else:
+        pytest.skip("drop never hit the Recv")
+    verdict = ITACTool(nprocs=2).check_sample(mk(mutated, name="drop.c"))
+    assert verdict.verdict in ("incorrect", "timeout")
+
+
+def test_tag_mismatch_manifests_dynamically():
+    from repro.verify import ITACTool
+
+    mutated, _ = tag_mismatch(PINGPONG, "MBI", random.Random(1))
+    verdict = ITACTool(nprocs=2).check_sample(mk(mutated, name="tag.c"))
+    assert verdict.verdict in ("incorrect", "timeout")

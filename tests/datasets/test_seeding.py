@@ -1,0 +1,59 @@
+"""Process-stable seeding: golden values and generator determinism.
+
+Regression for a real bug: the generators used to seed their RNG streams
+with ``(seed, label).__hash__()``, which is salted per interpreter
+process (PEP 456) — the "deterministic" suites differed run to run and
+surfaced as rare cross-run test flakes.
+"""
+
+import hashlib
+
+from repro.datasets import load_corrbench, load_mbi
+from repro.datasets.seeding import stable_seed
+
+
+def test_stable_seed_golden_values():
+    # These constants must never change: they pin the generated suites.
+    assert stable_seed(0, "Call Ordering") == 1357295378
+    assert stable_seed(20240304, "Correct") == 1725913637
+    assert stable_seed(3, "x.c") == 936584962
+
+
+def test_stable_seed_distinguishes_parts():
+    assert stable_seed(1, "a") != stable_seed(1, "b")
+    assert stable_seed(1, "a") != stable_seed(2, "a")
+    assert stable_seed("1", "a") != stable_seed(1, "a")
+    assert 0 <= stable_seed("anything") < 2 ** 31
+
+
+def _suite_digest(samples):
+    h = hashlib.sha256()
+    for s in samples:
+        h.update(s.name.encode())
+        h.update(s.source.encode())
+    return h.hexdigest()
+
+
+def test_mbi_suite_content_is_pinned():
+    # Golden content hash: changes only when the generator itself changes
+    # (then this constant must be updated deliberately, never silently).
+    assert _suite_digest(load_mbi()) == (
+        "72f5b695dd4879ae1fdb2491ca6e031ce953c456d07f66a878a007878ff9fa0c")
+
+
+def test_corrbench_suite_deterministic_within_process():
+    a = _suite_digest(load_corrbench.__wrapped__()
+                      if hasattr(load_corrbench, "__wrapped__")
+                      else load_corrbench())
+    b = _suite_digest(load_corrbench())
+    assert a == b
+
+
+def test_mutants_deterministic():
+    from repro.datasets import MutationEngine
+
+    ds = load_mbi(subsample=40)
+    a = MutationEngine(seed=5).mutants_of(ds, per_sample=2, max_mutants=12)
+    b = MutationEngine(seed=5).mutants_of(ds, per_sample=2, max_mutants=12)
+    assert [(m.operator, m.sample.source) for m in a] == \
+           [(m.operator, m.sample.source) for m in b]

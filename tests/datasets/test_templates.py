@@ -1,0 +1,91 @@
+"""Template building blocks used by both generators."""
+
+import random
+
+import pytest
+
+from repro.datasets.templates import (
+    COLLECTIVES,
+    DTYPES,
+    NB_COLLECTIVES,
+    Prog,
+    collective_call,
+    filler_compute,
+    mbi_header,
+)
+from repro.frontend import compile_c
+
+
+def _render_with(call: str, prog: Prog) -> str:
+    prog.stmt(call)
+    return prog.render()
+
+
+@pytest.mark.parametrize("op", COLLECTIVES + NB_COLLECTIVES)
+def test_every_collective_template_compiles(op):
+    prog = Prog()
+    call = collective_call(prog, op)
+    src = _render_with(call, prog)
+    module = compile_c(src, f"{op}.c", "O0")
+    assert any(op in text for text in
+               (i.callee_name for f in module.defined_functions()
+                for i in f.instructions() if i.opcode == "call"))
+
+
+@pytest.mark.parametrize("ctype,mpitype", DTYPES)
+def test_collectives_parametrize_over_dtypes(ctype, mpitype):
+    prog = Prog()
+    call = collective_call(prog, "MPI_Allreduce", ctype=ctype, mpitype=mpitype)
+    assert mpitype in call
+    compile_c(_render_with(call, prog), "t.c", "O0")
+
+
+def test_unknown_collective_rejected():
+    with pytest.raises(ValueError):
+        collective_call(Prog(), "MPI_NotACollective")
+
+
+def test_prog_render_structure():
+    prog = Prog()
+    prog.decl("int x;")
+    prog.stmt("x = 1;")
+    src = prog.render()
+    assert src.index("#include") < src.index("int main")
+    assert src.index("MPI_Init") < src.index("x = 1;")
+    assert src.index("x = 1;") < src.index("MPI_Finalize")
+    assert src.rstrip().endswith("}")
+
+
+def test_prog_init_finalize_toggles():
+    prog = Prog()
+    prog.init = False
+    prog.finalize = False
+    src = prog.render()
+    assert "MPI_Init" not in src
+    assert "MPI_Finalize" not in src
+
+
+def test_filler_compute_compiles_for_many_seeds():
+    for seed in range(12):
+        prog = Prog()
+        filler_compute(random.Random(seed), prog)
+        compile_c(prog.render(), "filler.c", "O0")
+
+
+def test_filler_diversifies_source():
+    sources = set()
+    for seed in range(8):
+        prog = Prog()
+        filler_compute(random.Random(seed), prog)
+        sources.add(prog.render())
+    assert len(sources) >= 4
+
+
+def test_mbi_header_format():
+    header = mbi_header("x.c", "Call Ordering", "MBI", ["COLL!basic"])
+    assert "The MPI Bugs Initiative" in header
+    assert "ERROR" in header
+    assert "Call Ordering" in header
+    ok = mbi_header("y.c", "Correct", "MBI", ["P2P!basic"])
+    assert "| Test outcome: OK" in ok
+    assert "ERROR CATEGORY" not in ok

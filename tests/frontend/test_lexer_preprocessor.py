@@ -1,0 +1,83 @@
+"""Lexer and preprocessor unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend.lexer import LexError, tokenize
+from repro.frontend.preprocessor import (
+    PreprocessError, count_loc, preprocess,
+)
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "eof"]
+
+
+def test_tokenize_operators_maximal_munch():
+    assert [t[1] for t in kinds("a>>=b<<c<=d")] == ["a", ">>=", "b", "<<", "c", "<=", "d"]
+    assert [t[1] for t in kinds("x->y++ - --z")] == ["x", "->", "y", "++", "-", "--", "z"]
+
+
+def test_tokenize_literals():
+    toks = kinds(r'42 0x1F 3.14 1e-3 2.5f "s\"x" ' + "'a'")
+    assert toks[0] == ("int", "42")
+    assert toks[1] == ("int", "0x1F")
+    assert toks[2] == ("float", "3.14")
+    assert toks[3] == ("float", "1e-3")
+    assert toks[4] == ("float", "2.5f")
+    assert toks[5][0] == "string"
+    assert toks[6][0] == "char"
+
+
+def test_comments_and_line_numbers():
+    toks = tokenize("a // comment\n/* multi\nline */ b")
+    assert toks[0].line == 1
+    assert toks[1].text == "b"
+    assert toks[1].line == 3
+
+
+def test_keywords_classified():
+    assert kinds("int while foo")[0][0] == "kw"
+    assert kinds("int while foo")[2][0] == "ident"
+
+
+def test_lex_error():
+    with pytest.raises(LexError):
+        tokenize("int @@@")
+
+
+def test_preprocess_known_headers_and_defines():
+    out = preprocess("#include <mpi.h>\n#define N 4\nint a[N];\n")
+    assert "int a[4];" in out
+    assert "#" not in out
+
+
+def test_preprocess_macro_in_macro():
+    out = preprocess("#define A 2\n#define B (A + 1)\nint x = B;\n")
+    assert "int x = (2 + 1);" in out
+
+
+def test_preprocess_ifdef():
+    src = "#define X 1\n#ifdef X\nint a;\n#else\nint b;\n#endif\n"
+    out = preprocess(src)
+    assert "int a;" in out and "int b;" not in out
+    src2 = "#ifdef Y\nint a;\n#else\nint b;\n#endif\n"
+    assert "int b;" in preprocess(src2)
+
+
+def test_unknown_header_rejected():
+    with pytest.raises(PreprocessError):
+        preprocess('#include "nonexistent.h"\n')
+
+
+def test_mpitest_header_adds_compilable_bulk():
+    plain = preprocess("#include <mpi.h>\nint main() { return 0; }\n")
+    biased = preprocess('#include <mpi.h>\n#include "mpitest.h"\n'
+                        "int main() { return 0; }\n")
+    assert count_loc(biased) - count_loc(plain) > 90
+
+
+@given(st.lists(st.sampled_from(["int x;", "", "  ", "double y;"]), max_size=30))
+def test_count_loc_counts_nonblank(lines):
+    text = "\n".join(lines)
+    assert count_loc(text) == sum(1 for l in lines if l.strip())

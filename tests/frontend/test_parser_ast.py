@@ -1,0 +1,123 @@
+"""C parser: AST structure checks and error handling."""
+
+import pytest
+
+from repro.frontend import cast as A
+from repro.frontend.parser import CParseError, parse_c
+
+
+def parse_one_fn(src, name="main"):
+    unit = parse_c(src)
+    for item in unit.items:
+        if isinstance(item, A.FunctionDef) and item.name == name:
+            return item
+    raise AssertionError(f"function {name} not found")
+
+
+def test_function_signature():
+    fn = parse_one_fn("int main(int argc, char** argv) { return 0; }")
+    assert fn.ret == A.CType("int")
+    assert [p.name for p in fn.params] == ["argc", "argv"]
+    assert fn.params[1].ctype.pointers == 2
+
+
+def test_declarations_with_multiple_declarators():
+    fn = parse_one_fn("int main() { int a = 1, b, *c; return 0; }")
+    decls = [s for s in fn.body.body if isinstance(s, A.Declaration)]
+    assert [d.name for d in decls] == ["a", "b", "c"]
+    assert decls[2].ctype.pointers == 1
+    assert isinstance(decls[0].init, A.IntLit)
+
+
+def test_array_declaration_with_init_list():
+    fn = parse_one_fn("int main() { int v[3] = {1, 2, 3}; return 0; }")
+    decl = fn.body.body[0]
+    assert decl.ctype.array_dims == (3,)
+    assert len(decl.init_list) == 3
+
+
+def test_operator_precedence_shapes_tree():
+    fn = parse_one_fn("int main() { return 1 + 2 * 3; }")
+    ret = fn.body.body[0]
+    assert isinstance(ret.value, A.Binary) and ret.value.op == "+"
+    assert isinstance(ret.value.rhs, A.Binary) and ret.value.rhs.op == "*"
+
+
+def test_assignment_right_associates():
+    fn = parse_one_fn("int main() { int a; int b; a = b = 3; return a; }")
+    stmt = fn.body.body[2]
+    assert isinstance(stmt.expr, A.Assign)
+    assert isinstance(stmt.expr.value, A.Assign)
+
+
+def test_ternary_and_logical():
+    fn = parse_one_fn("int main(int c, char** v) { return c > 1 ? c && 2 : c || 3; }")
+    ret = fn.body.body[0]
+    assert isinstance(ret.value, A.Ternary)
+    assert isinstance(ret.value.then, A.Binary) and ret.value.then.op == "&&"
+
+
+def test_member_and_arrow():
+    src = """
+    int main() {
+      MPI_Status st;
+      MPI_Status* p = &st;
+      int a = st.MPI_SOURCE;
+      int b = p->MPI_TAG;
+      return a + b;
+    }"""
+    fn = parse_one_fn(src)
+    exprs = [s.init for s in fn.body.body if isinstance(s, A.Declaration) and s.init]
+    members = [e for e in exprs if isinstance(e, A.Member)]
+    assert len(members) == 2
+    assert members[0].arrow is False and members[1].arrow is True
+
+
+def test_typedef_introduces_type_name():
+    unit = parse_c("typedef int myint;\nmyint f(myint x) { return x; }\n")
+    fn = [i for i in unit.items if isinstance(i, A.FunctionDef)][0]
+    assert fn.ret.base == "int"       # typedef resolved to base
+
+
+def test_cast_vs_parenthesized_expression():
+    fn = parse_one_fn("int main() { double d = 1.5; int a = (int) d; int b = (a); return a + b; }")
+    decls = [s for s in fn.body.body if isinstance(s, A.Declaration)]
+    assert isinstance(decls[1].init, A.CastExpr)
+    assert isinstance(decls[2].init, A.Ident)
+
+
+def test_sizeof_forms():
+    fn = parse_one_fn("int main() { int a = sizeof(int); int b = sizeof(double); return a + b; }")
+    decls = [s for s in fn.body.body if isinstance(s, A.Declaration)]
+    assert all(isinstance(d.init, A.SizeOf) for d in decls)
+
+
+def test_for_with_declaration_init():
+    fn = parse_one_fn("int main() { for (int i = 0; i < 3; i++) { } return 0; }")
+    loop = fn.body.body[0]
+    assert isinstance(loop, A.For)
+    assert loop.cond is not None and loop.step is not None
+
+
+def test_parse_errors():
+    with pytest.raises(CParseError):
+        parse_c("int main( { }")
+    with pytest.raises(CParseError):
+        parse_c("int main() { return ; ")
+    with pytest.raises(CParseError):
+        parse_c("foo bar baz;")
+
+
+def test_prototypes_accepted():
+    unit = parse_c("int helper(int, double);\nint main() { return 0; }\n")
+    protos = [i for i in unit.items
+              if isinstance(i, A.FunctionDef) and i.body is None]
+    assert len(protos) == 1
+    assert len(protos[0].params) == 2
+
+
+def test_global_arrays_and_initializers():
+    unit = parse_c("int table[4] = {1, 2, 3, 4};\ndouble g = 0.5;\nint main() { return 0; }\n")
+    globals_ = [i for i in unit.items if isinstance(i, A.GlobalDecl)]
+    assert len(globals_) == 2
+    assert globals_[0].decl.ctype.array_dims == (4,)

@@ -1,0 +1,92 @@
+"""ProGraML graph construction tests."""
+
+import numpy as np
+
+from repro.frontend import compile_c
+from repro.graphs import build_program_graph, build_vocabulary
+from repro.graphs.programl import EDGE_TYPES, NODE_TYPES
+
+SRC = """
+#include <mpi.h>
+int helper(int v) { return v + 1; }
+int main(int argc, char** argv) {
+  int rank; int buf[4];
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  int x = helper(rank);
+  if (x > 0) { MPI_Send(buf, 4, MPI_INT, 1, 0, MPI_COMM_WORLD); }
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+
+def _graph(opt="O0"):
+    return build_program_graph(compile_c(SRC, "t", opt))
+
+
+def test_node_and_edge_types_present():
+    g = _graph()
+    types = set(g.node_type)
+    assert types == {0, 1, 2}      # control, variable, constant all present
+    for etype in EDGE_TYPES:
+        assert g.edge_array(etype).shape[0] == 2
+    assert g.edge_array("control").shape[1] > 0
+    assert g.edge_array("data").shape[1] > 0
+    assert g.edge_array("call").shape[1] > 0
+
+
+def test_mpi_calls_visible_as_node_text():
+    g = _graph()
+    texts = set(g.node_text)
+    assert "call:MPI_Send" in texts
+    assert "fn:MPI_Send" in texts        # external callee node
+    assert "call:helper" in texts
+
+
+def test_internal_call_edges_connect_to_callee_entry():
+    g = _graph()
+    call_nodes = [i for i, t in enumerate(g.node_text) if t == "call:helper"]
+    assert call_nodes
+    call_edges = g.edges["call"]
+    srcs = {s for s, _ in call_edges}
+    dsts = {d for _, d in call_edges}
+    assert call_nodes[0] in srcs         # call -> entry
+    assert call_nodes[0] in dsts         # ret -> call
+
+
+def test_edges_in_bounds():
+    g = _graph()
+    n = g.num_nodes
+    for etype in EDGE_TYPES:
+        arr = g.edge_array(etype)
+        if arr.shape[1]:
+            assert arr.min() >= 0 and arr.max() < n
+
+
+def test_control_edges_follow_program_order():
+    g = _graph()
+    control = g.edges["control"]
+    # Sequential instructions produce forward edges within a block.
+    assert any(d == s + 1 for s, d in control)
+
+
+def test_vocabulary_roundtrip_and_unk():
+    g = _graph()
+    vocab = build_vocabulary([g])
+    enc = vocab.encode_graph(g)
+    assert enc.shape == (g.num_nodes,)
+    assert enc.max() < len(vocab)
+    unk = vocab.encode(["text-that-does-not-exist"])
+    assert unk[0] == vocab.index["<unk>"]
+
+
+def test_graph_differs_across_opt_levels():
+    g0, gs = _graph("O0"), _graph("Os")
+    assert g0.num_nodes != gs.num_nodes
+
+
+def test_deterministic_construction():
+    a, b = _graph(), _graph()
+    assert a.node_text == b.node_text
+    assert a.edges == b.edges

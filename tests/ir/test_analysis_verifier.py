@@ -1,0 +1,92 @@
+"""Dominator analysis and structural verification."""
+
+import pytest
+
+from repro.ir import (
+    FunctionType, I32, IRBuilder, Module, compute_dominators,
+    dominance_frontiers, reachable_blocks, reverse_postorder,
+    verify_module, VerificationError,
+)
+from repro.ir.analysis import dominates
+from repro.ir.instructions import BranchInst
+from repro.ir.values import Constant
+
+
+def _diamond():
+    """entry -> (then | else) -> merge"""
+    m = Module("t")
+    fn = m.add_function("f", FunctionType(I32, (I32,), False), ["x"])
+    entry = fn.add_block("entry")
+    then = fn.add_block("then")
+    other = fn.add_block("else")
+    merge = fn.add_block("merge")
+    b = IRBuilder(entry)
+    cond = b.icmp("eq", fn.arguments[0], Constant(I32, 0))
+    b.cond_br(cond, then, other)
+    b.position_at_end(then)
+    b.br(merge)
+    b.position_at_end(other)
+    b.br(merge)
+    b.position_at_end(merge)
+    b.ret(Constant(I32, 0))
+    return m, fn, entry, then, other, merge
+
+
+def test_reachable_and_rpo():
+    m, fn, entry, then, other, merge = _diamond()
+    names = [b.name for b in reachable_blocks(fn)]
+    assert set(names) == {"entry", "then", "else", "merge"}
+    rpo = reverse_postorder(fn)
+    assert rpo[0] is entry
+    assert rpo[-1] is merge
+
+
+def test_dominators_diamond():
+    m, fn, entry, then, other, merge = _diamond()
+    idom = compute_dominators(fn)
+    assert idom[entry] is None
+    assert idom[then] is entry
+    assert idom[other] is entry
+    assert idom[merge] is entry       # not dominated by either arm
+    assert dominates(idom, entry, merge)
+    assert not dominates(idom, then, merge)
+
+
+def test_dominance_frontier_of_arms_is_merge():
+    m, fn, entry, then, other, merge = _diamond()
+    df = dominance_frontiers(fn)
+    assert df[then] == {merge}
+    assert df[other] == {merge}
+    assert df[merge] == set()
+
+
+def test_unreachable_block_ignored_by_dominators():
+    m, fn, entry, *_ = _diamond()
+    dead = fn.add_block("dead")
+    IRBuilder(dead).ret(Constant(I32, 9))
+    idom = compute_dominators(fn)
+    assert dead not in idom
+
+
+def test_verifier_accepts_wellformed():
+    m, *_ = _diamond()
+    verify_module(m)
+
+
+def test_verifier_rejects_missing_terminator():
+    m = Module("t")
+    fn = m.add_function("f", FunctionType(I32, (), False))
+    block = fn.add_block("entry")
+    b = IRBuilder(block)
+    b.add(Constant(I32, 1), Constant(I32, 2))
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_module(m)
+
+
+def test_verifier_rejects_bad_phi_predecessors():
+    m, fn, entry, then, other, merge = _diamond()
+    b = IRBuilder(merge)
+    phi = b.phi(I32, "p")
+    phi.add_incoming(Constant(I32, 1), then)   # missing 'else' incoming
+    with pytest.raises(VerificationError, match="phi"):
+        verify_module(m)

@@ -1,0 +1,38 @@
+"""Property-based invariants over IR values and the builder."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import FunctionType, I32, IRBuilder, Module
+from repro.ir.values import Constant, ConstantString, UndefValue
+
+
+@given(st.integers(-2**31, 2**31 - 1))
+def test_constant_equality_by_value(v):
+    assert Constant(I32, v) == Constant(I32, v)
+    assert hash(Constant(I32, v)) == hash(Constant(I32, v))
+
+
+@given(st.text(max_size=40))
+def test_constant_string_roundtrip_identity(text):
+    a, b = ConstantString(text), ConstantString(text)
+    assert a == b
+    assert a != ConstantString(text + "x")
+
+
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=20))
+def test_builder_names_are_unique_within_function(ops):
+    m = Module("t")
+    fn = m.add_function("f", FunctionType(I32, (I32,), False), ["x"])
+    b = IRBuilder(fn.add_block("entry"))
+    value = fn.arguments[0]
+    for op in ops:
+        value = b.add(value, Constant(I32, op))
+    b.ret(value)
+    names = [i.name for i in fn.instructions() if i.name]
+    assert len(names) == len(set(names))
+
+
+def test_undef_value_ref():
+    u = UndefValue(I32)
+    assert u.ref == "undef"

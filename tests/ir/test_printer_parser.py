@@ -1,0 +1,69 @@
+"""Printer/parser round-trip, including property-based coverage over the
+dataset generators (every generated benchmark must round-trip exactly)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.datasets import load_corrbench, load_mbi
+from repro.frontend import compile_c
+from repro.ir import parse_module, print_module, verify_module
+from repro.ir.parser import ParseError
+from repro.ir.values import ConstantString
+
+
+SIMPLE = """
+#include <mpi.h>
+#include <stdio.h>
+int main(int argc, char** argv) {
+  int x = 3;
+  double d = 2.5;
+  char* msg = "hi\\n\\t\\"q\\"";
+  MPI_Init(&argc, &argv);
+  if (x > 1 && d < 3.0) { printf("%s", msg); }
+  MPI_Finalize();
+  return x;
+}
+"""
+
+
+def _roundtrip(module):
+    text = print_module(module)
+    parsed = parse_module(text)
+    verify_module(parsed)
+    assert print_module(parsed) == text
+
+
+@pytest.mark.parametrize("opt", ["O0", "O1", "O2", "Os"])
+def test_simple_roundtrip_all_levels(opt):
+    _roundtrip(compile_c(SIMPLE, "t", opt))
+
+
+def test_string_escapes_roundtrip():
+    s = ConstantString("a\nb\t\"c\"\\d")
+    text = s.ref
+    assert "\n" not in text
+    from repro.ir.parser import _unescape_cstring
+
+    assert _unescape_cstring(text) == "a\nb\t\"c\"\\d"
+
+
+def test_parse_error_on_garbage():
+    with pytest.raises(ParseError):
+        parse_module("define i32 @f() {\nentry:\n  %x = frobnicate i32 1\n}\n")
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.data_too_large])
+@given(st.integers(min_value=0, max_value=1860), st.sampled_from(["O0", "Os"]))
+def test_mbi_samples_roundtrip(index, opt):
+    samples = load_mbi().samples
+    sample = samples[index % len(samples)]
+    _roundtrip(compile_c(sample.source, sample.name, opt))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=415))
+def test_corrbench_samples_roundtrip(index):
+    samples = load_corrbench(debias=False).samples
+    sample = samples[index % len(samples)]
+    _roundtrip(compile_c(sample.source, sample.name, "O0"))

@@ -1,0 +1,66 @@
+"""Type-system unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import (
+    ArrayType, DOUBLE, FLOAT, FunctionType, I1, I32, I64, I8, IntType,
+    PointerType, StructType, VOID, ptr, type_size_bits,
+)
+
+
+def test_scalar_identity_and_equality():
+    assert IntType(32) == I32
+    assert IntType(32) is not I32
+    assert hash(IntType(64)) == hash(I64)
+    assert I32 != I64
+    assert FLOAT != DOUBLE
+    assert VOID.is_void
+
+
+def test_pointer_structural_equality():
+    assert ptr(I32) == PointerType(I32)
+    assert ptr(ptr(I8)) == PointerType(PointerType(I8))
+    assert ptr(I32) != ptr(I64)
+    assert str(ptr(ptr(I8))) == "i8**"
+
+
+def test_array_and_struct_types():
+    a = ArrayType(I32, 10)
+    assert a == ArrayType(I32, 10)
+    assert a != ArrayType(I32, 11)
+    assert str(a) == "[10 x i32]"
+    s = StructType("MPI_Status", (I32, I32, I32))
+    assert s == StructType("MPI_Status")          # nominal equality
+    assert s.is_aggregate and a.is_aggregate
+
+
+def test_function_type():
+    f = FunctionType(I32, (I32, ptr(I8)), vararg=True)
+    assert f == FunctionType(I32, (I32, ptr(I8)), True)
+    assert f != FunctionType(I32, (I32, ptr(I8)), False)
+    assert "..." in str(f)
+
+
+def test_type_size_bits():
+    assert type_size_bits(I32) == 32
+    assert type_size_bits(ptr(I32)) == 64
+    assert type_size_bits(ArrayType(I64, 4)) == 256
+    assert type_size_bits(StructType("MPI_Status", (I32, I32, I32))) == 96
+    with pytest.raises(ValueError):
+        type_size_bits(VOID)
+
+
+def test_invalid_types_rejected():
+    with pytest.raises(ValueError):
+        IntType(0)
+    with pytest.raises(ValueError):
+        ArrayType(I32, -1)
+
+
+@given(st.integers(min_value=1, max_value=512))
+def test_int_width_roundtrip(bits):
+    t = IntType(bits)
+    assert t.bits == bits
+    assert str(t) == f"i{bits}"
+    assert t == IntType(bits)

@@ -1,0 +1,93 @@
+"""Use-def bookkeeping and instruction invariants."""
+
+import pytest
+
+from repro.ir import (
+    BinaryInst, FunctionType, I32, IRBuilder, Module, ptr,
+)
+from repro.ir.instructions import ICmpInst, LoadInst, PhiInst, StoreInst
+from repro.ir.values import Constant
+
+
+def _fn_with_entry():
+    m = Module("t")
+    fn = m.add_function("f", FunctionType(I32, (I32,), False), ["x"])
+    return m, fn, IRBuilder(fn.add_block("entry"))
+
+
+def test_operands_register_uses():
+    _, fn, b = _fn_with_entry()
+    x = fn.arguments[0]
+    add = b.add(x, Constant(I32, 1))
+    mul = b.mul(add, add)
+    assert add.uses.count(mul) == 2          # one per operand slot
+    assert x.uses == [add]
+
+
+def test_replace_all_uses_with():
+    _, fn, b = _fn_with_entry()
+    x = fn.arguments[0]
+    add = b.add(x, Constant(I32, 1))
+    mul = b.mul(add, Constant(I32, 3))
+    replacement = Constant(I32, 7)
+    add.replace_all_uses_with(replacement)
+    assert mul.lhs is replacement
+    assert add.uses == []
+
+
+def test_erase_unlinks_and_drops_uses():
+    _, fn, b = _fn_with_entry()
+    x = fn.arguments[0]
+    add = b.add(x, Constant(I32, 1))
+    add.erase()
+    assert add.parent is None
+    assert x.uses == []
+    assert add not in fn.entry.instructions
+
+
+def test_phi_incoming_management():
+    m = Module("t")
+    fn = m.add_function("f", FunctionType(I32, (), False))
+    a = fn.add_block("a")
+    bblk = fn.add_block("b")
+    c = fn.add_block("c")
+    phi = PhiInst(I32, "p")
+    c.insert_front(phi)
+    phi.add_incoming(Constant(I32, 1), a)
+    phi.add_incoming(Constant(I32, 2), bblk)
+    assert len(phi.incoming) == 2
+    phi.remove_incoming_for(a)
+    assert phi.incoming_blocks == [bblk]
+    assert len(phi.operands) == 1
+
+
+def test_store_requires_pointer_destination():
+    with pytest.raises(TypeError):
+        StoreInst(Constant(I32, 1), Constant(I32, 2))
+
+
+def test_load_requires_pointer():
+    with pytest.raises(TypeError):
+        LoadInst(Constant(I32, 5))
+
+
+def test_binary_opcode_validation():
+    with pytest.raises(ValueError):
+        BinaryInst("bogus", Constant(I32, 1), Constant(I32, 2))
+    with pytest.raises(ValueError):
+        ICmpInst("weird", Constant(I32, 1), Constant(I32, 2))
+
+
+def test_terminator_blocks_further_appends():
+    _, fn, b = _fn_with_entry()
+    b.ret(Constant(I32, 0))
+    with pytest.raises(ValueError):
+        b.add(Constant(I32, 1), Constant(I32, 2))
+
+
+def test_block_name_uniquing():
+    m = Module("t")
+    fn = m.add_function("f", FunctionType(I32, (), False))
+    b1 = fn.add_block("if.then")
+    b2 = fn.add_block("if.then")
+    assert b1.name != b2.name

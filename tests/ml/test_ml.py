@@ -1,0 +1,158 @@
+"""Decision tree, GA, cross-validation, and metric identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (
+    ConfusionCounts,
+    DecisionTreeClassifier,
+    GAConfig,
+    GeneticFeatureSelector,
+    compute_metrics,
+    confusion_from_predictions,
+    kfold_indices,
+    stratified_kfold_indices,
+)
+from repro.ml.metrics import per_label_accuracy
+
+
+# ---------------------------------------------------------------- decision tree
+
+def test_tree_fits_separable_data_perfectly():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(120, 4))
+    y = np.where(X[:, 2] > 0.1, "a", "b")
+    tree = DecisionTreeClassifier()
+    tree.fit(X, y)
+    assert tree.score(X, y) == 1.0
+    assert tree.root.feature == 2
+
+
+def test_tree_handles_string_labels_and_xor():
+    X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+    y = np.array(["n", "y", "y", "n"])
+    tree = DecisionTreeClassifier()
+    tree.fit(X, y)
+    assert tree.score(X, y) == 1.0   # depth-2 tree solves XOR
+
+
+def test_tree_max_depth_limits_growth():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(200, 3))
+    y = (X[:, 0] + X[:, 1] * X[:, 2] > 0).astype(int)
+    shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+    deep = DecisionTreeClassifier().fit(X, y)
+    assert shallow.n_nodes <= 3
+    assert deep.n_nodes > shallow.n_nodes
+
+
+def test_tree_single_class():
+    X = np.ones((10, 2))
+    y = np.zeros(10)
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert np.all(tree.predict(X) == 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=60), st.integers(0, 1000))
+def test_tree_training_accuracy_on_distinct_rows(n, seed):
+    """Distinct feature rows => the tree can always fit training data."""
+    rng = np.random.default_rng(seed)
+    X = rng.permutation(n * 3)[: n * 2].reshape(n, 2).astype(float)
+    y = rng.integers(0, 2, size=n)
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert tree.score(X, y) == 1.0
+
+
+# ---------------------------------------------------------------- genetic algorithm
+
+def test_ga_finds_informative_features():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(240, 30))
+    # Only features 7 and 19 carry the label.
+    y = np.where(X[:, 7] + X[:, 19] > 0, "bug", "ok")
+    ga = GeneticFeatureSelector(GAConfig(population_size=60, generations=10,
+                                         genes_per_individual=2, seed=1))
+    genes = ga.select(X, y)
+    assert set(genes) == {7, 19}
+    assert ga.best_fitness > 0.85
+
+
+def test_ga_respects_gene_count():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(60, 12))
+    y = rng.integers(0, 2, 60)
+    ga = GeneticFeatureSelector(GAConfig(population_size=20, generations=2,
+                                         genes_per_individual=5))
+    genes = ga.select(X, y)
+    assert len(genes) == 5
+    assert len(set(genes)) == 5
+
+
+# ---------------------------------------------------------------- cross validation
+
+def test_kfold_partitions_everything_once():
+    seen = []
+    for train, val in kfold_indices(103, k=10, seed=1):
+        assert set(train) & set(val) == set()
+        seen.extend(val.tolist())
+    assert sorted(seen) == list(range(103))
+
+
+def test_stratified_folds_balance_labels():
+    labels = ["a"] * 60 + ["b"] * 20
+    for train, val in stratified_kfold_indices(labels, k=4, seed=0):
+        val_labels = [labels[i] for i in val]
+        assert val_labels.count("a") == 15
+        assert val_labels.count("b") == 5
+
+
+# ---------------------------------------------------------------- metrics
+
+def test_metric_values_known_case():
+    counts = ConfusionCounts(tp=8, tn=6, fp=2, fn=4)
+    m = compute_metrics(counts)
+    assert m.recall == pytest.approx(8 / 12)
+    assert m.precision == pytest.approx(8 / 10)
+    assert m.accuracy == pytest.approx(14 / 20)
+    assert m.specificity == pytest.approx(6 / 8)
+    assert m.coverage == 1.0 and m.conclusiveness == 1.0
+
+
+def test_metrics_with_tool_failures():
+    counts = ConfusionCounts(tp=10, tn=10, fp=0, fn=0, to=5)
+    m = compute_metrics(counts)
+    assert m.conclusiveness == pytest.approx(20 / 25)
+    assert m.coverage == 1.0
+    assert m.overall_accuracy == pytest.approx(20 / 25)
+
+
+def test_confusion_from_predictions():
+    y_true = ["Incorrect", "Incorrect", "Correct", "Correct"]
+    y_pred = ["Incorrect", "Correct", "Incorrect", "Correct"]
+    c = confusion_from_predictions(y_true, y_pred)
+    assert (c.tp, c.fn, c.fp, c.tn) == (1, 1, 1, 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 50), st.integers(0, 50), st.integers(0, 50),
+       st.integers(0, 50))
+def test_metric_identities(tp, tn, fp, fn):
+    m = compute_metrics(ConfusionCounts(tp=tp, tn=tn, fp=fp, fn=fn))
+    assert 0.0 <= m.recall <= 1.0
+    assert 0.0 <= m.precision <= 1.0
+    assert 0.0 <= m.f1 <= min(1.0, m.precision + m.recall)
+    if m.precision + m.recall > 0:
+        expected_f1 = 2 * m.precision * m.recall / (m.precision + m.recall)
+        assert m.f1 == pytest.approx(expected_f1)
+    total = tp + tn + fp + fn
+    if total:
+        assert m.accuracy == pytest.approx((tp + tn) / total)
+
+
+def test_per_label_accuracy():
+    y_true = ["A", "A", "B", "C"]
+    y_pred = ["A", "B", "B", "B"]
+    acc = per_label_accuracy(["A", "B", "C"], y_true, y_pred)
+    assert acc == {"A": 0.5, "B": 1.0, "C": 0.0}

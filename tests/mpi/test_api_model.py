@@ -1,0 +1,73 @@
+"""Consistency checks over the MPI API model (roles, signatures, handles)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi.api import (
+    CallClass,
+    COLLECTIVE_NAMES,
+    DATATYPE_INFO,
+    MPI_CONSTANTS,
+    MPI_FUNCTIONS,
+    function_info,
+    is_mpi_call,
+)
+
+
+def test_every_role_index_within_signature():
+    for fn in MPI_FUNCTIONS.values():
+        for role, idx in fn.roles.items():
+            assert 0 <= idx < len(fn.params), (fn.name, role, idx)
+
+
+def test_role_types_are_plausible():
+    for fn in MPI_FUNCTIONS.values():
+        if "comm" in fn.roles:
+            assert fn.params[fn.roles["comm"]] in ("MPI_Comm",), fn.name
+        if "request" in fn.roles and fn.call_class is not CallClass.START:
+            assert "MPI_Request" in fn.params[fn.roles["request"]], fn.name
+        if "buf" in fn.roles:
+            assert "*" in fn.params[fn.roles["buf"]], fn.name
+
+
+def test_blocking_classification():
+    assert MPI_FUNCTIONS["MPI_Send"].blocking
+    assert not MPI_FUNCTIONS["MPI_Isend"].blocking
+    assert not MPI_FUNCTIONS["MPI_Test"].blocking
+    assert MPI_FUNCTIONS["MPI_Wait"].blocking
+
+
+def test_collectives_set():
+    assert "MPI_Barrier" in COLLECTIVE_NAMES
+    assert "MPI_Ibcast" in COLLECTIVE_NAMES
+    assert "MPI_Send" not in COLLECTIVE_NAMES
+
+
+def test_handle_ranges_disjoint():
+    comms = {MPI_CONSTANTS[k] for k in MPI_CONSTANTS if k.startswith("MPI_COMM_")}
+    dtypes = set(DATATYPE_INFO)
+    ops = {v for k, v in MPI_CONSTANTS.items()
+           if k in ("MPI_SUM", "MPI_MAX", "MPI_MIN", "MPI_PROD")}
+    assert comms.isdisjoint(dtypes)
+    assert comms.isdisjoint(ops)
+    assert dtypes.isdisjoint(ops)
+
+
+def test_datatype_info_covers_basic_types():
+    for name in ("MPI_INT", "MPI_DOUBLE", "MPI_FLOAT", "MPI_CHAR", "MPI_LONG"):
+        assert MPI_CONSTANTS[name] in DATATYPE_INFO
+
+
+def test_lookup_helpers():
+    assert is_mpi_call("MPI_Send")
+    assert not is_mpi_call("printf")
+    assert function_info("MPI_Recv").call_class is CallClass.P2P_RECV
+    assert function_info("nope") is None
+
+
+@given(st.sampled_from(sorted(MPI_FUNCTIONS)))
+def test_every_function_name_is_self_consistent(name):
+    fn = MPI_FUNCTIONS[name]
+    assert fn.name == name
+    assert name.startswith("MPI_")
+    assert isinstance(fn.params, tuple)

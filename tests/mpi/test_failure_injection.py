@@ -1,0 +1,150 @@
+"""Failure injection: runtime faults must degrade gracefully.
+
+Every fault class a program can raise mid-simulation (trap, abort,
+runaway loop, invalid handles, truncation) must map to a well-defined
+``RunOutcome`` / event kind, and the baseline tools must translate each
+to a deterministic verdict instead of crashing the harness.
+"""
+
+import pytest
+
+from repro.datasets.loader import Sample
+from repro.frontend import compile_c
+from repro.mpi.simulator import RunOutcome, simulate
+from repro.verify import ITACTool, MUSTTool
+
+H = "#include <mpi.h>\n#include <stdio.h>\n#include <stdlib.h>\n"
+
+
+def run(src, n=2, **kw):
+    return simulate(compile_c(src, "f.c", "O0", verify=False), n, **kw)
+
+
+def test_division_by_zero_is_fault_not_crash():
+    r = run(H + """
+int main(int argc, char** argv) {
+  int rank; int zero = 0;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  rank = 10 / zero;
+  MPI_Finalize();
+  return rank;
+}""")
+    assert r.outcome is RunOutcome.FAULT
+    assert "crash" in r.kinds
+
+
+def test_one_rank_faulting_does_not_hang_the_others():
+    # Rank 0 traps before the barrier; the others must not spin forever.
+    r = run(H + """
+int main(int argc, char** argv) {
+  int rank; int zero = 0;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { rank = 1 / zero; }
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}""", n=3, max_steps=50_000)
+    assert r.outcome in (RunOutcome.FAULT, RunOutcome.DEADLOCK,
+                         RunOutcome.TIMEOUT)
+    assert "crash" in r.kinds
+
+
+def test_abort_terminates_all_ranks():
+    r = run(H + """
+int main(int argc, char** argv) {
+  int rank;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { MPI_Abort(MPI_COMM_WORLD, 3); }
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}""", n=3)
+    assert r.outcome is RunOutcome.ABORT
+    assert "abort" in r.kinds
+
+
+def test_exit_mid_run_counts_as_missing_finalize():
+    r = run(H + """
+int main(int argc, char** argv) {
+  int rank;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  exit(0);
+}""")
+    assert "call_ordering" in r.kinds     # missing MPI_Finalize
+
+
+def test_truncating_recv_flagged():
+    r = run(H + """
+int main(int argc, char** argv) {
+  int rank; int buf[8]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { MPI_Send(buf, 8, MPI_INT, 1, 0, MPI_COMM_WORLD); }
+  if (rank == 1) { MPI_Recv(buf, 2, MPI_INT, 0, 0, MPI_COMM_WORLD, &st); }
+  MPI_Finalize();
+  return 0;
+}""")
+    assert "truncation" in r.kinds
+
+
+def test_tools_survive_every_fault_class():
+    sources = {
+        "trap": H + """
+int main(int argc, char** argv) {
+  int z = 0;
+  MPI_Init(&argc, &argv);
+  z = 1 / z;
+  MPI_Finalize(); return 0; }""",
+        "abort": H + """
+int main(int argc, char** argv) {
+  MPI_Init(&argc, &argv);
+  MPI_Abort(MPI_COMM_WORLD, 1);
+  MPI_Finalize(); return 0; }""",
+        "spin": H + """
+int main(int argc, char** argv) {
+  int i = 0;
+  MPI_Init(&argc, &argv);
+  while (i < 1000000000) { i = i + 1; }
+  MPI_Finalize(); return 0; }""",
+    }
+    for tool in (ITACTool(nprocs=2, max_steps=30_000), MUSTTool(nprocs=2)):
+        for kind, src in sources.items():
+            sample = Sample(name=f"{kind}.c", source=src, label="?",
+                            suite="T")
+            verdict = tool.check_sample(sample)
+            assert verdict.verdict in ("incorrect", "timeout",
+                                       "runtime_error"), (tool.name, kind)
+
+
+def test_compile_error_maps_to_ce_verdict():
+    sample = Sample(name="broken.c", source="int main( {", label="?",
+                    suite="T")
+    verdict = ITACTool(nprocs=2).check_sample(sample)
+    assert verdict.verdict == "compile_error"
+
+
+def test_fault_exit_codes_do_not_leak_into_metrics():
+    from repro.ml.metrics import compute_metrics
+
+    counts = ITACTool(nprocs=2, max_steps=30_000).evaluate([
+        Sample(name="ok.c", label="Correct", suite="T", source=H + """
+int main(int argc, char** argv) {
+  MPI_Init(&argc, &argv);
+  MPI_Finalize(); return 0; }"""),
+        Sample(name="trap.c", label="Invalid Parameter", suite="T",
+               source=H + """
+int main(int argc, char** argv) {
+  int z = 0;
+  MPI_Init(&argc, &argv);
+  z = 1 / z;
+  MPI_Finalize(); return 0; }"""),
+    ])
+    report = compute_metrics(counts)
+    # The trap is an RE: excluded from TP/FP but visible in
+    # conclusiveness (the MBI protocol's accounting).
+    assert counts.re == 1 and counts.tn == 1
+    assert report.conclusiveness < 1.0

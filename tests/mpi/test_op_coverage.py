@@ -1,0 +1,163 @@
+"""Breadth coverage: every advanced MPI op family runs clean when correct.
+
+One correct mini-program per op family (v-collectives, reduce-scatter,
+probe/iprobe, waitany/testall, RMA flush, cancellation); each must
+complete OK with no checker events at 2 and 3 ranks.
+"""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.mpi.simulator import RunOutcome, simulate
+
+H = "#include <mpi.h>\n#include <stdio.h>\n"
+
+PROGRAMS = {
+    "allgather": """
+int main(int argc, char** argv) {
+  int rank; int x; int out[8];
+  MPI_Init(&argc, &argv); MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  x = rank * 2;
+  MPI_Allgather(&x, 1, MPI_INT, out, 1, MPI_INT, MPI_COMM_WORLD);
+  MPI_Finalize(); return 0; }""",
+    "alltoall": """
+int main(int argc, char** argv) {
+  int rank; int sb[4]; int rb[4];
+  MPI_Init(&argc, &argv); MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Alltoall(sb, 1, MPI_INT, rb, 1, MPI_INT, MPI_COMM_WORLD);
+  MPI_Finalize(); return 0; }""",
+    "scatterv_gatherv": """
+int main(int argc, char** argv) {
+  int rank; int nprocs; int sb[8]; int rb[2]; int counts[4]; int displs[4];
+  MPI_Init(&argc, &argv); MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  for (int i = 0; i < nprocs; i = i + 1) { counts[i] = 2; displs[i] = i * 2; }
+  MPI_Scatterv(sb, counts, displs, MPI_INT, rb, 2, MPI_INT, 0, MPI_COMM_WORLD);
+  MPI_Gatherv(rb, 2, MPI_INT, sb, counts, displs, MPI_INT, 0, MPI_COMM_WORLD);
+  MPI_Finalize(); return 0; }""",
+    "reduce_scatter_block": """
+int main(int argc, char** argv) {
+  int rank; int sb[4]; int rb[2];
+  MPI_Init(&argc, &argv); MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Reduce_scatter_block(sb, rb, 2, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+  MPI_Finalize(); return 0; }""",
+    "probe_then_recv": """
+int main(int argc, char** argv) {
+  int rank; int buf[2]; MPI_Status st;
+  MPI_Init(&argc, &argv); MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { buf[0] = 3; MPI_Send(buf, 2, MPI_INT, 1, 4, MPI_COMM_WORLD); }
+  if (rank == 1) {
+    MPI_Probe(0, 4, MPI_COMM_WORLD, &st);
+    MPI_Recv(buf, 2, MPI_INT, 0, 4, MPI_COMM_WORLD, &st);
+  }
+  MPI_Finalize(); return 0; }""",
+    "iprobe_poll": """
+int main(int argc, char** argv) {
+  int rank; int buf[2]; int flag; MPI_Status st;
+  MPI_Init(&argc, &argv); MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { MPI_Send(buf, 2, MPI_INT, 1, 4, MPI_COMM_WORLD); }
+  if (rank == 1) {
+    flag = 0;
+    while (flag == 0) { MPI_Iprobe(0, 4, MPI_COMM_WORLD, &flag, &st); }
+    MPI_Recv(buf, 2, MPI_INT, 0, 4, MPI_COMM_WORLD, &st);
+  }
+  MPI_Finalize(); return 0; }""",
+    "waitany_pair": """
+int main(int argc, char** argv) {
+  int rank; int buf[2]; int idx; MPI_Request reqs[2]; MPI_Status st;
+  MPI_Init(&argc, &argv); MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Irecv(buf, 2, MPI_INT, 1, 1, MPI_COMM_WORLD, &reqs[0]);
+    MPI_Irecv(buf, 2, MPI_INT, 1, 2, MPI_COMM_WORLD, &reqs[1]);
+    MPI_Waitany(2, reqs, &idx, &st);
+    MPI_Wait(&reqs[1], &st);
+  }
+  if (rank == 1) {
+    MPI_Send(buf, 2, MPI_INT, 0, 1, MPI_COMM_WORLD);
+    MPI_Send(buf, 2, MPI_INT, 0, 2, MPI_COMM_WORLD);
+  }
+  MPI_Finalize(); return 0; }""",
+    "testall_poll": """
+int main(int argc, char** argv) {
+  int rank; int buf[2]; int flag; MPI_Request reqs[1]; MPI_Status st;
+  MPI_Init(&argc, &argv); MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Irecv(buf, 2, MPI_INT, 1, 1, MPI_COMM_WORLD, &reqs[0]);
+    flag = 0;
+    while (flag == 0) { MPI_Testall(1, reqs, &flag, MPI_STATUSES_IGNORE); }
+  }
+  if (rank == 1) { MPI_Send(buf, 2, MPI_INT, 0, 1, MPI_COMM_WORLD); }
+  MPI_Finalize(); return 0; }""",
+    "rma_flush_under_lock": """
+int main(int argc, char** argv) {
+  int rank; MPI_Win win; int wb[4]; int d = 5;
+  MPI_Init(&argc, &argv); MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Win_create(wb, 4, sizeof(int), MPI_INFO_NULL, MPI_COMM_WORLD, &win);
+  if (rank == 0) {
+    MPI_Win_lock(MPI_LOCK_EXCLUSIVE, 1, 0, win);
+    MPI_Put(&d, 1, MPI_INT, 1, 0, 1, MPI_INT, win);
+    MPI_Win_flush(1, win);
+    MPI_Win_unlock(1, win);
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Win_free(&win);
+  MPI_Finalize(); return 0; }""",
+}
+
+
+@pytest.mark.parametrize("nprocs", (2, 3))
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_op_family_clean(name, nprocs):
+    module = compile_c(H + PROGRAMS[name], f"{name}.c", "O0", verify=False)
+    report = simulate(module, nprocs, max_steps=300_000)
+    assert report.outcome is RunOutcome.OK, (name, nprocs, report.outcome)
+    assert report.clean, (name, nprocs, [str(e) for e in report.events])
+
+
+def test_cancel_then_wait_is_clean():
+    # MPI-3 §3.8.4: a cancelled request stays valid; Wait retires it.
+    src = H + """
+int main(int argc, char** argv) {
+  int rank; int buf[2]; MPI_Request req; MPI_Status st;
+  MPI_Init(&argc, &argv); MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Irecv(buf, 2, MPI_INT, 1, 1, MPI_COMM_WORLD, &req);
+    MPI_Cancel(&req);
+    MPI_Wait(&req, &st);
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize(); return 0; }"""
+    report = simulate(compile_c(src, "cancel.c", "O0", verify=False), 2)
+    assert report.outcome is RunOutcome.OK
+    assert report.clean, [str(e) for e in report.events]
+
+
+def test_cancelled_send_not_reported_lost():
+    # A cancelled, never-matched send must not trigger the end-of-run
+    # lost-message diagnostic.
+    src = H + """
+int main(int argc, char** argv) {
+  int rank; int buf[2]; MPI_Request req; MPI_Status st;
+  MPI_Init(&argc, &argv); MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Isend(buf, 2, MPI_INT, 1, 1, MPI_COMM_WORLD, &req);
+    MPI_Cancel(&req);
+    MPI_Wait(&req, &st);
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize(); return 0; }"""
+    report = simulate(compile_c(src, "cancel2.c", "O0", verify=False), 2)
+    assert report.outcome is RunOutcome.OK
+    assert report.clean, [str(e) for e in report.events]
+
+
+def test_cancel_invalid_request_flagged():
+    src = H + """
+int main(int argc, char** argv) {
+  int rank; MPI_Request req;
+  MPI_Init(&argc, &argv); MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  req = MPI_REQUEST_NULL;
+  MPI_Cancel(&req);
+  MPI_Finalize(); return 0; }"""
+    report = simulate(compile_c(src, "cancel3.c", "O0", verify=False), 2)
+    assert "request_lifecycle" in report.kinds

@@ -1,0 +1,402 @@
+"""MPI runtime simulator: semantics and checker coverage.
+
+One test per error class of the benchmark taxonomy, plus data-delivery
+semantics (bcast/reduce payloads, status fields) and scheduler-seed
+robustness for correct codes.
+"""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.mpi.simulator import MPISimulator, RunOutcome, simulate
+
+
+def run(src, n=2, **kw):
+    return simulate(compile_c(src, "t", "O0"), n, **kw)
+
+
+HEADER = "#include <mpi.h>\n#include <stdio.h>\n"
+
+
+def test_correct_pingpong_clean():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int buf[4]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { buf[0] = 7; MPI_Send(buf, 4, MPI_INT, 1, 5, MPI_COMM_WORLD); }
+  if (rank == 1) { MPI_Recv(buf, 4, MPI_INT, 0, 5, MPI_COMM_WORLD, &st); }
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.outcome is RunOutcome.OK
+    assert r.clean
+
+
+def test_recv_data_and_status_delivered():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int buf[2]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { buf[0] = 41; buf[1] = 1; MPI_Send(buf, 2, MPI_INT, 1, 9, MPI_COMM_WORLD); }
+  if (rank == 1) {
+    MPI_Recv(buf, 2, MPI_INT, MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD, &st);
+    if (buf[0] + buf[1] != 42) { MPI_Abort(MPI_COMM_WORLD, 1); }
+    if (st.MPI_SOURCE != 0) { MPI_Abort(MPI_COMM_WORLD, 2); }
+    if (st.MPI_TAG != 9) { MPI_Abort(MPI_COMM_WORLD, 3); }
+  }
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.outcome is RunOutcome.OK
+    assert not r.has("abort")
+
+
+def test_bcast_delivers_root_payload():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int v = 0;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) v = 99;
+  MPI_Bcast(&v, 1, MPI_INT, 0, MPI_COMM_WORLD);
+  if (v != 99) MPI_Abort(MPI_COMM_WORLD, 1);
+  MPI_Finalize();
+  return 0;
+}""", n=3)
+    assert r.outcome is RunOutcome.OK and not r.has("abort")
+
+
+def test_allreduce_sums():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank, total;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  int mine = rank + 1;
+  MPI_Allreduce(&mine, &total, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+  if (total != 6) MPI_Abort(MPI_COMM_WORLD, total);
+  MPI_Finalize();
+  return 0;
+}""", n=3)
+    assert r.outcome is RunOutcome.OK and not r.has("abort")
+
+
+def test_recv_recv_deadlock_detected():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int buf[4]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  int peer = 1 - rank;
+  MPI_Recv(buf, 4, MPI_INT, peer, 0, MPI_COMM_WORLD, &st);
+  MPI_Send(buf, 4, MPI_INT, peer, 0, MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.outcome is RunOutcome.DEADLOCK
+
+
+def test_large_sends_rendezvous_deadlock_small_eager_ok():
+    src = HEADER + """
+int main(int argc, char** argv) {
+  int rank; int buf[COUNT]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  int peer = 1 - rank;
+  MPI_Send(buf, COUNT, MPI_INT, peer, 0, MPI_COMM_WORLD);
+  MPI_Recv(buf, COUNT, MPI_INT, peer, 0, MPI_COMM_WORLD, &st);
+  MPI_Finalize();
+  return 0;
+}"""
+    small = run(src.replace("COUNT", "4"))
+    big = run(src.replace("COUNT", "512"))
+    assert small.outcome is RunOutcome.OK
+    assert big.outcome is RunOutcome.DEADLOCK
+
+
+@pytest.mark.parametrize("bad,kind", [
+    ("MPI_Send(buf, -1, MPI_INT, 1, 0, MPI_COMM_WORLD);", "invalid_arg"),
+    ("MPI_Send(buf, 4, MPI_INT, 1, -2, MPI_COMM_WORLD);", "invalid_arg"),
+    ("MPI_Send(buf, 4, MPI_INT, 5, 0, MPI_COMM_WORLD);", "invalid_arg"),
+    ("MPI_Send(NULL, 4, MPI_INT, 1, 0, MPI_COMM_WORLD);", "invalid_arg"),
+    ("MPI_Send(buf, 4, MPI_DATATYPE_NULL, 1, 0, MPI_COMM_WORLD);", "invalid_arg"),
+])
+def test_invalid_argument_detection(bad, kind):
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int buf[4];
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { %s }
+  MPI_Finalize();
+  return 0;
+}""" % bad)
+    assert r.has(kind)
+
+
+def test_type_mismatch_and_truncation():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int buf[8]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) MPI_Send(buf, 8, MPI_INT, 1, 0, MPI_COMM_WORLD);
+  if (rank == 1) MPI_Recv(buf, 4, MPI_DOUBLE, 0, 0, MPI_COMM_WORLD, &st);
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.has("type_mismatch")
+    assert r.has("truncation")
+
+
+def test_collective_mismatch_is_call_ordering_deadlock():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int x = 1; int y;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) MPI_Barrier(MPI_COMM_WORLD);
+  else MPI_Allreduce(&x, &y, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.outcome is RunOutcome.DEADLOCK
+    assert r.has("call_ordering")
+
+
+def test_root_mismatch_parameter_matching():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int x = 3;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Bcast(&x, 1, MPI_INT, rank, MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.has("parameter_matching")
+
+
+def test_missing_wait_flags_request_lifecycle():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int buf[200]; MPI_Request rq; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) MPI_Isend(buf, 200, MPI_INT, 1, 0, MPI_COMM_WORLD, &rq);
+  if (rank == 1) MPI_Recv(buf, 200, MPI_INT, 0, 0, MPI_COMM_WORLD, &st);
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.has("request_lifecycle")
+
+
+def test_resource_leak_on_unfreed_comm():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; MPI_Comm dup;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_dup(MPI_COMM_WORLD, &dup);
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.has("resource_leak")
+
+
+def test_rma_outside_epoch_flags_epoch_lifecycle():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int wbuf[8]; int v = 1; MPI_Win win;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Win_create(wbuf, 8, sizeof(int), MPI_INFO_NULL, MPI_COMM_WORLD, &win);
+  if (rank == 0) MPI_Put(&v, 1, MPI_INT, 1, 0, 1, MPI_INT, win);
+  MPI_Win_free(&win);
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.has("epoch_lifecycle")
+
+
+def test_message_race_with_wildcard_sources():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int buf[2]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Recv(buf, 1, MPI_INT, MPI_ANY_SOURCE, 0, MPI_COMM_WORLD, &st);
+    MPI_Recv(buf, 1, MPI_INT, MPI_ANY_SOURCE, 0, MPI_COMM_WORLD, &st);
+  } else if (rank <= 2) {
+    MPI_Send(buf, 1, MPI_INT, 0, 0, MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}""", n=3)
+    assert r.has("message_race")
+
+
+def test_local_concurrency_on_pending_buffer():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int buf[4]; MPI_Request rq; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Irecv(buf, 4, MPI_INT, 1, 0, MPI_COMM_WORLD, &rq);
+    buf[0] = 1;
+    MPI_Wait(&rq, &st);
+  }
+  if (rank == 1) MPI_Send(buf, 4, MPI_INT, 0, 0, MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.has("local_concurrency")
+
+
+def test_global_concurrency_put_put_race():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int wbuf[8]; int v; MPI_Win win;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Win_create(wbuf, 8, sizeof(int), MPI_INFO_NULL, MPI_COMM_WORLD, &win);
+  MPI_Win_fence(0, win);
+  if (rank == 0 || rank == 1) MPI_Put(&v, 1, MPI_INT, 2, 0, 1, MPI_INT, win);
+  MPI_Win_fence(0, win);
+  MPI_Win_free(&win);
+  MPI_Finalize();
+  return 0;
+}""", n=3)
+    assert r.has("global_concurrency")
+
+
+def test_missing_finalize_is_call_ordering():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  return 0;
+}""")
+    assert r.has("call_ordering")
+
+
+def test_persistent_roundtrip_clean():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int buf[4]; MPI_Request rq; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {
+    MPI_Send_init(buf, 4, MPI_INT, 1, 0, MPI_COMM_WORLD, &rq);
+    MPI_Start(&rq);
+    MPI_Wait(&rq, &st);
+    MPI_Request_free(&rq);
+  }
+  if (rank == 1) MPI_Recv(buf, 4, MPI_INT, 0, 0, MPI_COMM_WORLD, &st);
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.outcome is RunOutcome.OK
+    assert r.clean
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_correct_code_clean_under_any_schedule(seed):
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int x = 1; int y;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Allreduce(&x, &y, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}""", n=3, seed=seed)
+    assert r.outcome is RunOutcome.OK and r.clean
+
+
+def test_sendrecv_pair_completes():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int sb[2]; int rb[2]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  int peer = 1 - rank;
+  MPI_Sendrecv(sb, 2, MPI_INT, peer, 3, rb, 2, MPI_INT, peer, 3,
+               MPI_COMM_WORLD, &st);
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.outcome is RunOutcome.OK
+
+
+def test_infinite_loop_times_out():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  while (1) { rank = rank + 1; if (rank < 0) rank = 0; }
+  MPI_Finalize();
+  return 0;
+}""", max_steps=20_000)
+    assert r.outcome is RunOutcome.TIMEOUT
+
+
+def test_fence_epoch_then_free_is_clean():
+    # Regression: Win_free right after a closing fence is the canonical
+    # correct RMA pattern and must not raise epoch_lifecycle.
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; MPI_Win win; int winbuf[8]; int data = 42;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Win_create(winbuf, 8, sizeof(int), MPI_INFO_NULL, MPI_COMM_WORLD, &win);
+  MPI_Win_fence(0, win);
+  if (rank == 0) { MPI_Put(&data, 1, MPI_INT, 1, 0, 1, MPI_INT, win); }
+  MPI_Win_fence(0, win);
+  MPI_Win_free(&win);
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.outcome is RunOutcome.OK
+    assert r.clean, [e.kind for e in r.events]
+
+
+def test_open_lock_epoch_at_free_still_flagged():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; MPI_Win win; int winbuf[8]; int data = 2;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Win_create(winbuf, 8, sizeof(int), MPI_INFO_NULL, MPI_COMM_WORLD, &win);
+  if (rank == 0) {
+    MPI_Win_lock(MPI_LOCK_SHARED, 1, 0, win);
+    MPI_Put(&data, 1, MPI_INT, 1, 0, 1, MPI_INT, win);
+  }
+  MPI_Win_free(&win);
+  MPI_Finalize();
+  return 0;
+}""")
+    assert "epoch_lifecycle" in r.kinds
+
+
+def test_unmatched_send_reported_at_finish():
+    # An eager send that nobody ever receives completes locally; only the
+    # end-of-run scan can report the lost message.
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int buf[4];
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { MPI_Send(buf, 4, MPI_INT, 1, 5, MPI_COMM_WORLD); }
+  MPI_Finalize();
+  return 0;
+}""")
+    assert r.outcome is RunOutcome.OK
+    assert "call_ordering" in r.kinds

@@ -1,0 +1,206 @@
+"""Differential testing of the optimization pipelines.
+
+The strongest correctness oracle this repository has: the same program,
+compiled at every optimization level, must behave identically.
+
+* Pure (non-MPI) programs: ``main``'s exit code must match across
+  -O0 / -O1 / -O2 / -Os, including hypothesis-generated arithmetic.
+* Correct MPI programs from the generated suites: the simulator must
+  report a clean OK run at every level.  (Incorrect programs are NOT
+  required to diagnose identically — the paper itself notes that some
+  errors only manifest once the code is optimized.)
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend import compile_c
+from repro.mpi.interp import DONE, ExternCall, RankVM
+from repro.mpi.simulator import RunOutcome, simulate
+
+LEVELS = ("O0", "O1", "O2", "Os")
+
+
+def exit_code_at(src: str, level: str, max_steps: int = 2_000_000) -> int:
+    """Compile at ``level`` and run main to completion (no MPI allowed)."""
+    module = compile_c(src, "diff.c", level)
+    vm = RankVM(module, rank=0)
+    for _ in range(max_steps):
+        result = vm.step()
+        if result is DONE:
+            return int(vm.exit_code or 0)
+        if isinstance(result, ExternCall):
+            raise AssertionError(f"unexpected extern call {result.name}")
+    raise AssertionError("program did not terminate")
+
+
+def assert_all_levels_agree(src: str) -> int:
+    codes = {level: exit_code_at(src, level) for level in LEVELS}
+    assert len(set(codes.values())) == 1, codes
+    return next(iter(codes.values()))
+
+
+# ---------------------------------------------------------------------------
+# Hand-written programs covering the optimizer's attack surface
+# ---------------------------------------------------------------------------
+
+def test_arithmetic_and_branches():
+    assert assert_all_levels_agree("""
+int main() {
+  int a = 6; int b = 7;
+  int c = a * b;
+  if (c > 40) { c = c - 2; } else { c = c + 2; }
+  return c;
+}""") == 40
+
+
+def test_loops_and_functions():
+    assert assert_all_levels_agree("""
+int square(int x) { return x * x; }
+int main() {
+  int s = 0;
+  for (int i = 0; i < 5; i = i + 1) { s = s + square(i); }
+  return s;
+}""") == 30
+
+
+def test_gvn_candidate_duplicated_expressions():
+    assert assert_all_levels_agree("""
+int main() {
+  int n = 9;
+  int a = n * n + n;
+  int b = n * n + n;
+  int c = n * n;
+  return a + b - c;
+}""") == 99
+
+
+def test_licm_candidate_invariant_in_loop():
+    assert assert_all_levels_agree("""
+int main() {
+  int n = 7; int s = 0;
+  for (int i = 0; i < 6; i = i + 1) { s = s + (n * 3 + 1); }
+  return s;
+}""") == 132
+
+
+def test_guarded_division_inside_loop():
+    # LICM must not speculate the division: d is 0 here.
+    assert assert_all_levels_agree("""
+int main() {
+  int d = 0; int s = 5;
+  for (int i = 0; i < 4; i = i + 1) {
+    if (d != 0) { s = s + 100 / d; }
+  }
+  return s;
+}""") == 5
+
+
+def test_arrays_and_pointers():
+    assert assert_all_levels_agree("""
+int main() {
+  int buf[8];
+  for (int i = 0; i < 8; i = i + 1) { buf[i] = i * i; }
+  int s = 0;
+  for (int i = 0; i < 8; i = i + 1) { s = s + buf[i]; }
+  return s;
+}""") == 140
+
+
+def test_nested_loops_with_inner_invariant():
+    assert assert_all_levels_agree("""
+int main() {
+  int s = 0; int k = 3;
+  for (int i = 0; i < 3; i = i + 1) {
+    for (int j = 0; j < 3; j = j + 1) { s = s + k * k; }
+  }
+  return s % 256;
+}""") == 81
+
+
+def test_while_loop_with_break_semantics():
+    assert assert_all_levels_agree("""
+int main() {
+  int i = 0; int s = 0;
+  while (i < 100) {
+    s = s + i;
+    i = i + 1;
+    if (s > 10) { i = 100; }
+  }
+  return s;
+}""") == 15
+
+
+def test_function_call_chain_inlining():
+    assert assert_all_levels_agree("""
+int add(int a, int b) { return a + b; }
+int twice(int x) { return add(x, x); }
+int main() { return twice(add(3, 4)); }
+""") == 14
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random arithmetic programs
+# ---------------------------------------------------------------------------
+
+_small = st.integers(min_value=0, max_value=9)
+
+
+@st.composite
+def arithmetic_program(draw):
+    """A straight-line program over x/y/z with a loop and a condition."""
+    x, y, z = draw(_small), draw(_small), draw(_small)
+    op1 = draw(st.sampled_from(["+", "-", "*"]))
+    op2 = draw(st.sampled_from(["+", "-", "*"]))
+    bound = draw(st.integers(min_value=1, max_value=6))
+    return f"""
+int main() {{
+  int x = {x}; int y = {y}; int z = {z};
+  int s = 0;
+  for (int i = 0; i < {bound}; i = i + 1) {{
+    s = s + (x {op1} y) {op2} z;
+    s = s + (x {op1} y);
+  }}
+  if (s > 50) {{ s = s - x * y; }}
+  return s % 251;
+}}"""
+
+
+@given(arithmetic_program())
+def test_random_arithmetic_agrees_across_levels(src):
+    assert_all_levels_agree(src)
+
+
+# ---------------------------------------------------------------------------
+# MPI programs: correct codes stay clean at every level
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_correct_suite_samples_clean_at_level(level):
+    from repro.datasets import load_mbi
+
+    ds = load_mbi(subsample=120)
+    corrects = [s for s in ds if s.is_correct][:12]
+    assert corrects
+    for sample in corrects:
+        module = compile_c(sample.source, sample.name, level, verify=False)
+        report = simulate(module, 2, seed=1)
+        assert report.outcome is RunOutcome.OK, (sample.name, level)
+        assert report.clean, (sample.name, level,
+                              [e.kind for e in report.events])
+
+
+def test_deadlock_detected_at_every_level():
+    src = """#include <mpi.h>
+int main(int argc, char** argv) {
+  int rank; int buf[4]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Recv(buf, 4, MPI_INT, 1 - rank, 3, MPI_COMM_WORLD, &st);
+  MPI_Finalize();
+  return 0;
+}"""
+    for level in LEVELS:
+        module = compile_c(src, "dl.c", level, verify=False)
+        report = simulate(module, 2, seed=0)
+        assert report.outcome is RunOutcome.DEADLOCK, level

@@ -1,0 +1,203 @@
+"""GVN, LICM, and loop analysis: unit behaviour + invariants."""
+
+from repro.frontend import compile_c
+from repro.frontend.codegen import generate_module
+from repro.frontend.parser import parse_c
+from repro.frontend.preprocessor import preprocess
+from repro.ir import verify_module
+from repro.ir.loops import find_loops
+from repro.passes import (
+    global_value_numbering,
+    loop_invariant_code_motion,
+    promote_memory_to_registers,
+    simplify_cfg,
+)
+
+
+def _ssa(src):
+    m = generate_module(parse_c(preprocess(src)), "t")
+    simplify_cfg(m)
+    promote_memory_to_registers(m)
+    return m
+
+
+def _opcodes(m, fn="main"):
+    return [i.opcode for i in m.get_function(fn).instructions()]
+
+
+# ---------------------------------------------------------------------------
+# Loop analysis
+# ---------------------------------------------------------------------------
+
+def test_find_loops_single_for():
+    m = _ssa("""
+int main() {
+  int s = 0;
+  for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+  return s;
+}""")
+    loops = find_loops(m.get_function("main"))
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop.latches
+    assert loop.preheader() is not None
+    assert not loop.contains(loop.preheader())
+    assert loop.contains(loop.header)
+
+
+def test_find_loops_nested():
+    m = _ssa("""
+int main() {
+  int s = 0;
+  for (int i = 0; i < 4; i = i + 1) {
+    for (int j = 0; j < 4; j = j + 1) { s = s + j; }
+  }
+  return s;
+}""")
+    loops = find_loops(m.get_function("main"))
+    assert len(loops) == 2
+    sizes = sorted(len(l.members) for l in loops)
+    assert sizes[0] < sizes[1]          # inner loop strictly smaller
+
+
+def test_find_loops_none_in_straightline():
+    m = _ssa("int main() { int a = 1; return a + 2; }")
+    assert find_loops(m.get_function("main")) == []
+
+
+# ---------------------------------------------------------------------------
+# GVN
+# ---------------------------------------------------------------------------
+
+def test_gvn_merges_identical_expressions():
+    m = _ssa("""
+int main(int argc, char** argv) {
+  int a = argc * 3;
+  int b = argc * 3;
+  return a + b;
+}""")
+    before = _opcodes(m).count("mul")
+    erased = global_value_numbering(m)
+    verify_module(m)
+    assert erased >= 1
+    assert _opcodes(m).count("mul") == before - 1
+
+
+def test_gvn_respects_commutativity():
+    m = _ssa("""
+int main(int argc, char** argv) {
+  int a = argc + 7;
+  int b = 7 + argc;
+  return a * b;
+}""")
+    global_value_numbering(m)
+    verify_module(m)
+    assert _opcodes(m).count("add") == 1
+
+
+def test_gvn_does_not_merge_across_siblings():
+    # The two x*x live in sibling branches: neither dominates the other.
+    m = _ssa("""
+int main(int argc, char** argv) {
+  int r = 0;
+  if (argc > 1) { r = argc * argc; } else { r = argc * argc + 1; }
+  return r;
+}""")
+    before = _opcodes(m).count("mul")
+    global_value_numbering(m)
+    verify_module(m)
+    assert _opcodes(m).count("mul") == before
+
+
+def test_gvn_keeps_loads_and_calls():
+    m = _ssa("""
+int f(int x) { return x + 1; }
+int main(int argc, char** argv) {
+  int a = f(argc);
+  int b = f(argc);
+  return a + b;
+}""")
+    before = _opcodes(m).count("call")
+    global_value_numbering(m)
+    verify_module(m)
+    assert _opcodes(m).count("call") == before
+
+
+# ---------------------------------------------------------------------------
+# LICM
+# ---------------------------------------------------------------------------
+
+def _block_of(m, opcode, fn="main"):
+    for block in m.get_function(fn).blocks:
+        for inst in block.instructions:
+            if inst.opcode == opcode:
+                return block
+    return None
+
+
+def test_licm_hoists_invariant_multiplication():
+    m = _ssa("""
+int main(int argc, char** argv) {
+  int s = 0;
+  for (int i = 0; i < 10; i = i + 1) { s = s + argc * 13; }
+  return s;
+}""")
+    loops_before = find_loops(m.get_function("main"))
+    assert any(inst.opcode == "mul"
+               for l in loops_before for b in l.members
+               for inst in b.instructions)
+    hoisted = loop_invariant_code_motion(m)
+    verify_module(m)
+    assert hoisted >= 1
+    loops_after = find_loops(m.get_function("main"))
+    assert not any(inst.opcode == "mul"
+                   for l in loops_after for b in l.members
+                   for inst in b.instructions)
+
+
+def test_licm_leaves_variant_code():
+    m = _ssa("""
+int main(int argc, char** argv) {
+  int s = 0;
+  for (int i = 0; i < 10; i = i + 1) { s = s + i * 2; }
+  return s;
+}""")
+    loop_invariant_code_motion(m)
+    verify_module(m)
+    loops = find_loops(m.get_function("main"))
+    # i*2 depends on the induction phi: must stay inside.
+    assert any(inst.opcode == "mul"
+               for l in loops for b in l.members for inst in b.instructions)
+
+
+def test_licm_never_hoists_division():
+    # Guarded division: hoisting would trap when argc == 1 (d == 0 path
+    # never executes the division inside the loop).
+    m = _ssa("""
+int main(int argc, char** argv) {
+  int s = 0;
+  int d = argc - 1;
+  for (int i = 0; i < 10; i = i + 1) {
+    if (d != 0) { s = s + 100 / d; }
+  }
+  return s;
+}""")
+    loop_invariant_code_motion(m)
+    verify_module(m)
+    loops = find_loops(m.get_function("main"))
+    assert any(inst.opcode == "sdiv"
+               for l in loops for b in l.members for inst in b.instructions)
+
+
+def test_licm_fixpoint_hoists_chains():
+    # argc*3 and (argc*3)+5 are both invariant; the second becomes
+    # hoistable only after the first moves.
+    m = _ssa("""
+int main(int argc, char** argv) {
+  int s = 0;
+  for (int i = 0; i < 10; i = i + 1) { s = s + (argc * 3 + 5); }
+  return s;
+}""")
+    hoisted = loop_invariant_code_motion(m)
+    verify_module(m)
+    assert hoisted >= 2

@@ -1,0 +1,152 @@
+"""Optimization-pass tests: unit behaviour + verified invariants +
+property-based differential testing against the benchmark corpus."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.datasets import load_mbi
+from repro.frontend import compile_c
+from repro.frontend.codegen import generate_module
+from repro.frontend.parser import parse_c
+from repro.frontend.preprocessor import preprocess
+from repro.ir import verify_module
+from repro.ir.instructions import AllocaInst, CallInst, LoadInst, StoreInst
+from repro.passes import (
+    eliminate_dead_code,
+    fold_constants,
+    inline_functions,
+    promote_memory_to_registers,
+    simplify_cfg,
+)
+from repro.passes.dce import remove_dead_functions
+
+
+def _compile_raw(src):
+    return generate_module(parse_c(preprocess(src)), "t")
+
+
+def test_mem2reg_eliminates_scalar_slots():
+    m = _compile_raw("int main() { int a = 1; int b = a + 2; return b; }")
+    promote_memory_to_registers(m)
+    verify_module(m)
+    main = m.get_function("main")
+    opcodes = [i.opcode for i in main.instructions()]
+    assert "load" not in opcodes
+    assert "store" not in opcodes
+    assert not any(isinstance(i, AllocaInst) for i in main.instructions())
+
+
+def test_mem2reg_keeps_address_taken_slots():
+    m = _compile_raw("""
+        #include <string.h>
+        int main() { int a = 1; memset(&a, 0, 1); return a; }
+    """)
+    promote_memory_to_registers(m)
+    verify_module(m)
+    main = m.get_function("main")
+    assert any(isinstance(i, AllocaInst) for i in main.instructions())
+
+
+def test_mem2reg_inserts_phi_at_join():
+    m = _compile_raw("""
+        int main(int argc, char** argv) {
+          int a;
+          if (argc > 1) { a = 1; } else { a = 2; }
+          return a;
+        }
+    """)
+    promote_memory_to_registers(m)
+    verify_module(m)
+    opcodes = [i.opcode for i in m.get_function("main").instructions()]
+    assert "phi" in opcodes
+
+
+def test_constant_folding_folds_arithmetic():
+    m = _compile_raw("int main() { return 2 + 3 * 4 - 1; }")
+    promote_memory_to_registers(m)
+    fold_constants(m)
+    eliminate_dead_code(m)
+    main = m.get_function("main")
+    assert main.entry.instructions[-1].opcode == "ret"
+    assert main.entry.instructions[-1].return_value.value == 13
+
+
+def test_branch_folding_removes_dead_arm():
+    m = _compile_raw("""
+        int main() {
+          int x;
+          if (1) { x = 5; } else { x = 9; }
+          return x;
+        }
+    """)
+    promote_memory_to_registers(m)
+    fold_constants(m)
+    simplify_cfg(m)
+    eliminate_dead_code(m)
+    verify_module(m)
+    main = m.get_function("main")
+    assert len(main.blocks) == 1
+
+
+def test_dce_removes_unused_computation():
+    m = _compile_raw("int main() { int unused = 40 * 2; return 3; }")
+    promote_memory_to_registers(m)
+    removed = eliminate_dead_code(m)
+    assert removed >= 1
+
+
+def test_dce_keeps_calls():
+    m = _compile_raw("""
+        #include <stdio.h>
+        int main() { printf("side effect\\n"); return 0; }
+    """)
+    promote_memory_to_registers(m)
+    eliminate_dead_code(m)
+    assert any(isinstance(i, CallInst)
+               for i in m.get_function("main").instructions())
+
+
+def test_inliner_inlines_small_callee():
+    m = _compile_raw("""
+        int twice(int v) { return v * 2; }
+        int main(int argc, char** argv) { return twice(argc) + twice(3); }
+    """)
+    promote_memory_to_registers(m)
+    count = inline_functions(m)
+    verify_module(m)
+    assert count == 2
+    main = m.get_function("main")
+    callees = [i.callee_name for i in main.instructions()
+               if isinstance(i, CallInst)]
+    assert "twice" not in callees
+
+
+def test_inliner_skips_recursive():
+    m = _compile_raw("""
+        int f(int n) { if (n <= 0) return 0; return f(n - 1) + 1; }
+        int main() { return f(3); }
+    """)
+    promote_memory_to_registers(m)
+    assert inline_functions(m) == 0
+
+
+def test_remove_dead_functions_keeps_main_and_called():
+    m = _compile_raw("""
+        int used(int x) { return x; }
+        int unused(int x) { return x + 1; }
+        int main() { return used(1); }
+    """)
+    removed = remove_dead_functions(m)
+    assert removed == 1
+    assert m.get_function("unused") is None
+    assert m.get_function("used") is not None
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.data_too_large])
+@given(st.integers(min_value=0, max_value=1860))
+def test_pipelines_preserve_verification_on_corpus(index):
+    samples = load_mbi().samples
+    sample = samples[index % len(samples)]
+    for opt in ("O1", "O2", "Os"):
+        verify_module(compile_c(sample.source, sample.name, opt))

@@ -1,0 +1,97 @@
+"""Shared hypothesis strategies: random mini-C and MPI programs.
+
+The program generators below produce only *well-formed* code by
+construction (declared-before-use, bounded loops, balanced braces), so
+property tests can assert pipeline invariants rather than parser errors.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+_INT_OPS = ("+", "-", "*")
+_CMP_OPS = ("<", ">", "<=", ">=", "==", "!=")
+_VARS = ("a", "b", "c", "d")
+
+
+@st.composite
+def expressions(draw, depth: int = 2) -> str:
+    """Integer expression over the fixed variable set and small literals."""
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return draw(st.sampled_from(_VARS))
+        return str(draw(st.integers(min_value=0, max_value=20)))
+    lhs = draw(expressions(depth=depth - 1))
+    rhs = draw(expressions(depth=depth - 1))
+    op = draw(st.sampled_from(_INT_OPS))
+    return f"({lhs} {op} {rhs})"
+
+
+@st.composite
+def statements(draw, depth: int = 2) -> str:
+    """One statement: assignment, if/else, or a bounded for loop."""
+    kind = draw(st.integers(min_value=0, max_value=3 if depth else 1))
+    var = draw(st.sampled_from(_VARS))
+    if kind in (0, 1):
+        return f"{var} = {draw(expressions())};"
+    if kind == 2:
+        cond = (f"{draw(st.sampled_from(_VARS))} "
+                f"{draw(st.sampled_from(_CMP_OPS))} "
+                f"{draw(st.integers(min_value=0, max_value=10))}")
+        then = draw(statements(depth=depth - 1))
+        if draw(st.booleans()):
+            other = draw(statements(depth=depth - 1))
+            return f"if ({cond}) {{ {then} }} else {{ {other} }}"
+        return f"if ({cond}) {{ {then} }}"
+    bound = draw(st.integers(min_value=1, max_value=5))
+    body = draw(statements(depth=depth - 1))
+    return (f"for (int i{depth} = 0; i{depth} < {bound}; "
+            f"i{depth} = i{depth} + 1) {{ {body} }}")
+
+
+@st.composite
+def c_programs(draw) -> str:
+    """A full translation unit: one helper function plus main."""
+    n_stmts = draw(st.integers(min_value=1, max_value=4))
+    body = "\n  ".join(draw(statements()) for _ in range(n_stmts))
+    helper_expr = draw(expressions(depth=1)).replace("a", "x").replace(
+        "b", "x").replace("c", "x").replace("d", "x")
+    use_helper = draw(st.booleans())
+    call = "a = helper(b);" if use_helper else ""
+    return f"""
+int helper(int x) {{ return {helper_expr}; }}
+int main(int argc, char** argv) {{
+  int a = {draw(st.integers(min_value=0, max_value=9))};
+  int b = {draw(st.integers(min_value=0, max_value=9))};
+  int c = {draw(st.integers(min_value=0, max_value=9))};
+  int d = {draw(st.integers(min_value=0, max_value=9))};
+  {call}
+  {body}
+  return (a + b + c + d) % 251;
+}}"""
+
+
+@st.composite
+def correct_mpi_programs(draw) -> str:
+    """A correct two-rank exchange with randomized shape parameters.
+
+    Correct by construction: rank 0 always sends what rank 1 receives,
+    with matching tag / count / datatype, then both hit a barrier.
+    """
+    tag = draw(st.integers(min_value=0, max_value=50))
+    count = draw(st.integers(min_value=1, max_value=16))
+    use_ssend = draw(st.booleans())
+    extra_barrier = draw(st.booleans())
+    send = "MPI_Ssend" if use_ssend else "MPI_Send"
+    barrier = "MPI_Barrier(MPI_COMM_WORLD);" if extra_barrier else ""
+    return f"""#include <mpi.h>
+int main(int argc, char** argv) {{
+  int rank; int buf[{count}]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {{ {send}(buf, {count}, MPI_INT, 1, {tag}, MPI_COMM_WORLD); }}
+  if (rank == 1) {{ MPI_Recv(buf, {count}, MPI_INT, 0, {tag}, MPI_COMM_WORLD, &st); }}
+  {barrier}
+  MPI_Finalize();
+  return 0;
+}}"""

@@ -1,0 +1,190 @@
+"""CLI tests — every subcommand driven in-process through main()."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+CORRECT_SRC = """#include <mpi.h>
+int main(int argc, char** argv) {
+  int rank; int buf[4]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { MPI_Send(buf, 4, MPI_INT, 1, 5, MPI_COMM_WORLD); }
+  if (rank == 1) { MPI_Recv(buf, 4, MPI_INT, 0, 5, MPI_COMM_WORLD, &st); }
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+DEADLOCK_SRC = """#include <mpi.h>
+int main(int argc, char** argv) {
+  int rank; int buf[4]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Recv(buf, 4, MPI_INT, 1 - rank, 5, MPI_COMM_WORLD, &st);
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+
+@pytest.fixture()
+def correct_file(tmp_path):
+    path = tmp_path / "correct.c"
+    path.write_text(CORRECT_SRC)
+    return str(path)
+
+
+@pytest.fixture()
+def deadlock_file(tmp_path):
+    path = tmp_path / "deadlock.c"
+    path.write_text(DEADLOCK_SRC)
+    return str(path)
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_compile_to_stdout(correct_file, capsys):
+    assert main(["compile", correct_file]) == 0
+    out = capsys.readouterr().out
+    assert "define" in out and "MPI_Send" in out
+
+
+def test_compile_to_file(correct_file, tmp_path):
+    out_path = str(tmp_path / "out.ll")
+    assert main(["compile", correct_file, "-O", "Os", "-o", out_path]) == 0
+    assert "define" in open(out_path).read()
+
+
+def test_compile_error_reports_and_fails(tmp_path, capsys):
+    bad = tmp_path / "bad.c"
+    bad.write_text("int main( {")
+    assert main(["compile", str(bad)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_simulate_correct_exits_zero(correct_file, capsys):
+    assert main(["simulate", correct_file, "-n", "2"]) == 0
+    assert "outcome: OK" in capsys.readouterr().out
+
+
+def test_simulate_deadlock_exits_nonzero(correct_file, deadlock_file, capsys):
+    assert main(["simulate", deadlock_file, "-n", "2"]) == 2
+    out = capsys.readouterr().out
+    assert "DEADLOCK" in out and "deadlock" in out
+
+
+def test_verify_tools_on_deadlock(deadlock_file):
+    assert main(["verify", deadlock_file, "--tool", "itac", "-n", "2"]) == 2
+    # Static tools run too (verdict may differ; exit code is 0 or 2).
+    assert main(["verify", deadlock_file, "--tool", "parcoach"]) in (0, 2)
+    assert main(["verify", deadlock_file, "--tool", "mpi-checker"]) in (0, 2)
+
+
+def test_generate_writes_suite_and_manifest(tmp_path, capsys):
+    out_dir = str(tmp_path / "suite")
+    assert main(["generate", "corrbench", out_dir, "--subsample", "24"]) == 0
+    names = os.listdir(out_dir)
+    assert "MANIFEST.tsv" in names
+    c_files = [n for n in names if n.endswith(".c")]
+    assert len(c_files) >= 20
+    manifest = open(os.path.join(out_dir, "MANIFEST.tsv")).read()
+    assert all(line.count("\t") == 1 for line in manifest.strip().splitlines())
+
+
+def test_train_check_roundtrip(tmp_path, correct_file, deadlock_file, capsys):
+    model_path = str(tmp_path / "model.pkl")
+    assert main(["train", "-d", "corrbench", "-m", "ir2vec",
+                 "--profile", "smoke", "-o", model_path]) == 0
+    assert os.path.exists(model_path)
+    code = main(["check", model_path, correct_file, deadlock_file])
+    out = capsys.readouterr().out
+    assert code in (0, 2)
+    assert out.count(":") >= 2       # one verdict line per file
+
+
+def test_mutate_writes_mutants(tmp_path, correct_file, capsys):
+    out_dir = str(tmp_path / "mutants")
+    assert main(["mutate", correct_file, out_dir, "--count", "3"]) == 0
+    out = capsys.readouterr().out
+    produced = os.listdir(out_dir)
+    assert produced and all(n.startswith("Mutant-") for n in produced)
+    assert len(out.strip().splitlines()) == len(produced)
+
+
+def test_experiment_fig3(capsys):
+    assert main(["experiment", "fig3", "--profile", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "MBI" in out and "correct=" in out
+
+
+def test_experiment_fig1(capsys):
+    assert main(["experiment", "fig1", "--profile", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 1" in out and "Call Ordering" in out
+
+
+def test_detector_save_load_roundtrip(tmp_path):
+    from repro.core import MPIErrorDetector
+    from repro.datasets import load_corrbench
+
+    ds = load_corrbench(subsample=40)
+    from repro.ml.genetic import GAConfig
+
+    detector = MPIErrorDetector(method="ir2vec",
+                                ga_config=GAConfig(population_size=20,
+                                                   generations=2))
+    detector.train(ds)
+    path = str(tmp_path / "d.pkl")
+    detector.save(path)
+    loaded = MPIErrorDetector.load(path)
+    assert loaded.check(CORRECT_SRC).label in ("Correct", "Incorrect")
+
+
+def test_detector_save_untrained_raises(tmp_path):
+    from repro.core import MPIErrorDetector
+
+    with pytest.raises(RuntimeError):
+        MPIErrorDetector().save(str(tmp_path / "x.pkl"))
+
+
+def test_gnn_detector_pickles(tmp_path):
+    from repro.core import MPIErrorDetector
+    from repro.datasets import load_corrbench
+
+    ds = load_corrbench(subsample=30)
+    detector = MPIErrorDetector(method="gnn", epochs=1)
+    detector.train(ds)
+    path = str(tmp_path / "gnn.pkl")
+    detector.save(path)
+    loaded = MPIErrorDetector.load(path)
+    assert loaded.check(CORRECT_SRC).label in ("Correct", "Incorrect")
+
+
+def test_localize_subcommand(tmp_path, deadlock_file, capsys):
+    model_path = str(tmp_path / "loc.pkl")
+    assert main(["train", "-d", "corrbench", "-m", "ir2vec",
+                 "--profile", "smoke", "-o", model_path]) == 0
+    capsys.readouterr()
+    assert main(["localize", model_path, deadlock_file, "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "function-level suspects" in out
+    assert "call-site suspects" in out
+    assert "MPI_Recv" in out
+
+
+def test_localize_rejects_gnn_model(tmp_path, deadlock_file, capsys):
+    from repro.core import MPIErrorDetector
+    from repro.datasets import load_corrbench
+
+    detector = MPIErrorDetector(method="gnn", epochs=1)
+    detector.train(load_corrbench(subsample=24))
+    path = str(tmp_path / "g.pkl")
+    detector.save(path)
+    assert main(["localize", path, deadlock_file]) == 1
+    assert "requires an ir2vec detector" in capsys.readouterr().err

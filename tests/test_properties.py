@@ -1,0 +1,114 @@
+"""Cross-cutting property tests over hypothesis-generated programs.
+
+Every random well-formed program must flow through the full pipeline
+(compile → verify → print/parse round-trip → graph → embedding) without
+violating structural invariants, and correct MPI exchanges must stay
+clean under every scheduler interleaving.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import compile_c
+from repro.graphs.programl import EDGE_TYPES, build_program_graph
+from repro.ir import verify_module
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.mpi.simulator import RunOutcome, simulate
+
+from tests.strategies import c_programs, correct_mpi_programs
+
+LEVELS = ("O0", "O2", "Os")
+
+
+@given(c_programs(), st.sampled_from(LEVELS))
+def test_random_programs_compile_and_verify(src, level):
+    module = compile_c(src, "prop.c", level)
+    verify_module(module)
+    assert module.get_function("main") is not None
+
+
+@given(c_programs(), st.sampled_from(LEVELS))
+@settings(max_examples=25)
+def test_print_parse_roundtrip_is_fixpoint(src, level):
+    module = compile_c(src, "prop.c", level)
+    text1 = print_module(module)
+    reparsed = parse_module(text1)
+    text2 = print_module(reparsed)
+    assert text1 == text2
+
+
+@given(c_programs())
+@settings(max_examples=25)
+def test_graph_structural_invariants(src):
+    module = compile_c(src, "prop.c", "O0")
+    graph = build_program_graph(module)
+    n = graph.num_nodes
+    assert n > 0
+    assert len(graph.node_type) == n
+    assert set(graph.node_type) <= {0, 1, 2}
+    for etype in EDGE_TYPES:
+        arr = graph.edge_array(etype)
+        assert arr.shape[0] == 2
+        if arr.shape[1]:
+            assert arr.min() >= 0 and arr.max() < n
+    # Control edges connect instruction (type 0) nodes only.
+    ctrl = graph.edge_array("control")
+    types = np.asarray(graph.node_type)
+    if ctrl.shape[1]:
+        assert (types[ctrl[0]] == 0).all() and (types[ctrl[1]] == 0).all()
+
+
+@given(c_programs(), st.sampled_from(LEVELS))
+@settings(max_examples=15)
+def test_embedding_is_finite_and_sized(src, level):
+    from repro.embeddings.ir2vec import encode_module
+
+    module = compile_c(src, "prop.c", level)
+    vec = encode_module(module)
+    assert vec.shape == (512,)
+    assert np.isfinite(vec).all()
+
+
+@given(correct_mpi_programs(),
+       st.integers(min_value=0, max_value=4),
+       st.integers(min_value=2, max_value=4))
+@settings(max_examples=25)
+def test_correct_exchange_clean_under_any_schedule(src, seed, nprocs):
+    module = compile_c(src, "xchg.c", "O0", verify=False)
+    report = simulate(module, nprocs, seed=seed)
+    assert report.outcome is RunOutcome.OK
+    assert report.clean, [str(e) for e in report.events]
+
+
+@given(correct_mpi_programs())
+@settings(max_examples=10)
+def test_mutants_of_random_exchanges_compile(src):
+    from repro.datasets.loader import Sample
+    from repro.datasets.mutation import MutationEngine
+
+    sample = Sample(name="x.c", source=src, label="Correct", suite="MBI")
+    for mutant in MutationEngine(seed=1).mutate_sample(sample, per_sample=4):
+        module = compile_c(mutant.sample.source, mutant.sample.name, "O0",
+                           verify=False)
+        assert module.get_function("main") is not None
+
+
+@given(c_programs())
+@settings(max_examples=10)
+def test_gvn_licm_preserve_verification(src):
+    from repro.passes import (
+        global_value_numbering,
+        loop_invariant_code_motion,
+        promote_memory_to_registers,
+        simplify_cfg,
+    )
+
+    module = compile_c(src, "prop.c", "O0")
+    simplify_cfg(module)
+    promote_memory_to_registers(module)
+    global_value_numbering(module)
+    loop_invariant_code_motion(module)
+    verify_module(module)
