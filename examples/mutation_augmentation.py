@@ -32,12 +32,12 @@ def main() -> None:
     for m in mutants:
         print(f"  {m.operator:<18} -> {m.sample.label}")
 
-    # -- 3: train on the plain suite, check the mutants -----------------
+    # -- 3: train on the plain suite, check the mutants (one batch) ------
     detector = MPIErrorDetector(method="ir2vec",
                                 ga_config=config.ga).train(dataset)
     print("\nverdicts on unseen mutants:")
-    for m in mutants:
-        result = detector.check(m.sample.source, m.sample.name)
+    results = detector.check_samples([m.sample for m in mutants])
+    for m, result in zip(mutants, results):
         marker = "HIT " if not result.is_correct else "MISS"
         print(f"  [{marker}] {m.operator:<18} predicted={result.label}")
 

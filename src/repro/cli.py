@@ -10,8 +10,8 @@ compile        mini-C file → textual IR at -O0 / -O2 / -Os
 simulate       run a program on the virtual MPI runtime, print the outcome
 verify         run one of the baseline tool analogues on a file
 generate       write an MBI / CorrBench / Mix style suite to a directory
-train          train an IR2vec or GNN detector on a suite, pickle it
-check          classify C files with a trained detector
+train          train a detection pipeline on a suite, save its artifact
+check          classify C files (batched) with a saved pipeline artifact
 experiment     regenerate one of the paper's tables / figures
 mutate         inject MPI bugs into a correct program (mutation operators)
 =============  ==============================================================
@@ -129,27 +129,69 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
-    from repro.core import MPIErrorDetector
     from repro.eval.config import ReproConfig
+    from repro.pipeline import DetectionPipeline
 
     config = getattr(ReproConfig, args.profile)()
     dataset = config.dataset(args.dataset)
-    detector = MPIErrorDetector(method=args.method, ga_config=config.ga,
-                                epochs=config.gnn_epochs, lr=config.gnn_lr)
-    detector.train(dataset, labels=args.labels)
-    detector.save(args.output)
-    print(f"trained {args.method} on {dataset.name} ({len(dataset)} codes), "
-          f"saved to {args.output}")
+    if args.featurizer or args.classifier:
+        # Explicit stage names compose any registered featurizer/classifier.
+        # A stage left unnamed defaults from --method, and built-in stages
+        # pick up the profile's settings via the same presets --method uses.
+        from repro.pipeline import METHOD_STAGES, method_stage_specs
+
+        profile_configs = {}
+        for method in METHOD_STAGES:
+            feat_n, feat_c, clf_n, clf_c = method_stage_specs(
+                method, embedding_seed=config.embedding_seed,
+                normalization=config.normalization, ga_config=config.ga,
+                epochs=config.gnn_epochs, lr=config.gnn_lr,
+                batch_size=config.gnn_batch_size, seed=config.seed)
+            profile_configs[feat_n] = feat_c
+            profile_configs[clf_n] = clf_c
+        feat_default, clf_default = METHOD_STAGES[args.method]
+        feat_name = args.featurizer or feat_default
+        clf_name = args.classifier or clf_default
+        try:
+            pipeline = DetectionPipeline.from_names(
+                featurizer=feat_name, classifier=clf_name,
+                featurizer_config=profile_configs.get(feat_name),
+                classifier_config=profile_configs.get(clf_name))
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+    else:
+        pipeline = DetectionPipeline.from_method(
+            args.method, ga_config=config.ga,
+            embedding_seed=config.embedding_seed,
+            normalization=config.normalization,
+            epochs=config.gnn_epochs, lr=config.gnn_lr,
+            batch_size=config.gnn_batch_size, seed=config.seed)
+    pipeline.fit(dataset, labels=args.labels)
+    pipeline.save(args.output)
+    print(f"trained {pipeline.method} on {dataset.name} "
+          f"({len(dataset)} codes), saved artifact to {args.output}")
     return 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    from repro.core import MPIErrorDetector
+    from repro.pipeline import ArtifactError, DetectionPipeline
 
-    detector = MPIErrorDetector.load(args.model)
+    try:
+        pipeline = DetectionPipeline.load(args.model)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not pipeline.fitted:
+        print(f"error: {args.model} holds an unfitted pipeline; "
+              "train it before checking files", file=sys.stderr)
+        return 1
+    # One batch: shared compile cache, one vectorized classifier call.
+    sources = [(os.path.basename(path), _read_source(path))
+               for path in args.files]
+    results = pipeline.predict_batch(sources)
     exit_code = 0
-    for path in args.files:
-        result = detector.check(_read_source(path), os.path.basename(path))
+    for path, result in zip(args.files, results):
         print(f"{path}: {result.label}")
         if not result.is_correct:
             exit_code = 2
@@ -181,8 +223,13 @@ def cmd_localize(args: argparse.Namespace) -> int:
     from repro.core import MPIErrorDetector
     from repro.core.localize import localize_call_sites, localize_error
     from repro.models.ir2vec_model import IR2vecModel
+    from repro.pipeline import ArtifactError
 
-    detector = MPIErrorDetector.load(args.model)
+    try:
+        detector = MPIErrorDetector.load(args.model)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if detector.method != "ir2vec" or not isinstance(detector.model,
                                                      IR2vecModel):
         print("error: localization requires an ir2vec detector",
@@ -326,18 +373,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--subsample", type=int, default=None)
     p.set_defaults(func=cmd_generate)
 
-    p = sub.add_parser("train", help="train a detector and pickle it")
+    p = sub.add_parser("train",
+                       help="train a detection pipeline, save its artifact")
     p.add_argument("-d", "--dataset", choices=("mbi", "corrbench", "mix"),
                    default="mbi")
     p.add_argument("-m", "--method", choices=("ir2vec", "gnn"),
                    default="ir2vec")
+    p.add_argument("--featurizer", default=None,
+                   help="registered featurizer name (overrides --method)")
+    p.add_argument("--classifier", default=None,
+                   help="registered classifier name (overrides --method)")
     p.add_argument("--labels", choices=("binary", "type"), default="binary")
     p.add_argument("--profile", choices=("smoke", "fast", "paper"),
                    default="smoke")
-    p.add_argument("-o", "--output", required=True)
+    p.add_argument("-o", "--output", required=True,
+                   help="artifact path (directory, or .zip)")
     p.set_defaults(func=cmd_train)
 
-    p = sub.add_parser("check", help="classify C files with a trained model")
+    p = sub.add_parser("check",
+                       help="classify C files with a saved pipeline artifact")
     p.add_argument("model")
     p.add_argument("files", nargs="+")
     p.set_defaults(func=cmd_check)

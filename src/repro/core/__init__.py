@@ -1,4 +1,8 @@
-"""Public API: train / apply MPI error detectors on C source code."""
+"""Back-compat facade: train / apply MPI error detectors on C source.
+
+New code should prefer :mod:`repro.pipeline` — the composable,
+batch-first API this facade now wraps.
+"""
 
 from repro.core.detector import DetectionResult, MPIErrorDetector
 from repro.core.localize import (

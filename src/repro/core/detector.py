@@ -1,6 +1,7 @@
-"""High-level detector facade — the paper's contribution as a library.
+"""High-level detector facade — a thin shim over ``repro.pipeline``.
 
-Wraps the full pipeline (C → IR → features → model) behind two methods:
+Wraps the composable :class:`~repro.pipeline.DetectionPipeline` behind
+the original two-method API:
 
 >>> detector = MPIErrorDetector(method="ir2vec")
 >>> detector.train(load_mbi(), labels="binary")
@@ -9,33 +10,17 @@ Wraps the full pipeline (C → IR → features → model) behind two methods:
 
 ``method`` selects the IR2vec+DT pipeline (default) or the GNN;
 ``labels`` selects binary (correct/incorrect) or error-type prediction.
+New code should use :class:`repro.pipeline.DetectionPipeline` directly —
+it exposes the individual stages, batch inference, and stage registries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.datasets.labels import CORRECT, binary_label
 from repro.datasets.loader import Dataset, Sample
-from repro.embeddings.ir2vec import default_encoder
-from repro.frontend import compile_c
-from repro.graphs.programl import build_program_graph
-from repro.graphs.vocab import build_vocabulary
 from repro.ml.genetic import GAConfig
-from repro.models.features import graph_dataset, ir2vec_feature_matrix
-from repro.models.gnn_model import GNNModel
-from repro.models.ir2vec_model import IR2vecModel
-
-
-@dataclass
-class DetectionResult:
-    label: str
-    is_correct: bool
-    method: str
-    detail: str = ""
+from repro.pipeline import DetectionPipeline, DetectionResult
 
 
 class MPIErrorDetector:
@@ -48,73 +33,70 @@ class MPIErrorDetector:
         if method not in ("ir2vec", "gnn"):
             raise ValueError("method must be 'ir2vec' or 'gnn'")
         self.method = method
-        # Paper defaults: -Os IR for IR2vec, -O0 for the GNN.
-        self.opt_level = opt_level or ("Os" if method == "ir2vec" else "O0")
         self.embedding_seed = embedding_seed
-        self.label_mode = "binary"
-        if method == "ir2vec":
-            self.model: Union[IR2vecModel, GNNModel] = IR2vecModel(
-                normalization=normalization, use_ga=use_ga, ga_config=ga_config)
-        else:
-            self.model = GNNModel(epochs=epochs, lr=lr, seed=seed)
-        self._trained = False
+        # Paper defaults (-Os IR for IR2vec, -O0 for the GNN) are filled
+        # in by the method preset.
+        self.pipeline = DetectionPipeline.from_method(
+            method, opt_level=opt_level, embedding_seed=embedding_seed,
+            normalization=normalization, use_ga=use_ga, ga_config=ga_config,
+            epochs=epochs, lr=lr, seed=seed)
+
+    # -------------------------------------------------------- pass-throughs
+    @property
+    def opt_level(self) -> str:
+        return self.pipeline.frontend.opt_level
+
+    @property
+    def label_mode(self) -> str:
+        return self.pipeline.label_mode
+
+    @property
+    def model(self):
+        """The underlying fitted model (IR2vecModel or GNNModel)."""
+        return self.pipeline.classifier.model
+
+    @property
+    def _trained(self) -> bool:
+        return self.pipeline.fitted
 
     # ------------------------------------------------------------------ train
     def train(self, dataset: Dataset, labels: str = "binary") -> "MPIErrorDetector":
         """Fit on a labeled dataset; ``labels`` is 'binary' or 'type'."""
-        if labels not in ("binary", "type"):
-            raise ValueError("labels must be 'binary' or 'type'")
-        self.label_mode = labels
-        y = np.array([s.binary if labels == "binary" else s.label
-                      for s in dataset.samples])
-        if self.method == "ir2vec":
-            X = ir2vec_feature_matrix(dataset, self.opt_level, self.embedding_seed)
-            self.model.fit(X, y)
-        else:
-            graphs = graph_dataset(dataset, self.opt_level)
-            self.model.fit(graphs, y, build_vocabulary(graphs))
-        self._trained = True
+        self.pipeline.fit(dataset, labels)
         return self
 
     # ------------------------------------------------------------------ predict
     def check(self, source: str, name: str = "input.c") -> DetectionResult:
         """Classify one C source file."""
-        if not self._trained:
+        if not self.pipeline.fitted:
             raise RuntimeError("call train() before check()")
-        module = compile_c(source, name, self.opt_level, verify=False)
-        if self.method == "ir2vec":
-            feature = default_encoder(self.embedding_seed).encode(module)
-            label = str(self.model.predict(feature[None, :])[0])
-        else:
-            graph = build_program_graph(module)
-            label = str(self.model.predict([graph])[0])
-        return DetectionResult(
-            label=label,
-            is_correct=label == CORRECT,
-            method=self.method,
-            detail=f"opt={self.opt_level}, labels={self.label_mode}",
-        )
+        return self.pipeline.predict_source(source, name)
 
     def check_samples(self, samples: Sequence[Sample]) -> List[DetectionResult]:
-        return [self.check(s.source, s.name) for s in samples]
+        """Classify many samples through the shared batch path."""
+        if not self.pipeline.fitted:
+            raise RuntimeError("call train() before check_samples()")
+        return self.pipeline.predict_batch(samples)
 
     # ------------------------------------------------------------------ persist
     def save(self, path: str) -> None:
-        """Pickle the trained detector (model + configuration)."""
-        import pickle
-
-        if not self._trained:
+        """Write the versioned pipeline artifact (manifest + stage blobs)."""
+        if not self.pipeline.fitted:
             raise RuntimeError("call train() before save()")
-        with open(path, "wb") as fh:
-            pickle.dump(self, fh)
+        self.pipeline.save(path)
 
     @staticmethod
     def load(path: str) -> "MPIErrorDetector":
-        """Load a detector previously stored with :meth:`save`."""
-        import pickle
+        """Load a detector previously stored with :meth:`save`.
 
-        with open(path, "rb") as fh:
-            detector = pickle.load(fh)
-        if not isinstance(detector, MPIErrorDetector):
-            raise TypeError(f"{path} does not contain an MPIErrorDetector")
+        Legacy raw-pickle artifacts are rejected with a
+        ``DeprecationWarning`` and an :class:`~repro.pipeline.ArtifactError`
+        explaining how to produce the new format.
+        """
+        pipeline = DetectionPipeline.load(path)
+        detector = object.__new__(MPIErrorDetector)
+        detector.method = pipeline.method
+        featurizer_config = getattr(pipeline.featurizer, "config", None)
+        detector.embedding_seed = getattr(featurizer_config, "seed", 42)
+        detector.pipeline = pipeline
         return detector

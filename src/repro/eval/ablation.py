@@ -19,7 +19,7 @@ from repro.datasets.loader import Dataset
 from repro.eval.config import ReproConfig
 from repro.ml.crossval import stratified_kfold_indices
 from repro.models.features import ir2vec_feature_matrix
-from repro.models.ir2vec_model import IR2vecModel
+from repro.pipeline import make_classifier
 
 
 def _ablation_accuracy(dataset: Dataset, excluded: Sequence[str],
@@ -36,8 +36,9 @@ def _ablation_accuracy(dataset: Dataset, excluded: Sequence[str],
             list(labels), config.folds, config.seed):
         keep = np.array([labels[i] not in excluded_set for i in train_idx])
         train_kept = train_idx[keep]
-        model = IR2vecModel(normalization=config.normalization,
-                            use_ga=True, ga_config=config.ga)
+        model = make_classifier("decision-tree",
+                                normalization=config.normalization,
+                                use_ga=True, ga=config.ga)
         model.fit(X[train_kept], binary[train_kept])
         targets = [i for i in val_idx if labels[i] in excluded_set]
         if not targets:

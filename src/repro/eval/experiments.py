@@ -319,15 +319,16 @@ def seed_sensitivity(config: ReproConfig, alt_seed: int = 1337) -> List[dict]:
     """
     from repro.ml.crossval import stratified_kfold_indices
     from repro.models.features import ir2vec_feature_matrix
-    from repro.models.ir2vec_model import IR2vecModel
+    from repro.pipeline import make_classifier
 
     mbi = config.mbi()
     corr = config.corrbench()
 
-    def _model(fixed: Optional[Sequence[int]] = None) -> IR2vecModel:
-        return IR2vecModel(normalization=config.normalization,
-                           use_ga=fixed is None, ga_config=config.ga,
-                           fixed_features=fixed)
+    def _model(fixed: Optional[Sequence[int]] = None):
+        return make_classifier(
+            "decision-tree", normalization=config.normalization,
+            use_ga=fixed is None, ga=config.ga,
+            fixed_features=tuple(fixed) if fixed is not None else None)
 
     def intra(ds) -> Tuple[float, float]:
         X_a = ir2vec_feature_matrix(ds, config.ir2vec_opt, config.embedding_seed)
@@ -398,7 +399,7 @@ def ir2vec_encoding_ablation(config: ReproConfig) -> List[dict]:
     """
     from repro.ml.crossval import stratified_kfold_indices
     from repro.models.features import ir2vec_feature_matrix
-    from repro.models.ir2vec_model import IR2vecModel
+    from repro.pipeline import make_classifier
 
     dim = 256
     slices = {
@@ -418,8 +419,9 @@ def ir2vec_encoding_ablation(config: ReproConfig) -> List[dict]:
             hits = total = 0
             for tr, va in stratified_kfold_indices(strata, config.folds,
                                                    config.seed):
-                model = IR2vecModel(normalization=config.normalization,
-                                    use_ga=True, ga_config=config.ga)
+                model = make_classifier("decision-tree",
+                                        normalization=config.normalization,
+                                        use_ga=True, ga=config.ga)
                 model.fit(X[tr], y[tr])
                 hits += int(np.sum(model.predict(X[va]) == y[va]))
                 total += len(va)
@@ -436,10 +438,9 @@ def gnn_design_ablation(config: ReproConfig, suite: str = "CORR") -> List[dict]:
     max pooling, GATv2 attention, heterogeneous edge types) and re-runs
     Intra CV with binary labels.
     """
-    from repro.graphs.vocab import build_vocabulary
     from repro.ml.crossval import stratified_kfold_indices
     from repro.models.features import graph_dataset
-    from repro.models.gnn_model import GNNModel
+    from repro.pipeline import make_classifier, take
 
     ds = config.dataset(suite)
     graphs = graph_dataset(ds, config.gnn_opt)
@@ -457,12 +458,12 @@ def gnn_design_ablation(config: ReproConfig, suite: str = "CORR") -> List[dict]:
         hits = total = 0
         for tr, va in stratified_kfold_indices(strata, config.folds,
                                                config.seed):
-            model = GNNModel(epochs=config.gnn_epochs, lr=config.gnn_lr,
-                             batch_size=config.gnn_batch_size,
-                             seed=config.seed, **overrides)
-            train_graphs = [graphs[i] for i in tr]
-            model.fit(train_graphs, y[tr], build_vocabulary(train_graphs))
-            pred = model.predict([graphs[i] for i in va])
+            model = make_classifier("gnn", epochs=config.gnn_epochs,
+                                    lr=config.gnn_lr,
+                                    batch_size=config.gnn_batch_size,
+                                    seed=config.seed, **overrides)
+            model.fit(take(graphs, tr), y[tr])
+            pred = model.predict(take(graphs, va))
             hits += int(np.sum(pred == y[va]))
             total += len(va)
         rows.append({"variant": name, "suite": suite,
@@ -501,7 +502,7 @@ def mutation_detection(config: ReproConfig, suite: str = "MBI",
     """
     from repro.datasets.mutation import MutationEngine
     from repro.models.features import ir2vec_feature_matrix
-    from repro.models.ir2vec_model import IR2vecModel
+    from repro.pipeline import make_classifier
 
     ds = config.dataset(suite)
     engine = MutationEngine(seed=config.seed)
@@ -511,8 +512,9 @@ def mutation_detection(config: ReproConfig, suite: str = "MBI",
 
     X = ir2vec_feature_matrix(ds, config.ir2vec_opt, config.embedding_seed)
     y = np.array([s.binary for s in ds.samples])
-    model = IR2vecModel(normalization=config.normalization,
-                        use_ga=True, ga_config=config.ga)
+    model = make_classifier("decision-tree",
+                            normalization=config.normalization,
+                            use_ga=True, ga=config.ga)
     model.fit(X, y)
 
     from repro.datasets.loader import Dataset
@@ -592,18 +594,18 @@ def render_mutation_cross(rows: List[dict]) -> str:
 def table6_hypre(config: ReproConfig) -> List[dict]:
     """Reproduce Table VI: cross-trained models applied to the Hypre pair."""
     from repro.datasets.hypre import hypre_pair
-    from repro.embeddings.ir2vec import default_encoder
-    from repro.frontend import compile_c
-    from repro.models.ir2vec_model import IR2vecModel
     from repro.models.features import ir2vec_feature_matrix
+    from repro.pipeline import IR2VecFeaturizer, make_classifier, make_frontend
 
     ok, ko = hypre_pair()
-    encoder = default_encoder(config.embedding_seed)
+    featurizer = IR2VecFeaturizer(seed=config.embedding_seed)
     columns = []
     for opt in ("O0", "O2", "Os"):
+        frontend = make_frontend("mini-c", opt_level=opt)
         for sample, tag in ((ok, "ok"), (ko, "ko")):
-            module = compile_c(sample.source, sample.name, opt, verify=False)
-            columns.append((f"{opt}-{tag}", encoder.encode(module), tag))
+            module = frontend.compile(sample.source, sample.name)
+            columns.append((f"{opt}-{tag}",
+                            featurizer.transform([module])[0], tag))
 
     rows: List[dict] = []
     for train_name in ("MBI", "MPI-CorrBench"):
@@ -611,8 +613,10 @@ def table6_hypre(config: ReproConfig) -> List[dict]:
         X = ir2vec_feature_matrix(ds, config.ir2vec_opt, config.embedding_seed)
         y = np.array([s.binary for s in ds.samples])
         for features_mode in ("all", "GA"):
-            model = IR2vecModel(normalization=config.normalization,
-                                use_ga=features_mode == "GA", ga_config=config.ga)
+            model = make_classifier("decision-tree",
+                                    normalization=config.normalization,
+                                    use_ga=features_mode == "GA",
+                                    ga=config.ga)
             model.fit(X, y)
             row = {"train": train_name, "features": features_mode}
             for col, vec, truth in columns:

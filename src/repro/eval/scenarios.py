@@ -3,17 +3,22 @@
 Intra and Mix use 10-fold cross-validation with predictions aggregated
 over all validation folds; Cross trains on one full suite and validates
 on the other with binary labels (the suites' error taxonomies differ).
+
+Both scenarios are method-agnostic: stages come from the pipeline
+registries via :func:`repro.pipeline.method_stage_specs`, features from
+the shared :func:`~repro.models.features.featurize_dataset` cache, and
+fold selection uses :func:`repro.pipeline.take` — one code path for
+matrices and graph lists alike.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.datasets.loader import Dataset
 from repro.eval.config import ReproConfig
-from repro.graphs.vocab import build_vocabulary
 from repro.ml.crossval import stratified_kfold_indices
 from repro.ml.metrics import (
     MetricReport,
@@ -22,32 +27,26 @@ from repro.ml.metrics import (
     per_label_accuracy,
     per_label_support,
 )
-from repro.models.features import graph_dataset, ir2vec_feature_matrix
-from repro.models.gnn_model import GNNModel
-from repro.models.ir2vec_model import IR2vecModel
+from repro.models.features import featurize_dataset
+from repro.pipeline import CLASSIFIERS, FEATURIZERS, method_stage_specs, take
 
 
 def _binary_labels(dataset: Dataset) -> np.ndarray:
     return np.array([s.binary for s in dataset.samples])
 
 
-def _make_model(method: str, config: ReproConfig, *, use_ga: bool = True,
-                normalization: Optional[str] = None):
-    if method == "ir2vec":
-        return IR2vecModel(normalization=normalization or config.normalization,
-                           use_ga=use_ga, ga_config=config.ga)
-    if method == "gnn":
-        return GNNModel(epochs=config.gnn_epochs, lr=config.gnn_lr,
-                        batch_size=config.gnn_batch_size, seed=config.seed)
-    raise ValueError(f"unknown method {method!r}")
-
-
-def _features_for(method: str, dataset: Dataset, config: ReproConfig,
-                  opt_level: Optional[str] = None):
-    if method == "ir2vec":
-        return ir2vec_feature_matrix(dataset, opt_level or config.ir2vec_opt,
-                                     config.embedding_seed)
-    return graph_dataset(dataset, opt_level or config.gnn_opt)
+def _stage_specs(method: str, config: ReproConfig, *, use_ga: bool = True,
+                 normalization: Optional[str] = None,
+                 opt_level: Optional[str] = None) -> Tuple[str, Any, str, Any]:
+    if opt_level is None:
+        opt_level = config.ir2vec_opt if method == "ir2vec" else config.gnn_opt
+    return method_stage_specs(
+        method, opt_level=opt_level,
+        embedding_seed=config.embedding_seed,
+        normalization=normalization or config.normalization,
+        use_ga=use_ga, ga_config=config.ga,
+        epochs=config.gnn_epochs, lr=config.gnn_lr,
+        batch_size=config.gnn_batch_size, seed=config.seed)
 
 
 def run_intra_cv(method: str, dataset: Dataset, config: ReproConfig, *,
@@ -60,22 +59,19 @@ def run_intra_cv(method: str, dataset: Dataset, config: ReproConfig, *,
     ``labels`` defaults to binary correct/incorrect; pass error-type
     labels for the multi-class experiments (Fig. 6).
     """
+    feat_name, feat_cfg, clf_name, clf_cfg = _stage_specs(
+        method, config, use_ga=use_ga, normalization=normalization,
+        opt_level=opt_level)
     y = labels if labels is not None else _binary_labels(dataset)
-    features = _features_for(method, dataset, config, opt_level)
+    features = featurize_dataset(FEATURIZERS.create(feat_name, feat_cfg),
+                                 dataset)
     y_true: List[str] = []
     y_pred: List[str] = []
     for train_idx, val_idx in stratified_kfold_indices(
             [s.label for s in dataset.samples], config.folds, config.seed):
-        model = _make_model(method, config, use_ga=use_ga,
-                            normalization=normalization)
-        if method == "ir2vec":
-            model.fit(features[train_idx], y[train_idx])
-            pred = model.predict(features[val_idx])
-        else:
-            train_graphs = [features[i] for i in train_idx]
-            vocab = build_vocabulary(train_graphs)
-            model.fit(train_graphs, y[train_idx], vocab)
-            pred = model.predict([features[i] for i in val_idx])
+        model = CLASSIFIERS.create(clf_name, clf_cfg)
+        model.fit(take(features, train_idx), y[train_idx])
+        pred = model.predict(take(features, val_idx))
         y_true.extend(y[val_idx])
         y_pred.extend(pred)
     counts = confusion_from_predictions(y_true, y_pred)
@@ -86,21 +82,16 @@ def run_cross(method: str, train_ds: Dataset, val_ds: Dataset,
               config: ReproConfig, *, use_ga: bool = True,
               normalization: Optional[str] = None) -> MetricReport:
     """Train on one suite, validate on the other (binary labels)."""
-    y_train = _binary_labels(train_ds)
-    y_val = _binary_labels(val_ds)
-    model = _make_model(method, config, use_ga=use_ga, normalization=normalization)
-    if method == "ir2vec":
-        X_train = _features_for(method, train_ds, config)
-        X_val = _features_for(method, val_ds, config)
-        model.fit(X_train, y_train)
-        pred = model.predict(X_val)
-    else:
-        g_train = _features_for(method, train_ds, config)
-        g_val = _features_for(method, val_ds, config)
-        vocab = build_vocabulary(g_train)
-        model.fit(g_train, y_train, vocab)
-        pred = model.predict(g_val)
-    counts = confusion_from_predictions(list(y_val), list(pred))
+    feat_name, feat_cfg, clf_name, clf_cfg = _stage_specs(
+        method, config, use_ga=use_ga, normalization=normalization)
+    featurizer = FEATURIZERS.create(feat_name, feat_cfg)
+    X_train = featurize_dataset(featurizer, train_ds)
+    X_val = featurize_dataset(featurizer, val_ds)
+    model = CLASSIFIERS.create(clf_name, clf_cfg)
+    model.fit(X_train, _binary_labels(train_ds))
+    pred = model.predict(X_val)
+    counts = confusion_from_predictions(list(_binary_labels(val_ds)),
+                                        list(pred))
     return compute_metrics(counts)
 
 

@@ -2,6 +2,7 @@
 
 from repro.models.features import (
     compile_dataset,
+    featurize_dataset,
     graph_dataset,
     ir2vec_feature_matrix,
 )
@@ -11,4 +12,5 @@ from repro.models.gnn_model import GNNModel
 __all__ = [
     "IR2vecModel", "GNNModel",
     "ir2vec_feature_matrix", "graph_dataset", "compile_dataset",
+    "featurize_dataset",
 ]

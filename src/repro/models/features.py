@@ -2,34 +2,58 @@
 
 Feature extraction dominates experiment wall-clock, and the paper reuses
 the same features across many scenarios (Intra/Mix/Cross share vectors),
-so everything here is memoized on (dataset name, sample names, options).
+so everything here is memoized on a *content digest* of the dataset —
+every sample name and source is hashed, so two datasets that differ in
+any sample (even one in the middle) never share a cache entry.
+
+``featurize_dataset`` is the generic entry point: it accepts any object
+satisfying the :class:`repro.pipeline.stages.Featurizer` protocol and
+caches its output per (featurizer identity, config, dataset digest, opt
+level).  The legacy helpers ``ir2vec_feature_matrix`` / ``graph_dataset``
+are thin wrappers over the built-in featurizers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.datasets.loader import Dataset
-from repro.embeddings.ir2vec import default_encoder
-from repro.frontend import compile_c
-from repro.graphs.programl import ProgramGraph, build_program_graph
 from repro.ir.module import Module
 
 _MODULE_CACHE: Dict[Tuple, List[Module]] = {}
-_FEATURE_CACHE: Dict[Tuple, np.ndarray] = {}
-_GRAPH_CACHE: Dict[Tuple, List[ProgramGraph]] = {}
+_FEATURE_CACHE: Dict[Tuple, Any] = {}
 
 
 def _dataset_key(dataset: Dataset) -> Tuple:
-    return (dataset.name, len(dataset), tuple(s.name for s in dataset.samples[:5]),
-            tuple(s.name for s in dataset.samples[-5:]))
+    """Cache key covering *all* sample names and sources.
+
+    The digest walks every sample, so datasets that agree on name, length,
+    and boundary samples but differ somewhere in the middle (a subtle
+    staleness bug in the earlier first/last-5 key) hash differently.
+    """
+    h = hashlib.sha256()
+    h.update(dataset.name.encode("utf-8"))
+    for s in dataset.samples:
+        h.update(b"\x00")
+        h.update(s.name.encode("utf-8"))
+        h.update(b"\x01")
+        h.update(s.source.encode("utf-8"))
+    return (dataset.name, len(dataset), h.hexdigest())
 
 
 def compile_dataset(dataset: Dataset, opt_level: str = "O0") -> List[Module]:
     """Compile every sample; results cached per (dataset, opt level)."""
-    key = (_dataset_key(dataset), opt_level)
+    return _compile_dataset(_dataset_key(dataset), dataset, opt_level)
+
+
+def _compile_dataset(ds_key: Tuple, dataset: Dataset,
+                     opt_level: str) -> List[Module]:
+    from repro.frontend import compile_c
+
+    key = (ds_key, opt_level)
     if key not in _MODULE_CACHE:
         _MODULE_CACHE[key] = [
             compile_c(s.source, s.name, opt_level, verify=False)
@@ -38,27 +62,56 @@ def compile_dataset(dataset: Dataset, opt_level: str = "O0") -> List[Module]:
     return _MODULE_CACHE[key]
 
 
-def ir2vec_feature_matrix(dataset: Dataset, opt_level: str = "Os",
-                          seed: int = 42) -> np.ndarray:
-    """(n_samples, 512) concat(symbolic, flow-aware) embedding matrix."""
-    key = (_dataset_key(dataset), opt_level, seed)
+def featurize_dataset(featurizer: Any, dataset: Dataset,
+                      opt_level: Optional[str] = None) -> Any:
+    """Featurize a whole dataset through the shared compile/feature cache.
+
+    ``featurizer`` is any object with ``transform(modules)`` and an
+    ``opt_level`` attribute (see :mod:`repro.pipeline.stages`);
+    ``opt_level`` overrides the featurizer's preferred IR level.
+
+    Results are memoized per (featurizer type, config repr, dataset
+    content digest, opt level).  A featurizer without a ``config``
+    attribute has no cacheable identity — two differently-parameterized
+    instances would collide — so those transform fresh every call
+    (compiled modules still come from the shared module cache).
+    """
+    level = opt_level or getattr(featurizer, "opt_level", "O0")
+    ds_key = _dataset_key(dataset)       # hash the corpus exactly once
+    config = getattr(featurizer, "config", None)
+    if config is None:
+        return featurizer.transform(_compile_dataset(ds_key, dataset, level))
+    key = ((type(featurizer).__qualname__,
+            getattr(featurizer, "name", type(featurizer).__name__),
+            repr(config)),
+           ds_key, level)
     if key not in _FEATURE_CACHE:
-        encoder = default_encoder(seed)
-        modules = compile_dataset(dataset, opt_level)
-        _FEATURE_CACHE[key] = np.stack([encoder.encode(m) for m in modules])
+        modules = _compile_dataset(ds_key, dataset, level)
+        _FEATURE_CACHE[key] = featurizer.transform(modules)
     return _FEATURE_CACHE[key]
 
 
-def graph_dataset(dataset: Dataset, opt_level: str = "O0") -> List[ProgramGraph]:
+def ir2vec_feature_matrix(dataset: Dataset, opt_level: str = "Os",
+                          seed: int = 42) -> np.ndarray:
+    """(n_samples, 512) concat(symbolic, flow-aware) embedding matrix."""
+    from repro.pipeline.stages import IR2VecFeaturizer
+
+    return featurize_dataset(
+        IR2VecFeaturizer(opt_level=opt_level, seed=seed), dataset)
+
+
+def graph_dataset(dataset: Dataset, opt_level: str = "O0") -> List[Any]:
     """ProGraML graphs for every sample (GNN input; paper uses -O0)."""
-    key = (_dataset_key(dataset), opt_level)
-    if key not in _GRAPH_CACHE:
-        modules = compile_dataset(dataset, opt_level)
-        _GRAPH_CACHE[key] = [build_program_graph(m) for m in modules]
-    return _GRAPH_CACHE[key]
+    from repro.pipeline.stages import ProGraMLFeaturizer
+
+    return featurize_dataset(
+        ProGraMLFeaturizer(opt_level=opt_level), dataset)
 
 
 def clear_caches() -> None:
+    """Drop every feature/compile memo, including the frontend's."""
+    from repro.pipeline.stages import clear_compile_cache
+
     _MODULE_CACHE.clear()
     _FEATURE_CACHE.clear()
-    _GRAPH_CACHE.clear()
+    clear_compile_cache()

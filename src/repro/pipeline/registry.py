@@ -1,0 +1,167 @@
+"""Named stage registries — build featurizers/classifiers/frontends by name.
+
+Every pipeline stage is registered under a short name together with its
+config dataclass, so callers (CLI flags, artifact manifests, experiment
+drivers) can construct stages from plain strings and JSON-safe mappings:
+
+>>> register_featurizer("my-feat", MyFeaturizer, MyFeaturizerConfig)
+>>> feat = make_featurizer("my-feat", window=3)
+
+Unknown names raise ``KeyError`` listing what *is* available, so typos in
+CLI flags or hand-edited manifests fail loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+
+def config_from_mapping(config_cls: type, mapping: Mapping[str, Any]):
+    """Instantiate a config dataclass from a JSON-safe mapping.
+
+    Coerces what JSON round-trips lossily: nested dataclasses arrive as
+    dicts, tuples as lists, and ``Optional[...]`` wrappers are unwrapped
+    before inspection.
+    """
+    if not dataclasses.is_dataclass(config_cls):
+        return dict(mapping)
+    hints = typing.get_type_hints(config_cls)
+    field_names = {f.name for f in dataclasses.fields(config_cls)}
+    unknown = sorted(set(mapping) - field_names)
+    if unknown:
+        raise TypeError(
+            f"{config_cls.__name__} has no option(s) {', '.join(unknown)}; "
+            f"valid options: {', '.join(sorted(field_names))}")
+    kwargs = {}
+    for key, value in mapping.items():
+        kwargs[key] = _coerce(hints.get(key), value)
+    return config_cls(**kwargs)
+
+
+def _coerce(annotation, value):
+    if annotation is None or value is None:
+        return value
+    origin = typing.get_origin(annotation)
+    args = typing.get_args(annotation)
+    if origin is typing.Union:                      # Optional[X] and friends
+        for arg in args:
+            if arg is type(None):
+                continue
+            return _coerce(arg, value)
+        return value
+    if dataclasses.is_dataclass(annotation) and isinstance(value, Mapping):
+        return config_from_mapping(annotation, value)
+    if origin is tuple and isinstance(value, (list, tuple)):
+        return tuple(value)
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class RegistryEntry:
+    name: str
+    factory: Callable[..., Any]
+    config_cls: Optional[type] = None
+
+
+class StageRegistry:
+    """A name → (factory, config class) table for one kind of stage."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, RegistryEntry] = {}
+
+    # -- registration --------------------------------------------------------
+    def register(self, name: str, factory: Callable[..., Any],
+                 config_cls: Optional[type] = None, *,
+                 overwrite: bool = False) -> None:
+        if not name or not isinstance(name, str):
+            raise ValueError(f"{self.kind} name must be a non-empty string")
+        if name in self._entries and not overwrite:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass overwrite=True to replace it")
+        self._entries[name] = RegistryEntry(name, factory, config_cls)
+
+    def unregister(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    # -- lookup --------------------------------------------------------------
+    def entry(self, name: str) -> RegistryEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            available = ", ".join(sorted(self._entries)) or "<none>"
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; available: {available}"
+            ) from None
+
+    def create(self, name: str, config: Any = None, **overrides: Any):
+        """Build the named stage, from a config object or keyword overrides."""
+        entry = self.entry(name)
+        if config is not None and overrides:
+            raise TypeError("pass either a config object or keyword "
+                            "overrides, not both")
+        if config is None:
+            if entry.config_cls is not None:
+                config = config_from_mapping(entry.config_cls, overrides)
+            elif overrides:
+                config = dict(overrides)
+        elif (entry.config_cls is not None
+              and isinstance(config, Mapping)):
+            config = config_from_mapping(entry.config_cls, config)
+        return entry.factory(config) if config is not None else entry.factory()
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+
+FRONTENDS = StageRegistry("frontend")
+FEATURIZERS = StageRegistry("featurizer")
+CLASSIFIERS = StageRegistry("classifier")
+
+
+def register_frontend(name: str, factory: Callable[..., Any],
+                      config_cls: Optional[type] = None, *,
+                      overwrite: bool = False) -> None:
+    FRONTENDS.register(name, factory, config_cls, overwrite=overwrite)
+
+
+def register_featurizer(name: str, factory: Callable[..., Any],
+                        config_cls: Optional[type] = None, *,
+                        overwrite: bool = False) -> None:
+    FEATURIZERS.register(name, factory, config_cls, overwrite=overwrite)
+
+
+def register_classifier(name: str, factory: Callable[..., Any],
+                        config_cls: Optional[type] = None, *,
+                        overwrite: bool = False) -> None:
+    CLASSIFIERS.register(name, factory, config_cls, overwrite=overwrite)
+
+
+def make_frontend(name: str, config: Any = None, **overrides: Any):
+    return FRONTENDS.create(name, config, **overrides)
+
+
+def make_featurizer(name: str, config: Any = None, **overrides: Any):
+    return FEATURIZERS.create(name, config, **overrides)
+
+
+def make_classifier(name: str, config: Any = None, **overrides: Any):
+    return CLASSIFIERS.create(name, config, **overrides)
+
+
+def frontend_names() -> Tuple[str, ...]:
+    return FRONTENDS.names()
+
+
+def featurizer_names() -> Tuple[str, ...]:
+    return FEATURIZERS.names()
+
+
+def classifier_names() -> Tuple[str, ...]:
+    return CLASSIFIERS.names()

@@ -1,0 +1,316 @@
+"""Pipeline stage protocols and the built-in implementations.
+
+The paper's detector decomposes into three stages, each behind a small
+structural protocol so alternatives plug in without touching core code:
+
+``Frontend``
+    C source → IR module.  The built-in ``mini-c`` frontend memoizes on a
+    content hash of the source, so re-checking unchanged files (or the
+    same file at the same opt level in a batch) never recompiles.
+``Featurizer``
+    IR modules → a feature batch.  ``ir2vec`` yields a dense
+    ``(n, 512)`` matrix; ``programl`` yields a list of program graphs.
+``Classifier``
+    feature batch → label array.  ``decision-tree`` wraps the paper's
+    GA + DT model, ``gnn`` the GATv2 network (vocabulary built at fit
+    time from the training graphs).
+
+All stages carry a frozen config dataclass (JSON-serializable via
+``dataclasses.asdict``) and are registered by name in
+:mod:`repro.pipeline.registry`.  Stateful stages expose
+``get_state()``/``set_state()`` byte blobs for the artifact format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.ir.module import Module
+from repro.ml.genetic import GAConfig
+
+#: A feature batch is either a dense matrix or a list of graphs.
+FeatureBatch = Union[np.ndarray, List[Any]]
+
+
+# ---------------------------------------------------------------------------
+# Protocols
+# ---------------------------------------------------------------------------
+
+@runtime_checkable
+class Frontend(Protocol):
+    name: str
+
+    def compile(self, source: str, name: str = "input.c") -> Module: ...
+
+
+@runtime_checkable
+class Featurizer(Protocol):
+    name: str
+
+    @property
+    def opt_level(self) -> str: ...
+
+    def transform(self, modules: Sequence[Module]) -> FeatureBatch: ...
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    name: str
+
+    def fit(self, features: FeatureBatch, y: Sequence[str]) -> "Classifier": ...
+
+    def predict(self, features: FeatureBatch) -> np.ndarray: ...
+
+
+def take(features: FeatureBatch, indices: Sequence[int]) -> FeatureBatch:
+    """Row-select from a feature batch (works for matrices and graph lists)."""
+    if isinstance(features, np.ndarray):
+        return features[np.asarray(indices)]
+    return [features[int(i)] for i in indices]
+
+
+def source_digest(source: str) -> str:
+    """Stable content hash used as the compile/feature cache key."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Frontend: mini-C → IR, content-hash cached
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CFrontendConfig:
+    opt_level: str = "O0"
+    verify: bool = False
+
+
+_COMPILE_CACHE: Dict[Tuple[str, str, str, bool], Module] = {}
+
+
+class CFrontend:
+    """The repo's mini-C compiler behind the ``Frontend`` protocol."""
+
+    name = "mini-c"
+
+    def __init__(self, config: Optional[CFrontendConfig] = None, **overrides):
+        self.config = config or CFrontendConfig(**overrides)
+
+    @property
+    def opt_level(self) -> str:
+        return self.config.opt_level
+
+    def compile(self, source: str, name: str = "input.c") -> Module:
+        # name participates in the key: identical content under two file
+        # names must not alias one Module (its .name feeds diagnostics).
+        key = (source_digest(source), name, self.config.opt_level,
+               self.config.verify)
+        module = _COMPILE_CACHE.get(key)
+        if module is None:
+            from repro.frontend import compile_c
+
+            module = compile_c(source, name, self.config.opt_level,
+                               verify=self.config.verify)
+            _COMPILE_CACHE[key] = module
+        return module
+
+
+def clear_compile_cache() -> None:
+    _COMPILE_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Featurizers
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IR2VecFeaturizerConfig:
+    opt_level: str = "Os"          # paper default for the embedding pipeline
+    seed: int = 42
+
+
+class IR2VecFeaturizer:
+    """IR modules → stacked (n, 512) symbolic‖flow-aware embedding matrix."""
+
+    name = "ir2vec"
+    kind = "matrix"
+
+    def __init__(self, config: Optional[IR2VecFeaturizerConfig] = None,
+                 **overrides):
+        self.config = config or IR2VecFeaturizerConfig(**overrides)
+
+    @property
+    def opt_level(self) -> str:
+        return self.config.opt_level
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    def transform(self, modules: Sequence[Module]) -> np.ndarray:
+        from repro.embeddings.ir2vec import default_encoder
+
+        encoder = default_encoder(self.config.seed)
+        if not modules:
+            return np.zeros((0, 2 * encoder.dim))
+        return np.stack([encoder.encode(m) for m in modules])
+
+
+@dataclass(frozen=True)
+class ProGraMLFeaturizerConfig:
+    opt_level: str = "O0"          # paper default for the GNN pipeline
+
+
+class ProGraMLFeaturizer:
+    """IR modules → list of ProGraML program graphs."""
+
+    name = "programl"
+    kind = "graphs"
+
+    def __init__(self, config: Optional[ProGraMLFeaturizerConfig] = None,
+                 **overrides):
+        self.config = config or ProGraMLFeaturizerConfig(**overrides)
+
+    @property
+    def opt_level(self) -> str:
+        return self.config.opt_level
+
+    def transform(self, modules: Sequence[Module]) -> List[Any]:
+        from repro.graphs.programl import build_program_graph
+
+        return [build_program_graph(m) for m in modules]
+
+
+# ---------------------------------------------------------------------------
+# Classifiers
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DecisionTreeStageConfig:
+    normalization: str = "vector"
+    use_ga: bool = True
+    ga: Optional[GAConfig] = None
+    fixed_features: Optional[Tuple[int, ...]] = None
+
+
+class DecisionTreeStage:
+    """GA feature selection + decision tree over embedding matrices."""
+
+    name = "decision-tree"
+    expects = "matrix"
+
+    def __init__(self, config: Optional[DecisionTreeStageConfig] = None,
+                 **overrides):
+        from repro.models.ir2vec_model import IR2vecModel
+
+        self.config = config or DecisionTreeStageConfig(**overrides)
+        self.model = IR2vecModel(
+            normalization=self.config.normalization,
+            use_ga=self.config.use_ga,
+            ga_config=self.config.ga,
+            fixed_features=self.config.fixed_features,
+        )
+
+    def fit(self, features: np.ndarray, y: Sequence[str]) -> "DecisionTreeStage":
+        self.model.fit(np.asarray(features), np.asarray(y))
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.model.predict(np.asarray(features))
+
+    @property
+    def selected(self) -> Optional[Tuple[int, ...]]:
+        return self.model.selected
+
+    # -- artifact state ------------------------------------------------------
+    def get_state(self) -> bytes:
+        return pickle.dumps(self.model)
+
+    def set_state(self, blob: bytes) -> None:
+        self.model = pickle.loads(blob)
+
+
+@dataclass(frozen=True)
+class GNNStageConfig:
+    epochs: int = 10
+    lr: float = 4e-4
+    batch_size: int = 32
+    emb_dim: int = 64
+    hidden: Tuple[int, ...] = (128, 64, 32)
+    seed: int = 0
+    pooling: str = "max"
+    attention: bool = True
+    hetero: bool = True
+
+
+class GNNStage:
+    """GATv2 GNN over program-graph batches (vocab built at fit time)."""
+
+    name = "gnn"
+    expects = "graphs"
+
+    def __init__(self, config: Optional[GNNStageConfig] = None, **overrides):
+        from repro.models.gnn_model import GNNModel
+
+        self.config = config or GNNStageConfig(**overrides)
+        c = self.config
+        self.model = GNNModel(epochs=c.epochs, lr=c.lr,
+                              batch_size=c.batch_size, emb_dim=c.emb_dim,
+                              hidden=c.hidden, seed=c.seed, pooling=c.pooling,
+                              attention=c.attention, hetero=c.hetero)
+
+    def fit(self, features: Sequence[Any], y: Sequence[str],
+            vocab: Optional[Any] = None) -> "GNNStage":
+        from repro.graphs.vocab import build_vocabulary
+
+        graphs = list(features)
+        self.model.fit(graphs, np.asarray(y),
+                       vocab or build_vocabulary(graphs))
+        return self
+
+    def predict(self, features: Sequence[Any]) -> np.ndarray:
+        return self.model.predict(list(features))
+
+    def predict_proba(self, features: Sequence[Any]) -> np.ndarray:
+        return self.model.predict_proba(list(features))
+
+    # -- artifact state ------------------------------------------------------
+    def get_state(self) -> bytes:
+        return pickle.dumps(self.model)
+
+    def set_state(self, blob: bytes) -> None:
+        self.model = pickle.loads(blob)
+
+
+# ---------------------------------------------------------------------------
+# Built-in registration
+# ---------------------------------------------------------------------------
+
+from repro.pipeline.registry import (  # noqa: E402  (registration footer)
+    register_classifier,
+    register_featurizer,
+    register_frontend,
+)
+
+register_frontend(CFrontend.name, CFrontend, CFrontendConfig)
+register_featurizer(IR2VecFeaturizer.name, IR2VecFeaturizer,
+                    IR2VecFeaturizerConfig)
+register_featurizer(ProGraMLFeaturizer.name, ProGraMLFeaturizer,
+                    ProGraMLFeaturizerConfig)
+register_classifier(DecisionTreeStage.name, DecisionTreeStage,
+                    DecisionTreeStageConfig)
+register_classifier(GNNStage.name, GNNStage, GNNStageConfig)

@@ -32,6 +32,44 @@ def test_feature_matrix_shape_and_cache(small):
     assert not np.allclose(X0, X1)
 
 
+def test_feature_cache_keys_on_full_content(small):
+    """Datasets differing only in a *middle* sample must not share features.
+
+    Regression test for the old (name, len, first/last-5 names) cache key,
+    which silently returned stale features in exactly this situation.
+    """
+    from dataclasses import replace
+
+    ds, _ = small
+    mutated = replace(
+        ds.samples[len(ds) // 2],
+        source="#include <mpi.h>\n"
+               "int main(int argc, char** argv) {\n"
+               "  MPI_Init(&argc, &argv);\n  MPI_Finalize();\n  return 0;\n}\n")
+    samples = list(ds.samples)
+    samples[len(ds) // 2] = mutated
+    from repro.datasets.loader import Dataset
+
+    twin = Dataset(ds.name, samples)      # same name/len/first5/last5 names
+    X_orig = ir2vec_feature_matrix(ds, "Os")
+    X_twin = ir2vec_feature_matrix(twin, "Os")
+    assert X_orig is not X_twin
+    assert not np.allclose(X_orig[len(ds) // 2], X_twin[len(ds) // 2])
+
+
+def test_featurize_dataset_generic_cache(small):
+    from repro.models import featurize_dataset
+    from repro.pipeline import IR2VecFeaturizer
+
+    ds, _ = small
+    feat = IR2VecFeaturizer(opt_level="Os", seed=42)
+    X1 = featurize_dataset(feat, ds)
+    # A *different instance* with equal config must hit the same entry.
+    X2 = featurize_dataset(IR2VecFeaturizer(opt_level="Os", seed=42), ds)
+    assert X1 is X2
+    assert np.array_equal(X1, ir2vec_feature_matrix(ds, "Os", 42))
+
+
 def test_ir2vec_model_beats_chance(small):
     ds, y = small
     X = ir2vec_feature_matrix(ds, "Os")

@@ -1,0 +1,162 @@
+"""Versioned artifact format: manifest, round-trips, legacy rejection."""
+
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import MPIErrorDetector
+from repro.datasets import load_corrbench
+from repro.ml import GAConfig
+from repro.pipeline import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    DetectionPipeline,
+    load_pipeline,
+    save_pipeline,
+)
+from repro.pipeline.artifact import FORMAT_NAME, MANIFEST_NAME, validate_manifest
+
+SMOKE_GA = GAConfig(population_size=20, generations=2)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_corrbench(subsample=50)
+
+
+@pytest.fixture(scope="module", params=["ir2vec", "gnn"])
+def fitted(request, dataset):
+    if request.param == "ir2vec":
+        pipe = DetectionPipeline.from_method("ir2vec", ga_config=SMOKE_GA)
+    else:
+        pipe = DetectionPipeline.from_method("gnn", epochs=1)
+    return pipe.fit(dataset)
+
+
+def test_roundtrip_identical_predictions(fitted, dataset, tmp_path):
+    """Saved → loaded pipelines give byte-identical predictions."""
+    path = str(tmp_path / "model.rpd")
+    fitted.save(path)
+    reloaded = DetectionPipeline.load(path)
+    before = fitted.predict_dataset(dataset)
+    after = reloaded.predict_dataset(dataset)
+    assert np.array_equal(before, after)
+    assert reloaded.method == fitted.method
+    assert reloaded.label_mode == fitted.label_mode
+    assert reloaded.fitted
+
+
+def test_zip_roundtrip(fitted, dataset, tmp_path):
+    path = str(tmp_path / "model.zip")
+    fitted.save(path)
+    assert os.path.isfile(path)
+    reloaded = load_pipeline(path)
+    assert np.array_equal(fitted.predict_dataset(dataset),
+                          reloaded.predict_dataset(dataset))
+
+
+def test_manifest_contents(fitted, tmp_path):
+    path = str(tmp_path / "model.rpd")
+    save_pipeline(fitted, path)
+    with open(os.path.join(path, MANIFEST_NAME)) as fh:
+        manifest = json.load(fh)
+    validate_manifest(manifest)                  # self-consistent
+    assert manifest["format"] == FORMAT_NAME
+    assert manifest["schema_version"] == SCHEMA_VERSION
+    assert manifest["fitted"] is True
+    assert manifest["label_mode"] == "binary"
+    stages = manifest["stages"]
+    assert stages["frontend"]["name"] == "mini-c"
+    assert stages["featurizer"]["name"] in ("ir2vec", "programl")
+    assert stages["classifier"]["name"] in ("decision-tree", "gnn")
+    assert "config" in stages["featurizer"]
+    # The classifier carries fitted state; its blob must exist on disk.
+    blob = stages["classifier"]["state"]
+    assert os.path.exists(os.path.join(path, blob))
+
+
+def test_missing_artifact_errors():
+    with pytest.raises(ArtifactError, match="no pipeline artifact"):
+        load_pipeline("/nonexistent/model.rpd")
+
+
+def test_directory_without_manifest_errors(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ArtifactError, match=MANIFEST_NAME):
+        load_pipeline(str(empty))
+
+
+def test_corrupt_manifest_rejected(fitted, tmp_path):
+    path = str(tmp_path / "model.rpd")
+    save_pipeline(fitted, path)
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    manifest["schema_version"] = SCHEMA_VERSION + 1
+    with open(manifest_path, "w") as fh:
+        json.dump(manifest, fh)
+    with pytest.raises(ArtifactError, match="newer than this build"):
+        load_pipeline(path)
+
+
+def test_missing_blob_rejected(fitted, tmp_path):
+    path = str(tmp_path / "model.rpd")
+    save_pipeline(fitted, path)
+    os.remove(os.path.join(path, "classifier.bin"))
+    with pytest.raises(ArtifactError, match="missing blob"):
+        load_pipeline(path)
+
+
+def test_garbage_manifest_json_rejected(fitted, tmp_path):
+    path = str(tmp_path / "model.rpd")
+    save_pipeline(fitted, path)
+    with open(os.path.join(path, MANIFEST_NAME), "w") as fh:
+        fh.write("{not json")
+    with pytest.raises(ArtifactError, match="not valid JSON"):
+        load_pipeline(path)
+
+
+def test_unknown_stage_name_rejected(fitted, tmp_path):
+    path = str(tmp_path / "model.rpd")
+    save_pipeline(fitted, path)
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    manifest["stages"]["featurizer"]["name"] = "never-registered"
+    manifest["stages"]["featurizer"]["config"] = {}
+    with open(manifest_path, "w") as fh:
+        json.dump(manifest, fh)
+    with pytest.raises(ArtifactError, match="never-registered"):
+        load_pipeline(path)
+
+
+def test_legacy_pickle_rejected_with_deprecation(tmp_path, dataset):
+    """Old raw-pickle artifacts fail loudly, pointing at the new format."""
+    legacy = str(tmp_path / "legacy.pkl")
+    with open(legacy, "wb") as fh:
+        pickle.dump({"model": "pretend-detector"}, fh)
+    with pytest.warns(DeprecationWarning, match="raw-pickle"):
+        with pytest.raises(ArtifactError, match="legacy raw-pickle"):
+            load_pipeline(legacy)
+    # The back-compat facade rejects it the same way.
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ArtifactError, match="retrain"):
+            MPIErrorDetector.load(legacy)
+
+
+def test_detector_facade_roundtrip(tmp_path, dataset):
+    detector = MPIErrorDetector(method="ir2vec", ga_config=SMOKE_GA)
+    detector.train(dataset)
+    path = str(tmp_path / "detector.rpd")
+    detector.save(path)
+    loaded = MPIErrorDetector.load(path)
+    assert loaded.method == "ir2vec"
+    assert loaded.opt_level == detector.opt_level
+    assert loaded.embedding_seed == detector.embedding_seed
+    before = [r.label for r in detector.check_samples(dataset.samples[:10])]
+    after = [r.label for r in loaded.check_samples(dataset.samples[:10])]
+    assert before == after

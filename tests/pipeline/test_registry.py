@@ -1,0 +1,101 @@
+"""Stage registries: registration, lookup, config coercion, errors."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.ml.genetic import GAConfig
+from repro.pipeline import (
+    CLASSIFIERS,
+    FEATURIZERS,
+    FRONTENDS,
+    DecisionTreeStage,
+    DecisionTreeStageConfig,
+    GNNStage,
+    IR2VecFeaturizer,
+    ProGraMLFeaturizer,
+    StageRegistry,
+    classifier_names,
+    featurizer_names,
+    frontend_names,
+    make_classifier,
+    make_featurizer,
+    register_featurizer,
+)
+from repro.pipeline.registry import config_from_mapping
+
+
+def test_builtin_names_registered():
+    assert set(featurizer_names()) >= {"ir2vec", "programl"}
+    assert set(classifier_names()) >= {"decision-tree", "gnn"}
+    assert "mini-c" in frontend_names()
+    assert "ir2vec" in FEATURIZERS and "gnn" in CLASSIFIERS
+    assert "mini-c" in FRONTENDS
+
+
+def test_make_featurizer_by_name():
+    feat = make_featurizer("ir2vec", opt_level="O2", seed=7)
+    assert isinstance(feat, IR2VecFeaturizer)
+    assert feat.opt_level == "O2" and feat.seed == 7
+    graphs = make_featurizer("programl")
+    assert isinstance(graphs, ProGraMLFeaturizer)
+    assert graphs.opt_level == "O0"
+
+
+def test_make_classifier_by_name():
+    clf = make_classifier("decision-tree", use_ga=False)
+    assert isinstance(clf, DecisionTreeStage)
+    assert clf.config.use_ga is False
+    gnn = make_classifier("gnn", epochs=2, hidden=[16, 8])
+    assert isinstance(gnn, GNNStage)
+    assert gnn.config.epochs == 2
+    assert gnn.config.hidden == (16, 8)      # list coerced to tuple
+
+
+def test_unknown_name_lists_available():
+    with pytest.raises(KeyError, match="unknown featurizer 'nope'"):
+        make_featurizer("nope")
+    with pytest.raises(KeyError, match="ir2vec"):
+        make_featurizer("nope")
+    with pytest.raises(KeyError, match="unknown classifier"):
+        make_classifier("transformer")
+
+
+def test_unknown_config_option_rejected():
+    with pytest.raises(TypeError, match="no option"):
+        make_featurizer("ir2vec", window_size=3)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_featurizer("ir2vec", IR2VecFeaturizer)
+    # ... unless explicitly overwritten (restores the same factory).
+    register_featurizer("ir2vec", IR2VecFeaturizer, overwrite=True)
+    from repro.pipeline.stages import IR2VecFeaturizerConfig
+
+    register_featurizer("ir2vec", IR2VecFeaturizer, IR2VecFeaturizerConfig,
+                        overwrite=True)
+
+
+def test_registry_isolated_instance():
+    reg = StageRegistry("widget")
+    reg.register("a", dict)
+    assert "a" in reg and reg.names() == ("a",)
+    reg.unregister("a")
+    assert "a" not in reg
+
+
+def test_config_from_mapping_coerces_nested_dataclass():
+    cfg = config_from_mapping(
+        DecisionTreeStageConfig,
+        {"use_ga": True, "ga": {"population_size": 9, "generations": 2},
+         "fixed_features": [1, 2, 3]})
+    assert isinstance(cfg.ga, GAConfig)
+    assert cfg.ga.population_size == 9
+    assert cfg.fixed_features == (1, 2, 3)
+
+
+def test_create_rejects_config_plus_overrides():
+    with pytest.raises(TypeError, match="not both"):
+        CLASSIFIERS.create("decision-tree",
+                           DecisionTreeStageConfig(), use_ga=False)

@@ -108,6 +108,30 @@ def test_train_check_roundtrip(tmp_path, correct_file, deadlock_file, capsys):
     assert out.count(":") >= 2       # one verdict line per file
 
 
+def test_train_check_zip_artifact(tmp_path, correct_file, deadlock_file,
+                                  capsys):
+    model_path = str(tmp_path / "model.zip")
+    assert main(["train", "-d", "corrbench", "-m", "ir2vec",
+                 "--profile", "smoke", "-o", model_path]) == 0
+    assert os.path.isfile(model_path)          # single-file zip artifact
+    assert main(["check", model_path, correct_file, deadlock_file]) in (0, 2)
+    out = capsys.readouterr().out
+    assert out.count(":") >= 2
+
+
+def test_check_rejects_legacy_pickle(tmp_path, correct_file, capsys):
+    import pickle
+    import warnings
+
+    legacy = str(tmp_path / "legacy.pkl")
+    with open(legacy, "wb") as fh:
+        pickle.dump({"old": "detector"}, fh)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert main(["check", legacy, correct_file]) == 1
+    assert "legacy raw-pickle" in capsys.readouterr().err
+
+
 def test_mutate_writes_mutants(tmp_path, correct_file, capsys):
     out_dir = str(tmp_path / "mutants")
     assert main(["mutate", correct_file, out_dir, "--count", "3"]) == 0
