@@ -16,6 +16,12 @@ then classifies:
 Finally the fitted pipeline round-trips through the versioned artifact
 format (JSON manifest + per-stage blobs).
 
+All compile/featurize work runs on the corpus execution engine: set
+``REPRO_WORKERS=4`` to fan it out over worker processes and
+``REPRO_CACHE_DIR=~/.cache/repro`` to make re-runs of this script skip
+compilation and featurization entirely (the CLI equivalents are
+``python -m repro train --workers 4 --cache-dir ~/.cache/repro ...``).
+
 Run:  python examples/quickstart.py
 """
 
@@ -53,6 +59,13 @@ def main() -> None:
     print("Registered stages:")
     print(f"  featurizers: {', '.join(featurizer_names())}")
     print(f"  classifiers: {', '.join(classifier_names())}")
+
+    from repro.engine import default_engine
+
+    engine = default_engine()
+    print(f"execution engine: workers={engine.workers} "
+          f"cache_dir={engine.cache_dir or '(disabled)'}  "
+          "(set REPRO_WORKERS / REPRO_CACHE_DIR)")
 
     print("\nLoading the MBI-style dataset (generated, deterministic)...")
     training = load_mbi(subsample=600)

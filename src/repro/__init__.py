@@ -31,6 +31,9 @@ Subpackages
     IR2vec (TransE seeds, symbolic + flow-aware) and ProGraML graphs.
 ``nn`` / ``ml``
     numpy autograd + GATv2 GNN; decision tree, GA, metrics, CV.
+``engine``
+    parallel corpus execution engine: worker-pool fan-out plus the
+    persistent content-addressed compile/feature cache.
 ``pipeline``
     stage protocols, registries, DetectionPipeline, artifact format.
 ``models`` / ``core``
@@ -56,7 +59,7 @@ from repro.pipeline import (
     register_featurizer,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 __all__ = [
     "MPIErrorDetector", "DetectionResult", "DetectionPipeline",
     "register_featurizer", "register_classifier",

@@ -14,7 +14,14 @@ train          train a detection pipeline on a suite, save its artifact
 check          classify C files (batched) with a saved pipeline artifact
 experiment     regenerate one of the paper's tables / figures
 mutate         inject MPI bugs into a correct program (mutation operators)
+cache          inspect / clear the persistent engine cache
 =============  ==============================================================
+
+The corpus subcommands (``train``, ``check``, ``experiment``) accept
+``--workers N`` (parallel compile/featurize over N processes) and
+``--cache-dir PATH`` (persistent content-addressed cache — warm re-runs
+skip compilation and featurization entirely); both also default from the
+``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` environment variables.
 
 Every subcommand is a plain function taking parsed args and returning an
 exit code, so the test suite drives ``main([...])`` in-process.
@@ -39,6 +46,20 @@ _EXPERIMENTS = {
 def _read_source(path: str) -> str:
     with open(path, "r", encoding="utf-8") as fh:
         return fh.read()
+
+
+def _apply_engine_flags(args: argparse.Namespace) -> None:
+    """Install the process default engine from --workers / --cache-dir."""
+    if getattr(args, "workers", None) is not None \
+            or getattr(args, "cache_dir", None) is not None:
+        from repro.engine import configure
+
+        configure(workers=args.workers, cache_dir=args.cache_dir)
+
+
+def _resolve_cache_dir(args: argparse.Namespace) -> Optional[str]:
+    return getattr(args, "cache_dir", None) \
+        or os.environ.get("REPRO_CACHE_DIR") or None
 
 
 # ---------------------------------------------------------------------------
@@ -132,6 +153,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     from repro.eval.config import ReproConfig
     from repro.pipeline import DetectionPipeline
 
+    _apply_engine_flags(args)
     config = getattr(ReproConfig, args.profile)()
     dataset = config.dataset(args.dataset)
     if args.featurizer or args.classifier:
@@ -177,6 +199,7 @@ def cmd_train(args: argparse.Namespace) -> int:
 def cmd_check(args: argparse.Namespace) -> int:
     from repro.pipeline import ArtifactError, DetectionPipeline
 
+    _apply_engine_flags(args)
     try:
         pipeline = DetectionPipeline.load(args.model)
     except ArtifactError as exc:
@@ -259,6 +282,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.eval.config import ReproConfig
     from repro.eval.reporting import render_series, render_table
 
+    # --workers/--cache-dir land on the process default engine, which
+    # ReproConfig.engine() inherits for every scenario driver.
+    _apply_engine_flags(args)
     config = getattr(ReproConfig, args.profile)()
     name = args.name
 
@@ -332,9 +358,47 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import ContentStore
+
+    cache_dir = _resolve_cache_dir(args)
+    if not cache_dir:
+        print("error: no cache directory (pass --cache-dir or set "
+              "REPRO_CACHE_DIR)", file=sys.stderr)
+        return 1
+    store = ContentStore(cache_dir)
+    if args.action == "clear":
+        removed = store.clear(args.stage)
+        scope = f"stage {args.stage!r}" if args.stage else "all stages"
+        print(f"removed {removed} cached entries ({scope}) from {cache_dir}")
+        return 0
+    summary = store.summary()
+    print(f"cache {cache_dir}")
+    if not summary:
+        print("  (empty)")
+        return 0
+    total_entries = total_bytes = 0
+    for stage, info in sorted(summary.items()):
+        print(f"  {stage:<12} {info['entries']:>8} entries  "
+              f"{info['bytes'] / 1024:>10.1f} KiB")
+        total_entries += info["entries"]
+        total_bytes += info["bytes"]
+    print(f"  {'total':<12} {total_entries:>8} entries  "
+          f"{total_bytes / 1024:>10.1f} KiB")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
+
+def _add_engine_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="parallel compile/featurize worker processes "
+                        "(0 = serial; default: $REPRO_WORKERS or 0)")
+    p.add_argument("--cache-dir", default=None, metavar="PATH",
+                   help="persistent content-addressed cache directory "
+                        "(default: $REPRO_CACHE_DIR or disabled)")
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -388,12 +452,14 @@ def build_parser() -> argparse.ArgumentParser:
                    default="smoke")
     p.add_argument("-o", "--output", required=True,
                    help="artifact path (directory, or .zip)")
+    _add_engine_flags(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("check",
                        help="classify C files with a saved pipeline artifact")
     p.add_argument("model")
     p.add_argument("files", nargs="+")
+    _add_engine_flags(p)
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("mutate", help="inject MPI bugs into a correct code")
@@ -418,14 +484,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=sorted(_EXPERIMENTS))
     p.add_argument("--profile", choices=("smoke", "fast", "paper"),
                    default="smoke")
+    _add_engine_flags(p)
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("cache",
+                       help="inspect / clear the persistent engine cache")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--cache-dir", default=None, metavar="PATH",
+                   help="cache directory (default: $REPRO_CACHE_DIR)")
+    p.add_argument("--stage", default=None, choices=("compile", "features"),
+                   help="restrict 'clear' to one stage")
+    p.set_defaults(func=cmd_cache)
 
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if getattr(args, "workers", None) is None \
+            and getattr(args, "cache_dir", None) is None:
+        return args.func(args)
+    # --workers/--cache-dir reconfigure the process default engine; the
+    # test suite drives main([...]) in-process, so restore it afterwards
+    # rather than leaking one subcommand's engine into the next.
+    from repro.engine import default_engine, set_default_engine
+
+    previous = default_engine()
+    try:
+        return args.func(args)
+    finally:
+        set_default_engine(previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

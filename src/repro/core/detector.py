@@ -19,19 +19,30 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.datasets.loader import Dataset, Sample
+from repro.engine import ExecutionEngine
 from repro.ml.genetic import GAConfig
 from repro.pipeline import DetectionPipeline, DetectionResult
 
 
 class MPIErrorDetector:
-    """Train an ML-based MPI error detector and apply it to new code."""
+    """Train an ML-based MPI error detector and apply it to new code.
+
+    ``workers``/``cache_dir`` build a private execution engine for this
+    detector (parallel corpus fan-out + persistent compile/feature
+    cache); pass ``engine`` to share one across detectors.  With neither,
+    the process-wide default engine is used.
+    """
 
     def __init__(self, method: str = "ir2vec", *, opt_level: Optional[str] = None,
                  normalization: str = "vector", use_ga: bool = True,
                  ga_config: Optional[GAConfig] = None, epochs: int = 10,
-                 lr: float = 4e-4, embedding_seed: int = 42, seed: int = 0):
+                 lr: float = 4e-4, embedding_seed: int = 42, seed: int = 0,
+                 workers: Optional[int] = None, cache_dir: Optional[str] = None,
+                 engine: Optional[ExecutionEngine] = None):
         if method not in ("ir2vec", "gnn"):
             raise ValueError("method must be 'ir2vec' or 'gnn'")
+        if engine is None and (workers is not None or cache_dir is not None):
+            engine = ExecutionEngine(workers=workers or 0, cache_dir=cache_dir)
         self.method = method
         self.embedding_seed = embedding_seed
         # Paper defaults (-Os IR for IR2vec, -O0 for the GNN) are filled
@@ -39,7 +50,7 @@ class MPIErrorDetector:
         self.pipeline = DetectionPipeline.from_method(
             method, opt_level=opt_level, embedding_seed=embedding_seed,
             normalization=normalization, use_ga=use_ga, ga_config=ga_config,
-            epochs=epochs, lr=lr, seed=seed)
+            epochs=epochs, lr=lr, seed=seed, engine=engine)
 
     # -------------------------------------------------------- pass-throughs
     @property
@@ -54,6 +65,11 @@ class MPIErrorDetector:
     def model(self):
         """The underlying fitted model (IR2vecModel or GNNModel)."""
         return self.pipeline.classifier.model
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The execution engine this detector's corpus work runs on."""
+        return self.pipeline.engine
 
     @property
     def _trained(self) -> bool:

@@ -10,7 +10,15 @@ matching Fig. 2 (including the ``mpitest.h`` bias in CorrBench correct
 codes), and deterministic seeding.
 """
 
-from repro.datasets.loader import Dataset, Sample, load_corrbench, load_mbi, load_mix
+from repro.datasets.loader import (
+    Dataset,
+    Sample,
+    iter_named_sources,
+    iter_sample_chunks,
+    load_corrbench,
+    load_mbi,
+    load_mix,
+)
 from repro.datasets.labels import (
     CORR_LABELS,
     CORRECT,
@@ -21,6 +29,7 @@ from repro.datasets.mutation import Mutant, MutationEngine
 
 __all__ = [
     "Dataset", "Sample", "load_mbi", "load_corrbench", "load_mix",
+    "iter_sample_chunks", "iter_named_sources",
     "MBI_LABELS", "CORR_LABELS", "CORRECT", "binary_label",
     "MutationEngine", "Mutant",
 ]

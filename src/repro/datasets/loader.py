@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datasets.labels import CORRECT, binary_label
 
@@ -78,6 +78,44 @@ class Dataset:
 
     def merged_with(self, other: "Dataset", name: str = "Mix") -> "Dataset":
         return Dataset(name, list(self.samples) + list(other.samples))
+
+    # -- streaming ----------------------------------------------------------
+    def iter_chunks(self, size: int) -> Iterator[List[Sample]]:
+        """Stream the samples in order as chunks of at most ``size`` —
+        a convenience wrapper over :func:`iter_sample_chunks`, the
+        chunker the execution engine's miss dispatch schedules with."""
+        return iter_sample_chunks(self.samples, size)
+
+    def iter_named_sources(self) -> Iterator[Tuple[str, str]]:
+        """Stream ``(name, source)`` pairs in sample order."""
+        return iter_named_sources(self.samples)
+
+
+def iter_sample_chunks(samples: Iterable[Sample],
+                       size: int) -> Iterator[List[Sample]]:
+    """Chunk any sample iterable lazily, preserving order.
+
+    Consumes ``samples`` incrementally (generators welcome); concatenating
+    the yielded chunks always reproduces the input order exactly.  The
+    execution engine schedules its compile/featurize misses through this,
+    so only one chunk of work items is materialized at a time.
+    """
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    chunk: List[Sample] = []
+    for sample in samples:
+        chunk.append(sample)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def iter_named_sources(samples: Iterable[Sample]) -> Iterator[Tuple[str, str]]:
+    """Stream ``(name, source)`` pairs from any sample iterable — the
+    input shape the execution engine consumes."""
+    return ((s.name, s.source) for s in samples)
 
 
 _CACHE: Dict[Tuple, Dataset] = {}

@@ -1,0 +1,45 @@
+"""Parallel corpus execution engine with persistent content-addressed caching.
+
+``repro.engine`` is the substrate every corpus-scale code path runs on:
+:class:`ExecutionEngine` fans the frontend/featurizer stages out over a
+worker pool (deterministic, order-preserving chunks; ``workers=0`` = the
+serial fallback) and backs each stage with an on-disk
+:class:`~repro.engine.cache.ContentStore` keyed on content digests of
+(source, stage, stage config, code version) — so warm re-runs of ``fit``,
+``predict_batch``, eval scenarios, and benchmarks never recompile or
+re-featurize anything whose inputs haven't changed.
+
+The process-wide :func:`default_engine` is what
+:class:`~repro.pipeline.DetectionPipeline` and the feature caches use
+unless handed an engine explicitly; :func:`configure` (or the
+``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` environment variables, or the
+CLI's ``--workers`` / ``--cache-dir`` flags) changes it for the process.
+"""
+
+from repro.engine.cache import (
+    ENGINE_CACHE_VERSION,
+    CacheStats,
+    ContentStore,
+    LRUCache,
+    code_version,
+    digest_parts,
+)
+from repro.engine.engine import (
+    COMPILE_STAGE,
+    FEATURE_STAGE,
+    EngineConfig,
+    ExecutionEngine,
+    configure,
+    default_engine,
+    set_default_engine,
+    stage_identity,
+)
+
+__all__ = [
+    "ExecutionEngine", "EngineConfig",
+    "default_engine", "configure", "set_default_engine",
+    "ContentStore", "CacheStats", "LRUCache",
+    "COMPILE_STAGE", "FEATURE_STAGE",
+    "ENGINE_CACHE_VERSION", "code_version", "digest_parts",
+    "stage_identity",
+]

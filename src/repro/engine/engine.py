@@ -1,0 +1,390 @@
+"""Parallel corpus execution engine over the compile → featurize hot path.
+
+The paper's detector pushes thousands of MBI / CorrBench / Hypre samples
+through the same ``compile → embed/graph → classify`` pipeline, and the
+per-sample work is pure: one source at one stage config always produces
+the same IR module, embedding row, or program graph.  The engine exploits
+both facts:
+
+* **Fan-out** — samples are processed in deterministic, order-preserving
+  chunks over a ``ProcessPoolExecutor`` (``fork`` start method where the
+  platform offers it, so warm per-process memos like the IR2vec encoder
+  are inherited instead of rebuilt).  ``workers=0`` is the serial
+  fallback and the default: identical results, one process.
+* **Never redo work** — every stage is backed by the persistent
+  content-addressed :class:`~repro.engine.cache.ContentStore`.  A warm
+  re-run of ``fit``, ``predict_batch``, an eval scenario, or a benchmark
+  skips compilation and featurization entirely; cache keys mix in the
+  stage config and the code version, so changing any input recomputes.
+
+Parallel and serial runs are bit-identical by construction: per-sample
+results are computed independently and reassembled in input order.
+
+>>> engine = ExecutionEngine(workers=4, cache_dir="~/.cache/repro")
+>>> X = engine.featurize_sources(frontend, featurizer, named_sources)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.engine.cache import CacheStats, ContentStore
+
+#: Store subtrees, one per engine stage.
+COMPILE_STAGE = "compile"
+FEATURE_STAGE = "features"
+
+
+def stage_identity(stage: Any) -> str:
+    """Stable identity of a stage instance for cache keys.
+
+    Covers the implementation (qualname + registered name) and the full
+    config repr, so two differently-parameterized instances never share
+    an entry.  Stages without a ``config`` attribute get ``id=None`` —
+    the engine treats those as uncacheable (see ``_cacheable``).
+    """
+    config = getattr(stage, "config", None)
+    return (f"{type(stage).__qualname__}"
+            f":{getattr(stage, 'name', type(stage).__name__)}"
+            f":{config!r}")
+
+
+def _cacheable(stage: Any) -> bool:
+    return getattr(stage, "config", None) is not None
+
+
+def _compile_parts(frontend: Any, name: str, source: str) -> Tuple[str, ...]:
+    return (stage_identity(frontend), name, source)
+
+
+def _feature_parts(frontend: Any, featurizer: Any, name: str,
+                   source: str) -> Tuple[str, ...]:
+    return (stage_identity(frontend), stage_identity(featurizer), name, source)
+
+
+def _split_batch(features: Any, n: int) -> List[Any]:
+    """Per-sample rows of a batch featurizer output (matrix or list)."""
+    if isinstance(features, np.ndarray):
+        return [features[i] for i in range(n)]
+    return list(features)
+
+
+def _join_batch(featurizer: Any, rows: Sequence[Any]) -> Any:
+    """Reassemble per-sample rows into the featurizer's batch shape."""
+    kind = getattr(featurizer, "kind", None)
+    if kind == "matrix" or (kind is None and rows
+                            and all(isinstance(r, np.ndarray)
+                                    and r.shape == rows[0].shape
+                                    for r in rows)):
+        if not rows:
+            return featurizer.transform([])
+        return np.stack(rows)
+    if not rows and kind is None:
+        return featurizer.transform([])
+    return list(rows)
+
+
+def _compile_one(store: Optional[ContentStore], frontend: Any,
+                 name: str, source: str) -> Any:
+    if store is not None and _cacheable(frontend):
+        key = store.key(COMPILE_STAGE, _compile_parts(frontend, name, source))
+        found, module = store.get(COMPILE_STAGE, key)
+        if found:
+            return module
+        module = frontend.compile(source, name)
+        store.put(COMPILE_STAGE, key, module)
+        return module
+    return frontend.compile(source, name)
+
+
+def _process_chunk(store: Optional[ContentStore], frontend: Any,
+                   featurizer: Optional[Any],
+                   chunk: Sequence[Tuple[str, str]]) -> List[Any]:
+    """Compile (and optionally featurize) one chunk, through the store."""
+    modules = [_compile_one(store, frontend, name, source)
+               for name, source in chunk]
+    if featurizer is None:
+        return modules
+    rows = _split_batch(featurizer.transform(modules), len(modules))
+    if store is not None and _cacheable(frontend) and _cacheable(featurizer):
+        for (name, source), row in zip(chunk, rows):
+            key = store.key(FEATURE_STAGE,
+                            _feature_parts(frontend, featurizer, name, source))
+            store.put(FEATURE_STAGE, key, row)
+    return rows
+
+
+def _chunk_worker(payload: bytes) -> List[Any]:
+    """Top-level worker entry point (must be importable for pickling)."""
+    frontend, featurizer, chunk, cache_dir, version = pickle.loads(payload)
+    store = ContentStore(cache_dir, version) if cache_dir else None
+    return _process_chunk(store, frontend, featurizer, chunk)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the execution engine.
+
+    ``workers=0`` runs serially in-process; ``workers=N`` fans chunks out
+    to N worker processes.  ``cache_dir=None`` disables the persistent
+    store (in-process memos still apply).  ``chunk_size`` balances
+    scheduling overhead against load balance.
+    """
+
+    workers: int = 0
+    cache_dir: Optional[str] = None
+    chunk_size: int = 16
+    start_method: str = "auto"      # 'auto' prefers fork where available
+
+    def __post_init__(self):
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+
+
+class ExecutionEngine:
+    """Chunked, cached executor for the frontend/featurizer stages."""
+
+    def __init__(self, config: Optional[EngineConfig] = None, **overrides):
+        self.config = config or EngineConfig(**overrides)
+        self.store: Optional[ContentStore] = (
+            ContentStore(self.config.cache_dir)
+            if self.config.cache_dir else None)
+        #: Parent-side work counters (worker-side compiles land in the
+        #: shared store but are not mirrored here).
+        self.counters: Dict[str, int] = {
+            "compiled": 0, "featurized": 0, "chunks": 0, "parallel_chunks": 0,
+        }
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        return self.config.cache_dir
+
+    @property
+    def stats(self) -> Dict[str, CacheStats]:
+        """Per-stage persistent-store counters seen by this process."""
+        return self.store.stats if self.store is not None else {}
+
+    def stats_dict(self) -> Dict[str, Any]:
+        return {
+            "workers": self.config.workers,
+            "cache_dir": self.config.cache_dir,
+            "counters": dict(self.counters),
+            "store": {stage: s.as_dict() for stage, s in self.stats.items()},
+        }
+
+    # -- public API ---------------------------------------------------------
+    def compile_sources(self, frontend: Any,
+                        named_sources: Iterable[Tuple[str, str]]) -> List[Any]:
+        """IR modules for ``(name, source)`` pairs, in input order."""
+        out = self._run(frontend, None, COMPILE_STAGE, named_sources)
+        self.counters["compiled"] += len(out)
+        return out
+
+    def featurize_sources(self, frontend: Any, featurizer: Any,
+                          named_sources: Iterable[Tuple[str, str]]) -> Any:
+        """Feature batch for ``(name, source)`` pairs, in input order.
+
+        The fused hot path: compile misses and featurize in one worker
+        trip, so modules never cross a process boundary.
+
+        Per-sample caching and chunked fan-out require ``transform`` to
+        be per-sample decomposable, which a featurizer asserts by
+        declaring ``per_sample = True`` (the built-ins do).  Anything
+        else gets exactly one whole-batch ``transform`` call — the
+        pre-engine behavior, safe for batch-relative featurizers —
+        with compilation still engine-cached but features never
+        chunked or persisted.
+        """
+        if not getattr(featurizer, "per_sample", False):
+            modules = self.compile_sources(frontend, named_sources)
+            self.counters["featurized"] += len(modules)
+            return featurizer.transform(modules)
+        rows = self._run(frontend, featurizer, FEATURE_STAGE, named_sources)
+        self.counters["featurized"] += len(rows)
+        return _join_batch(featurizer, rows)
+
+    def featurize_samples(self, frontend: Any, featurizer: Any,
+                          samples: Iterable[Any]) -> Any:
+        """Feature batch for dataset :class:`~repro.datasets.loader.Sample`
+        objects (or anything with ``.name`` / ``.source``)."""
+        from repro.datasets.loader import iter_named_sources
+
+        return self.featurize_sources(frontend, featurizer,
+                                      iter_named_sources(samples))
+
+    # -- core scheduling ----------------------------------------------------
+    def _run(self, frontend: Any, featurizer: Optional[Any], stage: str,
+             named_sources: Iterable[Tuple[str, str]]) -> List[Any]:
+        results: List[Any] = []
+        misses: List[Tuple[int, str, str]] = []
+        cacheable = (self.store is not None and _cacheable(frontend)
+                     and (featurizer is None or _cacheable(featurizer)))
+        for index, (name, source) in enumerate(named_sources):
+            results.append(None)
+            if cacheable:
+                parts = (_compile_parts(frontend, name, source)
+                         if featurizer is None
+                         else _feature_parts(frontend, featurizer, name,
+                                             source))
+                found, value = self.store.get(stage, self.store.key(stage,
+                                                                    parts))
+                if found:
+                    results[index] = value
+                    continue
+            misses.append((index, name, source))
+        if misses:
+            # Miss scheduling uses the loader's generic order-preserving
+            # chunker, so one chunk of modules is live at a time.
+            from repro.datasets.loader import iter_sample_chunks
+
+            chunks = list(iter_sample_chunks(misses,
+                                             self.config.chunk_size))
+            for chunk, values in self._map_chunks(frontend, featurizer,
+                                                  chunks):
+                for (index, _name, _source), value in zip(chunk, values):
+                    results[index] = value
+        return results
+
+    def _map_chunks(self, frontend: Any, featurizer: Optional[Any],
+                    chunks: List[List[Tuple[int, str, str]]],
+                    ) -> Iterator[Tuple[List[Tuple[int, str, str]],
+                                        List[Any]]]:
+        """Yield ``(chunk, per-sample values)`` in submission order."""
+        self.counters["chunks"] += len(chunks)
+        if self.config.workers > 0 and len(chunks) > 1:
+            payloads = self._parallel_payloads(frontend, featurizer, chunks)
+            if payloads is not None:
+                self._warmup(featurizer)
+                ctx = self._mp_context()
+                workers = min(self.config.workers, len(chunks))
+                with ProcessPoolExecutor(max_workers=workers,
+                                         mp_context=ctx) as pool:
+                    futures = [pool.submit(_chunk_worker, p)
+                               for p in payloads]
+                    self.counters["parallel_chunks"] += len(chunks)
+                    for chunk, future in zip(chunks, futures):
+                        yield chunk, future.result()
+                return
+        for chunk in chunks:
+            named = [(name, source) for _i, name, source in chunk]
+            yield chunk, _process_chunk(self.store, frontend, featurizer,
+                                        named)
+
+    def _parallel_payloads(self, frontend: Any, featurizer: Optional[Any],
+                           chunks: List[List[Tuple[int, str, str]]],
+                           ) -> Optional[List[bytes]]:
+        """Pre-pickled worker payloads, or None if the stages can't cross
+        a process boundary (custom closure-y stages fall back to serial)."""
+        version = self.store.version if self.store is not None else None
+        try:
+            return [pickle.dumps((frontend, featurizer,
+                                  [(name, source) for _i, name, source
+                                   in chunk],
+                                  self.config.cache_dir, version))
+                    for chunk in chunks]
+        except Exception as exc:     # pickling failure → serial fallback
+            warnings.warn(
+                f"engine: stages are not picklable ({exc!r}); "
+                "falling back to serial execution", RuntimeWarning,
+                stacklevel=3)
+            return None
+
+    def _warmup(self, featurizer: Optional[Any]) -> None:
+        """Build expensive per-process state (e.g. the IR2vec encoder)
+        before forking, so workers inherit it instead of rebuilding."""
+        warmup = getattr(featurizer, "warmup", None)
+        if callable(warmup):
+            warmup()
+
+    def _mp_context(self):
+        method = self.config.start_method
+        if method == "auto":
+            # Prefer fork only on Linux: macOS lists it as available but
+            # CPython made spawn the default there because forking a
+            # thread-using parent (numpy/Accelerate, objc) is unsafe.
+            if sys.platform.startswith("linux") \
+                    and "fork" in multiprocessing.get_all_start_methods():
+                method = "fork"
+            else:
+                method = multiprocessing.get_start_method()
+        return multiprocessing.get_context(method)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default engine
+# ---------------------------------------------------------------------------
+
+_DEFAULT_ENGINE: Optional[ExecutionEngine] = None
+
+
+def _env_workers(default: int = 0) -> int:
+    """``REPRO_WORKERS``, tolerating malformed values rather than making
+    every CLI/library call die deep inside the first corpus operation."""
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    try:
+        workers = int(raw) if raw else default
+    except ValueError:
+        warnings.warn(f"ignoring malformed REPRO_WORKERS={raw!r}",
+                      RuntimeWarning, stacklevel=3)
+        return default
+    return workers if workers >= 0 else default
+
+
+def default_engine() -> ExecutionEngine:
+    """The process-wide engine every pipeline uses unless given its own.
+
+    First use builds it from the ``REPRO_WORKERS`` / ``REPRO_CACHE_DIR``
+    environment variables (serial, uncached when unset).
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExecutionEngine(EngineConfig(
+            workers=_env_workers(),
+            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None))
+    return _DEFAULT_ENGINE
+
+
+def configure(workers: Optional[int] = None,
+              cache_dir: Optional[str] = None,
+              chunk_size: Optional[int] = None) -> ExecutionEngine:
+    """Replace the default engine; ``None`` keeps the current setting."""
+    global _DEFAULT_ENGINE
+    current = default_engine().config
+    _DEFAULT_ENGINE = ExecutionEngine(EngineConfig(
+        workers=current.workers if workers is None else workers,
+        cache_dir=current.cache_dir if cache_dir is None else (cache_dir
+                                                               or None),
+        chunk_size=current.chunk_size if chunk_size is None else chunk_size,
+        start_method=current.start_method))
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: Optional[ExecutionEngine]) -> None:
+    """Install (or with ``None``, reset) the process-wide default."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine

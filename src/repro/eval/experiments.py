@@ -331,8 +331,11 @@ def seed_sensitivity(config: ReproConfig, alt_seed: int = 1337) -> List[dict]:
             fixed_features=tuple(fixed) if fixed is not None else None)
 
     def intra(ds) -> Tuple[float, float]:
-        X_a = ir2vec_feature_matrix(ds, config.ir2vec_opt, config.embedding_seed)
-        X_b = ir2vec_feature_matrix(ds, config.ir2vec_opt, alt_seed)
+        X_a = ir2vec_feature_matrix(ds, config.ir2vec_opt,
+                                    config.embedding_seed,
+                                    engine=config.engine())
+        X_b = ir2vec_feature_matrix(ds, config.ir2vec_opt, alt_seed,
+                                    engine=config.engine())
         y = np.array([s.binary for s in ds.samples])
         hits_a = hits_b = total = 0
         for tr, va in stratified_kfold_indices(
@@ -348,11 +351,15 @@ def seed_sensitivity(config: ReproConfig, alt_seed: int = 1337) -> List[dict]:
         y_tr = np.array([s.binary for s in train_ds.samples])
         y_va = np.array([s.binary for s in val_ds.samples])
         Xtr_a = ir2vec_feature_matrix(train_ds, config.ir2vec_opt,
-                                      config.embedding_seed)
+                                      config.embedding_seed,
+                                      engine=config.engine())
         Xva_a = ir2vec_feature_matrix(val_ds, config.ir2vec_opt,
-                                      config.embedding_seed)
-        Xtr_b = ir2vec_feature_matrix(train_ds, config.ir2vec_opt, alt_seed)
-        Xva_b = ir2vec_feature_matrix(val_ds, config.ir2vec_opt, alt_seed)
+                                      config.embedding_seed,
+                                      engine=config.engine())
+        Xtr_b = ir2vec_feature_matrix(train_ds, config.ir2vec_opt, alt_seed,
+                                      engine=config.engine())
+        Xva_b = ir2vec_feature_matrix(val_ds, config.ir2vec_opt, alt_seed,
+                                      engine=config.engine())
         model_a = _model().fit(Xtr_a, y_tr)
         acc_a = float(np.mean(model_a.predict(Xva_a) == y_va))
         model_b = _model(model_a.selected).fit(Xtr_b, y_tr)
@@ -411,7 +418,8 @@ def ir2vec_encoding_ablation(config: ReproConfig) -> List[dict]:
     for suite in ("MBI", "CORR"):
         ds = config.dataset(suite)
         X_full = ir2vec_feature_matrix(ds, config.ir2vec_opt,
-                                       config.embedding_seed)
+                                       config.embedding_seed,
+                                       engine=config.engine())
         y = np.array([s.binary for s in ds.samples])
         strata = [s.label for s in ds.samples]
         for encoding, sl in slices.items():
@@ -443,7 +451,7 @@ def gnn_design_ablation(config: ReproConfig, suite: str = "CORR") -> List[dict]:
     from repro.pipeline import make_classifier, take
 
     ds = config.dataset(suite)
-    graphs = graph_dataset(ds, config.gnn_opt)
+    graphs = graph_dataset(ds, config.gnn_opt, engine=config.engine())
     y = np.array([s.binary for s in ds.samples])
     strata = [s.label for s in ds.samples]
 
@@ -510,7 +518,8 @@ def mutation_detection(config: ReproConfig, suite: str = "MBI",
     if not mutants:
         return []
 
-    X = ir2vec_feature_matrix(ds, config.ir2vec_opt, config.embedding_seed)
+    X = ir2vec_feature_matrix(ds, config.ir2vec_opt, config.embedding_seed,
+                              engine=config.engine())
     y = np.array([s.binary for s in ds.samples])
     model = make_classifier("decision-tree",
                             normalization=config.normalization,
@@ -522,7 +531,8 @@ def mutation_detection(config: ReproConfig, suite: str = "MBI",
     mutant_ds = Dataset(f"{ds.name}-mutants",
                         [m.sample for m in mutants])
     Xm = ir2vec_feature_matrix(mutant_ds, config.ir2vec_opt,
-                               config.embedding_seed)
+                               config.embedding_seed,
+                               engine=config.engine())
     pred = model.predict(Xm)
 
     rows: List[dict] = []
@@ -602,15 +612,17 @@ def table6_hypre(config: ReproConfig) -> List[dict]:
     columns = []
     for opt in ("O0", "O2", "Os"):
         frontend = make_frontend("mini-c", opt_level=opt)
-        for sample, tag in ((ok, "ok"), (ko, "ko")):
-            module = frontend.compile(sample.source, sample.name)
-            columns.append((f"{opt}-{tag}",
-                            featurizer.transform([module])[0], tag))
+        vecs = config.engine().featurize_sources(
+            frontend, featurizer, [(ok.name, ok.source), (ko.name, ko.source)])
+        for vec, tag in zip(vecs, ("ok", "ko")):
+            columns.append((f"{opt}-{tag}", vec, tag))
 
     rows: List[dict] = []
     for train_name in ("MBI", "MPI-CorrBench"):
         ds = config.mbi() if train_name == "MBI" else config.corrbench()
-        X = ir2vec_feature_matrix(ds, config.ir2vec_opt, config.embedding_seed)
+        X = ir2vec_feature_matrix(ds, config.ir2vec_opt,
+                                  config.embedding_seed,
+                                  engine=config.engine())
         y = np.array([s.binary for s in ds.samples])
         for features_mode in ("all", "GA"):
             model = make_classifier("decision-tree",

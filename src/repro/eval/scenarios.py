@@ -8,7 +8,10 @@ Both scenarios are method-agnostic: stages come from the pipeline
 registries via :func:`repro.pipeline.method_stage_specs`, features from
 the shared :func:`~repro.models.features.featurize_dataset` cache, and
 fold selection uses :func:`repro.pipeline.take` — one code path for
-matrices and graph lists alike.
+matrices and graph lists alike.  Feature extraction runs on the config's
+execution engine (``ReproConfig.workers`` / ``cache_dir``), so scenario
+sweeps fan out across processes and warm persistent caches skip the
+compile/featurize work entirely.
 """
 
 from __future__ import annotations
@@ -64,7 +67,7 @@ def run_intra_cv(method: str, dataset: Dataset, config: ReproConfig, *,
         opt_level=opt_level)
     y = labels if labels is not None else _binary_labels(dataset)
     features = featurize_dataset(FEATURIZERS.create(feat_name, feat_cfg),
-                                 dataset)
+                                 dataset, engine=config.engine())
     y_true: List[str] = []
     y_pred: List[str] = []
     for train_idx, val_idx in stratified_kfold_indices(
@@ -85,8 +88,8 @@ def run_cross(method: str, train_ds: Dataset, val_ds: Dataset,
     feat_name, feat_cfg, clf_name, clf_cfg = _stage_specs(
         method, config, use_ga=use_ga, normalization=normalization)
     featurizer = FEATURIZERS.create(feat_name, feat_cfg)
-    X_train = featurize_dataset(featurizer, train_ds)
-    X_val = featurize_dataset(featurizer, val_ds)
+    X_train = featurize_dataset(featurizer, train_ds, engine=config.engine())
+    X_val = featurize_dataset(featurizer, val_ds, engine=config.engine())
     model = CLASSIFIERS.create(clf_name, clf_cfg)
     model.fit(X_train, _binary_labels(train_ds))
     pred = model.predict(X_val)

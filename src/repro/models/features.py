@@ -6,6 +6,14 @@ so everything here is memoized on a *content digest* of the dataset —
 every sample name and source is hashed, so two datasets that differ in
 any sample (even one in the middle) never share a cache entry.
 
+The actual per-sample work runs on the corpus execution engine
+(:mod:`repro.engine`): pass ``engine=`` to fan compilation/featurization
+out over a worker pool and/or back it with the persistent on-disk
+content-addressed store; the process-wide default engine is used
+otherwise.  The in-memory memo here stays as the fastest tier — one
+dict lookup for a whole dataset — with the engine's store underneath it
+as the cross-process, cross-run tier.
+
 ``featurize_dataset`` is the generic entry point: it accepts any object
 satisfying the :class:`repro.pipeline.stages.Featurizer` protocol and
 caches its output per (featurizer identity, config, dataset digest, opt
@@ -21,6 +29,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.datasets.loader import Dataset
+from repro.engine import ExecutionEngine, default_engine
 from repro.ir.module import Module
 
 _MODULE_CACHE: Dict[Tuple, List[Module]] = {}
@@ -44,26 +53,28 @@ def _dataset_key(dataset: Dataset) -> Tuple:
     return (dataset.name, len(dataset), h.hexdigest())
 
 
-def compile_dataset(dataset: Dataset, opt_level: str = "O0") -> List[Module]:
+def compile_dataset(dataset: Dataset, opt_level: str = "O0",
+                    engine: Optional[ExecutionEngine] = None) -> List[Module]:
     """Compile every sample; results cached per (dataset, opt level)."""
-    return _compile_dataset(_dataset_key(dataset), dataset, opt_level)
+    return _compile_dataset(_dataset_key(dataset), dataset, opt_level,
+                            engine if engine is not None else default_engine())
 
 
-def _compile_dataset(ds_key: Tuple, dataset: Dataset,
-                     opt_level: str) -> List[Module]:
-    from repro.frontend import compile_c
+def _compile_dataset(ds_key: Tuple, dataset: Dataset, opt_level: str,
+                     engine: ExecutionEngine) -> List[Module]:
+    from repro.pipeline.stages import CFrontend
 
     key = (ds_key, opt_level)
     if key not in _MODULE_CACHE:
-        _MODULE_CACHE[key] = [
-            compile_c(s.source, s.name, opt_level, verify=False)
-            for s in dataset.samples
-        ]
+        _MODULE_CACHE[key] = engine.compile_sources(
+            CFrontend(opt_level=opt_level),
+            ((s.name, s.source) for s in dataset.samples))
     return _MODULE_CACHE[key]
 
 
 def featurize_dataset(featurizer: Any, dataset: Dataset,
-                      opt_level: Optional[str] = None) -> Any:
+                      opt_level: Optional[str] = None,
+                      engine: Optional[ExecutionEngine] = None) -> Any:
     """Featurize a whole dataset through the shared compile/feature cache.
 
     ``featurizer`` is any object with ``transform(modules)`` and an
@@ -71,45 +82,58 @@ def featurize_dataset(featurizer: Any, dataset: Dataset,
     ``opt_level`` overrides the featurizer's preferred IR level.
 
     Results are memoized per (featurizer type, config repr, dataset
-    content digest, opt level).  A featurizer without a ``config``
-    attribute has no cacheable identity — two differently-parameterized
-    instances would collide — so those transform fresh every call
-    (compiled modules still come from the shared module cache).
+    content digest, opt level); on a miss, the per-sample work runs on
+    ``engine`` (default: the process-wide engine), which consults its
+    persistent store before compiling or featurizing anything.  A
+    featurizer without a ``config`` attribute has no cacheable identity —
+    two differently-parameterized instances would collide — so those
+    transform fresh every call (compiled modules still come from the
+    shared module cache).
     """
+    from repro.pipeline.stages import CFrontend
+
     level = opt_level or getattr(featurizer, "opt_level", "O0")
+    eng = engine if engine is not None else default_engine()
     ds_key = _dataset_key(dataset)       # hash the corpus exactly once
     config = getattr(featurizer, "config", None)
     if config is None:
-        return featurizer.transform(_compile_dataset(ds_key, dataset, level))
+        return featurizer.transform(
+            _compile_dataset(ds_key, dataset, level, eng))
     key = ((type(featurizer).__qualname__,
             getattr(featurizer, "name", type(featurizer).__name__),
             repr(config)),
            ds_key, level)
     if key not in _FEATURE_CACHE:
-        modules = _compile_dataset(ds_key, dataset, level)
-        _FEATURE_CACHE[key] = featurizer.transform(modules)
+        _FEATURE_CACHE[key] = eng.featurize_samples(
+            CFrontend(opt_level=level), featurizer, dataset.samples)
     return _FEATURE_CACHE[key]
 
 
 def ir2vec_feature_matrix(dataset: Dataset, opt_level: str = "Os",
-                          seed: int = 42) -> np.ndarray:
+                          seed: int = 42,
+                          engine: Optional[ExecutionEngine] = None,
+                          ) -> np.ndarray:
     """(n_samples, 512) concat(symbolic, flow-aware) embedding matrix."""
     from repro.pipeline.stages import IR2VecFeaturizer
 
     return featurize_dataset(
-        IR2VecFeaturizer(opt_level=opt_level, seed=seed), dataset)
+        IR2VecFeaturizer(opt_level=opt_level, seed=seed), dataset,
+        engine=engine)
 
 
-def graph_dataset(dataset: Dataset, opt_level: str = "O0") -> List[Any]:
+def graph_dataset(dataset: Dataset, opt_level: str = "O0",
+                  engine: Optional[ExecutionEngine] = None) -> List[Any]:
     """ProGraML graphs for every sample (GNN input; paper uses -O0)."""
     from repro.pipeline.stages import ProGraMLFeaturizer
 
     return featurize_dataset(
-        ProGraMLFeaturizer(opt_level=opt_level), dataset)
+        ProGraMLFeaturizer(opt_level=opt_level), dataset, engine=engine)
 
 
 def clear_caches() -> None:
-    """Drop every feature/compile memo, including the frontend's."""
+    """Drop every in-process feature/compile memo, including the
+    frontend's (the engine's persistent on-disk store is left alone; use
+    ``repro cache clear`` or :meth:`ContentStore.clear` for that)."""
     from repro.pipeline.stages import clear_compile_cache
 
     _MODULE_CACHE.clear()

@@ -46,6 +46,7 @@ from repro.pipeline.stages import (
     ProGraMLFeaturizer,
     ProGraMLFeaturizerConfig,
     clear_compile_cache,
+    compile_cache_stats,
     source_digest,
     take,
 )
@@ -78,7 +79,7 @@ __all__ = [
     "ProGraMLFeaturizer", "ProGraMLFeaturizerConfig",
     "DecisionTreeStage", "DecisionTreeStageConfig",
     "GNNStage", "GNNStageConfig",
-    "take", "source_digest", "clear_compile_cache",
+    "take", "source_digest", "clear_compile_cache", "compile_cache_stats",
     # artifacts
     "ArtifactError", "SCHEMA_VERSION", "save_pipeline", "load_pipeline",
 ]

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.datasets.labels import CORRECT
 from repro.datasets.loader import Dataset, Sample
+from repro.engine import ExecutionEngine, default_engine
 from repro.pipeline.registry import (
     CLASSIFIERS,
     FEATURIZERS,
@@ -95,7 +96,8 @@ class DetectionPipeline:
     def __init__(self, frontend: Optional[Frontend] = None,
                  featurizer: Optional[Featurizer] = None,
                  classifier: Optional[Classifier] = None, *,
-                 label_mode: str = "binary", method: Optional[str] = None):
+                 label_mode: str = "binary", method: Optional[str] = None,
+                 engine: Optional[ExecutionEngine] = None):
         self.featurizer = featurizer if featurizer is not None \
             else IR2VecFeaturizer()
         self.classifier = classifier if classifier is not None \
@@ -116,7 +118,19 @@ class DetectionPipeline:
         self.label_mode = label_mode
         self.method = method or (f"{self.featurizer.name}"
                                  f"+{self.classifier.name}")
+        # None → resolve the process-wide default engine at call time, so
+        # repro.engine.configure() affects already-built pipelines too.
+        self._engine = engine
         self.fitted = False
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The execution engine compile/featurize work runs on."""
+        return self._engine if self._engine is not None else default_engine()
+
+    @engine.setter
+    def engine(self, engine: Optional[ExecutionEngine]) -> None:
+        self._engine = engine
 
     # ------------------------------------------------------------- builders
     @classmethod
@@ -127,7 +141,9 @@ class DetectionPipeline:
                    classifier_config: Any = None,
                    frontend_config: Any = None,
                    label_mode: str = "binary",
-                   method: Optional[str] = None) -> "DetectionPipeline":
+                   method: Optional[str] = None,
+                   engine: Optional[ExecutionEngine] = None,
+                   ) -> "DetectionPipeline":
         """Assemble a pipeline entirely from registry names."""
         feat = FEATURIZERS.create(featurizer, featurizer_config)
         clf = CLASSIFIERS.create(classifier, classifier_config)
@@ -137,14 +153,17 @@ class DetectionPipeline:
                 if frontend == CFrontend.name else None)
         else:
             fe = FRONTENDS.create(frontend, frontend_config)
-        return cls(fe, feat, clf, label_mode=label_mode, method=method)
+        return cls(fe, feat, clf, label_mode=label_mode, method=method,
+                   engine=engine)
 
     @classmethod
     def from_method(cls, method: str, *, opt_level: Optional[str] = None,
                     embedding_seed: int = 42, normalization: str = "vector",
                     use_ga: bool = True, ga_config: Optional[Any] = None,
                     epochs: int = 10, lr: float = 4e-4, batch_size: int = 32,
-                    seed: int = 0) -> "DetectionPipeline":
+                    seed: int = 0,
+                    engine: Optional[ExecutionEngine] = None,
+                    ) -> "DetectionPipeline":
         """The paper's presets: ``ir2vec`` (+DT) or ``gnn`` (ProGraML)."""
         feat_name, feat_cfg, clf_name, clf_cfg = method_stage_specs(
             method, opt_level=opt_level, embedding_seed=embedding_seed,
@@ -152,7 +171,8 @@ class DetectionPipeline:
             epochs=epochs, lr=lr, batch_size=batch_size, seed=seed)
         return cls.from_names(feat_name, clf_name,
                               featurizer_config=feat_cfg,
-                              classifier_config=clf_cfg, method=method)
+                              classifier_config=clf_cfg, method=method,
+                              engine=engine)
 
     # ------------------------------------------------------------------ fit
     def fit(self, dataset: Dataset, labels: str = "binary",
@@ -172,18 +192,19 @@ class DetectionPipeline:
 
         The default frontend routes through the shared per-dataset feature
         cache (which compiles with identical settings); custom frontends
-        (or ``verify=True``) compile sample-by-sample so training and
-        serving always see the same IR.
+        (or ``verify=True``) run through the engine directly so training
+        and serving always see the same IR.  Either way the work lands on
+        this pipeline's execution engine (worker pool + persistent store).
         """
         if (isinstance(self.frontend, CFrontend)
                 and not self.frontend.config.verify):
             from repro.models.features import featurize_dataset
 
             return featurize_dataset(self.featurizer, dataset,
-                                     opt_level=self.frontend.opt_level)
-        modules = [self.frontend.compile(s.source, s.name)
-                   for s in dataset.samples]
-        return self.featurizer.transform(modules)
+                                     opt_level=self.frontend.opt_level,
+                                     engine=self.engine)
+        return self.engine.featurize_samples(self.frontend, self.featurizer,
+                                             dataset.samples)
 
     # -------------------------------------------------------------- predict
     @staticmethod
@@ -199,15 +220,16 @@ class DetectionPipeline:
                       ) -> List[DetectionResult]:
         """Classify many sources with shared compile/feature work.
 
-        Sources are compiled through the content-hash cache, featurized
-        together, and classified in one vectorized model call.
+        Sources stream through the execution engine — chunked over the
+        worker pool when ``workers>0``, skipping compilation/featurization
+        for anything already in the persistent store — and are classified
+        in one vectorized model call.  Accepts any iterable.
         """
         if not self.fitted:
             raise RuntimeError("call fit() before predict_batch()")
         named = [self._as_named_source(s, i) for i, s in enumerate(sources)]
-        modules = [self.frontend.compile(source, name)
-                   for name, source in named]
-        features = self.featurizer.transform(modules)
+        features = self.engine.featurize_sources(self.frontend,
+                                                 self.featurizer, named)
         labels = self.classifier.predict(features)
         # opt_level is a built-in convenience, not part of the Frontend
         # protocol — don't require it of custom frontends.

@@ -24,11 +24,11 @@ All stages carry a frozen config dataclass (JSON-serializable via
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 from dataclasses import dataclass
 from typing import (
     Any,
-    Dict,
     List,
     Optional,
     Protocol,
@@ -40,6 +40,7 @@ from typing import (
 
 import numpy as np
 
+from repro.engine.cache import CacheStats, LRUCache
 from repro.ir.module import Module
 from repro.ml.genetic import GAConfig
 
@@ -60,6 +61,17 @@ class Frontend(Protocol):
 
 @runtime_checkable
 class Featurizer(Protocol):
+    """IR modules → feature batch.
+
+    A featurizer whose ``transform`` is *per-sample decomposable* — row
+    ``i`` depends only on ``modules[i]`` — should declare a class
+    attribute ``per_sample = True`` (the built-ins do): the execution
+    engine may then chunk batches, fan them out to workers, and cache
+    rows individually.  Without the declaration the engine makes exactly
+    one whole-batch ``transform`` call, which is always safe (e.g. for
+    batch-level normalization) but forgoes feature caching and fan-out.
+    """
+
     name: str
 
     @property
@@ -99,7 +111,25 @@ class CFrontendConfig:
     verify: bool = False
 
 
-_COMPILE_CACHE: Dict[Tuple[str, str, str, bool], Module] = {}
+def _compile_cache_size(default: int = 2048) -> int:
+    """``REPRO_COMPILE_CACHE_SIZE``: 0 disables the memo; malformed or
+    negative values fall back to the default rather than breaking import."""
+    raw = os.environ.get("REPRO_COMPILE_CACHE_SIZE")
+    try:
+        size = int(raw) if raw else default
+    except ValueError:
+        return default
+    return size if size >= 0 else default
+
+
+#: LRU-bounded per-process compile memo.  Long-lived processes (servers,
+#: paper-scale sweeps over several opt levels) previously grew an
+#: unbounded dict for their whole lifetime; the bound keeps the working
+#: set of the largest suite resident while evicting cold entries.
+COMPILE_CACHE_SIZE = _compile_cache_size()
+
+_COMPILE_CACHE: LRUCache = LRUCache(maxsize=COMPILE_CACHE_SIZE)
+_COMPILE_MISS = object()
 
 
 class CFrontend:
@@ -119,18 +149,24 @@ class CFrontend:
         # names must not alias one Module (its .name feeds diagnostics).
         key = (source_digest(source), name, self.config.opt_level,
                self.config.verify)
-        module = _COMPILE_CACHE.get(key)
-        if module is None:
+        module = _COMPILE_CACHE.get(key, _COMPILE_MISS)
+        if module is _COMPILE_MISS:
             from repro.frontend import compile_c
 
             module = compile_c(source, name, self.config.opt_level,
                                verify=self.config.verify)
-            _COMPILE_CACHE[key] = module
+            _COMPILE_CACHE.put(key, module)
         return module
 
 
 def clear_compile_cache() -> None:
     _COMPILE_CACHE.clear()
+    _COMPILE_CACHE.stats.clear()
+
+
+def compile_cache_stats() -> CacheStats:
+    """Hit/miss/eviction counters of the in-process compile memo."""
+    return _COMPILE_CACHE.stats
 
 
 # ---------------------------------------------------------------------------
@@ -148,6 +184,7 @@ class IR2VecFeaturizer:
 
     name = "ir2vec"
     kind = "matrix"
+    per_sample = True              # rows are independent → engine-cacheable
 
     def __init__(self, config: Optional[IR2VecFeaturizerConfig] = None,
                  **overrides):
@@ -160,6 +197,16 @@ class IR2VecFeaturizer:
     @property
     def seed(self) -> int:
         return self.config.seed
+
+    def warmup(self) -> None:
+        """Build the per-process encoder (seed-embedding training) now.
+
+        The execution engine calls this before forking workers so they
+        inherit the trained encoder instead of each rebuilding it.
+        """
+        from repro.embeddings.ir2vec import default_encoder
+
+        default_encoder(self.config.seed)
 
     def transform(self, modules: Sequence[Module]) -> np.ndarray:
         from repro.embeddings.ir2vec import default_encoder
@@ -180,6 +227,7 @@ class ProGraMLFeaturizer:
 
     name = "programl"
     kind = "graphs"
+    per_sample = True              # graphs are independent → engine-cacheable
 
     def __init__(self, config: Optional[ProGraMLFeaturizerConfig] = None,
                  **overrides):

@@ -1,0 +1,348 @@
+"""Execution-engine behaviour: parallel == serial, persistence, ordering.
+
+The corpus here is a set of tiny synthetic MPI programs (distinct
+constants make every source unique) so the tests exercise real compiles
+without paying full benchmark-suite generation costs.
+"""
+
+import warnings
+
+import pytest
+
+from repro.datasets.loader import Dataset, Sample, iter_sample_chunks
+from repro.engine import EngineConfig, ExecutionEngine
+from repro.pipeline.stages import (
+    CFrontend,
+    CFrontendConfig,
+    IR2VecFeaturizer,
+    IR2VecFeaturizerConfig,
+    ProGraMLFeaturizer,
+    clear_compile_cache,
+    compile_cache_stats,
+)
+
+_TEMPLATE = """
+#include <mpi.h>
+int main(int argc, char** argv) {{
+  int rank; int buf[{n}]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {{ MPI_Send(buf, {n}, MPI_INT, 1, {tag}, MPI_COMM_WORLD); }}
+  if (rank == 1) {{ MPI_Recv(buf, {n}, MPI_INT, 0, {tag}, MPI_COMM_WORLD, &st); }}
+  MPI_Finalize();
+  return 0;
+}}
+"""
+
+
+def _named_sources(n=8):
+    return [(f"prog{i}.c", _TEMPLATE.format(n=2 + i, tag=i)) for i in range(n)]
+
+
+def _graphs_equal(a, b):
+    return (a.node_text == b.node_text and a.node_type == b.node_type
+            and a.edges == b.edges)
+
+
+# ---------------------------------------------------------------------------
+# Parallel vs serial determinism
+# ---------------------------------------------------------------------------
+
+def test_parallel_graphs_identical_to_serial():
+    named = _named_sources(8)
+    fe = CFrontend(CFrontendConfig(opt_level="O0"))
+    feat = ProGraMLFeaturizer()
+    serial = ExecutionEngine(EngineConfig(workers=0)) \
+        .featurize_sources(fe, feat, named)
+    parallel = ExecutionEngine(EngineConfig(workers=2, chunk_size=3)) \
+        .featurize_sources(fe, feat, named)
+    assert len(serial) == len(parallel) == 8
+    assert all(_graphs_equal(a, b) for a, b in zip(serial, parallel))
+
+
+def test_parallel_embeddings_byte_identical_to_serial():
+    named = _named_sources(6)
+    fe = CFrontend(CFrontendConfig(opt_level="Os"))
+    feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
+    X_serial = ExecutionEngine(EngineConfig(workers=0)) \
+        .featurize_sources(fe, feat, named)
+    X_parallel = ExecutionEngine(EngineConfig(workers=2, chunk_size=2)) \
+        .featurize_sources(fe, feat, named)
+    assert X_serial.shape == X_parallel.shape == (6, 512)
+    assert X_serial.dtype == X_parallel.dtype
+    assert X_serial.tobytes() == X_parallel.tobytes()
+
+
+def test_compile_sources_order_preserved_across_chunkings():
+    named = _named_sources(7)
+    fe = CFrontend(CFrontendConfig(opt_level="O0"))
+    for chunk_size in (1, 3, 16):
+        engine = ExecutionEngine(EngineConfig(workers=0,
+                                              chunk_size=chunk_size))
+        modules = engine.compile_sources(fe, named)
+        assert [m.name for m in modules] == [name for name, _ in named]
+
+
+# ---------------------------------------------------------------------------
+# Persistent cache: warm runs, invalidation, corruption
+# ---------------------------------------------------------------------------
+
+def test_warm_run_skips_all_compilation(tmp_path, monkeypatch):
+    named = _named_sources(6)
+    fe = CFrontend(CFrontendConfig(opt_level="Os"))
+    feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
+    cold = ExecutionEngine(EngineConfig(workers=0, cache_dir=str(tmp_path)))
+    X_cold = cold.featurize_sources(fe, feat, named)
+    assert cold.stats["features"].misses == len(named)
+
+    # A fresh engine on the same store must answer entirely from disk:
+    # zero feature misses, and the frontend never invoked at all.
+    def _boom(self, source, name="input.c"):
+        raise AssertionError("warm run recompiled a source")
+
+    monkeypatch.setattr(CFrontend, "compile", _boom)
+    warm = ExecutionEngine(EngineConfig(workers=0, cache_dir=str(tmp_path)))
+    X_warm = warm.featurize_sources(fe, feat, named)
+    stats = warm.stats["features"]
+    assert stats.hits == len(named)
+    assert stats.misses == 0
+    assert X_warm.tobytes() == X_cold.tobytes()
+
+
+def test_cache_invalidates_on_source_config_and_version(tmp_path):
+    named = _named_sources(3)
+    fe = CFrontend(CFrontendConfig(opt_level="Os"))
+    feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
+    engine = ExecutionEngine(EngineConfig(workers=0, cache_dir=str(tmp_path)))
+    engine.featurize_sources(fe, feat, named)
+
+    # Changed source content → miss.
+    touched = [(named[0][0], named[0][1] + "\n/* changed */"),
+               *named[1:]]
+    probe = ExecutionEngine(EngineConfig(workers=0, cache_dir=str(tmp_path)))
+    probe.featurize_sources(fe, feat, touched)
+    assert probe.stats["features"].misses == 1
+    assert probe.stats["features"].hits == 2
+
+    # Changed stage config → all misses.
+    probe2 = ExecutionEngine(EngineConfig(workers=0, cache_dir=str(tmp_path)))
+    probe2.featurize_sources(fe, IR2VecFeaturizer(seed=7), named)
+    assert probe2.stats["features"].misses == 3
+
+    # Changed code version → all misses (old tree orphaned, not corrupted).
+    probe3 = ExecutionEngine(EngineConfig(workers=0, cache_dir=str(tmp_path)))
+    probe3.store.version = "other-code-version"
+    probe3.store._tree = probe3.store._tree + "-other"
+    probe3.featurize_sources(fe, feat, named)
+    assert probe3.stats["features"].misses == 3
+
+
+def test_corrupted_cache_entry_recovered_end_to_end(tmp_path):
+    named = _named_sources(4)
+    fe = CFrontend(CFrontendConfig(opt_level="O0"))
+    feat = ProGraMLFeaturizer()
+    engine = ExecutionEngine(EngineConfig(workers=0, cache_dir=str(tmp_path)))
+    expected = engine.featurize_sources(fe, feat, named)
+
+    # Truncate one persisted feature entry on disk.
+    store = engine.store
+    from repro.engine.engine import FEATURE_STAGE, _feature_parts
+
+    key = store.key(FEATURE_STAGE, _feature_parts(fe, feat, *named[2]))
+    with open(store._path(FEATURE_STAGE, key), "wb") as fh:
+        fh.write(b"truncated")
+
+    fresh = ExecutionEngine(EngineConfig(workers=0, cache_dir=str(tmp_path)))
+    recovered = fresh.featurize_sources(fe, feat, named)
+    assert fresh.stats["features"].errors == 1
+    assert fresh.stats["features"].hits == 3
+    assert all(_graphs_equal(a, b) for a, b in zip(expected, recovered))
+
+
+def test_uncacheable_stage_skips_store(tmp_path):
+    # A stage without a .config has no stable identity → engine must not
+    # persist (differently-parameterized instances would collide).
+    class NoConfigFrontend:
+        name = "anon"
+
+        def compile(self, source, name="input.c"):
+            return CFrontend(CFrontendConfig()).compile(source, name)
+
+    engine = ExecutionEngine(EngineConfig(workers=0, cache_dir=str(tmp_path)))
+    engine.compile_sources(NoConfigFrontend(), _named_sources(2))
+    assert engine.stats == {} or engine.stats.get("compile") is None
+
+
+@pytest.mark.parametrize("declares", [False, True])
+def test_undeclared_featurizer_gets_one_whole_batch_call(tmp_path, declares):
+    # A featurizer that does not declare per_sample=True (batch-relative,
+    # or simply predating the engine) must get exactly one transform over
+    # the full corpus — the pre-engine contract — and nothing persisted
+    # to the feature stage.
+    calls = []
+
+    class BatchNormFeaturizer:
+        name = "batch-norm"
+        opt_level = "O0"
+
+        def transform(self, modules):
+            calls.append(len(modules))
+            return [m.name for m in modules]
+
+    if declares:
+        BatchNormFeaturizer.per_sample = False
+    named = _named_sources(5)
+    fe = CFrontend(CFrontendConfig(opt_level="O0"))
+    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2,
+                                          cache_dir=str(tmp_path)))
+    out = engine.featurize_sources(fe, BatchNormFeaturizer(), named)
+    assert calls == [5]
+    assert out == [name for name, _ in named]
+    assert "features" not in engine.stats        # compile may cache, not rows
+
+
+def test_unpicklable_stage_falls_back_to_serial():
+    fe = CFrontend(CFrontendConfig(opt_level="O0"))
+    feat = ProGraMLFeaturizer()
+    feat.poison = lambda: None           # closures cannot cross processes
+    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        graphs = engine.featurize_sources(fe, feat, _named_sources(4))
+    assert len(graphs) == 4
+    assert any("serial" in str(w.message) for w in caught)
+    assert engine.counters["parallel_chunks"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Chunked streaming
+# ---------------------------------------------------------------------------
+
+def test_iter_sample_chunks_preserves_order_and_content():
+    samples = [Sample(name=f"s{i}.c", source=f"int x{i};", label="Correct",
+                      suite="MBI") for i in range(10)]
+    ds = Dataset("T", samples)
+    for size in (1, 3, 4, 10, 99):
+        chunks = list(ds.iter_chunks(size))
+        assert all(len(c) <= size for c in chunks)
+        flattened = [s for chunk in chunks for s in chunk]
+        assert flattened == samples
+    assert list(ds.iter_named_sources()) == [(s.name, s.source)
+                                             for s in samples]
+
+
+def test_iter_sample_chunks_accepts_generators():
+    gen = (Sample(name=f"g{i}.c", source="", label="Correct", suite="MBI")
+           for i in range(5))
+    chunks = list(iter_sample_chunks(gen, 2))
+    assert [len(c) for c in chunks] == [2, 2, 1]
+    with pytest.raises(ValueError):
+        list(iter_sample_chunks([], 0))
+
+
+def test_engine_accepts_lazy_iterables(tmp_path):
+    fe = CFrontend(CFrontendConfig(opt_level="O0"))
+    feat = ProGraMLFeaturizer()
+    engine = ExecutionEngine(EngineConfig(workers=0, cache_dir=str(tmp_path),
+                                          chunk_size=2))
+    named = _named_sources(5)
+    lazy = (pair for pair in named)
+    graphs = engine.featurize_sources(fe, feat, lazy)
+    assert len(graphs) == 5
+
+
+# ---------------------------------------------------------------------------
+# In-process compile LRU
+# ---------------------------------------------------------------------------
+
+def test_compile_cache_counts_hits_and_misses():
+    clear_compile_cache()
+    fe = CFrontend(CFrontendConfig(opt_level="O0"))
+    name, source = _named_sources(1)[0]
+    fe.compile(source, name)
+    fe.compile(source, name)
+    stats = compile_cache_stats()
+    assert stats.misses == 1
+    assert stats.hits == 1
+    clear_compile_cache()
+    assert compile_cache_stats().lookups == 0
+
+
+# ---------------------------------------------------------------------------
+# Pipeline / config integration
+# ---------------------------------------------------------------------------
+
+def test_pipeline_predict_batch_parallel_equals_serial(tmp_path):
+    from repro.datasets import load_mbi
+    from repro.pipeline import (
+        DecisionTreeStageConfig,
+        DetectionPipeline,
+        IR2VecFeaturizerConfig,
+    )
+
+    ds = load_mbi(subsample=30)
+    serial_engine = ExecutionEngine(EngineConfig(workers=0,
+                                                 cache_dir=str(tmp_path)))
+    pipe = DetectionPipeline.from_names(
+        "ir2vec", "decision-tree",
+        featurizer_config=IR2VecFeaturizerConfig(),
+        classifier_config=DecisionTreeStageConfig(use_ga=False),
+        engine=serial_engine)
+    pipe.fit(ds)
+    labels_serial = [r.label for r in pipe.predict_batch(ds.samples[:12])]
+    pipe.engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=4))
+    labels_parallel = [r.label for r in pipe.predict_batch(ds.samples[:12])]
+    assert labels_serial == labels_parallel
+
+
+def test_detector_builds_private_engine(tmp_path):
+    from repro.core import MPIErrorDetector
+
+    det = MPIErrorDetector(workers=3, cache_dir=str(tmp_path))
+    assert det.engine.workers == 3
+    assert det.engine.cache_dir == str(tmp_path)
+
+
+def test_repro_config_engine_resolution(tmp_path):
+    from repro.engine import default_engine
+    from repro.eval.config import ReproConfig
+
+    config = ReproConfig.smoke()
+    assert config.engine() is default_engine()
+    config.workers = 2
+    config.cache_dir = str(tmp_path)
+    engine = config.engine()
+    assert engine.workers == 2 and engine.cache_dir == str(tmp_path)
+    assert config.engine() is engine        # memoized while knobs unchanged
+    config.workers = 1                      # mutating a knob rebuilds
+    assert config.engine().workers == 1
+
+
+def test_repro_config_engine_inherits_default_knobs(tmp_path):
+    # Setting only cache_dir must not silently drop an env/CLI-configured
+    # worker count: unset knobs inherit from the process default engine.
+    from repro.engine import set_default_engine
+    from repro.eval.config import ReproConfig
+
+    set_default_engine(ExecutionEngine(EngineConfig(workers=3)))
+    try:
+        config = ReproConfig.smoke()
+        config.cache_dir = str(tmp_path)
+        engine = config.engine()
+        assert engine.workers == 3
+        assert engine.cache_dir == str(tmp_path)
+    finally:
+        set_default_engine(None)
+
+
+def test_cli_cache_stats_and_clear(tmp_path, capsys):
+    from repro.cli import main
+    from repro.engine import ContentStore
+
+    store = ContentStore(str(tmp_path))
+    store.put("compile", store.key("compile", ["x"]), "v")
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "compile" in out and "1 entries" in out
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    assert "removed 1" in capsys.readouterr().out
