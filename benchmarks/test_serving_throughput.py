@@ -1,0 +1,77 @@
+"""Serving throughput: micro-batched vs sequential single-request dispatch.
+
+Stands up the real HTTP service (``repro.serve``) over a smoke-trained
+ir2vec pipeline and runs the shared measurement protocol
+(:func:`repro.serve.measure_regimes` — the same code path as
+``repro bench-serve``) over an MBI-derived corpus:
+
+* **sequential** — one closed-loop client, one request at a time; no
+  coalescing is possible, so every request becomes its own
+  ``predict_batch(1)`` call (plus a full batch-window wait);
+* **micro-batched** — N concurrent closed-loop clients; the scheduler
+  coalesces queued requests into multi-sample ``predict_batch`` calls.
+
+Every source is pushed through once before the timed phases so both
+regimes measure the same warm-cache state rather than who pays the cold
+compiles.  Emits ``BENCH_serving.json`` (p50/p99 latency, throughput,
+achieved batch size per regime) — the acceptance bar is micro-batched
+throughput ≥ sequential and an achieved mean batch size > 1.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets import load_mbi
+from repro.ml import GAConfig
+from repro.pipeline import DecisionTreeStageConfig, DetectionPipeline
+from repro.serve import BackgroundServer, ServeConfig, measure_regimes
+
+from benchmarks.conftest import emit
+
+_CORPUS_SIZE = 48
+_CONCURRENCY = 8
+_OUT = "BENCH_serving.json"
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_microbatch_vs_sequential(tmp_path):
+    corpus = load_mbi(subsample=_CORPUS_SIZE)
+    jobs = [(s.name, s.source) for s in corpus.samples]
+
+    pipeline = DetectionPipeline.from_names(
+        "ir2vec", "decision-tree",
+        classifier_config=DecisionTreeStageConfig(
+            ga=GAConfig(population_size=20, generations=2)),
+        method="ir2vec").fit(corpus)
+    artifact = str(tmp_path / "serving-model.rpd")
+    pipeline.save(artifact)
+    pipeline.close()
+
+    config = ServeConfig(port=0, max_batch=8, max_wait_ms=15,
+                         max_queue=512)
+    with BackgroundServer(artifact, config) as server:
+        measured = measure_regimes(config.host, server.port, jobs,
+                                   concurrency=_CONCURRENCY)
+
+    assert measured["warmup"]["failed"] == 0
+    assert measured["sequential"]["failed"] == 0
+    assert measured["microbatched"]["failed"] == 0
+
+    results = {
+        "corpus": "MBI-smoke",
+        "max_batch": config.max_batch,
+        "max_wait_ms": config.max_wait_ms,
+        **measured,
+    }
+    with open(_OUT, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+    emit("Serving throughput (micro-batched vs sequential)",
+         json.dumps(results, indent=2, sort_keys=True))
+
+    # Sequential dispatch cannot coalesce; the scheduler must.
+    assert results["sequential_batching"]["mean_batch_size"] <= 1.0
+    assert results["microbatched_batching"]["mean_batch_size"] > 1.0
+    assert results["microbatched_batching"]["batches"] < len(jobs)
+    # The acceptance bar: coalescing beats one-at-a-time dispatch.
+    assert results["throughput_speedup"] >= 1.0

@@ -22,6 +22,10 @@ All compile/featurize work runs on the corpus execution engine: set
 compilation and featurization entirely (the CLI equivalents are
 ``python -m repro train --workers 4 --cache-dir ~/.cache/repro ...``).
 
+To serve the saved artifact over HTTP — concurrent requests coalesced
+into micro-batched ``predict_batch`` calls, hot-reloadable on retrain —
+run ``python -m repro serve <artifact>`` (see docs/serving.md).
+
 Run:  python examples/quickstart.py
 """
 
@@ -115,6 +119,12 @@ def main() -> None:
         again = reloaded.predict_source(HANDWRITTEN_DEADLOCK, "handwritten.c")
         print(f"  artifact contents: {sorted(os.listdir(artifact))}")
         print(f"  reloaded verdict matches: {again.label == result.label}")
+
+    print("\nnext: serve an artifact over HTTP with micro-batching + "
+          "hot reload —")
+    print("  python -m repro train -d corrbench --profile smoke "
+          "-o model.rpd")
+    print("  python -m repro serve model.rpd        # see docs/serving.md")
 
 
 if __name__ == "__main__":

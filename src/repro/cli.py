@@ -15,6 +15,9 @@ check          classify C files (batched) with a saved pipeline artifact
 experiment     regenerate one of the paper's tables / figures
 mutate         inject MPI bugs into a correct program (mutation operators)
 cache          inspect / clear the persistent engine cache
+artifact       inspect a saved pipeline artifact (manifest only, no unpickle)
+serve          run the async micro-batching HTTP detection service
+bench-serve    load-test a served model, write BENCH_serving.json
 =============  ==============================================================
 
 The corpus subcommands (``train``, ``check``, ``experiment``) accept
@@ -388,6 +391,115 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_artifact(args: argparse.Namespace) -> int:
+    """``artifact inspect``: print the versioned-artifact manifest
+    (stages, versions, digests) without unpickling any stage blob."""
+    import json
+
+    from repro.pipeline import ArtifactError, inspect_artifact
+
+    try:
+        info = inspect_artifact(args.path)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"artifact {info['path']}")
+    print(f"  format          {info['format']} "
+          f"(schema v{info['schema_version']}, "
+          f"repro {info['repro_version']})")
+    print(f"  method          {info['method']}")
+    print(f"  label mode      {info['label_mode']}")
+    print(f"  fitted          {info['fitted']}")
+    print(f"  version         {info['version']}")
+    print("  stages:")
+    for role in ("frontend", "featurizer", "classifier"):
+        stage = info["stages"][role]
+        line = f"    {role:<12} {stage['name']}"
+        state = stage.get("state")
+        if state:
+            line += (f"  [{state['blob']}: {state['bytes']} bytes, "
+                     f"sha256 {state['sha256'][:12]}…]")
+        print(line)
+        for key, value in sorted(stage["config"].items()):
+            print(f"      {key} = {value!r}")
+    return 0
+
+
+def _serve_config(args: argparse.Namespace):
+    from repro.serve import ServeConfig
+
+    return ServeConfig.from_env(
+        host=args.host, port=args.port, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, max_queue=args.max_queue,
+        poll_interval_s=getattr(args, "poll_interval", None),
+        workers=args.workers, cache_dir=args.cache_dir)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.pipeline import ArtifactError
+    from repro.serve import serve
+
+    try:
+        config = _serve_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        # The registry validates the artifact (manifest-first, fitted
+        # check) before the server starts accepting, so a bad artifact
+        # lands here as a clean error rather than a traceback.
+        serve(args.model, config)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Start a server in-process and measure sequential vs micro-batched
+    dispatch over a generated corpus; writes ``BENCH_serving.json``."""
+    import dataclasses
+    import json
+
+    from repro.pipeline import ArtifactError
+    from repro.serve import BackgroundServer, measure_regimes
+
+    try:
+        config = _serve_config(args)
+        if args.port is None and not os.environ.get("REPRO_SERVE_PORT"):
+            # Benchmarks shouldn't collide with a live service: default
+            # to an ephemeral port unless one was asked for explicitly.
+            config = dataclasses.replace(config, port=0)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    from repro.datasets import load_mbi
+
+    corpus = [(s.name, s.source)
+              for s in load_mbi(subsample=args.requests)][:args.requests]
+    try:
+        with BackgroundServer(args.model, config) as server:
+            results = {
+                "model": args.model,
+                "max_batch": config.max_batch,
+                "max_wait_ms": config.max_wait_ms,
+                **measure_regimes(config.host, server.port, corpus,
+                                  concurrency=args.concurrency),
+            }
+    except (ArtifactError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+    print(json.dumps(results, indent=2, sort_keys=True))
+    print(f"wrote {args.output}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -495,6 +607,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stage", default=None, choices=("compile", "features"),
                    help="restrict 'clear' to one stage")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("artifact",
+                       help="inspect a saved pipeline artifact")
+    p.add_argument("action", choices=("inspect",))
+    p.add_argument("path", help="artifact directory or .zip")
+    p.add_argument("--json", action="store_true",
+                   help="emit the manifest summary as JSON")
+    p.set_defaults(func=cmd_artifact)
+
+    def _add_serve_flags(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--host", default=None,
+                        help="bind address (default: $REPRO_SERVE_HOST "
+                             "or 127.0.0.1)")
+        sp.add_argument("--port", type=int, default=None,
+                        help="bind port, 0 = ephemeral (default: "
+                             "$REPRO_SERVE_PORT or 8321)")
+        sp.add_argument("--max-batch", type=int, default=None, metavar="N",
+                        help="samples coalesced per predict_batch call "
+                             "(default: $REPRO_SERVE_MAX_BATCH or 16)")
+        sp.add_argument("--max-wait-ms", type=float, default=None,
+                        metavar="MS",
+                        help="micro-batch window after the first queued "
+                             "request (default: $REPRO_SERVE_MAX_WAIT_MS "
+                             "or 10)")
+        sp.add_argument("--max-queue", type=int, default=None, metavar="N",
+                        help="queued samples before 429 backpressure "
+                             "(default: $REPRO_SERVE_MAX_QUEUE or 256)")
+        _add_engine_flags(sp)
+
+    p = sub.add_parser("serve",
+                       help="run the micro-batching HTTP detection service")
+    p.add_argument("model", help="pipeline artifact to serve")
+    p.add_argument("--poll-interval", type=float, default=None, metavar="S",
+                   help="reload the artifact when its mtime changes, "
+                        "checked every S seconds (default: "
+                        "$REPRO_SERVE_POLL_INTERVAL or disabled)")
+    _add_serve_flags(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("bench-serve",
+                       help="load-test a model artifact, write "
+                            "BENCH_serving.json")
+    p.add_argument("model", help="pipeline artifact to serve")
+    p.add_argument("--requests", type=int, default=48, metavar="N",
+                   help="distinct generated sources to send per regime")
+    p.add_argument("--concurrency", type=int, default=8, metavar="C",
+                   help="client threads in the micro-batched regime")
+    p.add_argument("-o", "--output", default="BENCH_serving.json")
+    _add_serve_flags(p)
+    p.set_defaults(func=cmd_bench_serve)
 
     return parser
 

@@ -30,8 +30,10 @@ import multiprocessing
 import os
 import pickle
 import sys
+import threading
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -173,7 +175,17 @@ class ExecutionEngine:
         #: shared store but are not mirrored here).
         self.counters: Dict[str, int] = {
             "compiled": 0, "featurized": 0, "chunks": 0, "parallel_chunks": 0,
+            "pool_starts": 0,
         }
+        # The worker pool is persistent: started lazily on the first
+        # parallel run and reused across calls (long-lived callers like
+        # the serving loop would otherwise pay pool startup per batch).
+        # close() tears it down deterministically; the engine stays
+        # usable afterwards — the next parallel run starts a fresh pool.
+        # The lock only guards create/close (threads sharing the default
+        # engine must not each fork a pool and orphan one).
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
 
     # -- introspection ------------------------------------------------------
     @property
@@ -185,6 +197,11 @@ class ExecutionEngine:
         return self.config.cache_dir
 
     @property
+    def pool_active(self) -> bool:
+        """Whether a worker pool is currently alive."""
+        return self._pool is not None
+
+    @property
     def stats(self) -> Dict[str, CacheStats]:
         """Per-stage persistent-store counters seen by this process."""
         return self.store.stats if self.store is not None else {}
@@ -193,9 +210,28 @@ class ExecutionEngine:
         return {
             "workers": self.config.workers,
             "cache_dir": self.config.cache_dir,
+            "pool_active": self.pool_active,
             "counters": dict(self.counters),
             "store": {stage: s.as_dict() for stage, s in self.stats.items()},
         }
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool deterministically (idempotent).
+
+        Serial engines are a no-op.  The engine remains usable: a later
+        parallel run simply starts a fresh pool.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- public API ---------------------------------------------------------
     def compile_sources(self, frontend: Any,
@@ -279,16 +315,33 @@ class ExecutionEngine:
         if self.config.workers > 0 and len(chunks) > 1:
             payloads = self._parallel_payloads(frontend, featurizer, chunks)
             if payloads is not None:
+                # Warm before every parallel run, not just pool creation:
+                # the executor spawns workers lazily, so processes forked
+                # by a *later* run (or after a featurizer change, e.g. a
+                # serving hot reload) still inherit the warm state.
                 self._warmup(featurizer)
-                ctx = self._mp_context()
-                workers = min(self.config.workers, len(chunks))
-                with ProcessPoolExecutor(max_workers=workers,
-                                         mp_context=ctx) as pool:
+                pool = self._ensure_pool()
+                try:
                     futures = [pool.submit(_chunk_worker, p)
                                for p in payloads]
+                except RuntimeError:
+                    # close() raced us (another thread tore the pool
+                    # down between _ensure_pool and submit); closing is
+                    # reversible by design, so retry on a fresh pool.
+                    self._discard_pool(pool)
+                    pool = self._ensure_pool()
+                    futures = [pool.submit(_chunk_worker, p)
+                               for p in payloads]
+                try:
                     self.counters["parallel_chunks"] += len(chunks)
                     for chunk, future in zip(chunks, futures):
                         yield chunk, future.result()
+                except BrokenProcessPool:
+                    # A dead worker poisons the whole executor; drop it
+                    # so the next run starts a healthy pool.
+                    self._discard_pool(pool)
+                    pool.shutdown(wait=False)
+                    raise
                 return
         for chunk in chunks:
             named = [(name, source) for _i, name, source in chunk]
@@ -313,6 +366,22 @@ class ExecutionEngine:
                 "falling back to serial execution", RuntimeWarning,
                 stacklevel=3)
             return None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent worker pool, started on first parallel use."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.workers,
+                    mp_context=self._mp_context())
+                self.counters["pool_starts"] += 1
+            return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Forget ``pool`` unless another thread already replaced it."""
+        with self._pool_lock:
+            if self._pool is pool:
+                self._pool = None
 
     def _warmup(self, featurizer: Optional[Any]) -> None:
         """Build expensive per-process state (e.g. the IR2vec encoder)

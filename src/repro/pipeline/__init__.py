@@ -59,6 +59,7 @@ from repro.pipeline.pipeline import (
 from repro.pipeline.artifact import (
     ArtifactError,
     SCHEMA_VERSION,
+    inspect_artifact,
     load_pipeline,
     save_pipeline,
 )
@@ -82,4 +83,5 @@ __all__ = [
     "take", "source_digest", "clear_compile_cache", "compile_cache_stats",
     # artifacts
     "ArtifactError", "SCHEMA_VERSION", "save_pipeline", "load_pipeline",
+    "inspect_artifact",
 ]

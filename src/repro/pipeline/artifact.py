@@ -20,6 +20,7 @@ format) are detected by magic bytes and rejected with a
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import warnings
@@ -202,6 +203,58 @@ def validate_manifest(manifest: Dict[str, Any]) -> None:
     if manifest.get("label_mode") not in ("binary", "type"):
         raise ArtifactError(
             f"bad label_mode {manifest.get('label_mode')!r}")
+
+
+def inspect_artifact(path: str) -> Dict[str, Any]:
+    """Summarize an artifact *without unpickling any stage blob*.
+
+    Validates the manifest and reads each referenced blob only to hash
+    it, so inspection is safe on untrusted or half-written artifacts —
+    which is exactly why the serving registry runs it before committing
+    to a hot reload, and why ``repro artifact inspect`` exists.
+
+    Returns a JSON-able dict: format/schema/repro versions, method,
+    label_mode, fitted, per-stage ``{name, config, state{blob, bytes,
+    sha256}}``, and a short content ``version`` digest that changes
+    whenever the manifest or any blob does.
+    """
+    manifest, read_blob = _open_container(path)
+    validate_manifest(manifest)
+
+    stages: Dict[str, Any] = {}
+    blob_digests: Dict[str, str] = {}
+    for role in ("frontend", "featurizer", "classifier"):
+        entry = manifest["stages"][role]
+        info: Dict[str, Any] = {"name": entry["name"],
+                                "config": entry.get("config") or {}}
+        blob_name = entry.get("state")
+        if blob_name:
+            try:
+                blob = read_blob(blob_name)
+            except (FileNotFoundError, KeyError):
+                raise ArtifactError(
+                    f"artifact is missing blob {blob_name!r} referenced "
+                    f"by its {role} stage") from None
+            digest = hashlib.sha256(blob).hexdigest()
+            blob_digests[blob_name] = digest
+            info["state"] = {"blob": blob_name, "bytes": len(blob),
+                             "sha256": digest}
+        stages[role] = info
+
+    version_basis = json.dumps({"manifest": manifest, "blobs": blob_digests},
+                               sort_keys=True)
+    return {
+        "path": str(path),
+        "format": manifest["format"],
+        "schema_version": manifest["schema_version"],
+        "repro_version": manifest.get("repro_version"),
+        "method": manifest.get("method"),
+        "label_mode": manifest["label_mode"],
+        "fitted": bool(manifest.get("fitted")),
+        "version": hashlib.sha256(
+            version_basis.encode("utf-8")).hexdigest()[:12],
+        "stages": stages,
+    }
 
 
 def load_pipeline(path: str) -> DetectionPipeline:

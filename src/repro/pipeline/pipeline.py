@@ -251,6 +251,25 @@ class DetectionPipeline:
             raise RuntimeError("call fit() before predict_dataset()")
         return self.classifier.predict(self._featurize_dataset(dataset))
 
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the engine's worker pool deterministically.
+
+        Long-lived callers (the serving loop, test suites) need teardown
+        that does not wait for interpreter exit.  Idempotent, and the
+        pipeline stays usable — the next parallel run restarts the pool.
+        This applies to whatever engine the pipeline resolves, including
+        the process-wide default: other pipelines sharing it lose only a
+        warm pool (restarted lazily), never correctness.
+        """
+        self.engine.close()
+
+    def __enter__(self) -> "DetectionPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -------------------------------------------------------------- persist
     def save(self, path: str) -> None:
         """Write the versioned artifact (JSON manifest + stage blobs)."""

@@ -1,0 +1,186 @@
+"""Threaded load generator for the detection service.
+
+Drives ``POST /v1/check`` with single-sample requests in two regimes —
+
+* ``sequential``: one closed-loop client, one request at a time; this is
+  the no-coalescing baseline (each request becomes its own
+  ``predict_batch`` call), and
+* ``concurrent``: N closed-loop clients firing in parallel, which is
+  what lets the micro-batcher coalesce requests into real batches —
+
+and reports client-side latency quantiles (p50/p99), wall-clock
+throughput, and error counts.  `benchmarks/test_serving_throughput.py`
+and ``repro bench-serve`` both build ``BENCH_serving.json`` from these
+numbers plus the server's achieved-batch-size metrics.
+
+Stdlib-only (``http.client`` over keep-alive connections, one per
+worker thread).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q / 100.0 * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class ServeClient:
+    """Minimal JSON client over one keep-alive connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def request(self, method: str, path: str,
+                payload: Optional[Dict[str, Any]] = None,
+                ) -> Tuple[int, Dict[str, Any]]:
+        body = None if payload is None else json.dumps(payload)
+        headers = {} if body is None else \
+            {"Content-Type": "application/json"}
+        self._conn.request(method, path, body=body, headers=headers)
+        response = self._conn.getresponse()
+        data = response.read()
+        return response.status, json.loads(data) if data else {}
+
+    def check(self, source: str, name: str = "input.c",
+              ) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", "/v1/check",
+                            {"name": name, "source": source})
+
+    def metrics(self) -> Dict[str, Any]:
+        status, payload = self.request("GET", "/metrics")
+        if status != 200:
+            raise RuntimeError(f"/metrics answered {status}")
+        return payload
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _worker(host: str, port: int, jobs: List[Tuple[str, str]],
+            latencies: List[float], failures: List[Tuple[int, str]],
+            lock: threading.Lock, timeout: float) -> None:
+    client = ServeClient(host, port, timeout=timeout)
+    try:
+        for name, source in jobs:
+            start = time.perf_counter()
+            try:
+                status, payload = client.check(source, name)
+            except Exception as exc:       # connection-level failure
+                with lock:
+                    failures.append((0, f"{type(exc).__name__}: {exc}"))
+                continue
+            elapsed = time.perf_counter() - start
+            with lock:
+                if status == 200:
+                    latencies.append(elapsed)
+                else:
+                    failures.append((status,
+                                     str(payload.get("error", ""))))
+    finally:
+        client.close()
+
+
+def run_load(host: str, port: int, sources: Sequence[Tuple[str, str]], *,
+             concurrency: int = 1, timeout: float = 60.0) -> Dict[str, Any]:
+    """Send every ``(name, source)`` once, spread over ``concurrency``
+    closed-loop clients; returns latency/throughput stats.
+
+    ``concurrency=1`` is the sequential-dispatch baseline.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    lanes: List[List[Tuple[str, str]]] = [[] for _ in range(concurrency)]
+    for i, job in enumerate(sources):
+        lanes[i % concurrency].append(job)
+    latencies: List[float] = []
+    failures: List[Tuple[int, str]] = []
+    lock = threading.Lock()
+    threads = [threading.Thread(target=_worker,
+                                args=(host, port, lane, latencies,
+                                      failures, lock, timeout))
+               for lane in lanes if lane]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    ordered = sorted(latencies)
+    return {
+        "requests": len(sources),
+        "concurrency": concurrency,
+        "ok": len(latencies),
+        "failed": len(failures),
+        "failures": failures[:10],
+        "wall_sec": round(wall, 4),
+        "throughput_rps": round(len(latencies) / wall, 2) if wall else 0.0,
+        "latency_p50_ms": round(percentile(ordered, 50) * 1000, 2),
+        "latency_p99_ms": round(percentile(ordered, 99) * 1000, 2),
+        "latency_mean_ms": round(
+            sum(ordered) / len(ordered) * 1000, 2) if ordered else 0.0,
+    }
+
+
+def batching_delta(before: Dict[str, Any],
+                   after: Dict[str, Any]) -> Dict[str, Any]:
+    """Achieved batch shape between two /metrics snapshots."""
+    batcher_b, batcher_a = before["batcher"], after["batcher"]
+    batches = batcher_a["batches"] - batcher_b["batches"]
+    samples = batcher_a["batched_samples"] - batcher_b["batched_samples"]
+    return {
+        "batches": batches,
+        "samples": samples,
+        "mean_batch_size": round(samples / batches, 3) if batches else 0.0,
+    }
+
+
+def measure_regimes(host: str, port: int,
+                    jobs: Sequence[Tuple[str, str]], *,
+                    concurrency: int = 8,
+                    timeout: float = 60.0) -> Dict[str, Any]:
+    """The BENCH_serving measurement protocol, in one place.
+
+    Warms every source once (so neither regime pays the cold compiles),
+    then measures sequential dispatch (``concurrency=1`` — no
+    coalescing possible) and micro-batched dispatch (``concurrency``
+    closed-loop clients) over the same jobs, pairing each with the
+    server-side achieved-batch-size delta.  Used by both
+    ``repro bench-serve`` and ``benchmarks/test_serving_throughput.py``
+    so the CLI and CI always measure the same thing.
+    """
+    client = ServeClient(host, port, timeout=timeout)
+    try:
+        warm = run_load(host, port, jobs, concurrency=concurrency,
+                        timeout=timeout)
+        snap0 = client.metrics()
+        sequential = run_load(host, port, jobs, concurrency=1,
+                              timeout=timeout)
+        snap1 = client.metrics()
+        microbatched = run_load(host, port, jobs, concurrency=concurrency,
+                                timeout=timeout)
+        snap2 = client.metrics()
+    finally:
+        client.close()
+    return {
+        "requests_per_regime": len(jobs),
+        "concurrency": concurrency,
+        "warmup": warm,
+        "sequential": sequential,
+        "sequential_batching": batching_delta(snap0, snap1),
+        "microbatched": microbatched,
+        "microbatched_batching": batching_delta(snap1, snap2),
+        "throughput_speedup": round(
+            microbatched["throughput_rps"] / sequential["throughput_rps"],
+            3) if sequential["throughput_rps"] else None,
+    }

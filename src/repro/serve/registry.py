@@ -1,0 +1,171 @@
+"""Hot-reloadable model registry.
+
+Holds the currently-served :class:`~repro.pipeline.DetectionPipeline`
+and swaps in new versioned artifacts without dropping in-flight work:
+
+1. the candidate artifact is validated manifest-first with
+   :func:`~repro.pipeline.artifact.inspect_artifact` — stage names,
+   schema version, and blob digests are checked *before* any stage blob
+   is unpickled, so a half-written or corrupt artifact can never take
+   down a serving process;
+2. the pipeline is fully loaded off to the side and wired onto the
+   shared execution engine (same worker pool, same persistent cache);
+3. only then is the ``current`` reference swapped — a single atomic
+   rebind.  Batches that already captured the old model finish on it;
+   the old pipeline is simply garbage collected once the last one does.
+
+Reloads are triggered explicitly (``POST /v1/reload``) or by artifact
+mtime polling (:meth:`ModelRegistry.poll`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.engine import ExecutionEngine
+from repro.pipeline.artifact import ArtifactError, inspect_artifact, \
+    load_pipeline
+
+
+def artifact_mtime(path: str) -> float:
+    """Newest mtime across the artifact's files (0.0 if unreadable).
+
+    Directory artifacts are written blob-by-blob, so the *maximum* over
+    members is what actually changes when a retrain overwrites one.
+    """
+    try:
+        if os.path.isdir(path):
+            newest = os.path.getmtime(path)
+            for name in os.listdir(path):
+                newest = max(newest, os.path.getmtime(
+                    os.path.join(path, name)))
+            return newest
+        return os.path.getmtime(path)
+    except OSError:
+        return 0.0
+
+
+@dataclass
+class LoadedModel:
+    """One immutable served model: pipeline + its provenance."""
+
+    pipeline: Any
+    info: Dict[str, Any]          # inspect_artifact() output
+    generation: int               # monotonically increasing per reload
+    path: str
+    mtime: float
+    loaded_at: float = field(default_factory=time.time)
+
+    @property
+    def version(self) -> str:
+        return self.info["version"]
+
+
+class ModelRegistry:
+    """Load, validate, and atomically swap served pipeline artifacts."""
+
+    def __init__(self, path: str, *,
+                 engine: Optional[ExecutionEngine] = None,
+                 loader: Optional[Callable[[str], Any]] = None):
+        self._path = path
+        self._engine = engine
+        #: Injectable for tests (e.g. wrapping the loaded pipeline with a
+        #: deliberately slow ``predict_batch``); defaults to the real
+        #: artifact loader.
+        self._loader = loader or load_pipeline
+        self._current: Optional[LoadedModel] = None
+        self._generation = 0
+        # Reloads can arrive from executor threads (HTTP handler) and
+        # the poller; serialize them so generations stay ordered and we
+        # never load the same artifact twice concurrently.
+        self._reload_lock = threading.Lock()
+        self.reload_errors = 0
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def engine(self) -> Optional[ExecutionEngine]:
+        return self._engine
+
+    @property
+    def current(self) -> LoadedModel:
+        if self._current is None:
+            raise RuntimeError("no model loaded; call load() first")
+        return self._current
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    # -- loading ------------------------------------------------------------
+    def load(self, path: Optional[str] = None) -> LoadedModel:
+        """Validate + load ``path`` (default: current path), then swap.
+
+        Raises :class:`~repro.pipeline.ArtifactError` without touching
+        the served model if the candidate is invalid or unfitted.
+        """
+        with self._reload_lock:
+            target = path or self._path
+            try:
+                info = inspect_artifact(target)      # no unpickling yet
+                if not info["fitted"]:
+                    raise ArtifactError(
+                        f"{target} holds an unfitted pipeline; train it "
+                        "before serving")
+                mtime = artifact_mtime(target)
+                try:
+                    pipeline = self._loader(target)
+                except ArtifactError:
+                    raise
+                except Exception as exc:
+                    # A blob that hashes fine can still fail to
+                    # deserialize (e.g. truncated by a retrain
+                    # mid-write); fold that into the one error type
+                    # callers — the poller, /v1/reload — already handle.
+                    raise ArtifactError(
+                        f"failed to load {target}: "
+                        f"{type(exc).__name__}: {exc}") from exc
+            except ArtifactError:
+                self.reload_errors += 1
+                raise
+            if self._engine is not None:
+                pipeline.engine = self._engine
+            self._generation += 1
+            model = LoadedModel(pipeline=pipeline, info=info,
+                                generation=self._generation, path=target,
+                                mtime=mtime)
+            # Single reference rebind = the atomic swap: in-flight
+            # batches keep the LoadedModel they already captured.
+            self._current = model
+            self._path = target
+            return model
+
+    def poll(self) -> bool:
+        """Reload if the artifact on disk changed since the last load.
+
+        Returns whether a reload happened.  Errors (e.g. a retrain is
+        mid-write) are swallowed after counting: the poller tries again
+        next interval while the old model keeps serving.
+        """
+        current = self._current
+        if current is None:
+            return False
+        mtime = artifact_mtime(current.path)
+        # Any change counts, not just newer: a rollback restored with an
+        # mtime-preserving copy moves the timestamp *backwards*.  0.0
+        # means the artifact is unreadable right now (mid-rewrite) —
+        # hold position and check again next interval.
+        if mtime == 0.0 or mtime == current.mtime:
+            return False
+        try:
+            self.load(current.path)
+        except ArtifactError:
+            return False
+        return True

@@ -1,0 +1,574 @@
+"""Asyncio HTTP front door for the detection pipeline.
+
+Stdlib-only: a minimal HTTP/1.1 JSON server on ``asyncio.start_server``
+(keep-alive supported), routing four endpoints onto the micro-batching
+scheduler and the hot-reloadable model registry:
+
+==========================  ===============================================
+endpoint                    behavior
+==========================  ===============================================
+``POST /v1/check``          classify one source (``{"source", "name"?}``)
+                            or many (``{"sources": [...]}``); every sample
+                            rides the micro-batcher, so concurrent
+                            requests coalesce into ``predict_batch`` calls
+``GET /healthz``            liveness + current model version
+``GET /metrics``            JSON counters: batcher, queue, requests by
+                            status, reloads, engine/cache stats
+``GET /v1/model``           manifest summary of the served artifact
+``POST /v1/reload``         validate + atomically swap the artifact
+                            (optional ``{"path": ...}``)
+==========================  ===============================================
+
+Backpressure: when the bounded queue is full, ``/v1/check`` answers
+``429`` with a ``Retry-After`` header instead of building an unbounded
+backlog.  Model inference runs in a worker thread (the event loop keeps
+accepting/parsing while a batch executes); batches capture the model
+reference at dispatch, so a hot reload never fails an in-flight request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.pipeline.artifact import ArtifactError
+from repro.serve.batching import MicroBatcher, QueueFullError
+from repro.serve.config import ServeConfig
+from repro.serve.registry import LoadedModel, ModelRegistry
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Header-section bound (count); header *lines* are already bounded by
+#: the StreamReader's per-line limit.
+_MAX_HEADERS = 128
+
+#: path → allowed methods (for 404-vs-405 decisions).
+_ROUTES = {
+    "/healthz": ("GET",),
+    "/metrics": ("GET",),
+    "/v1/model": ("GET",),
+    "/v1/check": ("POST",),
+    "/v1/reload": ("POST",),
+}
+
+
+class _BadRequest(ValueError):
+    """Client-side payload problem → 400 with the message."""
+
+
+class _ItemFailure:
+    """Per-sample failure inside a micro-batch (e.g. a compile error).
+
+    Wrapped instead of raised so one client's uncompilable source can
+    never fail the unrelated requests coalesced into the same batch.
+    """
+
+    def __init__(self, exc: BaseException):
+        self.error = f"{type(exc).__name__}: {exc}"
+
+
+def build_engine(config: ServeConfig):
+    """The one engine every served model runs on (pool + cache shared
+    across hot reloads).  Without explicit serve-level settings this is
+    the process default engine, which already honors ``REPRO_WORKERS`` /
+    ``REPRO_CACHE_DIR``."""
+    from repro.engine import EngineConfig, ExecutionEngine, default_engine
+    from repro.engine.engine import _env_workers
+
+    if config.workers is None and config.cache_dir is None:
+        return default_engine()
+    import os
+
+    return ExecutionEngine(EngineConfig(
+        workers=(config.workers if config.workers is not None
+                 else _env_workers()),
+        cache_dir=(config.cache_dir
+                   or os.environ.get("REPRO_CACHE_DIR") or None)))
+
+
+class DetectionServer:
+    """Wires registry + batcher + HTTP endpoints onto one event loop."""
+
+    def __init__(self, registry: ModelRegistry,
+                 config: Optional[ServeConfig] = None):
+        self.registry = registry
+        self.config = config or ServeConfig.from_env()
+        self.batcher = MicroBatcher(self._run_batch,
+                                    max_batch=self.config.max_batch,
+                                    max_wait_ms=self.config.max_wait_ms,
+                                    max_queue=self.config.max_queue)
+        self.requests_by_status: Dict[int, int] = {}
+        self.polls = 0
+        self.poll_reloads = 0
+        self.started_at: Optional[float] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._poll_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        if self.registry._current is None:
+            await loop.run_in_executor(None, self.registry.load)
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        if self.config.poll_interval_s > 0:
+            self._poll_task = loop.create_task(self._poll_loop())
+
+    async def stop(self) -> None:
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            try:
+                await self._poll_task
+            except asyncio.CancelledError:
+                pass
+            self._poll_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop(drain=True)
+        # Deterministic teardown: drop the engine's worker pool now
+        # rather than at interpreter exit.
+        if self.registry._current is not None:
+            self.registry.current.pipeline.close()
+
+    async def _poll_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.poll_interval_s)
+            self.polls += 1
+            try:
+                reloaded = await loop.run_in_executor(None,
+                                                      self.registry.poll)
+            except Exception:
+                # poll() already swallows load failures; anything else
+                # (e.g. a filesystem hiccup) must not kill the poller.
+                continue
+            if reloaded:
+                self.poll_reloads += 1
+
+    # -- batching -----------------------------------------------------------
+    async def _run_batch(self, items: List[Tuple[str, str]],
+                         ) -> List[Any]:
+        """One micro-batch → one ``predict_batch`` call off-loop.
+
+        The model reference is captured *here*, per batch: requests
+        dispatched before a reload finish on the model they started
+        with, which is what makes reloads drop-free.
+
+        Fault isolation: if the batch call fails (typically one bad
+        source refusing to compile), fall back to per-item calls so
+        only the offending samples fail — batch-mates from other
+        requests still get their verdicts.  Only *input* faults
+        (compile errors) become per-item 400s; anything else is a
+        server fault and propagates to a 500 so clients and load
+        balancers know to retry.
+        """
+        from repro.frontend import CompileError
+
+        model = self.registry.current
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                None, model.pipeline.predict_batch, items)
+            return [(model, result) for result in results]
+        except Exception:
+            outcomes: List[Any] = []
+            for item in items:
+                try:
+                    result = await loop.run_in_executor(
+                        None, model.pipeline.predict_batch, [item])
+                    outcomes.append((model, result[0]))
+                except CompileError as exc:
+                    outcomes.append(_ItemFailure(exc))
+            return outcomes
+
+    # -- routing ------------------------------------------------------------
+    async def handle(self, method: str, path: str, body: bytes,
+                     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Route one request; returns (status, JSON payload, headers)."""
+        allowed = _ROUTES.get(path)
+        if allowed is None:
+            return 404, {"error": f"no such endpoint {path}"}, {}
+        if method not in allowed:
+            return (405, {"error": f"{path} only accepts "
+                                   f"{' / '.join(allowed)}"},
+                    {"Allow": ", ".join(allowed)})
+        try:
+            if path == "/healthz":
+                return self._handle_health()
+            if path == "/metrics":
+                return 200, self.metrics(), {}
+            if path == "/v1/model":
+                return self._handle_model()
+            if path == "/v1/check":
+                return await self._handle_check(body)
+            return await self._handle_reload(body)
+        except _BadRequest as exc:
+            return 400, {"error": str(exc)}, {}
+        except QueueFullError as exc:
+            return (429,
+                    {"error": str(exc),
+                     "retry_after_s": self.config.retry_after_s},
+                    {"Retry-After": str(self.config.retry_after_s)})
+        except Exception as exc:   # never kill the connection loop
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+
+    def _handle_health(self) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if self.registry._current is None:
+            return 503, {"status": "loading"}, {}
+        model = self.registry.current
+        return 200, {"status": "ok", "model_version": model.version,
+                     "generation": model.generation}, {}
+
+    def _handle_model(self) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        model = self.registry.current
+        payload = dict(model.info)
+        payload.update({"generation": model.generation,
+                        "loaded_at": model.loaded_at,
+                        "artifact_mtime": model.mtime})
+        return 200, payload, {}
+
+    @staticmethod
+    def _parse_json(body: bytes) -> Dict[str, Any]:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"request body is not valid JSON: {exc}") \
+                from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return payload
+
+    @staticmethod
+    def _named_sources(payload: Dict[str, Any]) -> List[Tuple[str, str]]:
+        if "sources" in payload:
+            raw = payload["sources"]
+            if not isinstance(raw, list) or not raw:
+                raise _BadRequest("'sources' must be a non-empty list")
+            items: List[Tuple[str, str]] = []
+            for i, entry in enumerate(raw):
+                if isinstance(entry, str):
+                    items.append((f"request{i}.c", entry))
+                elif isinstance(entry, dict) and isinstance(
+                        entry.get("source"), str):
+                    items.append((str(entry.get("name",
+                                                f"request{i}.c")),
+                                  entry["source"]))
+                else:
+                    raise _BadRequest(
+                        f"sources[{i}] must be a string or an object "
+                        "with a 'source' string")
+            return items
+        source = payload.get("source")
+        if not isinstance(source, str):
+            raise _BadRequest(
+                "body must carry 'source' (string) or 'sources' (list)")
+        return [(str(payload.get("name", "input.c")), source)]
+
+    async def _handle_check(self, body: bytes,
+                            ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        items = self._named_sources(self._parse_json(body))
+        if len(items) > self.config.max_queue:
+            # Could never be admitted, so a 429 "retry later" would lie.
+            raise _BadRequest(
+                f"bulk request of {len(items)} samples exceeds the "
+                f"queue capacity ({self.config.max_queue}); split it "
+                "into smaller requests")
+        futures = self.batcher.submit_many(items)     # atomic; may raise 429
+        # return_exceptions so every per-sample future is retrieved even
+        # when an earlier micro-batch of this request already failed.
+        outcomes = await asyncio.gather(*futures, return_exceptions=True)
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        results = []
+        failed = 0
+        for (name, _source), outcome in zip(items, outcomes):
+            if isinstance(outcome, _ItemFailure):
+                failed += 1
+                results.append({"name": name, "error": outcome.error})
+                continue
+            model, result = outcome
+            results.append({
+                "name": name,
+                "label": result.label,
+                "is_correct": result.is_correct,
+                "method": result.method,
+                "model_version": model.version,
+                "generation": model.generation,
+            })
+        # All samples bad → the request itself was bad; partial failures
+        # in a bulk request return 200 with per-item errors.
+        status = 400 if failed == len(results) else 200
+        return status, {"results": results}, {}
+
+    async def _handle_reload(self, body: bytes,
+                             ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        payload = self._parse_json(body)
+        path = payload.get("path")
+        if path is not None and not isinstance(path, str):
+            raise _BadRequest("'path' must be a string")
+        loop = asyncio.get_running_loop()
+        try:
+            model = await loop.run_in_executor(None, self.registry.load,
+                                               path)
+        except ArtifactError as exc:
+            # The old model keeps serving; the caller gets the reason.
+            return 400, {"error": str(exc), "reloaded": False}, {}
+        return 200, {"reloaded": True, "model_version": model.version,
+                     "generation": model.generation,
+                     "path": model.path}, {}
+
+    def metrics(self) -> Dict[str, Any]:
+        engine = self.registry.engine
+        model = self.registry._current
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3)
+            if self.started_at else 0.0,
+            "requests_by_status": {str(k): v for k, v
+                                   in sorted(
+                                       self.requests_by_status.items())},
+            "queue_depth": self.batcher.queue_depth,
+            "batcher": self.batcher.metrics.as_dict(),
+            "model": None if model is None else {
+                "version": model.version,
+                "generation": model.generation,
+                "method": model.info.get("method"),
+                "path": model.path,
+            },
+            "reloads": {"generation": self.registry.generation,
+                        "errors": self.registry.reload_errors,
+                        "polls": self.polls,
+                        "poll_reloads": self.poll_reloads},
+            "engine": None if engine is None else engine.stats_dict(),
+        }
+
+    # -- raw HTTP -----------------------------------------------------------
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    return
+                method, path, headers, body = request
+                status, payload, extra = await self.handle(method, path,
+                                                           body)
+                self._count(status)
+                keep_alive = headers.get("connection",
+                                         "keep-alive").lower() != "close"
+                self._write_response(writer, status, payload, extra,
+                                     keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError, TimeoutError, ValueError):
+            # ValueError covers StreamReader's per-line limit overrun
+            # (pathologically long header/request lines): drop the
+            # connection rather than crash the handler task.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _count(self, status: int) -> None:
+        self.requests_by_status[status] = \
+            self.requests_by_status.get(status, 0) + 1
+
+    def _reject(self, writer: asyncio.StreamWriter, status: int,
+                error: str) -> None:
+        """Protocol-level refusal: respond, count it, close after."""
+        self._count(status)
+        self._write_response(writer, status, {"error": error}, {},
+                             keep_alive=False)
+
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter,
+                            ) -> Optional[Tuple[str, str, Dict[str, str],
+                                                bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None                       # clean EOF between requests
+        try:
+            method, target, _version = \
+                request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            self._reject(writer, 400, "malformed request line")
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= _MAX_HEADERS:
+                # Keep the whole server bounded: queue, body, *and*
+                # header section.
+                self._reject(writer, 400,
+                             f"too many headers (max {_MAX_HEADERS})")
+                return None
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if headers.get("transfer-encoding"):
+            # Without decoding chunked bodies we could not stay in sync
+            # on a keep-alive stream; refuse + close instead of
+            # misreading the chunks as the next request.
+            self._reject(writer, 400,
+                         "Transfer-Encoding is not supported; send a "
+                         "Content-Length body")
+            return None
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            length = -1
+        if length < 0:                  # unparsable or negative
+            self._reject(writer, 400, "bad Content-Length")
+            return None
+        if length > self.config.max_body_bytes:
+            self._reject(writer, 413,
+                         f"body exceeds {self.config.max_body_bytes} bytes")
+            return None
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, headers, body
+
+    @staticmethod
+    def _write_response(writer: asyncio.StreamWriter, status: int,
+                        payload: Dict[str, Any], extra: Dict[str, str],
+                        keep_alive: bool) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        headers = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        headers.extend(f"{name}: {value}" for name, value in extra.items())
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1")
+                     + body)
+
+
+# ---------------------------------------------------------------------------
+# Running servers: blocking (CLI) and background-thread (tests, bench)
+# ---------------------------------------------------------------------------
+
+def serve(model_path: str, config: Optional[ServeConfig] = None) -> None:
+    """Blocking entry point: serve ``model_path`` until interrupted."""
+    config = config or ServeConfig.from_env()
+    registry = ModelRegistry(model_path, engine=build_engine(config))
+
+    async def _main() -> None:
+        server = DetectionServer(registry, config)
+        await server.start()
+        model = registry.current
+        print(f"serving {model.info.get('method')} model "
+              f"{model.version} (generation {model.generation}) "
+              f"on http://{config.host}:{server.port}", flush=True)
+        try:
+            await asyncio.Event().wait()      # until cancelled / ^C
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+class BackgroundServer:
+    """A :class:`DetectionServer` on its own thread + event loop.
+
+    Context-manager shaped, used by the test suite, the serving
+    benchmark, and ``repro bench-serve``:
+
+    >>> with BackgroundServer(model_path, config) as server:
+    ...     urllib.request.urlopen(server.base_url + "/healthz")
+    """
+
+    def __init__(self, model_path: Optional[str] = None,
+                 config: Optional[ServeConfig] = None, *,
+                 registry: Optional[ModelRegistry] = None):
+        self.config = config or ServeConfig.from_env(port=0)
+        if registry is None:
+            if model_path is None:
+                raise ValueError("need model_path or a registry")
+            registry = ModelRegistry(model_path,
+                                     engine=build_engine(self.config))
+        self.registry = registry
+        self.server: Optional[DetectionServer] = None
+        self.port: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=120)
+        if self._error is not None:
+            raise self._error
+        if self.port is None:
+            raise RuntimeError("server failed to start within 120s")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None \
+                and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+            self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup/loop failures
+            if self._error is None:
+                self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.server = DetectionServer(self.registry, self.config)
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self.port = self.server.port
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop()

@@ -346,3 +346,43 @@ def test_cli_cache_stats_and_clear(tmp_path, capsys):
     assert "compile" in out and "1 entries" in out
     assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
     assert "removed 1" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Deterministic teardown: persistent pool + close()
+# ---------------------------------------------------------------------------
+
+def test_parallel_pool_persists_across_runs_and_closes():
+    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2))
+    fe = CFrontend(CFrontendConfig(opt_level="O0"))
+    feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
+    assert not engine.pool_active
+    engine.featurize_sources(fe, feat, _named_sources(6))
+    assert engine.pool_active
+    engine.featurize_sources(fe, feat, _named_sources(6))
+    # Reused, not restarted: serving-loop batches must not pay pool
+    # startup per predict_batch call.
+    assert engine.counters["pool_starts"] == 1
+    engine.close()
+    assert not engine.pool_active
+    engine.close()                       # idempotent
+    # Still usable afterwards — the next parallel run starts a new pool.
+    X = engine.featurize_sources(fe, feat, _named_sources(6))
+    assert X.shape[0] == 6
+    assert engine.counters["pool_starts"] == 2
+    engine.close()
+
+
+def test_engine_context_manager_closes_pool():
+    fe = CFrontend(CFrontendConfig(opt_level="O0"))
+    feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
+    with ExecutionEngine(EngineConfig(workers=2, chunk_size=2)) as engine:
+        engine.featurize_sources(fe, feat, _named_sources(6))
+        assert engine.pool_active
+    assert not engine.pool_active
+
+
+def test_serial_engine_close_is_a_noop():
+    engine = ExecutionEngine(EngineConfig(workers=0))
+    engine.close()
+    assert not engine.pool_active

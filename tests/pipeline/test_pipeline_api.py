@@ -176,3 +176,39 @@ def test_custom_featurizer_artifact_roundtrip(tmp_path, dataset):
     original = [r.label for r in pipeline.predict_batch(dataset.samples[:8])]
     restored = [r.label for r in reloaded.predict_batch(dataset.samples[:8])]
     assert original == restored
+
+
+def test_pipeline_close_shuts_down_engine_pool(dataset):
+    from repro.engine import EngineConfig, ExecutionEngine
+
+    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2))
+    pipeline = DetectionPipeline.from_names(
+        "ir2vec", "decision-tree",
+        classifier_config=DecisionTreeStageConfig(use_ga=False),
+        engine=engine).fit(dataset)
+    # predict_batch always routes through the engine (fit may answer
+    # from the per-dataset feature memo), so it is what starts the pool.
+    assert len(pipeline.predict_batch(dataset.samples[:4])) == 4
+    assert engine.pool_active
+    pipeline.close()
+    assert not engine.pool_active
+    # close() is teardown, not a lobotomy: predicting again just
+    # restarts the pool.
+    assert len(pipeline.predict_batch(dataset.samples[4:8])) == 4
+    assert engine.pool_active
+    pipeline.close()
+    assert not engine.pool_active
+
+
+def test_pipeline_context_manager(dataset):
+    from repro.engine import EngineConfig, ExecutionEngine
+
+    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2))
+    with DetectionPipeline.from_names(
+            "ir2vec", "decision-tree",
+            classifier_config=DecisionTreeStageConfig(use_ga=False),
+            engine=engine) as pipeline:
+        pipeline.fit(dataset)
+        pipeline.predict_batch(dataset.samples[:4])
+        assert engine.pool_active
+    assert not engine.pool_active

@@ -1,0 +1,48 @@
+"""Shared fixtures for the serving tests.
+
+One small ir2vec pipeline is trained per session and saved as two
+artifacts: ``v1`` (the real thing) and ``v2`` — byte-different (its
+``method`` string is retagged, so the content version digest changes
+and served results are attributable to a model) but behaviorally
+identical, which keeps hot-reload tests cheap.
+"""
+
+import pytest
+
+from repro.datasets import load_corrbench
+from repro.ml import GAConfig
+from repro.pipeline import (
+    DecisionTreeStageConfig,
+    DetectionPipeline,
+    load_pipeline,
+)
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return load_corrbench(subsample=40)
+
+
+@pytest.fixture(scope="session")
+def fitted_pipeline(corpus):
+    return DetectionPipeline.from_names(
+        "ir2vec", "decision-tree",
+        classifier_config=DecisionTreeStageConfig(
+            ga=GAConfig(population_size=20, generations=2)),
+        method="ir2vec").fit(corpus)
+
+
+@pytest.fixture(scope="session")
+def artifact_v1(fitted_pipeline, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("artifacts") / "model-v1.rpd")
+    fitted_pipeline.save(path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def artifact_v2(artifact_v1, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("artifacts") / "model-v2.rpd")
+    pipeline = load_pipeline(artifact_v1)
+    pipeline.method = "ir2vec-v2"      # distinguishable in served results
+    pipeline.save(path)
+    return path

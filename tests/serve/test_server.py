@@ -1,0 +1,446 @@
+"""End-to-end service tests over real sockets.
+
+The acceptance points of the serving subsystem:
+
+* N concurrent single-sample requests are coalesced into fewer
+  ``predict_batch`` calls (observed mean batch size > 1),
+* queue overflow answers 429 with a ``Retry-After`` header,
+* a hot reload swaps model versions with zero failed in-flight
+  requests,
+* mtime polling picks up a retrained artifact without a reload call.
+"""
+
+import shutil
+import threading
+import time
+
+import pytest
+
+from repro.pipeline import load_pipeline
+from repro.serve import (
+    BackgroundServer,
+    ModelRegistry,
+    ServeClient,
+    ServeConfig,
+    run_load,
+)
+
+CHECK_SRC = """#include <mpi.h>
+int main(int argc, char** argv) {
+  int rank; int buf[4]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { MPI_Send(buf, 4, MPI_INT, 1, 5, MPI_COMM_WORLD); }
+  if (rank == 1) { MPI_Recv(buf, 4, MPI_INT, 0, 5, MPI_COMM_WORLD, &st); }
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+
+class SlowPipeline:
+    """Wrap a real pipeline with a per-batch delay (backpressure tests)."""
+
+    def __init__(self, inner, delay: float):
+        self._inner = inner
+        self._delay = delay
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    # Engine attachment must hit the wrapper, not fall through oddly.
+    @property
+    def engine(self):
+        return self._inner.engine
+
+    @engine.setter
+    def engine(self, value):
+        self._inner.engine = value
+
+    def predict_batch(self, sources):
+        time.sleep(self._delay)
+        return self._inner.predict_batch(sources)
+
+    def close(self):
+        self._inner.close()
+
+
+@pytest.fixture()
+def server(artifact_v1):
+    config = ServeConfig(port=0, max_batch=8, max_wait_ms=30, max_queue=64)
+    with BackgroundServer(artifact_v1, config) as handle:
+        yield handle
+
+
+def _client(handle) -> ServeClient:
+    return ServeClient("127.0.0.1", handle.port)
+
+
+def test_health_model_and_metrics_endpoints(server):
+    client = _client(server)
+    status, health = client.request("GET", "/healthz")
+    assert status == 200 and health["status"] == "ok"
+    assert health["generation"] == 1
+
+    status, model = client.request("GET", "/v1/model")
+    assert status == 200
+    assert model["method"] == "ir2vec" and model["fitted"] is True
+    assert model["stages"]["classifier"]["name"] == "decision-tree"
+    assert model["stages"]["classifier"]["state"]["sha256"]
+
+    status, metrics = client.request("GET", "/metrics")
+    assert status == 200
+    assert metrics["model"]["version"] == health["model_version"]
+    assert metrics["engine"]["workers"] == 0
+    client.close()
+
+
+def test_single_and_bulk_check(server):
+    client = _client(server)
+    status, payload = client.check(CHECK_SRC, "single.c")
+    assert status == 200
+    (result,) = payload["results"]
+    assert result["name"] == "single.c"
+    assert result["label"] in ("Correct", "Incorrect")
+    assert result["model_version"]
+
+    status, payload = client.request("POST", "/v1/check", {
+        "sources": [CHECK_SRC, {"name": "named.c", "source": CHECK_SRC}]})
+    assert status == 200
+    names = [r["name"] for r in payload["results"]]
+    assert names == ["request0.c", "named.c"]
+    client.close()
+
+
+def test_bad_requests_and_unknown_routes(server):
+    client = _client(server)
+    assert client.request("GET", "/nope")[0] == 404
+    assert client.request("POST", "/metrics")[0] == 405
+    assert client.request("GET", "/v1/check")[0] == 405
+
+    status, payload = client.request("POST", "/v1/check", {"nope": 1})
+    assert status == 400 and "source" in payload["error"]
+    status, payload = client.request("POST", "/v1/check", {"sources": []})
+    assert status == 400
+    status, payload = client.request("POST", "/v1/check",
+                                     {"sources": [42]})
+    assert status == 400
+
+    conn = client._conn
+    conn.request("POST", "/v1/check", body=b"{broken",
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    assert response.status == 400
+    response.read()
+    client.close()
+
+
+def test_concurrent_requests_coalesce_into_batches(server, corpus):
+    """The tentpole claim: N concurrent singles → fewer predict calls."""
+    client = _client(server)
+    before = client.metrics()
+    jobs = [(s.name, s.source) for s in corpus.samples[:24]]
+    stats = run_load("127.0.0.1", server.port, jobs, concurrency=8)
+    after = client.metrics()
+    client.close()
+
+    assert stats["failed"] == 0 and stats["ok"] == 24
+    batches = after["batcher"]["batches"] - before["batcher"]["batches"]
+    samples = (after["batcher"]["batched_samples"]
+               - before["batcher"]["batched_samples"])
+    assert samples == 24
+    assert batches < 24, "every request got its own predict_batch call"
+    assert samples / batches > 1
+    assert after["batcher"]["max_batch_observed"] <= 8
+
+
+def test_queue_overflow_returns_429_with_retry_after(artifact_v1):
+    config = ServeConfig(port=0, max_batch=1, max_wait_ms=0, max_queue=2,
+                         retry_after_s=7)
+    registry = ModelRegistry(
+        artifact_v1, loader=lambda p: SlowPipeline(load_pipeline(p), 0.25))
+    with BackgroundServer(config=config, registry=registry) as handle:
+        import http.client
+        import json as _json
+
+        statuses = []
+        lock = threading.Lock()
+
+        def fire():
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                              timeout=60)
+            try:
+                conn.request("POST", "/v1/check",
+                             body=_json.dumps({"source": CHECK_SRC}),
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                payload = _json.loads(response.read())
+                with lock:
+                    statuses.append((response.status,
+                                     response.getheader("Retry-After"),
+                                     payload))
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=fire) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        codes = [s for s, _h, _p in statuses]
+        assert codes.count(200) >= 1, "some requests must be served"
+        assert 429 in codes, "overflow must surface as backpressure"
+        for status, retry_after, payload in statuses:
+            if status == 429:
+                assert retry_after == "7"
+                assert payload["retry_after_s"] == 7
+                assert "queue is full" in payload["error"]
+            else:
+                assert status == 200 and retry_after is None
+
+        client = _client(handle)
+        metrics = client.metrics()
+        assert metrics["batcher"]["rejected"] == codes.count(429)
+        assert metrics["requests_by_status"]["429"] == codes.count(429)
+        client.close()
+
+
+def test_hot_reload_with_zero_failed_inflight_requests(artifact_v1,
+                                                       artifact_v2):
+    config = ServeConfig(port=0, max_batch=4, max_wait_ms=5, max_queue=256)
+    with BackgroundServer(artifact_v1, config) as handle:
+        stop = threading.Event()
+        outcomes = []
+        lock = threading.Lock()
+
+        def hammer():
+            client = _client(handle)
+            try:
+                while not stop.is_set():
+                    status, payload = client.check(CHECK_SRC)
+                    with lock:
+                        outcomes.append((status, payload))
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            time.sleep(0.3)              # traffic against v1
+            admin = _client(handle)
+            status, reload_payload = admin.request(
+                "POST", "/v1/reload", {"path": artifact_v2})
+            assert status == 200 and reload_payload["reloaded"] is True
+            assert reload_payload["generation"] == 2
+            time.sleep(0.3)              # traffic against v2
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+        # Zero dropped/failed requests across the swap ...
+        assert outcomes
+        assert all(status == 200 for status, _payload in outcomes)
+        # ... and the fleet really moved from v1 to v2.
+        methods = {r["method"] for _s, p in outcomes
+                   for r in p["results"]}
+        assert methods == {"ir2vec", "ir2vec-v2"}
+        status, health = admin.request("GET", "/healthz")
+        assert health["generation"] == 2
+        assert health["model_version"] == reload_payload["model_version"]
+        admin.close()
+
+
+def test_reload_bad_path_keeps_serving(server):
+    client = _client(server)
+    status, payload = client.request("POST", "/v1/reload",
+                                     {"path": "/nonexistent/artifact"})
+    assert status == 400 and payload["reloaded"] is False
+    status, _health = client.request("GET", "/healthz")
+    assert status == 200
+    assert client.check(CHECK_SRC)[0] == 200
+    client.close()
+
+
+def test_mtime_polling_hot_reloads(tmp_path, artifact_v1, artifact_v2):
+    served = str(tmp_path / "served.rpd")
+    shutil.copytree(artifact_v1, served)
+    config = ServeConfig(port=0, max_batch=4, max_wait_ms=5,
+                         poll_interval_s=0.05)
+    with BackgroundServer(served, config) as handle:
+        client = _client(handle)
+        assert client.request("GET", "/healthz")[1]["generation"] == 1
+        # Retrain-and-replace on disk; the poller must pick it up.
+        shutil.rmtree(served)
+        shutil.copytree(artifact_v2, served)
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            status, health = client.request("GET", "/healthz")
+            if health["generation"] >= 2:
+                break
+            time.sleep(0.05)
+        assert health["generation"] >= 2
+        status, model = client.request("GET", "/v1/model")
+        assert model["method"] == "ir2vec-v2"
+        metrics = client.metrics()
+        assert metrics["reloads"]["poll_reloads"] >= 1
+        client.close()
+
+
+def test_background_server_rejects_missing_artifact(tmp_path):
+    from repro.pipeline import ArtifactError
+
+    config = ServeConfig(port=0)
+    with pytest.raises(ArtifactError):
+        BackgroundServer(str(tmp_path / "missing.rpd"), config).start()
+
+
+def test_bulk_larger_than_queue_is_a_400_not_a_429(artifact_v1):
+    """A request that could never be admitted must not advertise
+    'retry later' — it gets a permanent 400 with a split hint."""
+    config = ServeConfig(port=0, max_batch=2, max_wait_ms=5, max_queue=4)
+    with BackgroundServer(artifact_v1, config) as handle:
+        client = _client(handle)
+        status, payload = client.request("POST", "/v1/check", {
+            "sources": [CHECK_SRC] * 5})
+        assert status == 400
+        assert "exceeds the queue capacity" in payload["error"]
+        # A right-sized bulk still goes through afterwards.
+        status, payload = client.request("POST", "/v1/check", {
+            "sources": [CHECK_SRC] * 4})
+        assert status == 200 and len(payload["results"]) == 4
+        client.close()
+
+
+BAD_SRC = "int main( {   /* refuses to compile */"
+
+
+def test_uncompilable_source_gets_400_not_500(server):
+    client = _client(server)
+    status, payload = client.check(BAD_SRC, "bad.c")
+    assert status == 400
+    (result,) = payload["results"]
+    assert result["name"] == "bad.c" and "error" in result
+    # The service is unharmed.
+    assert client.check(CHECK_SRC)[0] == 200
+    client.close()
+
+
+def test_bad_sample_is_isolated_from_its_batch_mates(server):
+    """One client's garbage source must not fail requests coalesced
+    into the same micro-batch (cross-request fault isolation)."""
+    outcomes = []
+    lock = threading.Lock()
+
+    def fire(source, name):
+        client = _client(server)
+        try:
+            status, payload = client.check(source, name)
+            with lock:
+                outcomes.append((name, status, payload))
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=fire, args=(BAD_SRC, "bad.c"))]
+    threads += [threading.Thread(target=fire, args=(CHECK_SRC, f"ok{i}.c"))
+                for i in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    by_name = {name: (status, payload) for name, status, payload in outcomes}
+    assert by_name["bad.c"][0] == 400
+    assert "error" in by_name["bad.c"][1]["results"][0]
+    for i in range(6):
+        status, payload = by_name[f"ok{i}.c"]
+        assert status == 200, payload
+        assert payload["results"][0]["label"] in ("Correct", "Incorrect")
+
+
+def test_bulk_with_partial_failures_returns_200_with_item_errors(server):
+    client = _client(server)
+    status, payload = client.request("POST", "/v1/check", {
+        "sources": [{"name": "good.c", "source": CHECK_SRC},
+                    {"name": "bad.c", "source": BAD_SRC}]})
+    assert status == 200                    # partial success
+    good, bad = payload["results"]
+    assert good["name"] == "good.c" and "label" in good
+    assert bad["name"] == "bad.c" and "error" in bad and "label" not in bad
+    client.close()
+
+
+def test_protocol_errors_are_counted_and_chunked_rejected(server):
+    import socket
+
+    def raw(request: bytes) -> bytes:
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=30) as sock:
+            sock.sendall(request)
+            chunks = []
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    return b"".join(chunks)
+                chunks.append(data)
+
+    response = raw(b"POST /v1/check HTTP/1.1\r\nHost: t\r\n"
+                   b"Transfer-Encoding: chunked\r\n\r\n"
+                   b"f\r\n{\"source\": \"x\"}\r\n0\r\n\r\n")
+    assert response.startswith(b"HTTP/1.1 400")
+    assert b"Transfer-Encoding is not supported" in response
+
+    response = raw(b"not-even-http\r\n\r\n")
+    assert response.startswith(b"HTTP/1.1 400")
+
+    client = _client(server)
+    metrics = client.metrics()
+    # Protocol-level refusals land in the status counters too.
+    assert metrics["requests_by_status"].get("400", 0) >= 2
+    client.close()
+
+
+def test_negative_content_length_is_a_400(server):
+    import socket
+
+    with socket.create_connection(("127.0.0.1", server.port),
+                                  timeout=30) as sock:
+        sock.sendall(b"POST /v1/check HTTP/1.1\r\nHost: t\r\n"
+                     b"Content-Length: -1\r\n\r\n")
+        data = sock.recv(65536)
+    assert data.startswith(b"HTTP/1.1 400")
+    assert b"Content-Length" in data
+
+
+def test_unbounded_header_section_is_rejected(server):
+    import socket
+
+    headers = b"".join(b"X-%d: y\r\n" % i for i in range(200))
+    with socket.create_connection(("127.0.0.1", server.port),
+                                  timeout=30) as sock:
+        sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                     + headers + b"\r\n")
+        data = sock.recv(65536)
+    assert data.startswith(b"HTTP/1.1 400")
+    assert b"too many headers" in data
+
+
+def test_server_fault_is_a_500_not_a_400(artifact_v1):
+    """A broken model must read as a server fault (retry me), never as
+    a client error — only compile failures are the client's problem."""
+
+    class ExplodingPipeline(SlowPipeline):
+        def predict_batch(self, sources):
+            raise MemoryError("worker pool fell over")
+
+    registry = ModelRegistry(
+        artifact_v1, loader=lambda p: ExplodingPipeline(load_pipeline(p), 0))
+    config = ServeConfig(port=0, max_batch=4, max_wait_ms=5)
+    with BackgroundServer(config=config, registry=registry) as handle:
+        client = _client(handle)
+        status, payload = client.check(CHECK_SRC)
+        assert status == 500
+        assert "MemoryError" in payload["error"]
+        client.close()

@@ -212,3 +212,165 @@ def test_localize_rejects_gnn_model(tmp_path, deadlock_file, capsys):
     detector.save(path)
     assert main(["localize", path, deadlock_file]) == 1
     assert "requires an ir2vec detector" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# cache stats|clear
+# ---------------------------------------------------------------------------
+
+def test_cache_requires_a_directory(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main(["cache", "stats"]) == 1
+    assert "no cache directory" in capsys.readouterr().err
+    assert main(["cache", "clear"]) == 1
+    assert "no cache directory" in capsys.readouterr().err
+
+
+def test_cache_stats_empty_directory(tmp_path, capsys):
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert str(tmp_path) in out and "(empty)" in out
+
+
+def test_cache_dir_from_environment(monkeypatch, tmp_path, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["cache", "stats"]) == 0
+    assert "(empty)" in capsys.readouterr().out
+
+
+def test_cache_stats_and_stagewise_clear(tmp_path, capsys):
+    from repro.engine import ContentStore
+
+    cache_dir = str(tmp_path / "cache")
+    store = ContentStore(cache_dir)
+    store.put("compile", store.key("compile", ["a"]), "module-a")
+    store.put("compile", store.key("compile", ["b"]), "module-b")
+    store.put("features", store.key("features", ["a"]), [1.0])
+
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "compile" in out and "features" in out
+    assert "2 entries" in out            # compile stage
+    assert "total" in out and "3 entries" in out
+
+    # Stage-scoped clear leaves the other stage alone ...
+    assert main(["cache", "clear", "--cache-dir", cache_dir,
+                 "--stage", "compile"]) == 0
+    assert "removed 2" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "features" in out and "compile" not in out
+
+    # ... and a full clear empties everything, idempotently.
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 0" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "(empty)" in capsys.readouterr().out
+
+
+def test_cache_populated_by_train_then_cleared(tmp_path, capsys):
+    from repro.models.features import clear_caches
+
+    clear_caches()    # else the in-process memo bypasses the store
+    cache_dir = str(tmp_path / "cache")
+    model_path = str(tmp_path / "model.rpd")
+    assert main(["train", "-d", "corrbench", "-m", "ir2vec",
+                 "--profile", "smoke", "--cache-dir", cache_dir,
+                 "-o", model_path]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "compile" in out and "features" in out and "total" in out
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "(empty)" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# artifact inspect
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def trained_artifact(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli-artifacts") / "model.rpd")
+    assert main(["train", "-d", "corrbench", "-m", "ir2vec",
+                 "--profile", "smoke", "-o", path]) == 0
+    return path
+
+
+def test_artifact_inspect_human_readable(trained_artifact, capsys):
+    assert main(["artifact", "inspect", trained_artifact]) == 0
+    out = capsys.readouterr().out
+    assert "repro.detection-pipeline" in out
+    assert "method          ir2vec" in out
+    assert "fitted          True" in out
+    assert "frontend" in out and "featurizer" in out and "classifier" in out
+    assert "sha256" in out               # per-blob digests, no unpickling
+
+
+def test_artifact_inspect_json(trained_artifact, capsys):
+    import json
+
+    assert main(["artifact", "inspect", trained_artifact, "--json"]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["fitted"] is True
+    assert info["stages"]["classifier"]["name"] == "decision-tree"
+    state = info["stages"]["classifier"]["state"]
+    assert state["bytes"] > 0 and len(state["sha256"]) == 64
+    assert len(info["version"]) == 12
+
+
+def test_artifact_inspect_never_unpickles(trained_artifact, capsys,
+                                          monkeypatch):
+    import pickle
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError("inspect must not unpickle stage blobs")
+
+    monkeypatch.setattr(pickle, "loads", forbidden)
+    monkeypatch.setattr(pickle, "load", forbidden)
+    monkeypatch.setattr(pickle, "Unpickler", forbidden)
+    assert main(["artifact", "inspect", trained_artifact]) == 0
+    assert "sha256" in capsys.readouterr().out
+
+
+def test_artifact_inspect_rejects_garbage(tmp_path, capsys):
+    missing = str(tmp_path / "missing.rpd")
+    assert main(["artifact", "inspect", missing]) == 1
+    assert "error" in capsys.readouterr().err
+
+    import pickle
+
+    legacy = str(tmp_path / "legacy.pkl")
+    with open(legacy, "wb") as fh:
+        pickle.dump({"old": "detector"}, fh)
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert main(["artifact", "inspect", legacy]) == 1
+    assert "legacy raw-pickle" in capsys.readouterr().err
+
+
+def test_artifact_inspect_zip(tmp_path, capsys):
+    model_path = str(tmp_path / "model.zip")
+    assert main(["train", "-d", "corrbench", "-m", "ir2vec",
+                 "--profile", "smoke", "-o", model_path]) == 0
+    capsys.readouterr()
+    assert main(["artifact", "inspect", model_path]) == 0
+    out = capsys.readouterr().out
+    assert "method          ir2vec" in out and "sha256" in out
+
+
+def test_artifact_inspect_flags_corrupt_blob_reference(tmp_path, capsys,
+                                                       trained_artifact):
+    import shutil
+
+    broken = str(tmp_path / "broken.rpd")
+    shutil.copytree(trained_artifact, broken)
+    os.unlink(os.path.join(broken, "classifier.bin"))
+    assert main(["artifact", "inspect", broken]) == 1
+    assert "missing blob" in capsys.readouterr().err
