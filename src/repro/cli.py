@@ -13,6 +13,8 @@ generate       write an MBI / CorrBench / Mix style suite to a directory
 train          train a detection pipeline on a suite, save its artifact
 check          classify C files (batched) with a saved pipeline artifact
 experiment     regenerate one of the paper's tables / figures
+eval           evaluation matrix: run the scenario grid (``eval matrix``),
+               gate an artifact against a baseline (``eval compare``)
 mutate         inject MPI bugs into a correct program (mutation operators)
 cache          inspect / clear the persistent engine cache
 artifact       inspect a saved pipeline artifact (manifest only, no unpickle)
@@ -361,6 +363,101 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def cmd_eval_matrix(args: argparse.Namespace) -> int:
+    """``eval matrix``: run the declarative scenario grid, write the
+    schema-checked ``EVAL_matrix.json`` artifact."""
+    import json
+
+    from repro.eval.config import ReproConfig
+    from repro.eval.matrix import MatrixSpec, run_matrix, save_matrix_artifact
+    from repro.eval.reporting import render_generalization, render_matrix
+
+    _apply_engine_flags(args)
+    config = getattr(ReproConfig, args.profile)()
+    spec = MatrixSpec.for_profile(args.profile)
+    overrides = {}
+    for field_name, flag in (("train_datasets", args.train),
+                             ("test_datasets", args.test),
+                             ("methods", args.methods)):
+        values = _csv(flag)
+        if values:
+            overrides[field_name] = tuple(values)
+    if args.mutation_levels:
+        try:
+            overrides["mutation_levels"] = tuple(
+                int(v) for v in _csv(args.mutation_levels) or ())
+        except ValueError:
+            print(f"error: --mutation-levels must be comma-separated "
+                  f"integers, got {args.mutation_levels!r}", file=sys.stderr)
+            return 1
+    if overrides:
+        import dataclasses
+
+        try:
+            spec = dataclasses.replace(spec, **overrides)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    try:
+        doc = run_matrix(spec, config, profile=args.profile)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    save_matrix_artifact(doc, args.output)
+    status = f"wrote {len(doc['cells'])} cells to {args.output}"
+    if args.json:
+        # Keep stdout pure JSON so `--json | jq .` works.
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        print(status, file=sys.stderr)
+    else:
+        print(render_matrix(doc))
+        print(render_generalization(doc))
+        print(status)
+    return 0
+
+
+def cmd_eval_compare(args: argparse.Namespace) -> int:
+    """``eval compare``: pass/fail regression verdict between two
+    matrix artifacts; non-zero exit on any gated F1 drop."""
+    import json
+
+    from repro.eval.compare import (
+        CompareThresholds,
+        compare_artifacts,
+        parse_class_thresholds,
+    )
+    from repro.eval.matrix import load_matrix_artifact
+    from repro.eval.reporting import render_compare
+    from repro.eval.schema import SchemaError
+
+    try:
+        per_class = parse_class_thresholds(args.class_threshold or [])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    thresholds = CompareThresholds(max_f1_drop=args.max_f1_drop,
+                                   per_class=per_class,
+                                   min_support=args.min_support)
+    try:
+        baseline = load_matrix_artifact(args.baseline)
+        candidate = load_matrix_artifact(args.candidate)
+    except (OSError, json.JSONDecodeError, SchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = compare_artifacts(baseline, candidate, thresholds)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_compare(result))
+    return 0 if result.passed else 1
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine import ContentStore
 
@@ -599,6 +696,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(p)
     p.set_defaults(func=cmd_experiment)
 
+    p = sub.add_parser("eval",
+                       help="evaluation-matrix artifacts: run / compare")
+    esub = p.add_subparsers(dest="eval_command", required=True)
+
+    pm = esub.add_parser("matrix",
+                         help="run the declarative scenario grid, write "
+                              "EVAL_matrix.json")
+    pm.add_argument("--profile", choices=("smoke", "fast", "paper"),
+                    default="smoke")
+    pm.add_argument("-o", "--output", default="EVAL_matrix.json")
+    pm.add_argument("--train", default=None, metavar="DS,DS",
+                    help="override train datasets (mbi,corrbench,mix)")
+    pm.add_argument("--test", default=None, metavar="DS,DS",
+                    help="override test datasets (mbi,corrbench,mix,hypre)")
+    pm.add_argument("--methods", default=None, metavar="M,M",
+                    help="override embedding backends (ir2vec,gnn)")
+    pm.add_argument("--mutation-levels", default=None, metavar="L,L",
+                    help="override mutation-augmentation levels (e.g. 0,1,2)")
+    pm.add_argument("--json", action="store_true",
+                    help="print the full artifact instead of tables")
+    _add_engine_flags(pm)
+    pm.set_defaults(func=cmd_eval_matrix)
+
+    pc = esub.add_parser("compare",
+                         help="gate a matrix artifact against a baseline "
+                              "(exit 1 on regression)")
+    pc.add_argument("candidate", help="candidate EVAL_matrix.json")
+    pc.add_argument("--baseline", required=True,
+                    help="baseline EVAL_matrix.json to gate against")
+    pc.add_argument("--max-f1-drop", type=float, default=0.05,
+                    metavar="DROP",
+                    help="tolerated F1 drop for overall scores and any "
+                         "class without an explicit threshold")
+    pc.add_argument("--class-threshold", action="append", default=None,
+                    metavar="CLASS=DROP",
+                    help="per-error-class F1 drop tolerance (repeatable)")
+    pc.add_argument("--min-support", type=int, default=2, metavar="N",
+                    help="skip classes with fewer baseline test samples")
+    pc.add_argument("--json", action="store_true",
+                    help="emit the verdict as JSON")
+    pc.set_defaults(func=cmd_eval_compare)
+
     p = sub.add_parser("cache",
                        help="inspect / clear the persistent engine cache")
     p.add_argument("action", choices=("stats", "clear"))
@@ -668,14 +807,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.func(args)
     # --workers/--cache-dir reconfigure the process default engine; the
     # test suite drives main([...]) in-process, so restore it afterwards
-    # rather than leaking one subcommand's engine into the next.
+    # rather than leaking one subcommand's engine into the next — and
+    # close the temporary engine's worker pool deterministically (an
+    # abandoned pool dies noisily in the interpreter's atexit phase).
     from repro.engine import default_engine, set_default_engine
 
     previous = default_engine()
     try:
         return args.func(args)
     finally:
+        current = default_engine()
         set_default_engine(previous)
+        if current is not previous:
+            current.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

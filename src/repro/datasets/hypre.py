@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.datasets.loader import Sample
+from repro.datasets.loader import Dataset, Sample
 
 _SOLVER_TEMPLATE = r"""
 /* hypre-like structured multigrid solver (synthetic reproduction case) */
@@ -149,3 +149,15 @@ def hypre_pair() -> Tuple[Sample, Sample]:
         Sample(name="hypre-ko.c", source=incorrect_src, label="Message Race",
                suite="HYPRE"),
     )
+
+
+def hypre_dataset() -> Dataset:
+    """The Hypre pair as a two-sample test-only dataset.
+
+    Used by the evaluation matrix as a cross-dataset generalization
+    target (train on a suite, test on real-world-shaped code) — and,
+    with one sample per class, it doubles as a live single-sample-class
+    metric edge case.
+    """
+    ok, ko = hypre_pair()
+    return Dataset("Hypre", [ok, ko])

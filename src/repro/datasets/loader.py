@@ -8,6 +8,7 @@ paper's preprocessing fix — pass ``debias=False`` to study the raw bias.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -79,6 +80,37 @@ class Dataset:
     def merged_with(self, other: "Dataset", name: str = "Mix") -> "Dataset":
         return Dataset(name, list(self.samples) + list(other.samples))
 
+    def content_digest(self) -> str:
+        """SHA-256 over every sample name and source (provenance key).
+
+        Two datasets that differ in any sample — even one in the middle —
+        digest differently; the feature memo and the evaluation-matrix
+        artifact both key on this.
+        """
+        h = hashlib.sha256()
+        h.update(self.name.encode("utf-8"))
+        for s in self.samples:
+            h.update(b"\x00")
+            h.update(s.name.encode("utf-8"))
+            h.update(b"\x01")
+            h.update(s.source.encode("utf-8"))
+        return h.hexdigest()
+
+    def split(self, test_frac: float = 0.3, seed: int = 0,
+              ) -> Tuple["Dataset", "Dataset"]:
+        """Deterministic stratified (train, test) split.
+
+        Every label contributes ``round(test_frac)`` of its samples to the
+        test side (at least one each way when the label has two or more
+        samples), selection is seeded, and within each side the original
+        sample order is preserved — the same dataset, fraction, and seed
+        always produce byte-identical splits on any platform.
+        """
+        train_idx, test_idx = stratified_split_indices(
+            [s.label for s in self.samples], test_frac, seed)
+        return (self.subset(train_idx, f"{self.name}-train"),
+                self.subset(test_idx, f"{self.name}-test"))
+
     # -- streaming ----------------------------------------------------------
     def iter_chunks(self, size: int) -> Iterator[List[Sample]]:
         """Stream the samples in order as chunks of at most ``size`` —
@@ -116,6 +148,34 @@ def iter_named_sources(samples: Iterable[Sample]) -> Iterator[Tuple[str, str]]:
     """Stream ``(name, source)`` pairs from any sample iterable — the
     input shape the execution engine consumes."""
     return ((s.name, s.source) for s in samples)
+
+
+def stratified_split_indices(labels: Sequence[str], test_frac: float,
+                             seed: int) -> Tuple[List[int], List[int]]:
+    """Deterministic per-label (train, test) index split.
+
+    Labels with a single sample keep it on the train side (a lone test
+    sample of a class the model never saw measures nothing); labels with
+    two or more always land at least one sample on each side.  Indices
+    come back sorted, so subsetting preserves dataset order.
+    """
+    if not 0.0 < test_frac < 1.0:
+        raise ValueError("test_frac must be in (0, 1)")
+    import random
+
+    by_label: Dict[str, List[int]] = {}
+    for i, label in enumerate(labels):
+        by_label.setdefault(label, []).append(i)
+    rng = random.Random(seed * 65537 + len(labels))
+    test_idx: List[int] = []
+    for label, group in sorted(by_label.items()):
+        if len(group) < 2:
+            continue
+        k = min(len(group) - 1, max(1, round(len(group) * test_frac)))
+        test_idx.extend(rng.sample(group, k))
+    test_set = set(test_idx)
+    train_idx = [i for i in range(len(labels)) if i not in test_set]
+    return train_idx, sorted(test_set)
 
 
 _CACHE: Dict[Tuple, Dataset] = {}

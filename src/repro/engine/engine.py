@@ -141,6 +141,12 @@ def _chunk_worker(payload: bytes) -> List[Any]:
     return _process_chunk(store, frontend, featurizer, chunk)
 
 
+def _map_worker(payload: bytes) -> Any:
+    """Worker entry point for :meth:`ExecutionEngine.map` tasks."""
+    fn, item = pickle.loads(payload)
+    return fn(item)
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Knobs of the execution engine.
@@ -175,7 +181,7 @@ class ExecutionEngine:
         #: shared store but are not mirrored here).
         self.counters: Dict[str, int] = {
             "compiled": 0, "featurized": 0, "chunks": 0, "parallel_chunks": 0,
-            "pool_starts": 0,
+            "pool_starts": 0, "mapped": 0,
         }
         # The worker pool is persistent: started lazily on the first
         # parallel run and reused across calls (long-lived callers like
@@ -272,6 +278,45 @@ class ExecutionEngine:
 
         return self.featurize_sources(frontend, featurizer,
                                       iter_named_sources(samples))
+
+    def map(self, fn: Any, items: Sequence[Any]) -> List[Any]:
+        """Order-preserving parallel map over the persistent worker pool.
+
+        The generic fan-out primitive for work that is not a compile or
+        featurize stage — e.g. evaluation-matrix cells, each an
+        independent (train, predict, score) job.  ``fn`` must be a
+        module-level callable and each item picklable; anything that
+        cannot cross a process boundary falls back to serial execution
+        with a warning, exactly like the stage scheduler.  Serial and
+        parallel runs return identical results in input order.
+        """
+        items = list(items)
+        self.counters["mapped"] = self.counters.get("mapped", 0) + len(items)
+        if self.config.workers > 0 and len(items) > 1:
+            try:
+                payloads = [pickle.dumps((fn, item)) for item in items]
+            except Exception as exc:
+                warnings.warn(
+                    f"engine: map task is not picklable ({exc!r}); "
+                    "falling back to serial execution", RuntimeWarning,
+                    stacklevel=2)
+                payloads = None
+            if payloads is not None:
+                pool = self._ensure_pool()
+                try:
+                    futures = [pool.submit(_map_worker, p) for p in payloads]
+                except RuntimeError:
+                    # close() raced us; retry once on a fresh pool.
+                    self._discard_pool(pool)
+                    pool = self._ensure_pool()
+                    futures = [pool.submit(_map_worker, p) for p in payloads]
+                try:
+                    return [future.result() for future in futures]
+                except BrokenProcessPool:
+                    self._discard_pool(pool)
+                    pool.shutdown(wait=False)
+                    raise
+        return [fn(item) for item in items]
 
     # -- core scheduling ----------------------------------------------------
     def _run(self, frontend: Any, featurizer: Optional[Any], stage: str,

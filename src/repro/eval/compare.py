@@ -1,0 +1,175 @@
+"""Regression gating between two evaluation-matrix artifacts.
+
+``repro eval compare CANDIDATE --baseline BASELINE`` turns two
+schema-checked ``EVAL_matrix.json`` documents into a pass/fail verdict:
+a cell (or an error class inside a cell) regresses when its F1 drops
+below the baseline by more than the configured threshold.  Null metrics
+are first-class — a baseline ``null`` gates nothing, while a defined
+baseline score degrading to ``null`` *is* a regression (the detector
+stopped producing a comparable score).  Comparing an artifact against
+itself always passes, by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class CompareThresholds:
+    """Per-class F1 drop tolerances.
+
+    ``max_f1_drop`` applies to the overall cell score and to every class
+    without an entry in ``per_class``; classes below ``min_support`` in
+    the baseline are skipped (single-sample accuracy is noise, not a
+    signal worth gating on).
+    """
+
+    max_f1_drop: float = 0.05
+    per_class: Mapping[str, float] = field(default_factory=dict)
+    min_support: int = 2
+
+    def for_class(self, cls: str) -> float:
+        return self.per_class.get(cls, self.max_f1_drop)
+
+
+@dataclass
+class Regression:
+    cell_id: str
+    scope: str                       # 'overall' | 'cell' | error-class name
+    reason: str
+    baseline_f1: Optional[float] = None
+    candidate_f1: Optional[float] = None
+    threshold: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "cell_id": self.cell_id, "scope": self.scope,
+            "reason": self.reason, "baseline_f1": self.baseline_f1,
+            "candidate_f1": self.candidate_f1, "threshold": self.threshold,
+        }
+
+    def describe(self) -> str:
+        detail = self.reason
+        if self.baseline_f1 is not None:
+            cand = ("null" if self.candidate_f1 is None
+                    else f"{self.candidate_f1:.3f}")
+            detail += (f" (baseline F1 {self.baseline_f1:.3f} -> {cand}, "
+                       f"threshold {self.threshold})")
+        return f"{self.cell_id} [{self.scope}]: {detail}"
+
+
+@dataclass
+class CompareResult:
+    passed: bool
+    regressions: List[Regression]
+    checked_cells: int
+    checked_classes: int
+    skipped: List[Dict[str, Any]]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "checked_cells": self.checked_cells,
+            "checked_classes": self.checked_classes,
+            "regressions": [r.as_dict() for r in self.regressions],
+            "skipped": list(self.skipped),
+        }
+
+
+def compare_artifacts(baseline: Mapping[str, Any],
+                      candidate: Mapping[str, Any],
+                      thresholds: Optional[CompareThresholds] = None,
+                      ) -> CompareResult:
+    """Gate ``candidate`` against ``baseline`` (both already validated).
+
+    Every baseline cell must exist in the candidate (a disappearing cell
+    is a silent coverage loss, which is exactly what the gate exists to
+    catch); candidate-only cells are new coverage and pass freely.
+    """
+    thresholds = thresholds or CompareThresholds()
+    cand_cells = {cell["id"]: cell for cell in candidate["cells"]}
+    regressions: List[Regression] = []
+    skipped: List[Dict[str, Any]] = []
+    checked_cells = checked_classes = 0
+
+    for base_cell in baseline["cells"]:
+        cell_id = base_cell["id"]
+        cand_cell = cand_cells.get(cell_id)
+        if cand_cell is None:
+            regressions.append(Regression(
+                cell_id, "cell", "cell missing from candidate artifact"))
+            continue
+        checked_cells += 1
+        _check_score(cell_id, "overall", base_cell["overall"],
+                     cand_cell["overall"], thresholds.max_f1_drop,
+                     0, regressions, skipped)
+        for cls, base_metrics in sorted(base_cell["per_class"].items()):
+            cand_metrics = cand_cell["per_class"].get(cls)
+            if cand_metrics is None:
+                # Same gate as a scored class: null or low-support
+                # baselines are noise, not a contract.
+                if (base_metrics["f1"] is not None
+                        and base_metrics.get("support", 0)
+                        >= thresholds.min_support):
+                    regressions.append(Regression(
+                        cell_id, cls, "class missing from candidate cell",
+                        baseline_f1=base_metrics["f1"],
+                        threshold=thresholds.for_class(cls)))
+                else:
+                    skipped.append({
+                        "cell_id": cell_id, "scope": cls,
+                        "reason": "class absent from candidate; baseline "
+                                  "null or below min_support"})
+                continue
+            checked_classes += 1
+            _check_score(cell_id, cls, base_metrics, cand_metrics,
+                         thresholds.for_class(cls), thresholds.min_support,
+                         regressions, skipped)
+    return CompareResult(passed=not regressions, regressions=regressions,
+                         checked_cells=checked_cells,
+                         checked_classes=checked_classes, skipped=skipped)
+
+
+def _check_score(cell_id: str, scope: str, base: Mapping[str, Any],
+                 cand: Mapping[str, Any], threshold: float,
+                 min_support: int, regressions: List[Regression],
+                 skipped: List[Dict[str, Any]]) -> None:
+    base_f1 = base.get("f1")
+    cand_f1 = cand.get("f1")
+    if base_f1 is None:
+        # Nothing to gate on: an undefined baseline constrains nothing.
+        skipped.append({"cell_id": cell_id, "scope": scope,
+                        "reason": "baseline f1 undefined"})
+        return
+    if base.get("support", 0) < min_support:
+        skipped.append({"cell_id": cell_id, "scope": scope,
+                        "reason": f"baseline support "
+                                  f"{base.get('support', 0)} below "
+                                  f"min_support {min_support}"})
+        return
+    if cand_f1 is None:
+        regressions.append(Regression(
+            cell_id, scope, "F1 degraded to null",
+            baseline_f1=base_f1, candidate_f1=None, threshold=threshold))
+        return
+    drop = base_f1 - cand_f1
+    if drop > threshold:
+        regressions.append(Regression(
+            cell_id, scope, f"F1 dropped by {drop:.3f}",
+            baseline_f1=base_f1, candidate_f1=cand_f1, threshold=threshold))
+
+
+def parse_class_thresholds(entries: List[str]) -> Dict[str, float]:
+    """Parse repeated ``--class-threshold 'Call Ordering=0.1'`` flags."""
+    out: Dict[str, float] = {}
+    for entry in entries:
+        cls, sep, value = entry.rpartition("=")
+        if not sep or not cls:
+            raise ValueError(f"expected CLASS=DROP, got {entry!r}")
+        try:
+            out[cls] = float(value)
+        except ValueError:
+            raise ValueError(f"non-numeric threshold in {entry!r}") from None
+    return out

@@ -104,6 +104,11 @@ class ReproConfig:
     def mix(self):
         return self.mbi().merged_with(self.corrbench(), name="Mix")
 
+    def hypre(self):
+        from repro.datasets.hypre import hypre_dataset
+
+        return hypre_dataset()
+
     def dataset(self, name: str):
         key = name.lower()
         if key == "mbi":
@@ -112,4 +117,6 @@ class ReproConfig:
             return self.corrbench()
         if key == "mix":
             return self.mix()
+        if key == "hypre":
+            return self.hypre()
         raise ValueError(f"unknown dataset {name!r}")

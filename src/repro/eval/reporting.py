@@ -40,3 +40,57 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)
+
+
+def _fmt_null(value) -> str:
+    """Nullable metric: ``None`` renders as a literal ``null``."""
+    return "null" if value is None else _fmt(float(value))
+
+
+def render_matrix(doc: Dict) -> str:
+    """One row per matrix cell: overall P/R/F1 plus the weakest class."""
+    rows = []
+    for cell in doc["cells"]:
+        overall = cell["overall"]
+        defined = [(cls, m["f1"]) for cls, m in sorted(cell["per_class"].items())
+                   if m["f1"] is not None]
+        worst = min(defined, key=lambda kv: kv[1]) if defined else None
+        rows.append([
+            cell["train_dataset"], cell["test_dataset"], cell["method"],
+            cell["mutation_level"], cell["scenario"],
+            cell["n_train"], cell["n_test"],
+            _fmt_null(overall["precision"]), _fmt_null(overall["recall"]),
+            _fmt_null(overall["f1"]),
+            f"{worst[0]}={worst[1]:.3f}" if worst else "-",
+        ])
+    title = (f"Evaluation matrix — profile {doc['profile']} "
+             f"(schema v{doc['schema_version']}, seed {doc['seed']})")
+    return render_table(
+        ["Train", "Test", "Method", "Mut", "Scenario", "N train", "N test",
+         "Precision", "Recall", "F1", "Weakest class"], rows, title)
+
+
+def render_generalization(doc: Dict) -> str:
+    """Cross-dataset deltas (train≠test F1 minus the identity cell's)."""
+    rows = [[g["method"], g["mutation_level"], g["train_dataset"],
+             g["test_dataset"], _fmt_null(g["intra_f1"]),
+             _fmt_null(g["cross_f1"]), _fmt_null(g["delta"])]
+            for g in doc["generalization"]]
+    if not rows:
+        return "(no cross-dataset cells)"
+    return render_table(
+        ["Method", "Mut", "Train", "Test", "Intra F1", "Cross F1", "Delta"],
+        rows, "Cross-dataset generalization")
+
+
+def render_compare(result) -> str:
+    """Human-readable verdict of an artifact comparison."""
+    lines = [
+        f"checked {result.checked_cells} cells, "
+        f"{result.checked_classes} per-class scores; "
+        f"{len(result.skipped)} skipped (null/low-support baselines)",
+    ]
+    for regression in result.regressions:
+        lines.append(f"REGRESSION: {regression.describe()}")
+    lines.append("verdict: PASS" if result.passed else "verdict: FAIL")
+    return "\n".join(lines)

@@ -38,9 +38,15 @@ def _binary_labels(dataset: Dataset) -> np.ndarray:
     return np.array([s.binary for s in dataset.samples])
 
 
-def _stage_specs(method: str, config: ReproConfig, *, use_ga: bool = True,
-                 normalization: Optional[str] = None,
-                 opt_level: Optional[str] = None) -> Tuple[str, Any, str, Any]:
+def stage_specs(method: str, config: ReproConfig, *, use_ga: bool = True,
+                normalization: Optional[str] = None,
+                opt_level: Optional[str] = None) -> Tuple[str, Any, str, Any]:
+    """(featurizer name, config, classifier name, config) for a method.
+
+    The single place a :class:`ReproConfig` is lowered onto pipeline
+    stage specs — scenarios, the evaluation matrix, and the CLI all
+    resolve methods through here so their cells are comparable.
+    """
     if opt_level is None:
         opt_level = config.ir2vec_opt if method == "ir2vec" else config.gnn_opt
     return method_stage_specs(
@@ -50,6 +56,9 @@ def _stage_specs(method: str, config: ReproConfig, *, use_ga: bool = True,
         use_ga=use_ga, ga_config=config.ga,
         epochs=config.gnn_epochs, lr=config.gnn_lr,
         batch_size=config.gnn_batch_size, seed=config.seed)
+
+
+_stage_specs = stage_specs            # internal alias (pre-matrix name)
 
 
 def run_intra_cv(method: str, dataset: Dataset, config: ReproConfig, *,
@@ -81,10 +90,17 @@ def run_intra_cv(method: str, dataset: Dataset, config: ReproConfig, *,
     return compute_metrics(counts), np.array(y_true), np.array(y_pred)
 
 
-def run_cross(method: str, train_ds: Dataset, val_ds: Dataset,
-              config: ReproConfig, *, use_ga: bool = True,
-              normalization: Optional[str] = None) -> MetricReport:
-    """Train on one suite, validate on the other (binary labels)."""
+def run_cross_predictions(
+        method: str, train_ds: Dataset, val_ds: Dataset,
+        config: ReproConfig, *, use_ga: bool = True,
+        normalization: Optional[str] = None,
+        ) -> Tuple[MetricReport, np.ndarray, np.ndarray]:
+    """Cross scenario returning (metrics, y_true, y_pred).
+
+    The prediction arrays let callers derive per-error-class reports via
+    :func:`repro.ml.metrics.per_class_binary_report` — the evaluation
+    matrix scores its cross cells exactly this way.
+    """
     feat_name, feat_cfg, clf_name, clf_cfg = _stage_specs(
         method, config, use_ga=use_ga, normalization=normalization)
     featurizer = FEATURIZERS.create(feat_name, feat_cfg)
@@ -92,10 +108,20 @@ def run_cross(method: str, train_ds: Dataset, val_ds: Dataset,
     X_val = featurize_dataset(featurizer, val_ds, engine=config.engine())
     model = CLASSIFIERS.create(clf_name, clf_cfg)
     model.fit(X_train, _binary_labels(train_ds))
-    pred = model.predict(X_val)
-    counts = confusion_from_predictions(list(_binary_labels(val_ds)),
-                                        list(pred))
-    return compute_metrics(counts)
+    y_true = _binary_labels(val_ds)
+    y_pred = np.asarray(model.predict(X_val))
+    counts = confusion_from_predictions(list(y_true), list(y_pred))
+    return compute_metrics(counts), y_true, y_pred
+
+
+def run_cross(method: str, train_ds: Dataset, val_ds: Dataset,
+              config: ReproConfig, *, use_ga: bool = True,
+              normalization: Optional[str] = None) -> MetricReport:
+    """Train on one suite, validate on the other (binary labels)."""
+    report, _, _ = run_cross_predictions(
+        method, train_ds, val_ds, config, use_ga=use_ga,
+        normalization=normalization)
+    return report
 
 
 def run_per_label(dataset: Dataset, config: ReproConfig,

@@ -13,7 +13,7 @@ conventional specificity ``TN/(TN+FP)``, which is what we compute.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 
 @dataclass
@@ -134,3 +134,99 @@ def per_label_support(labels: Sequence[str],
     for truth in y_true:
         totals[truth] = totals.get(truth, 0) + 1
     return {lbl: totals[lbl] for lbl in labels if lbl in totals}
+
+
+# ---------------------------------------------------------------------------
+# Null-safe metric core (shared by scenarios, the evaluation matrix, and
+# artifact comparison).
+#
+# ``compute_metrics`` above reports 0.0 for undefined ratios, which is the
+# right convention for rendering the paper's tables but ambiguous for
+# machine comparison: "F1 = 0.0" can mean "detected nothing" or "nothing
+# to detect".  The functions below keep the distinction — an undefined
+# metric is ``None`` (serialized as JSON ``null``) and never conflated
+# with a true zero, so regression gates can skip it instead of failing.
+# ---------------------------------------------------------------------------
+
+def safe_ratio(num: float, den: float) -> Optional[float]:
+    """``num / den``, or ``None`` when the ratio is undefined."""
+    return num / den if den else None
+
+
+def binary_summary(y_true: Sequence[str], y_pred: Sequence[str],
+                   positive: str = "Incorrect") -> Dict[str, Optional[float]]:
+    """Confusion counts plus null-safe P/R/F1/accuracy for binary labels.
+
+    An empty prediction set yields counts of zero and every derived
+    metric ``None`` — callers (matrix cells with an empty test set, a
+    class with no samples) must survive that, not divide by zero.
+    """
+    counts = confusion_from_predictions(y_true, y_pred, positive)
+    tp, tn, fp, fn = counts.tp, counts.tn, counts.fp, counts.fn
+    precision = safe_ratio(tp, tp + fp)
+    recall = safe_ratio(tp, tp + fn)
+    if precision is None or recall is None:
+        f1: Optional[float] = None
+    else:
+        f1 = safe_ratio(2 * precision * recall, precision + recall)
+        # Defined precision and recall that are both zero give a 0/0 F1:
+        # the detector found nothing and everything it said was wrong.
+        if f1 is None:
+            f1 = 0.0
+    return {
+        "TP": tp, "TN": tn, "FP": fp, "FN": fn,
+        "precision": precision, "recall": recall, "f1": f1,
+        "accuracy": safe_ratio(tp + tn, counts.total),
+        "support": len(list(y_true)),
+    }
+
+
+def per_class_binary_report(
+        y_true_classes: Sequence[str], y_pred: Sequence[str],
+        classes: Optional[Sequence[str]] = None,
+        correct_label: str = "Correct",
+        positive: str = "Incorrect",
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Per-error-class P/R/F1 of a *binary* detector.
+
+    ``y_true_classes`` carries the fine-grained ground-truth label of each
+    test sample (error class, or ``correct_label``); ``y_pred`` the binary
+    verdicts.  For every error class ``c`` the detector is scored on the
+    one-vs-rest restriction {samples of class c} ∪ {correct samples}: TP =
+    class-c samples flagged, FN = class-c samples missed, FP = correct
+    samples flagged.  That keeps precision meaningful per class while the
+    recall is exactly the class detection rate.
+
+    Passing ``classes`` pins the report's keys: classes absent from the
+    test set appear with ``support`` 0 and every metric ``None`` (never a
+    crash, never a fake zero).  Without it, the classes present in
+    ``y_true_classes`` (minus ``correct_label``) are reported.
+    """
+    y_true_classes = list(y_true_classes)
+    y_pred = list(y_pred)
+    if len(y_true_classes) != len(y_pred):
+        raise ValueError(
+            f"ground truth and predictions disagree on length "
+            f"({len(y_true_classes)} vs {len(y_pred)})")
+    if classes is None:
+        classes = sorted({c for c in y_true_classes if c != correct_label})
+    correct_idx = [i for i, c in enumerate(y_true_classes)
+                   if c == correct_label]
+    report: Dict[str, Dict[str, Optional[float]]] = {}
+    for cls in classes:
+        cls_idx = [i for i, c in enumerate(y_true_classes) if c == cls]
+        idx = cls_idx + correct_idx
+        summary = binary_summary(
+            [positive if y_true_classes[i] == cls else correct_label
+             for i in idx],
+            [y_pred[i] for i in idx], positive)
+        summary["support"] = len(cls_idx)
+        if not cls_idx:
+            # Zero-sample class: nothing to detect, all metrics undefined
+            # (precision could technically be computed against the correct
+            # samples alone, but a score for a class with no instances is
+            # noise a gate must not act on).
+            summary.update(precision=None, recall=None, f1=None,
+                           accuracy=None)
+        report[cls] = summary
+    return report

@@ -23,7 +23,6 @@ are thin wrappers over the built-in featurizers.
 
 from __future__ import annotations
 
-import hashlib
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -39,18 +38,12 @@ _FEATURE_CACHE: Dict[Tuple, Any] = {}
 def _dataset_key(dataset: Dataset) -> Tuple:
     """Cache key covering *all* sample names and sources.
 
-    The digest walks every sample, so datasets that agree on name, length,
-    and boundary samples but differ somewhere in the middle (a subtle
-    staleness bug in the earlier first/last-5 key) hash differently.
+    Uses the dataset's :meth:`~repro.datasets.loader.Dataset.content_digest`
+    — the same digest the evaluation-matrix artifact records as per-cell
+    provenance — so datasets that agree on name, length, and boundary
+    samples but differ somewhere in the middle hash differently.
     """
-    h = hashlib.sha256()
-    h.update(dataset.name.encode("utf-8"))
-    for s in dataset.samples:
-        h.update(b"\x00")
-        h.update(s.name.encode("utf-8"))
-        h.update(b"\x01")
-        h.update(s.source.encode("utf-8"))
-    return (dataset.name, len(dataset), h.hexdigest())
+    return (dataset.name, len(dataset), dataset.content_digest())
 
 
 def compile_dataset(dataset: Dataset, opt_level: str = "O0",

@@ -49,6 +49,46 @@ def test_without_labels(ds):
     assert len(ds) == 4
 
 
+def test_content_digest_covers_middle_samples(ds):
+    digest = ds.content_digest()
+    assert len(digest) == 64
+    assert digest == ds.content_digest()          # stable
+    tweaked = Dataset(ds.name, list(ds.samples))
+    tweaked.samples[1] = Sample(name="b.c", source="int main() { return 1; }",
+                                label="Call Ordering", suite="MBI")
+    assert tweaked.content_digest() != digest
+
+
+def test_split_is_deterministic_and_stratified():
+    samples = ([mk(f"ok{i}.c", CORRECT) for i in range(10)]
+               + [mk(f"co{i}.c", "Call Ordering") for i in range(6)]
+               + [mk("lone.c", "Message Race")])
+    ds = Dataset("T", samples)
+    train, test = ds.split(test_frac=0.3, seed=7)
+    again_train, again_test = ds.split(test_frac=0.3, seed=7)
+    assert [s.name for s in train] == [s.name for s in again_train]
+    assert [s.name for s in test] == [s.name for s in again_test]
+    assert len(train) + len(test) == len(ds)
+    # Every multi-sample label lands on both sides; the singleton label
+    # stays on the train side (a lone held-out sample measures nothing).
+    for label in (CORRECT, "Call Ordering"):
+        assert label in train.label_counts()
+        assert label in test.label_counts()
+    assert "Message Race" in train.label_counts()
+    assert "Message Race" not in test.label_counts()
+    # Order within each side follows the original dataset order.
+    names = [s.name for s in ds]
+    assert [s.name for s in train] == sorted([s.name for s in train],
+                                             key=names.index)
+
+
+def test_split_rejects_bad_fraction(ds):
+    with pytest.raises(ValueError):
+        ds.split(test_frac=0.0)
+    with pytest.raises(ValueError):
+        ds.split(test_frac=1.0)
+
+
 def test_merged_with(ds):
     other = Dataset("U", [mk("x.c", CORRECT, suite="CORR")])
     merged = ds.merged_with(other, name="Both")

@@ -386,3 +386,35 @@ def test_serial_engine_close_is_a_noop():
     engine = ExecutionEngine(EngineConfig(workers=0))
     engine.close()
     assert not engine.pool_active
+
+
+# ---------------------------------------------------------------------------
+# Generic map fan-out (evaluation-matrix cells)
+# ---------------------------------------------------------------------------
+
+def test_map_serial_and_parallel_agree_in_order():
+    items = ["a", "bb", "ccc", "dddd", "ee", "f"]
+    serial_engine = ExecutionEngine(EngineConfig(workers=0))
+    serial = serial_engine.map(len, items)
+    with ExecutionEngine(EngineConfig(workers=2)) as parallel_engine:
+        parallel = parallel_engine.map(len, items)
+    assert serial == parallel == [1, 2, 3, 4, 2, 1]
+    assert serial_engine.counters["mapped"] == len(items)
+    assert parallel_engine.counters["mapped"] == len(items)
+
+
+def test_map_unpicklable_task_falls_back_to_serial():
+    engine = ExecutionEngine(EngineConfig(workers=2))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        out = engine.map(lambda x: x * 2, [1, 2, 3])
+    assert out == [2, 4, 6]
+    assert any("serial" in str(w.message) for w in caught)
+    assert not engine.pool_active        # never started a pool for it
+    engine.close()
+
+
+def test_map_single_item_runs_inline():
+    with ExecutionEngine(EngineConfig(workers=2)) as engine:
+        assert engine.map(len, ["xyz"]) == [3]
+        assert not engine.pool_active
