@@ -16,6 +16,9 @@ experiment     regenerate one of the paper's tables / figures
 eval           evaluation matrix: run the scenario grid (``eval matrix``),
                gate an artifact against a baseline (``eval compare``)
 mutate         inject MPI bugs into a correct program (mutation operators)
+fuzz           differential pipeline fuzzing: ``fuzz run`` generates
+               programs, cross-checks the oracles, minimizes findings
+               into a replay-first corpus; ``fuzz replay`` re-checks it
 cache          inspect / clear the persistent engine cache
 artifact       inspect a saved pipeline artifact (manifest only, no unpickle)
 serve          run the async micro-batching HTTP detection service
@@ -458,6 +461,93 @@ def cmd_eval_compare(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def cmd_fuzz_run(args: argparse.Namespace) -> int:
+    """``fuzz run``: one differential fuzz campaign — replay the corpus,
+    check the known-bug seeds, generate ``--budget`` fresh programs, and
+    write the schema-checked ``FUZZ_report.json``.  Exit 1 when the
+    campaign found blocking problems (hard failures, replay mismatches,
+    generator-contract violations); disagreements and seed rejections
+    are recorded in the report but do not fail the run."""
+    import json
+
+    from repro.fuzz import FuzzConfig, run_campaign, save_fuzz_report
+    from repro.fuzz.harness import campaign_failed
+    from repro.fuzz.report import render_fuzz_report
+
+    _apply_engine_flags(args)
+    try:
+        config = FuzzConfig(
+            seed=args.seed, budget=args.budget, nprocs=args.nprocs,
+            bug_ratio=args.bug_ratio, corpus_dir=args.corpus_dir,
+            include_known_bugs=not args.no_known_bugs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    pipeline = None
+    if args.model:
+        from repro.pipeline import ArtifactError, DetectionPipeline
+
+        try:
+            pipeline = DetectionPipeline.load(args.model)
+        except ArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not pipeline.fitted:
+            print(f"error: {args.model} holds an unfitted pipeline",
+                  file=sys.stderr)
+            return 2
+    doc = run_campaign(config, pipeline=pipeline)
+    save_fuzz_report(doc, args.output)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(render_fuzz_report(doc))
+        print(f"wrote {args.output}")
+    return 1 if campaign_failed(doc) else 0
+
+
+def cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    """``fuzz replay``: re-check every minimized corpus case against its
+    recorded signature, without generating anything.  Exit 1 on any
+    mismatch."""
+    from repro.fuzz import CorpusStore, FuzzConfig, replay_corpus
+
+    _apply_engine_flags(args)
+    if not os.path.isdir(args.corpus_dir):
+        # A replay gate that silently passes on a typo'd path verifies
+        # nothing — a missing corpus is an error, not a clean run.
+        print(f"error: corpus directory {args.corpus_dir!r} does not "
+              "exist", file=sys.stderr)
+        return 2
+    try:
+        config = FuzzConfig(seed=0, budget=0, nprocs=args.nprocs,
+                            corpus_dir=args.corpus_dir)
+        store = CorpusStore(args.corpus_dir)
+        entries = replay_corpus(store, config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"error: corpus {args.corpus_dir!r} holds no cases",
+              file=sys.stderr)
+        return 2
+    mismatches = 0
+    for entry in entries:
+        ok = entry["ok"]
+        mismatches += 0 if ok else 1
+        mark = "ok " if ok else "FAIL"
+        line = (f"{mark} {entry['digest'][:16]} {entry['name']} "
+                f"[{entry['recorded']['status']}/"
+                f"{entry['recorded']['kind']}]")
+        if not ok:
+            line += (f" -> observed {entry['observed']['status']}/"
+                     f"{entry['observed']['kind']}")
+        print(line)
+    print(f"{len(entries)} corpus case(s), {mismatches} mismatch(es)")
+    return 1 if mismatches else 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine import ContentStore
 
@@ -737,6 +827,42 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--json", action="store_true",
                     help="emit the verdict as JSON")
     pc.set_defaults(func=cmd_eval_compare)
+
+    p = sub.add_parser("fuzz",
+                       help="differential pipeline fuzzing: run / replay")
+    fsub = p.add_subparsers(dest="fuzz_command", required=True)
+
+    pf = fsub.add_parser("run",
+                         help="run a fuzz campaign, write FUZZ_report.json")
+    pf.add_argument("--seed", type=int, default=0,
+                    help="campaign seed (same seed ⇒ same programs)")
+    pf.add_argument("--budget", type=int, default=100, metavar="N",
+                    help="generated programs per campaign")
+    pf.add_argument("-n", "--nprocs", type=int, default=3,
+                    help="simulated ranks per program (2..8)")
+    pf.add_argument("--bug-ratio", type=float, default=0.4, metavar="R",
+                    help="fraction of programs given one injected bug")
+    pf.add_argument("--corpus-dir", default=None, metavar="PATH",
+                    help="content-addressed corpus of minimized repro "
+                         "cases; replayed first, extended with new finds")
+    pf.add_argument("--no-known-bugs", action="store_true",
+                    help="skip the built-in known-bug seed templates")
+    pf.add_argument("--model", default=None, metavar="ARTIFACT",
+                    help="optional pipeline artifact used as the "
+                         "(non-blocking) model oracle")
+    pf.add_argument("-o", "--output", default="FUZZ_report.json")
+    pf.add_argument("--json", action="store_true",
+                    help="print the full report instead of the summary")
+    _add_engine_flags(pf)
+    pf.set_defaults(func=cmd_fuzz_run)
+
+    pr = fsub.add_parser("replay",
+                         help="re-check every minimized corpus case "
+                              "(exit 1 on signature mismatch)")
+    pr.add_argument("--corpus-dir", required=True, metavar="PATH")
+    pr.add_argument("-n", "--nprocs", type=int, default=3)
+    _add_engine_flags(pr)
+    pr.set_defaults(func=cmd_fuzz_replay)
 
     p = sub.add_parser("cache",
                        help="inspect / clear the persistent engine cache")

@@ -303,11 +303,52 @@ OPERATORS: Dict[str, Callable[[str, str, random.Random], MutationResult]] = {
 
 @dataclass
 class Mutant:
-    """A mutation product: the new sample plus provenance."""
+    """A mutation product: the new sample plus provenance.
+
+    ``origin`` names the sample the mutant was derived from;
+    ``origin_digest`` pins down *which* source carried that name, so
+    two same-named samples from different datasets can never be
+    conflated by the leak guard (``""`` on mutants made before the
+    digest existed — those fall back to name-only matching).
+    """
 
     sample: Sample
     operator: str
     origin: str
+    origin_digest: str = ""
+
+
+def source_digest(source: str) -> str:
+    """Short content digest used to disambiguate origin names."""
+    import hashlib
+
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+def leak_safe_indices(mutants: Sequence[Mutant],
+                      train_samples: Sequence[Sample]) -> List[int]:
+    """Indices of mutants whose origin sample is on the train side.
+
+    The evaluation-matrix identity cells train on a split: a mutant
+    whose origin was held out would leak test information into training
+    through its mutated copy.  Matching is by origin *name and source
+    digest* when the mutant carries one — a train-side sample that
+    merely shares a held-out sample's name (possible across generated
+    datasets) does not admit the stranger's mutants.  Digest-less
+    mutants match by name alone (pre-digest provenance).
+    """
+    by_name: Dict[str, set] = {}
+    for s in train_samples:
+        by_name.setdefault(s.name, set()).add(source_digest(s.source))
+    keep: List[int] = []
+    for i, m in enumerate(mutants):
+        digests = by_name.get(m.origin)
+        if digests is None:
+            continue
+        if m.origin_digest and m.origin_digest not in digests:
+            continue
+        keep.append(i)
+    return keep
 
 
 class MutationEngine:
@@ -350,7 +391,8 @@ class MutationEngine:
             mutants.append(Mutant(
                 sample=Sample(name=name, source=mutated, label=label,
                               suite=sample.suite, features=sample.features),
-                operator=op_name, origin=sample.name))
+                operator=op_name, origin=sample.name,
+                origin_digest=source_digest(sample.source)))
         return mutants
 
     def augment(self, dataset: Dataset, per_sample: int = 1,

@@ -147,6 +147,12 @@ def _map_worker(payload: bytes) -> Any:
     return fn(item)
 
 
+def _map_chunk_worker(payload: bytes) -> List[Any]:
+    """Worker entry point for chunked :meth:`ExecutionEngine.map` runs."""
+    fn, items = pickle.loads(payload)
+    return [fn(item) for item in items]
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Knobs of the execution engine.
@@ -279,7 +285,8 @@ class ExecutionEngine:
         return self.featurize_sources(frontend, featurizer,
                                       iter_named_sources(samples))
 
-    def map(self, fn: Any, items: Sequence[Any]) -> List[Any]:
+    def map(self, fn: Any, items: Sequence[Any],
+            chunk_size: Optional[int] = None) -> List[Any]:
         """Order-preserving parallel map over the persistent worker pool.
 
         The generic fan-out primitive for work that is not a compile or
@@ -289,12 +296,30 @@ class ExecutionEngine:
         cannot cross a process boundary falls back to serial execution
         with a warning, exactly like the stage scheduler.  Serial and
         parallel runs return identical results in input order.
+
+        ``chunk_size`` groups items per worker trip: one pickle + one
+        future per *chunk* instead of per item, which is what makes
+        fanning out thousands of cheap tasks (the fuzz campaign's
+        per-program differential checks) pay off.  ``None`` keeps the
+        one-future-per-item scheduling of heavyweight tasks like
+        evaluation-matrix cells.
         """
         items = list(items)
         self.counters["mapped"] = self.counters.get("mapped", 0) + len(items)
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
         if self.config.workers > 0 and len(items) > 1:
+            if chunk_size is None:
+                groups: List[List[Any]] = [[item] for item in items]
+                worker = _map_worker
+                wraps = [(fn, item) for item in items]
+            else:
+                groups = [list(items[i:i + chunk_size])
+                          for i in range(0, len(items), chunk_size)]
+                worker = _map_chunk_worker
+                wraps = [(fn, group) for group in groups]
             try:
-                payloads = [pickle.dumps((fn, item)) for item in items]
+                payloads = [pickle.dumps(w) for w in wraps]
             except Exception as exc:
                 warnings.warn(
                     f"engine: map task is not picklable ({exc!r}); "
@@ -304,14 +329,19 @@ class ExecutionEngine:
             if payloads is not None:
                 pool = self._ensure_pool()
                 try:
-                    futures = [pool.submit(_map_worker, p) for p in payloads]
+                    futures = [pool.submit(worker, p) for p in payloads]
                 except RuntimeError:
                     # close() raced us; retry once on a fresh pool.
                     self._discard_pool(pool)
                     pool = self._ensure_pool()
-                    futures = [pool.submit(_map_worker, p) for p in payloads]
+                    futures = [pool.submit(worker, p) for p in payloads]
                 try:
-                    return [future.result() for future in futures]
+                    if chunk_size is None:
+                        return [future.result() for future in futures]
+                    out: List[Any] = []
+                    for future in futures:
+                        out.extend(future.result())
+                    return out
                 except BrokenProcessPool:
                     self._discard_pool(pool)
                     pool.shutdown(wait=False)

@@ -43,7 +43,7 @@ import numpy as np
 
 from repro import __version__
 from repro.datasets.loader import Dataset, stratified_split_indices
-from repro.datasets.mutation import Mutant, MutationEngine
+from repro.datasets.mutation import Mutant, MutationEngine, leak_safe_indices
 from repro.eval.config import ReproConfig
 from repro.eval.scenarios import stage_specs
 from repro.ml.metrics import binary_summary, per_class_binary_report
@@ -324,9 +324,10 @@ def _cell_payload(cell: CellSpec, spec: MatrixSpec, config: ReproConfig,
         mutants = mutant_sets[(cell.train_dataset, cell.mutation_level)]
         # Identity cells train on a split: only admit mutants whose
         # origin sample is on the train side, or held-out information
-        # would leak into training through its mutated copies.
-        origins = {s.name for s in train_samples}
-        keep = [i for i, m in enumerate(mutants) if m.origin in origins]
+        # would leak into training through its mutated copies.  The
+        # guard matches origin name *and* source digest (see
+        # leak_safe_indices) so name collisions never leak either.
+        keep = leak_safe_indices(mutants, train_samples)
         if keep:
             mutant_features = take(
                 mf.per_mutants[(cell.train_dataset,

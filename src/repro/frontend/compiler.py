@@ -32,9 +32,22 @@ def compile_c(source: str, name: str = "module", opt_level: str = "O0",
         module = generate_module(unit, name)
     except (PreprocessError, LexError, CParseError, SemaError, CodegenError) as exc:
         raise CompileError(str(exc)) from exc
+    except RecursionError:
+        # Pathologically nested input (found by the fuzz harness: a few
+        # thousand nested parens or blocks blows the recursive-descent
+        # parser's stack).  By the time we get here the stack has
+        # unwound, so raising a typed rejection is safe.
+        raise CompileError(
+            f"{name}: program nesting exceeds the compiler's limits") \
+            from None
     if verify:
         verify_module(module)
-    run_pipeline(module, opt_level)
+    try:
+        run_pipeline(module, opt_level)
+    except RecursionError:
+        raise CompileError(
+            f"{name}: optimizing {opt_level} exceeded the compiler's "
+            "recursion limits") from None
     if verify:
         verify_module(module)
     return module

@@ -72,6 +72,10 @@ def lower_ctype(ctype: A.CType) -> Type:
     else:
         raise SemaError(f"unknown C type {ctype.base!r}")
     for dim in reversed(ctype.array_dims):
+        if dim is not None and dim < 0:
+            # Found by the fuzz harness: a negative extent used to escape
+            # as the IR type constructor's bare ValueError.
+            raise SemaError(f"array declared with negative extent {dim}")
         base = ArrayType(base, dim if dim is not None else 0)
     for _ in range(ctype.pointers):
         # `void*` is modelled as `i8*`, like LLVM before opaque pointers.

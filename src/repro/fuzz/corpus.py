@@ -1,0 +1,133 @@
+"""Content-addressed corpus of minimized fuzz repro cases.
+
+Every finding the campaign minimizes lands here as one JSON file named
+by the SHA-256 of its source *and* signature, so re-discovering the same
+bug is a no-op and two different verdicts on the same source coexist.
+Future runs replay the whole corpus first — each case must re-trigger
+its recorded signature — before spending budget on new programs, which
+is what turns every discovered bug into a permanent regression test.
+
+Writes are atomic (temp file + rename) and listing order is the sorted
+digest order, so campaigns are deterministic regardless of discovery
+order or interleaved writers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+_CASE_SCHEMA_VERSION = 1
+_PREFIX = "case-"
+
+
+@dataclass
+class CorpusCase:
+    """One minimized repro case plus the signature it must re-trigger."""
+
+    name: str
+    source: str
+    status: str                      # 'rejected' | 'disagreement' |
+    #                                  'hard_failure'
+    kind: str                        # e.g. 'compile_reject',
+    #                                  'frontend_crash:RecursionError',
+    #                                  'false_alarm:incorrect'
+    oracle: str = ""                 # offending oracle / stage, if any
+    fingerprint: str = ""            # normalized message (dedup key part)
+    expected: str = "correct"
+    detail: str = ""
+    origin: str = ""
+    seed: Optional[int] = None
+    index: Optional[int] = None
+
+    @property
+    def signature(self) -> Dict[str, str]:
+        """The replay contract: what re-checking the source must yield."""
+        return {"status": self.status, "kind": self.kind,
+                "oracle": self.oracle}
+
+    @property
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        for part in (self.source, self.status, self.kind, self.oracle):
+            h.update(part.encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()
+
+
+class CorpusStore:
+    """Directory of :class:`CorpusCase` files, addressed by digest."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(os.path.expanduser(root))
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, f"{_PREFIX}{digest[:16]}.json")
+
+    def __len__(self) -> int:
+        return len(self._files())
+
+    def _files(self) -> List[str]:
+        return sorted(f for f in os.listdir(self.root)
+                      if f.startswith(_PREFIX) and f.endswith(".json"))
+
+    def __contains__(self, case: CorpusCase) -> bool:
+        return os.path.exists(self._path(case.digest))
+
+    def add(self, case: CorpusCase) -> bool:
+        """Persist ``case``; returns False when already present."""
+        path = self._path(case.digest)
+        if os.path.exists(path):
+            return False
+        doc = {"schema_version": _CASE_SCHEMA_VERSION,
+               "digest": case.digest, **asdict(case)}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return True
+
+    def cases(self) -> List[CorpusCase]:
+        """Every stored case, in deterministic (digest) order.
+
+        A file that fails to parse raises — a corrupted corpus should
+        fail loudly in CI, not silently shrink the regression surface.
+        """
+        out: List[CorpusCase] = []
+        for fname in self._files():
+            with open(os.path.join(self.root, fname), "r",
+                      encoding="utf-8") as fh:
+                doc = json.load(fh)
+            version = doc.get("schema_version")
+            if version != _CASE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{fname}: unsupported corpus case schema "
+                    f"{version!r} (this build understands "
+                    f"{_CASE_SCHEMA_VERSION})")
+            missing = [k for k in ("name", "source", "status", "kind")
+                       if not isinstance(doc.get(k), str)]
+            if missing:
+                raise ValueError(f"{fname}: missing case keys {missing}")
+            out.append(CorpusCase(
+                name=doc["name"], source=doc["source"],
+                status=doc["status"], kind=doc["kind"],
+                oracle=doc.get("oracle") or "",
+                fingerprint=doc.get("fingerprint") or "",
+                expected=doc.get("expected") or "correct",
+                detail=doc.get("detail") or "",
+                origin=doc.get("origin") or "",
+                seed=doc.get("seed"), index=doc.get("index")))
+        return out

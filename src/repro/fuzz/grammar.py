@@ -1,0 +1,290 @@
+"""Seed-deterministic MPI program synthesizer over the frontend C subset.
+
+Programs are *correct by construction*: communicator-uniform collectives
+(blocking and nonblocking, every datatype the suites use, randomized
+roots/counts/reduction ops), guarded point-to-point pairs with matching
+envelopes (blocking, synchronous, and nonblocking-with-wait shapes),
+bounded loops, rank-uniform conditionals, and benign filler compute.
+A configurable fraction then gets one known MPI bug injected through the
+:mod:`repro.datasets.mutation` operators, so the campaign exercises both
+expected-clean and expected-buggy paths with ground truth attached.
+
+Everything is derived from ``stable_seed(seed, "fuzz", index)`` — the
+same (seed, index) always yields byte-identical source on any platform,
+which is what makes fuzz reports reproducible and serial == parallel
+runs byte-identical.
+
+:data:`KNOWN_BUG_TEMPLATES` holds seed programs distilled from real
+pipeline bugs this harness found (parser recursion blow-ups, a bare
+``ValueError`` escaping on negative array extents).  They are replayed
+at the start of every campaign: their *current* signature is a typed
+frontend rejection, and the corpus pins that down so a regression back
+to a crash fails CI.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datasets.mutation import OPERATORS
+from repro.datasets.seeding import stable_seed
+from repro.datasets.templates import (
+    COLLECTIVES,
+    DTYPES,
+    NB_COLLECTIVES,
+    Prog,
+    REDUCE_OPS,
+    collective_call,
+    filler_compute,
+)
+
+
+@dataclass(frozen=True)
+class FuzzGrammarConfig:
+    """Shape knobs of the synthesizer (all draws flow from ``seed``)."""
+
+    seed: int = 0
+    nprocs: int = 3
+    max_stmts: int = 5
+    bug_ratio: float = 0.4      # fraction of programs given one injected bug
+
+    def __post_init__(self):
+        if not 2 <= self.nprocs <= 8:
+            raise ValueError("nprocs must be in [2, 8] (generated "
+                             "world-sized buffers hold 8 ranks)")
+        if self.max_stmts < 1:
+            raise ValueError("max_stmts must be >= 1")
+        if not 0.0 <= self.bug_ratio <= 1.0:
+            raise ValueError("bug_ratio must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One synthesized program plus its construction-time ground truth."""
+
+    name: str
+    source: str
+    expected: str                       # 'correct' | 'incorrect'
+    expected_kinds: Tuple[str, ...] = ()
+    origin: str = "generated"           # recipe / template provenance
+    seed: int = 0
+    index: int = -1
+
+
+_P2P_MODES = ("send", "ssend", "isend_wait", "irecv_wait")
+
+#: Collectives whose suite template sizes a buffer with ``malloc(nprocs
+#: * ...)`` — which the shared :class:`Prog` layout evaluates *before*
+#: ``MPI_Comm_size`` runs (``nprocs`` still -1).  The fuzz harness found
+#: that latent bug in its own first campaign; the grammar emits these
+#: with stack buffers sized for :data:`_MAX_NPROCS` ranks instead.
+_SIZED_BY_NPROCS = {"MPI_Gather", "MPI_Allgather", "MPI_Scatter",
+                    "MPI_Alltoall"}
+_MAX_NPROCS = 8
+
+
+def _emit_collective(prog: Prog, rng: random.Random, suffix: str,
+                     nprocs: int) -> str:
+    ctype, mpitype = rng.choice(DTYPES)
+    op = rng.choice(COLLECTIVES + NB_COLLECTIVES)
+    count = rng.randrange(1, 9)
+    root = str(rng.randrange(nprocs))
+    if op in _SIZED_BY_NPROCS:
+        sb, rb = f"sbuf{suffix}", f"rbuf{suffix}"
+        world = count * _MAX_NPROCS
+        if op == "MPI_Scatter":
+            prog.decl(f"{ctype} {sb}[{world}];")
+            prog.decl(f"{ctype} {rb}[{count}];")
+            return (f"MPI_Scatter({sb}, {count}, {mpitype}, {rb}, {count}, "
+                    f"{mpitype}, {root}, MPI_COMM_WORLD);")
+        if op == "MPI_Gather":
+            prog.decl(f"{ctype} {sb}[{count}];")
+            prog.decl(f"{ctype} {rb}[{world}];")
+            return (f"MPI_Gather({sb}, {count}, {mpitype}, {rb}, {count}, "
+                    f"{mpitype}, {root}, MPI_COMM_WORLD);")
+        if op == "MPI_Allgather":
+            prog.decl(f"{ctype} {sb}[{count}];")
+            prog.decl(f"{ctype} {rb}[{world}];")
+            return (f"MPI_Allgather({sb}, {count}, {mpitype}, {rb}, "
+                    f"{count}, {mpitype}, MPI_COMM_WORLD);")
+        prog.decl(f"{ctype} {sb}[{world}];")
+        prog.decl(f"{ctype} {rb}[{world}];")
+        return (f"MPI_Alltoall({sb}, {count}, {mpitype}, {rb}, {count}, "
+                f"{mpitype}, MPI_COMM_WORLD);")
+    return collective_call(
+        prog, op, ctype=ctype, mpitype=mpitype,
+        count=count, root=root,
+        red_op=rng.choice(REDUCE_OPS), suffix=suffix)
+
+
+def _stmt_collective(prog: Prog, rng: random.Random, suffix: str,
+                     nprocs: int) -> None:
+    call = _emit_collective(prog, rng, suffix, nprocs)
+    shape = rng.randrange(3)
+    if shape == 0:                       # bare, rank-uniform
+        prog.stmt(call)
+    elif shape == 1:                     # bounded rank-uniform loop
+        prog.decl(f"int li{suffix};")
+        bound = rng.randrange(2, 5)
+        prog.stmt(f"for (li{suffix} = 0; li{suffix} < {bound}; "
+                  f"li{suffix} = li{suffix} + 1) {{")
+        prog.stmt(f"  {call}")
+        prog.stmt("}")
+    else:                                # rank-uniform conditional
+        prog.stmt(f"if (nprocs > {rng.randrange(2)}) {{")
+        prog.stmt(f"  {call}")
+        prog.stmt("}")
+
+
+def _stmt_p2p(prog: Prog, rng: random.Random, suffix: str,
+              nprocs: int) -> None:
+    """A matched, guarded point-to-point exchange between two ranks."""
+    src = rng.randrange(nprocs)
+    dst = rng.choice([r for r in range(nprocs) if r != src])
+    ctype, mpitype = rng.choice(DTYPES)
+    count = rng.randrange(1, 9)
+    tag = rng.randrange(100)
+    mode = rng.choice(_P2P_MODES)
+    sb, rb = f"psb{suffix}", f"prb{suffix}"
+    prog.decl(f"{ctype} {sb}[{count}];")
+    prog.decl(f"{ctype} {rb}[{count}];")
+    prog.decl(f"MPI_Status pst{suffix};")
+    env = f"{count}, {mpitype}"
+
+    send = f"MPI_Send({sb}, {env}, {dst}, {tag}, MPI_COMM_WORLD);"
+    if mode == "ssend":
+        send = f"MPI_Ssend({sb}, {env}, {dst}, {tag}, MPI_COMM_WORLD);"
+    elif mode == "isend_wait":
+        prog.decl(f"MPI_Request prq{suffix};")
+        send = (f"MPI_Isend({sb}, {env}, {dst}, {tag}, MPI_COMM_WORLD, "
+                f"&prq{suffix}); MPI_Wait(&prq{suffix}, &pst{suffix});")
+    recv = (f"MPI_Recv({rb}, {env}, {src}, {tag}, MPI_COMM_WORLD, "
+            f"&pst{suffix});")
+    if mode == "irecv_wait":
+        prog.decl(f"MPI_Request prq{suffix};")
+        recv = (f"MPI_Irecv({rb}, {env}, {src}, {tag}, MPI_COMM_WORLD, "
+                f"&prq{suffix}); MPI_Wait(&prq{suffix}, &pst{suffix});")
+
+    prog.stmt(f"if (rank == {src}) {{")
+    prog.stmt(f"  {send}")
+    prog.stmt("}")
+    prog.stmt(f"if (rank == {dst}) {{")
+    prog.stmt(f"  {recv}")
+    prog.stmt("}")
+
+
+def _render_correct(rng: random.Random, config: FuzzGrammarConfig,
+                    index: int) -> Tuple[str, List[str]]:
+    """A correct-by-construction program and its recipe trail."""
+    prog = Prog(min_procs=2)
+    recipe: List[str] = []
+    n_stmts = rng.randrange(1, config.max_stmts + 1)
+    for i in range(n_stmts):
+        suffix = f"_{index}_{i}"
+        kind = rng.choices(("collective", "p2p", "filler"),
+                           weights=(5, 4, 2))[0]
+        recipe.append(kind)
+        if kind == "collective":
+            _stmt_collective(prog, rng, suffix, config.nprocs)
+        elif kind == "p2p":
+            _stmt_p2p(prog, rng, suffix, config.nprocs)
+        else:
+            filler_compute(rng, prog, tag=f"fz{index}_{i}")
+    return prog.render(), recipe
+
+
+def generate_program(config: FuzzGrammarConfig,
+                     index: int) -> GeneratedProgram:
+    """The ``index``-th program of the campaign keyed by ``config.seed``."""
+    rng = random.Random(stable_seed(config.seed, "fuzz", index))
+    source, recipe = _render_correct(rng, config, index)
+    name = f"fuzz-{config.seed}-{index:05d}.c"
+    expected, kinds = "correct", ()
+    origin = "generated:" + "+".join(recipe)
+    if rng.random() < config.bug_ratio:
+        op_names = list(OPERATORS)
+        rng.shuffle(op_names)
+        for op_name in op_names:
+            result = OPERATORS[op_name](source, "MBI", rng)
+            if result is None or result[0] == source:
+                continue
+            source, label = result
+            expected, kinds = "incorrect", (label,)
+            origin += f"|mutated:{op_name}"
+            break
+    return GeneratedProgram(name=name, source=source, expected=expected,
+                            expected_kinds=tuple(kinds), origin=origin,
+                            seed=config.seed, index=index)
+
+
+def generate_programs(config: FuzzGrammarConfig,
+                      budget: int) -> List[GeneratedProgram]:
+    """The first ``budget`` programs of the campaign, in order."""
+    return [generate_program(config, i) for i in range(budget)]
+
+
+# ---------------------------------------------------------------------------
+# Known-bug seed templates
+# ---------------------------------------------------------------------------
+
+def _deep_expression(depth: int = 3000) -> str:
+    return (
+        "int main(int argc, char** argv) {\n"
+        "  int warm = 1;\n"
+        "  int other = warm + 2;\n"
+        f"  int deep = {'(' * depth}1{')' * depth};\n"
+        "  return warm + other + deep;\n"
+        "}\n")
+
+
+def _deep_blocks(depth: int = 2500) -> str:
+    return (
+        "int main(int argc, char** argv) {\n"
+        "  int shallow = 4;\n"
+        f"  {'{' * depth} int q = 1; {'}' * depth}\n"
+        "  return shallow;\n"
+        "}\n")
+
+
+def _negative_extent() -> str:
+    return (
+        "int main(int argc, char** argv) {\n"
+        "  int fine[4];\n"
+        "  int v[-4];\n"
+        "  fine[0] = 1;\n"
+        "  v[0] = 2;\n"
+        "  return fine[0];\n"
+        "}\n")
+
+
+#: Distilled crashers the fuzz harness found in this frontend: inputs
+#: that used to escape as RecursionError / bare ValueError and must stay
+#: *typed* CompileError rejections forever.  name → (program, note).
+KNOWN_BUG_TEMPLATES: Dict[str, Tuple[GeneratedProgram, str]] = {
+    "deep-expression-nesting": (
+        GeneratedProgram(name="known-bug-deep-expression.c",
+                         source=_deep_expression(), expected="correct",
+                         origin="known-bug:deep-expression-nesting"),
+        "a few thousand nested parens blew the recursive-descent "
+        "parser's stack (RecursionError instead of CompileError)"),
+    "deep-block-nesting": (
+        GeneratedProgram(name="known-bug-deep-blocks.c",
+                         source=_deep_blocks(), expected="correct",
+                         origin="known-bug:deep-block-nesting"),
+        "deeply nested compound statements crashed statement parsing "
+        "the same way"),
+    "negative-array-extent": (
+        GeneratedProgram(name="known-bug-negative-extent.c",
+                         source=_negative_extent(), expected="incorrect",
+                         expected_kinds=("invalid_arg",),
+                         origin="known-bug:negative-array-extent"),
+        "a negative array extent escaped sema as the IR type "
+        "constructor's bare ValueError"),
+}
+
+
+def known_bug_seeds() -> List[GeneratedProgram]:
+    """The seed programs every campaign checks before generating."""
+    return [program for program, _note in KNOWN_BUG_TEMPLATES.values()]

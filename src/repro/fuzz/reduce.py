@@ -1,0 +1,52 @@
+"""Delta-debugging reducer: statement(line)-level program shrinking.
+
+Classic ddmin (Zeller & Hildebrandt) over source lines: repeatedly try
+dropping line chunks of shrinking granularity, keeping any candidate the
+predicate still accepts.  The harness's predicate is "re-checking this
+source reproduces the exact finding signature", so a minimized repro
+case re-triggers its recorded oracle verdict by construction.
+
+Deterministic: the candidate order depends only on the input, and the
+predicate is pure, so the same finding always minimizes to the same
+bytes — which is what lets the corpus content-address minimized cases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+def ddmin_lines(source: str, predicate: Callable[[str], bool], *,
+                max_tests: int = 250) -> str:
+    """Smallest line-subset of ``source`` that ``predicate`` accepts.
+
+    ``predicate(source)`` must hold on entry; the result always
+    satisfies the predicate.  ``max_tests`` bounds predicate
+    evaluations (each one re-runs the differential check), returning
+    the best reduction found so far when exhausted.
+    """
+    lines: List[str] = source.splitlines()
+    if len(lines) < 2:
+        return source
+    tests = 0
+    granularity = 2
+    while len(lines) >= 2:
+        chunk = max(1, (len(lines) + granularity - 1) // granularity)
+        reduced = False
+        for start in range(0, len(lines), chunk):
+            candidate = lines[:start] + lines[start + chunk:]
+            if not candidate:
+                continue
+            tests += 1
+            if tests > max_tests:
+                return "\n".join(lines)
+            if predicate("\n".join(candidate)):
+                lines = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk <= 1:
+                break                       # 1-line granularity exhausted
+            granularity = min(granularity * 2, len(lines))
+    return "\n".join(lines)

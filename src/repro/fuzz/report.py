@@ -1,0 +1,192 @@
+"""Schema checking and persistence for the fuzz-campaign report.
+
+``FUZZ_report.json`` is a generated artifact (untracked, like
+``BENCH_*``/``EVAL_*``) that CI uploads and gates on, so — exactly like
+the evaluation-matrix artifact — it is validated on both ends with the
+stdlib JSON-Schema subset from :mod:`repro.eval.schema`: the harness
+refuses to emit an invalid document and the replay/gating tooling
+refuses to consume one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.eval.schema import SchemaError, validate
+
+_SIGNATURE = {
+    "type": "object",
+    "required": ["status", "kind", "oracle"],
+    "properties": {
+        "status": {"type": "string"},
+        "kind": {"type": "string"},
+        "oracle": {"type": "string"},
+    },
+}
+
+_NULLABLE_STRING = {"type": ["string", "null"]}
+
+FUZZ_SCHEMA = {
+    "type": "object",
+    "required": ["kind", "schema_version", "repro_version", "config",
+                 "oracles", "counts", "detection", "replay", "findings",
+                 "model"],
+    "properties": {
+        "kind": {"const": "repro-fuzz-report"},
+        "schema_version": {"type": "integer"},
+        "repro_version": {"type": "string"},
+        "config": {
+            "type": "object",
+            "required": ["seed", "budget", "nprocs", "max_steps",
+                         "max_stmts", "bug_ratio", "corpus_dir",
+                         "include_known_bugs", "chunk_size"],
+            "properties": {
+                "seed": {"type": "integer"},
+                "budget": {"type": "integer"},
+                "nprocs": {"type": "integer"},
+                "max_steps": {"type": "integer"},
+                "max_stmts": {"type": "integer"},
+                "bug_ratio": {"type": "number"},
+                "corpus_dir": _NULLABLE_STRING,
+                "include_known_bugs": {"type": "boolean"},
+                "chunk_size": {"type": "integer"},
+            },
+        },
+        "oracles": {"type": "array", "minItems": 1,
+                    "items": {"type": "string"}},
+        "counts": {
+            "type": "object",
+            "required": ["programs", "generated", "seeded", "agree",
+                         "rejected", "disagreements", "hard_failures",
+                         "generator_rejects", "replayed",
+                         "replay_mismatches", "minimized",
+                         "new_corpus_cases", "corpus_cases"],
+            "additionalProperties": {"type": "integer"},
+        },
+        "detection": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["detected", "missed", "skipped"],
+                "additionalProperties": {"type": "integer"},
+            },
+        },
+        "replay": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["digest", "name", "ok", "recorded",
+                             "observed"],
+                "properties": {
+                    "digest": {"type": "string"},
+                    "name": {"type": "string"},
+                    "ok": {"type": "boolean"},
+                    "recorded": _SIGNATURE,
+                    "observed": _SIGNATURE,
+                },
+            },
+        },
+        "findings": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "status", "kind", "oracle",
+                             "expected", "origin", "source",
+                             "minimized_source", "digest", "in_corpus"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "status": {"enum": ["rejected", "disagreement",
+                                        "hard_failure"]},
+                    "kind": {"type": "string"},
+                    "oracle": {"type": "string"},
+                    "detail": {"type": "string"},
+                    "expected": {"enum": ["correct", "incorrect"]},
+                    "origin": {"type": "string"},
+                    "source": {"type": "string"},
+                    "minimized_source": _NULLABLE_STRING,
+                    "digest": _NULLABLE_STRING,
+                    "in_corpus": {"type": "boolean"},
+                },
+            },
+        },
+        "model": {
+            "type": ["object", "null"],
+            "required": ["method", "checked", "agreements",
+                         "disagreements"],
+            "properties": {
+                "method": {"type": "string"},
+                "checked": {"type": "integer"},
+                "agreements": {"type": "integer"},
+                "disagreements": {"type": "integer"},
+            },
+        },
+    },
+}
+
+
+def validate_fuzz_report(doc: Any) -> None:
+    """Raise :class:`~repro.eval.schema.SchemaError` unless ``doc`` is a
+    fuzz report this build understands."""
+    validate(doc, FUZZ_SCHEMA)
+    version = doc["schema_version"]
+    if version != 1:
+        raise SchemaError("$.schema_version",
+                          f"unsupported fuzz report schema {version} "
+                          f"(this build understands 1)")
+
+
+def save_fuzz_report(doc: Dict[str, Any], path: str) -> None:
+    """Validate and write the report (sorted keys → byte-stable)."""
+    validate_fuzz_report(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_fuzz_report(path: str) -> Dict[str, Any]:
+    """Read and validate a report written by :func:`save_fuzz_report`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_fuzz_report(doc)
+    return doc
+
+
+def render_fuzz_report(doc: Dict[str, Any]) -> str:
+    """Human-readable campaign summary for the CLI."""
+    c = doc["counts"]
+    lines = [
+        f"fuzz campaign (seed {doc['config']['seed']}, "
+        f"budget {doc['config']['budget']})",
+        f"  programs        {c['programs']:>6}  "
+        f"(generated {c['generated']}, seeded {c['seeded']})",
+        f"  agree           {c['agree']:>6}",
+        f"  rejected        {c['rejected']:>6}  "
+        f"(generator rejects: {c['generator_rejects']})",
+        f"  disagreements   {c['disagreements']:>6}",
+        f"  hard failures   {c['hard_failures']:>6}",
+        f"  corpus          {c['corpus_cases']:>6} cases  "
+        f"(replayed {c['replayed']}, mismatches {c['replay_mismatches']}, "
+        f"new {c['new_corpus_cases']})",
+    ]
+    detection = doc.get("detection") or {}
+    checked = {name: row for name, row in sorted(detection.items())
+               if row["detected"] + row["missed"] + row["skipped"] > 0}
+    if checked:
+        lines.append("  detection of injected bugs:")
+        for name, row in checked.items():
+            total = row["detected"] + row["missed"]
+            rate = f"{row['detected'] / total:.2f}" if total else "n/a"
+            lines.append(f"    {name:<12} {row['detected']:>4}/{total:<4} "
+                         f"detected ({rate})"
+                         + (f", {row['skipped']} skipped"
+                            if row["skipped"] else ""))
+    if doc.get("model"):
+        m = doc["model"]
+        lines.append(f"  model oracle    {m['agreements']}/{m['checked']} "
+                     f"agree ({m['method']})")
+    for finding in doc["findings"]:
+        lines.append(f"  [{finding['status']}] {finding['name']}: "
+                     f"{finding['kind']} ({finding['oracle']}) "
+                     f"{finding['detail'][:60]}")
+    return "\n".join(lines)

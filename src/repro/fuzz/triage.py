@@ -1,0 +1,79 @@
+"""Crash triage: attribute an exception to the pipeline stage it
+escaped from.
+
+The fuzz harness classifies hard failures by stage (frontend crash, IR
+verifier rejection, graph-builder exception, ...), and the serving layer
+uses the same attribution to decide whether a failed sample is the
+*input's* fault (a structured 4xx for the client) or the *server's*
+(a 5xx that tells load balancers to retry).  Both walk the traceback:
+an exception whose innermost repro frame lives in a deterministic
+per-source transformation stage was provoked by that source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Module-prefix → stage label, innermost match wins.
+_STAGE_PREFIXES = (
+    ("repro.frontend", "frontend"),
+    ("repro.ir", "ir"),
+    ("repro.passes", "passes"),
+    ("repro.graphs", "graphs"),
+    ("repro.embeddings", "embeddings"),
+    ("repro.models", "models"),
+    ("repro.mpi", "mpi"),
+)
+
+#: Stages whose exceptions are deterministic functions of the source —
+#: a crash in one is attributable to the input, not the service.
+INPUT_STAGES = frozenset(
+    {"frontend", "ir", "passes", "graphs", "embeddings"})
+
+
+@dataclass(frozen=True)
+class FailureInfo:
+    """Classified crash: stage (or None), exception type, message."""
+
+    stage: Optional[str]
+    exception: str
+    message: str
+
+    @property
+    def kind(self) -> str:
+        """Stable signature component, e.g. ``frontend_crash:RecursionError``
+        — the message is deliberately excluded (wordings drift)."""
+        return f"{self.stage or 'unknown'}_crash:{self.exception}"
+
+
+def failure_stage(exc: BaseException) -> Optional[str]:
+    """The pipeline stage whose code raised ``exc``, or ``None``.
+
+    Walks the traceback outermost → innermost and keeps the *last*
+    matching repro frame, so a featurizer that calls into the frontend
+    attributes a parse crash to the frontend, not itself.
+    """
+    stage: Optional[str] = None
+    tb = exc.__traceback__
+    while tb is not None:
+        module = tb.tb_frame.f_globals.get("__name__", "")
+        for prefix, label in _STAGE_PREFIXES:
+            if module == prefix or module.startswith(prefix + "."):
+                stage = label
+                break
+        tb = tb.tb_next
+    return stage
+
+
+def classify_failure(exc: BaseException) -> FailureInfo:
+    """Triage one exception into a :class:`FailureInfo`."""
+    return FailureInfo(stage=failure_stage(exc),
+                       exception=type(exc).__name__,
+                       message=str(exc))
+
+
+def is_input_fault(exc: BaseException) -> bool:
+    """Whether ``exc`` is attributable to the input source being
+    processed (it escaped a deterministic per-source stage)."""
+    return failure_stage(exc) in INPUT_STAGES

@@ -1281,6 +1281,28 @@ class MPISimulator:
                     if ctx.rank != root_world:
                         self._write_buffer(ctx, int(coll.args[roles["buf"]]), payload)
             return
+        if base in ("MPI_Scatter", "MPI_Scatterv"):
+            # Scatter distributes slices of the *root's* send buffer: every
+            # rank receives exactly ``count`` elements.  (Found by the fuzz
+            # harness: the generic gather-like path below used to write the
+            # whole nprocs*count concatenation into the root's count-sized
+            # receive buffer, overflowing into adjacent locals.)
+            root_world = members[colls[0].root] \
+                if 0 <= colls[0].root < len(members) else members[0]
+            if root_world in by_rank and "recvbuf" in roles:
+                rctx, rcoll = by_rank[root_world]
+                payload = self._read_buffer(
+                    rctx, int(rcoll.args[roles["buf"]]),
+                    rcoll.count * len(members))
+                for slot, member in enumerate(members):
+                    if member not in by_rank:
+                        continue
+                    ctx, coll = by_rank[member]
+                    slice_ = payload[slot * coll.count:
+                                     (slot + 1) * coll.count]
+                    self._write_buffer(ctx, int(coll.args[roles["recvbuf"]]),
+                                       slice_)
+            return
         if "recvbuf" in roles and "buf" in roles:
             reduce_like = "op" in roles
             gathers = [self._read_buffer(ctx, int(coll.args[roles["buf"]]), coll.count)

@@ -171,12 +171,15 @@ class DetectionServer:
         Fault isolation: if the batch call fails (typically one bad
         source refusing to compile), fall back to per-item calls so
         only the offending samples fail — batch-mates from other
-        requests still get their verdicts.  Only *input* faults
-        (compile errors) become per-item 400s; anything else is a
-        server fault and propagates to a 500 so clients and load
-        balancers know to retry.
+        requests still get their verdicts.  Only *input* faults become
+        per-item 400s: typed compile errors, plus any exception the
+        crash-triage attributes to a deterministic per-source stage
+        (fuzz-minimized crasher sources provoke exactly those).
+        Anything else is a server fault and propagates to a 500 so
+        clients and load balancers know to retry.
         """
         from repro.frontend import CompileError
+        from repro.fuzz.triage import is_input_fault
 
         model = self.registry.current
         loop = asyncio.get_running_loop()
@@ -192,6 +195,10 @@ class DetectionServer:
                         None, model.pipeline.predict_batch, [item])
                     outcomes.append((model, result[0]))
                 except CompileError as exc:
+                    outcomes.append(_ItemFailure(exc))
+                except Exception as exc:
+                    if not is_input_fault(exc):
+                        raise
                     outcomes.append(_ItemFailure(exc))
             return outcomes
 

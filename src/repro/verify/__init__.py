@@ -15,13 +15,13 @@ here follows its original's *mechanism*:
   request usage along paths), detecting a narrower error set.
 """
 
-from repro.verify.base import ToolVerdict, VerificationTool
+from repro.verify.base import ToolUnavailable, ToolVerdict, VerificationTool
 from repro.verify.itac import ITACTool
 from repro.verify.must import MUSTTool
 from repro.verify.parcoach import ParcoachTool
 from repro.verify.mpi_checker import MPICheckerTool
 
 __all__ = [
-    "VerificationTool", "ToolVerdict",
+    "VerificationTool", "ToolVerdict", "ToolUnavailable",
     "ITACTool", "MUSTTool", "ParcoachTool", "MPICheckerTool",
 ]

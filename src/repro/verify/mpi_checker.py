@@ -57,6 +57,9 @@ def _buffer_element_type(value) -> Optional[tuple]:
 class MPICheckerTool(VerificationTool):
     name = "MPI-Checker"
 
+    def __init__(self, binary: str = None):
+        self.binary = binary
+
     def analyze_module(self, module) -> List[str]:
         warnings: List[str] = []
         for fn in module.defined_functions():
@@ -124,10 +127,18 @@ class MPICheckerTool(VerificationTool):
                     state[slot] = "done"
 
     def check_sample(self, sample: Sample) -> ToolVerdict:
+        if self.external_binary():
+            # run_external degrades to a typed ToolUnavailable verdict
+            # when the configured executable is missing.
+            return self.run_external(sample)
         try:
             module = compile_c(sample.source, sample.name, "O0", verify=False)
         except CompileError as exc:
             return ToolVerdict("compile_error", detail=str(exc))
+        return self.check_module(module)
+
+    def check_module(self, module) -> ToolVerdict:
+        """Analogue verdict for an already-compiled module."""
         warnings = self.analyze_module(module)
         if warnings:
             return ToolVerdict("incorrect", ["static_warning"], "; ".join(warnings[:3]))

@@ -27,16 +27,31 @@ _MISSED = {"message_race", "local_concurrency", "global_concurrency"}
 class MUSTTool(VerificationTool):
     name = "MUST"
 
-    def __init__(self, nprocs: int = 3, max_steps: int = 300_000):
+    def __init__(self, nprocs: int = 3, max_steps: int = 300_000,
+                 binary: str = None):
         self.nprocs = nprocs
         self.max_steps = max_steps
+        self.binary = binary
 
     def check_sample(self, sample: Sample) -> ToolVerdict:
+        if self.external_binary():
+            # run_external degrades to a typed ToolUnavailable verdict
+            # when the configured executable is missing.
+            return self.run_external(sample)
         try:
             module = compile_c(sample.source, sample.name, "O0", verify=False)
         except CompileError as exc:
             return ToolVerdict("compile_error", detail=str(exc))
-        report = MPISimulator(module, self.nprocs, max_steps=self.max_steps).run()
+        return self.check_module(module)
+
+    def check_module(self, module) -> ToolVerdict:
+        """Analogue verdict for an already-compiled module."""
+        report = MPISimulator(module, self.nprocs,
+                              max_steps=self.max_steps).run()
+        return self.verdict_of(report)
+
+    def verdict_of(self, report) -> ToolVerdict:
+        """Map one simulator :class:`SimReport` to MUST's verdict."""
         detected = sorted(k for k in report.kinds if k in _DETECTED)
         if report.outcome is RunOutcome.TIMEOUT:
             return ToolVerdict("timeout", detected)

@@ -104,11 +104,12 @@ def _arm_comm_sequence(block: BasicBlock, stop: Set[int], depth: int = 64) -> Li
 class ParcoachTool(VerificationTool):
     name = "PARCOACH"
 
-    def __init__(self, conservative: bool = True):
+    def __init__(self, conservative: bool = True, binary: str = None):
         #: conservative=True enables the nonblocking/RMA/wildcard warnings
         #: of the PARCOACH extensions (the paper evaluates v2.3.1, which
         #: includes them).
         self.conservative = conservative
+        self.binary = binary
 
     # -- static analysis over a module ------------------------------------
     def analyze_module(self, module: Module) -> List[str]:
@@ -160,10 +161,18 @@ class ParcoachTool(VerificationTool):
 
     # -- tool interface -----------------------------------------------------
     def check_sample(self, sample: Sample) -> ToolVerdict:
+        if self.external_binary():
+            # run_external degrades to a typed ToolUnavailable verdict
+            # when the configured executable is missing.
+            return self.run_external(sample)
         try:
             module = compile_c(sample.source, sample.name, "O0", verify=False)
         except CompileError as exc:
             return ToolVerdict("compile_error", detail=str(exc))
+        return self.check_module(module)
+
+    def check_module(self, module: Module) -> ToolVerdict:
+        """Analogue verdict for an already-compiled module."""
         warnings = self.analyze_module(module)
         if warnings:
             return ToolVerdict("incorrect", ["static_warning"],

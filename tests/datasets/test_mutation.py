@@ -237,3 +237,89 @@ def test_tag_mismatch_manifests_dynamically():
     mutated, _ = tag_mismatch(PINGPONG, "MBI", random.Random(1))
     verdict = ITACTool(nprocs=2).check_sample(mk(mutated, name="tag.c"))
     assert verdict.verdict in ("incorrect", "timeout")
+
+
+# ---------------------------------------------------------------------------
+# Leak-guard provenance (Mutant.origin / origin_digest) edge cases
+# ---------------------------------------------------------------------------
+
+def _correct(name, source):
+    return Sample(name=name, source=source, label=CORRECT, suite="MBI")
+
+
+def test_mutants_carry_origin_and_digest():
+    from repro.datasets.mutation import source_digest
+
+    sample = _correct("ping.c", PINGPONG)
+    mutants = MutationEngine(seed=3).mutate_sample(sample, per_sample=3)
+    assert mutants
+    for m in mutants:
+        assert m.origin == "ping.c"
+        assert m.origin_digest == source_digest(PINGPONG)
+
+
+def test_mutant_of_mutant_is_rejected_and_chain_origin_is_immediate():
+    engine = MutationEngine(seed=3)
+    first = engine.mutate_sample(_correct("ping.c", PINGPONG),
+                                 per_sample=1)[0]
+    # A mutant is incorrect by construction: mutating it again is a
+    # provenance error, not a silent chain.
+    with pytest.raises(ValueError):
+        engine.mutate_sample(first.sample)
+    # A mutant-derived program relabeled correct (e.g. a hand-fixed
+    # case fed back in) chains origin to its *immediate* parent, never
+    # the grand-origin — the leak guard must see the parent's name.
+    from repro.datasets.mutation import source_digest
+
+    fixed = Sample(name=first.sample.name, source=first.sample.source,
+                   label=CORRECT, suite="MBI")
+    second = engine.mutate_sample(fixed, per_sample=1)[0]
+    assert second.origin == first.sample.name
+    assert second.origin.startswith("Mutant-")
+    assert second.origin_digest == source_digest(first.sample.source)
+
+
+def test_leak_guard_admits_only_train_side_origins():
+    from repro.datasets.mutation import leak_safe_indices
+
+    train = [_correct("a.c", PINGPONG)]
+    engine = MutationEngine(seed=5)
+    kept = engine.mutate_sample(train[0], per_sample=2)
+    held_out = engine.mutate_sample(_correct("b.c", COLLECTIVE),
+                                    per_sample=2)
+    mutants = kept + held_out
+    keep = leak_safe_indices(mutants, train)
+    assert keep == list(range(len(kept)))
+
+
+def test_leak_guard_rejects_origin_name_collision_across_datasets():
+    """Two datasets can both contain an 'a.c' with different sources;
+    a name match alone must not admit the stranger's mutants."""
+    from repro.datasets.mutation import leak_safe_indices
+
+    ours = _correct("a.c", PINGPONG)
+    theirs = _correct("a.c", COLLECTIVE)       # same name, other dataset
+    their_mutants = MutationEngine(seed=7).mutate_sample(theirs,
+                                                         per_sample=2)
+    assert their_mutants
+    assert leak_safe_indices(their_mutants, [ours]) == []
+    # With the true origin on the train side they are admitted.
+    assert leak_safe_indices(their_mutants, [theirs]) == \
+        list(range(len(their_mutants)))
+
+
+def test_leak_guard_digestless_mutants_fall_back_to_name_matching():
+    from repro.datasets.mutation import Mutant, leak_safe_indices
+
+    engine = MutationEngine(seed=9)
+    modern = engine.mutate_sample(_correct("a.c", PINGPONG),
+                                  per_sample=1)[0]
+    legacy = Mutant(sample=modern.sample, operator=modern.operator,
+                    origin="a.c", origin_digest="")
+    train_same = [_correct("a.c", PINGPONG)]
+    train_other = [_correct("a.c", COLLECTIVE)]
+    # Digest-less provenance cannot distinguish the collision…
+    assert leak_safe_indices([legacy], train_other) == [0]
+    # …but a digest-carrying mutant can.
+    assert leak_safe_indices([modern], train_other) == []
+    assert leak_safe_indices([modern], train_same) == [0]

@@ -418,3 +418,24 @@ def test_map_single_item_runs_inline():
     with ExecutionEngine(EngineConfig(workers=2)) as engine:
         assert engine.map(len, ["xyz"]) == [3]
         assert not engine.pool_active
+
+
+def test_map_chunked_matches_per_item_and_serial():
+    """chunk_size groups items per worker trip (the fuzz campaign's
+    scheduling) without changing results or order."""
+    items = [f"s{i}" * (i % 5 + 1) for i in range(23)]
+    serial = ExecutionEngine(EngineConfig(workers=0)).map(
+        len, items, chunk_size=4)
+    with ExecutionEngine(EngineConfig(workers=2)) as engine:
+        chunked = engine.map(len, items, chunk_size=4)
+        per_item = engine.map(len, items)
+    assert serial == chunked == per_item == [len(s) for s in items]
+
+
+def test_map_chunk_size_validation_and_uneven_tail():
+    with ExecutionEngine(EngineConfig(workers=2)) as engine:
+        with pytest.raises(ValueError):
+            engine.map(len, ["a"], chunk_size=0)
+        # 5 items over chunks of 3 -> a full chunk plus a tail of 2.
+        assert engine.map(len, ["a", "bb", "c", "dd", "e"],
+                          chunk_size=3) == [1, 2, 1, 2, 1]

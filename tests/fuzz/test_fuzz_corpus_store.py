@@ -1,0 +1,100 @@
+"""Content-addressed corpus store: dedup, ordering, durability."""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz import CorpusCase, CorpusStore
+
+
+def case(source="int x;", status="rejected", kind="compile_reject",
+         oracle="frontend", **kw):
+    return CorpusCase(name="t.c", source=source, status=status, kind=kind,
+                      oracle=oracle, **kw)
+
+
+def test_add_and_roundtrip(tmp_path):
+    store = CorpusStore(str(tmp_path))
+    original = case(detail="d", origin="known-bug:x", seed=7, index=3,
+                    fingerprint="fp", expected="incorrect")
+    assert store.add(original)
+    assert len(store) == 1
+    (loaded,) = store.cases()
+    assert loaded == original
+    assert loaded.signature == {"status": "rejected",
+                                "kind": "compile_reject",
+                                "oracle": "frontend"}
+
+
+def test_add_is_idempotent_by_digest(tmp_path):
+    store = CorpusStore(str(tmp_path))
+    assert store.add(case())
+    assert not store.add(case())
+    assert len(store) == 1
+
+
+def test_digest_covers_signature_not_just_source(tmp_path):
+    store = CorpusStore(str(tmp_path))
+    assert store.add(case(kind="compile_reject"))
+    assert store.add(case(kind="frontend_crash:RecursionError"))
+    assert len(store) == 2
+
+
+def test_cases_come_back_in_digest_order(tmp_path):
+    store = CorpusStore(str(tmp_path))
+    for i in range(6):
+        store.add(case(source=f"int x{i};"))
+    digests = [c.digest for c in store.cases()]
+    assert digests == sorted(digests)
+
+
+def test_contains(tmp_path):
+    store = CorpusStore(str(tmp_path))
+    c = case()
+    assert c not in store
+    store.add(c)
+    assert c in store
+
+
+def test_corrupted_case_fails_loudly(tmp_path):
+    store = CorpusStore(str(tmp_path))
+    store.add(case())
+    (fname,) = os.listdir(tmp_path)
+    with open(tmp_path / fname, "w", encoding="utf-8") as fh:
+        fh.write("{not json")
+    with pytest.raises(json.JSONDecodeError):
+        store.cases()
+
+
+def test_unsupported_schema_version_fails_loudly(tmp_path):
+    store = CorpusStore(str(tmp_path))
+    store.add(case())
+    (fname,) = os.listdir(tmp_path)
+    with open(tmp_path / fname, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    doc["schema_version"] = 99
+    with open(tmp_path / fname, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    with pytest.raises(ValueError, match="unsupported"):
+        store.cases()
+
+
+def test_missing_required_keys_fail_loudly(tmp_path):
+    store = CorpusStore(str(tmp_path))
+    store.add(case())
+    (fname,) = os.listdir(tmp_path)
+    with open(tmp_path / fname, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    del doc["source"]
+    with open(tmp_path / fname, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    with pytest.raises(ValueError, match="missing case keys"):
+        store.cases()
+
+
+def test_non_case_files_are_ignored(tmp_path):
+    store = CorpusStore(str(tmp_path))
+    store.add(case())
+    (tmp_path / "README.md").write_text("not a case")
+    assert len(store) == 1

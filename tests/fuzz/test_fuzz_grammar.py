@@ -1,0 +1,76 @@
+"""Generator contract: determinism, well-formedness, ground truth."""
+
+import pytest
+
+from repro.frontend import CompileError, compile_c
+from repro.fuzz import (
+    FuzzGrammarConfig,
+    KNOWN_BUG_TEMPLATES,
+    generate_program,
+    generate_programs,
+    known_bug_seeds,
+)
+from repro.ir import verify_module
+
+
+def test_same_seed_and_index_is_byte_identical():
+    cfg = FuzzGrammarConfig(seed=11)
+    for index in (0, 5, 17):
+        a = generate_program(cfg, index)
+        b = generate_program(cfg, index)
+        assert a == b
+        assert a.name == f"fuzz-11-{index:05d}.c"
+
+
+def test_different_seeds_differ():
+    a = generate_programs(FuzzGrammarConfig(seed=1), 10)
+    b = generate_programs(FuzzGrammarConfig(seed=2), 10)
+    assert [p.source for p in a] != [p.source for p in b]
+
+
+def test_generated_programs_compile_and_verify():
+    for program in generate_programs(FuzzGrammarConfig(seed=3), 25):
+        module = compile_c(program.source, program.name, "O0")
+        verify_module(module)
+        assert module.get_function("main") is not None
+
+
+def test_ground_truth_metadata_is_consistent():
+    programs = generate_programs(FuzzGrammarConfig(seed=4, bug_ratio=0.5),
+                                 40)
+    incorrect = [p for p in programs if p.expected == "incorrect"]
+    correct = [p for p in programs if p.expected == "correct"]
+    assert incorrect and correct
+    for p in incorrect:
+        assert "|mutated:" in p.origin
+        assert p.expected_kinds
+    for p in correct:
+        assert "|mutated:" not in p.origin
+        assert not p.expected_kinds
+
+
+def test_bug_ratio_zero_and_one():
+    none = generate_programs(FuzzGrammarConfig(seed=5, bug_ratio=0.0), 15)
+    assert all(p.expected == "correct" for p in none)
+    # ratio 1.0 still leaves programs with no applicable operator correct
+    most = generate_programs(FuzzGrammarConfig(seed=5, bug_ratio=1.0), 15)
+    assert sum(p.expected == "incorrect" for p in most) >= 10
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"nprocs": 1}, {"nprocs": 9}, {"max_stmts": 0}, {"bug_ratio": 1.5},
+])
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        FuzzGrammarConfig(**kwargs)
+
+
+def test_known_bug_templates_are_typed_rejections():
+    """The distilled crashers must stay *typed* CompileErrors — a
+    regression back to RecursionError / ValueError is exactly what the
+    corpus pins down."""
+    seeds = known_bug_seeds()
+    assert len(seeds) == len(KNOWN_BUG_TEMPLATES) == 3
+    for program in seeds:
+        with pytest.raises(CompileError):
+            compile_c(program.source, program.name, "O0")

@@ -1,0 +1,118 @@
+"""Delta-debugging reducer and crash-triage unit tests."""
+
+import pytest
+
+from repro.fuzz import classify_failure, ddmin_lines, failure_stage, \
+    is_input_fault
+
+
+# ---------------------------------------------------------------------------
+# ddmin
+# ---------------------------------------------------------------------------
+
+def test_ddmin_strips_irrelevant_lines():
+    source = "\n".join(f"line{i}" for i in range(20)) + "\nNEEDLE\nmore"
+    result = ddmin_lines(source, lambda s: "NEEDLE" in s)
+    assert result == "NEEDLE"
+
+
+def test_ddmin_keeps_conjunction_of_lines():
+    lines = [f"l{i}" for i in range(16)]
+    lines[3] = "A"
+    lines[12] = "B"
+    source = "\n".join(lines)
+    result = ddmin_lines(source, lambda s: "A" in s and "B" in s)
+    assert result == "A\nB"
+
+
+def test_ddmin_result_always_satisfies_predicate():
+    source = "\n".join(str(i) for i in range(31))
+    pred = lambda s: sum(int(x) for x in s.split()) % 3 == 0  # noqa: E731
+    assert pred(source)
+    assert pred(ddmin_lines(source, pred))
+
+
+def test_ddmin_single_line_is_identity():
+    assert ddmin_lines("only", lambda s: True) == "only"
+
+
+def test_ddmin_respects_test_budget():
+    calls = []
+
+    def pred(s):
+        calls.append(s)
+        return "X" in s
+
+    ddmin_lines("\n".join(["X"] + [f"l{i}" for i in range(200)]), pred,
+                max_tests=10)
+    assert len(calls) <= 10
+
+
+def test_ddmin_is_deterministic():
+    source = "\n".join(f"s{i}" for i in range(25)) + "\nKEY"
+    a = ddmin_lines(source, lambda s: "KEY" in s)
+    b = ddmin_lines(source, lambda s: "KEY" in s)
+    assert a == b == "KEY"
+
+
+# ---------------------------------------------------------------------------
+# triage
+# ---------------------------------------------------------------------------
+
+def _raise_in_graphs():
+    from repro.graphs.programl import build_program_graph
+
+    build_program_graph(None)              # AttributeError inside repro.graphs
+
+
+def _raise_in_frontend():
+    from repro.frontend.parser import parse_c
+
+    parse_c(None)                          # raises inside repro.frontend
+
+
+def test_failure_stage_attributes_to_innermost_repro_stage():
+    try:
+        _raise_in_graphs()
+    except Exception as exc:
+        assert failure_stage(exc) == "graphs"
+        assert is_input_fault(exc)
+        info = classify_failure(exc)
+        assert info.stage == "graphs"
+        assert info.kind.startswith("graphs_crash:")
+    else:
+        pytest.fail("expected a crash")
+
+
+def test_failure_stage_frontend():
+    try:
+        _raise_in_frontend()
+    except Exception as exc:
+        assert failure_stage(exc) == "frontend"
+        assert is_input_fault(exc)
+    else:
+        pytest.fail("expected a crash")
+
+
+def test_failure_outside_repro_is_not_an_input_fault():
+    try:
+        raise MemoryError("worker pool fell over")
+    except MemoryError as exc:
+        assert failure_stage(exc) is None
+        assert not is_input_fault(exc)
+        info = classify_failure(exc)
+        assert info.kind == "unknown_crash:MemoryError"
+
+
+def test_mpi_stage_is_attributed_but_not_an_input_fault():
+    """Simulator crashes are pipeline bugs, not per-source input faults
+    (the serving layer never runs the simulator)."""
+    from repro.mpi.simulator import MPISimulator
+
+    try:
+        MPISimulator(None, 2).run()
+    except Exception as exc:
+        assert failure_stage(exc) == "mpi"
+        assert not is_input_fault(exc)
+    else:
+        pytest.fail("expected a crash")

@@ -400,3 +400,66 @@ int main(int argc, char** argv) {
 }""")
     assert r.outcome is RunOutcome.OK
     assert "call_ordering" in r.kinds
+
+
+# ---------------------------------------------------------------------------
+# Scatter data semantics (regression: found by the fuzz harness)
+# ---------------------------------------------------------------------------
+
+def test_scatter_in_loop_stays_clean():
+    """Scatter used to write the whole nprocs*count concatenation into
+    the root's count-sized receive buffer, clobbering the adjacent loop
+    variable — the loop restarted, ranks desynchronized, and a correct
+    program 'deadlocked'."""
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; long sb[24]; long rb[8]; int i;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  for (i = 0; i < 3; i = i + 1) {
+    MPI_Scatter(sb, 8, MPI_LONG, rb, 8, MPI_LONG, 0, MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}""", n=3)
+    assert r.outcome is RunOutcome.OK
+    assert r.clean, [str(e) for e in r.events]
+
+
+def test_scatter_distributes_root_slices():
+    """Every rank receives exactly its count-sized slice of the root's
+    send buffer — verified by echoing rank 1's slice back to root."""
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; int sb[6]; int rb[2]; int echo[2]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  sb[0] = 10; sb[1] = 11; sb[2] = 20; sb[3] = 21; sb[4] = 30; sb[5] = 31;
+  MPI_Scatter(sb, 2, MPI_INT, rb, 2, MPI_INT, 0, MPI_COMM_WORLD);
+  if (rank == 1) { MPI_Send(rb, 2, MPI_INT, 0, 9, MPI_COMM_WORLD); }
+  if (rank == 0) {
+    MPI_Recv(echo, 2, MPI_INT, 1, 9, MPI_COMM_WORLD, &st);
+    if (echo[0] != 20) { MPI_Abort(MPI_COMM_WORLD, 1); }
+    if (echo[1] != 21) { MPI_Abort(MPI_COMM_WORLD, 1); }
+  }
+  MPI_Finalize();
+  return 0;
+}""", n=3)
+    assert r.outcome is RunOutcome.OK
+    assert r.clean, [str(e) for e in r.events]
+
+
+def test_scatter_nonzero_root_in_loop_stays_clean():
+    r = run(HEADER + """
+int main(int argc, char** argv) {
+  int rank; double sb[16]; double rb[4]; int i;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  for (i = 0; i < 2; i = i + 1) {
+    MPI_Scatter(sb, 4, MPI_DOUBLE, rb, 4, MPI_DOUBLE, 2, MPI_COMM_WORLD);
+  }
+  MPI_Finalize();
+  return 0;
+}""", n=3)
+    assert r.outcome is RunOutcome.OK
+    assert r.clean, [str(e) for e in r.events]

@@ -317,6 +317,63 @@ def test_bulk_larger_than_queue_is_a_400_not_a_429(artifact_v1):
 BAD_SRC = "int main( {   /* refuses to compile */"
 
 
+def test_fuzz_minimized_crasher_gets_structured_4xx(server):
+    """A fuzz-minimized crasher source (deep nesting that used to blow
+    the parser's stack as RecursionError) must come back as a structured
+    client error — never a 500 or a traceback leak."""
+    from repro.fuzz import known_bug_seeds
+
+    client = _client(server)
+    for seed in known_bug_seeds():
+        status, payload = client.check(seed.source, seed.name)
+        assert status == 400, (seed.name, status, payload)
+        (result,) = payload["results"]
+        assert result["name"] == seed.name and "error" in result
+        assert "Traceback" not in result["error"]
+    # The service is unharmed afterwards.
+    assert client.check(CHECK_SRC)[0] == 200
+    client.close()
+
+
+def test_input_stage_crash_is_triaged_to_400(artifact_v1):
+    """An exception escaping a deterministic per-source stage (here: a
+    RecursionError genuinely raised inside repro.frontend) is the
+    input's fault and must be a per-item 400, while non-input faults
+    (see test_server_fault_is_a_500_not_a_400) stay 500s."""
+    deep = ("int main(int argc, char** argv) { int a = "
+            + "(" * 4000 + "1" + ")" * 4000 + "; return a; }")
+
+    class FrontendCrashPipeline(SlowPipeline):
+        def predict_batch(self, sources):
+            for _name, source in sources:
+                if "((((" in source:
+                    from repro.frontend.parser import parse_c
+                    from repro.frontend.preprocessor import preprocess
+
+                    parse_c(preprocess(source))   # RecursionError in-stage
+            return self._inner.predict_batch(sources)
+
+    registry = ModelRegistry(
+        artifact_v1,
+        loader=lambda p: FrontendCrashPipeline(load_pipeline(p), 0))
+    config = ServeConfig(port=0, max_batch=4, max_wait_ms=5)
+    with BackgroundServer(config=config, registry=registry) as handle:
+        client = _client(handle)
+        status, payload = client.check(deep, "crasher.c")
+        assert status == 400, (status, payload)
+        (result,) = payload["results"]
+        assert "RecursionError" in result["error"]
+        # A well-formed batch-mate still gets its verdict.
+        status, payload = client.request("POST", "/v1/check", {
+            "sources": [{"name": "ok.c", "source": CHECK_SRC},
+                        {"name": "crash.c", "source": deep}]})
+        assert status == 200, (status, payload)
+        by_name = {r["name"]: r for r in payload["results"]}
+        assert "label" in by_name["ok.c"]
+        assert "error" in by_name["crash.c"]
+        client.close()
+
+
 def test_uncompilable_source_gets_400_not_500(server):
     client = _client(server)
     status, payload = client.check(BAD_SRC, "bad.c")

@@ -71,6 +71,60 @@ int main(int argc, char** argv) {{
 }}"""
 
 
+_MISMATCH_DTYPES = ("MPI_INT", "MPI_FLOAT", "MPI_DOUBLE", "MPI_LONG",
+                    "MPI_CHAR")
+_MISMATCH_CTYPES = {"MPI_INT": "int", "MPI_FLOAT": "float",
+                    "MPI_DOUBLE": "double", "MPI_LONG": "long",
+                    "MPI_CHAR": "char"}
+
+
+@st.composite
+def mismatched_collective_programs(draw) -> str:
+    """A collective whose datatype or root rank diverges across ranks.
+
+    Well-formed by construction (it must compile, verify, and round-trip
+    through the IR printer/parser) but semantically buggy: the two
+    branch arms call the same collective with mismatched envelopes —
+    the parameter-matching error family of the suites.
+    """
+    op = draw(st.sampled_from(("MPI_Bcast", "MPI_Reduce", "MPI_Allreduce")))
+    count = draw(st.integers(min_value=1, max_value=8))
+    dtype_a = draw(st.sampled_from(_MISMATCH_DTYPES))
+    mismatch_root = draw(st.booleans()) if op != "MPI_Allreduce" else False
+    if mismatch_root:
+        dtype_b = dtype_a
+        root_a, root_b = 0, draw(st.integers(min_value=1, max_value=2))
+    else:
+        dtype_b = draw(st.sampled_from(
+            [d for d in _MISMATCH_DTYPES if d != dtype_a]))
+        root_a = root_b = 0
+    pivot = draw(st.integers(min_value=0, max_value=1))
+    ctype = _MISMATCH_CTYPES[dtype_a]
+
+    def call(dtype: str, root: int) -> str:
+        if op == "MPI_Bcast":
+            return f"MPI_Bcast(buf, {count}, {dtype}, {root}, MPI_COMM_WORLD);"
+        if op == "MPI_Reduce":
+            return (f"MPI_Reduce(buf, out, {count}, {dtype}, MPI_SUM, "
+                    f"{root}, MPI_COMM_WORLD);")
+        return (f"MPI_Allreduce(buf, out, {count}, {dtype}, MPI_SUM, "
+                "MPI_COMM_WORLD);")
+
+    return f"""#include <mpi.h>
+int main(int argc, char** argv) {{
+  int rank; {ctype} buf[{count}]; {ctype} out[{count}];
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == {pivot}) {{
+    {call(dtype_a, root_a)}
+  }} else {{
+    {call(dtype_b, root_b)}
+  }}
+  MPI_Finalize();
+  return 0;
+}}"""
+
+
 @st.composite
 def correct_mpi_programs(draw) -> str:
     """A correct two-rank exchange with randomized shape parameters.

@@ -18,7 +18,11 @@ from repro.ir.parser import parse_module
 from repro.ir.printer import print_module
 from repro.mpi.simulator import RunOutcome, simulate
 
-from tests.strategies import c_programs, correct_mpi_programs
+from tests.strategies import (
+    c_programs,
+    correct_mpi_programs,
+    mismatched_collective_programs,
+)
 
 LEVELS = ("O0", "O2", "Os")
 
@@ -81,6 +85,31 @@ def test_correct_exchange_clean_under_any_schedule(src, seed, nprocs):
     report = simulate(module, nprocs, seed=seed)
     assert report.outcome is RunOutcome.OK
     assert report.clean, [str(e) for e in report.events]
+
+
+@given(mismatched_collective_programs(), st.sampled_from(LEVELS))
+@settings(max_examples=25)
+def test_mismatched_collectives_roundtrip_is_fixpoint(src, level):
+    """Buggy-but-well-formed collectives (diverging datatype or root)
+    must flow through frontend parse → IR print → reparse unchanged,
+    exactly like correct programs."""
+    module = compile_c(src, "mismatch.c", level)
+    verify_module(module)
+    text1 = print_module(module)
+    reparsed = parse_module(text1)
+    text2 = print_module(reparsed)
+    assert text1 == text2
+
+
+@given(mismatched_collective_programs())
+@settings(max_examples=10)
+def test_mismatched_collectives_manifest_in_simulation(src):
+    """The injected envelope mismatch is a real bug: the simulator
+    reports a parameter-matching / call-ordering event (or deadlock)
+    for every draw, never a clean run."""
+    module = compile_c(src, "mismatch.c", "O0", verify=False)
+    report = simulate(module, 3, max_steps=60_000)
+    assert not report.clean, src
 
 
 @given(correct_mpi_programs())

@@ -169,3 +169,58 @@ def test_parcoach_profile_on_mbi_slice():
     m = compute_metrics(counts)
     assert m.recall > 0.5
     assert m.specificity < 0.7
+
+
+# ---------------------------------------------------------------------------
+# External-binary availability: typed ToolUnavailable, never an exception
+# ---------------------------------------------------------------------------
+
+ALL_TOOLS = [
+    lambda **kw: ITACTool(nprocs=2, **kw),
+    lambda **kw: MUSTTool(nprocs=2, **kw),
+    lambda **kw: ParcoachTool(**kw),
+    lambda **kw: MPICheckerTool(**kw),
+]
+
+
+@pytest.mark.parametrize("make", ALL_TOOLS)
+def test_missing_binary_yields_typed_unavailable_verdict(make):
+    from repro.verify import ToolUnavailable
+
+    tool = make(binary="/nonexistent/path/to/tool-binary")
+    verdict = tool.check_sample(CORRECT)      # must not raise
+    assert isinstance(verdict, ToolUnavailable)
+    assert verdict.verdict == "unavailable"
+    assert "not found" in verdict.detail
+
+
+@pytest.mark.parametrize("make", ALL_TOOLS)
+def test_missing_env_binary_yields_unavailable(make, monkeypatch):
+    tool = make()
+    monkeypatch.setenv(tool._env_key(), "/nonexistent/env-binary")
+    verdict = tool.check_sample(CORRECT)
+    assert verdict.verdict == "unavailable"
+    assert tool._env_key() in verdict.detail
+
+
+@pytest.mark.parametrize("make", ALL_TOOLS)
+def test_unavailable_samples_are_skipped_by_evaluate(make):
+    tool = make(binary="/nonexistent/path/to/tool-binary")
+    counts = tool.evaluate([CORRECT, TYPE_MISMATCH])
+    assert counts.total == 0 and counts.errors == 0
+
+
+@pytest.mark.parametrize("exit_code,expected",
+                         [(0, "correct"), (1, "incorrect")])
+def test_present_binary_is_delegated_to(tmp_path, exit_code, expected):
+    script = tmp_path / "fake-must"
+    script.write_text(f"#!/bin/sh\necho fake-must report\nexit {exit_code}\n")
+    script.chmod(0o755)
+    verdict = MUSTTool(nprocs=2, binary=str(script)).check_sample(CORRECT)
+    assert verdict.verdict == expected
+    assert "fake-must report" in verdict.detail
+
+
+def test_unconfigured_tools_never_report_unavailable():
+    for make in ALL_TOOLS:
+        assert make().unavailable_verdict() is None
