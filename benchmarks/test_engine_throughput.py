@@ -71,8 +71,12 @@ def test_engine_throughput_cold_warm_serial_parallel(tmp_path):
     t_cold_serial = _timed_featurize(
         ExecutionEngine(EngineConfig(workers=0, cache_dir=str(serial_dir))),
         named)
+    # min_samples_per_worker=1 forces fan-out: the benchmark *measures*
+    # the small-batch parallel cost the production default now avoids
+    # (48 samples < workers * 32 would otherwise stay serial by design).
     t_cold_parallel = _timed_featurize(
         ExecutionEngine(EngineConfig(workers=workers, chunk_size=8,
+                                     min_samples_per_worker=1,
                                      cache_dir=str(parallel_dir))),
         named)
     warm_engine = ExecutionEngine(EngineConfig(workers=0,
@@ -100,6 +104,15 @@ def test_engine_throughput_cold_warm_serial_parallel(tmp_path):
         "warm_feature_hits": warm_stats.hits,
         "warm_feature_misses": warm_stats.misses,
     }
+    if results["parallel_speedup"] < 1.0:
+        # A sub-1 "speedup" means forced fan-out lost to the serial path
+        # on this corpus size — exactly the regime the engine's
+        # min_samples_per_worker guard keeps on the serial path in
+        # production.  Record it loudly instead of hiding it in a ratio.
+        results["warning"] = (
+            f"parallel slower than serial at {n} samples "
+            f"({results['parallel_speedup']}x); production engines stay "
+            f"serial below workers*min_samples_per_worker items")
     with open(_OUT, "w", encoding="utf-8") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
     emit("Engine throughput (samples/sec)", json.dumps(results, indent=2,

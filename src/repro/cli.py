@@ -9,6 +9,8 @@ subcommand     what it does
 compile        mini-C file → textual IR at -O0 / -O2 / -Os
 simulate       run a program on the virtual MPI runtime, print the outcome
 verify         run one of the baseline tool analogues on a file
+analyze        run the in-tree dataflow static analyzer on a file, its
+               built-in self-test, or a fuzz corpus (``--corpus``)
 generate       write an MBI / CorrBench / Mix style suite to a directory
 train          train a detection pipeline on a suite, save its artifact
 check          classify C files (batched) with a saved pipeline artifact
@@ -132,6 +134,92 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if verdict.detail:
         print(f"  detail: {verdict.detail}")
     return 0 if verdict.verdict == "correct" else 2
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """``analyze``: the in-tree dataflow static analyzer as a CLI.
+
+    Three modes: a single file (exit 0 clean, 2 findings, 1 on frontend
+    rejection), ``--self-test`` (the analyzer's built-in contract cases),
+    and ``--corpus DIR`` (re-analyze every minimized fuzz-corpus case;
+    every known-bug seed must still be flagged with a non-empty witness,
+    so a regressed checker fails CI instead of silently losing recall).
+    """
+    import json
+
+    from repro.verify.static.analyzer import (
+        SELF_TEST_CASES,
+        analyze_source,
+        self_test,
+    )
+
+    if args.self_test:
+        failures = self_test(nprocs=args.nprocs)
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        if failures:
+            print(f"self-test: {len(failures)} failure(s) over "
+                  f"{len(SELF_TEST_CASES)} case(s)", file=sys.stderr)
+            return 1
+        print(f"self-test: {len(SELF_TEST_CASES)} case(s) ok")
+        return 0
+
+    if args.corpus:
+        from repro.fuzz import CorpusStore
+
+        if not os.path.isdir(args.corpus):
+            print(f"error: corpus directory {args.corpus!r} does not "
+                  "exist", file=sys.stderr)
+            return 1
+        cases = CorpusStore(args.corpus).cases()
+        if not cases:
+            print(f"error: corpus {args.corpus!r} holds no cases",
+                  file=sys.stderr)
+            return 1
+        unflagged: List[str] = []
+        for case in cases:
+            verdict, findings = analyze_source(case.source, case.name,
+                                               args.nprocs)
+            witnessed = [f for f in findings if not f.witness.is_empty]
+            known_bug = case.origin.startswith("known-bug:")
+            flagged = verdict != "correct" and bool(witnessed)
+            mark = "ok " if (flagged or not known_bug) else "FAIL"
+            print(f"{mark} {case.name} [{case.origin or 'fuzz'}] -> "
+                  f"{verdict}, {len(witnessed)} witnessed finding(s)")
+            if known_bug and not flagged:
+                unflagged.append(case.name)
+        if unflagged:
+            print(f"{len(unflagged)} known-bug seed(s) no longer "
+                  f"flagged: {', '.join(unflagged)}", file=sys.stderr)
+            return 1
+        print(f"{len(cases)} corpus case(s) analyzed, all known-bug "
+              "seeds still flagged")
+        return 0
+
+    if not args.file:
+        print("error: a file is required unless --self-test or --corpus "
+              "is given", file=sys.stderr)
+        return 1
+    verdict, findings = analyze_source(_read_source(args.file),
+                                       os.path.basename(args.file),
+                                       args.nprocs)
+    if args.json:
+        print(json.dumps({"name": os.path.basename(args.file),
+                          "verdict": verdict,
+                          "findings": [f.as_dict() for f in findings]},
+                         indent=2, sort_keys=True))
+    else:
+        print(f"static: {verdict}")
+        for f in findings:
+            where = f.function and f" in {f.function}" or ""
+            print(f"  [{f.check}] {f.kind}{where}: {f.message}")
+            witness = f.witness.as_dict()
+            for key in ("blocks", "condition", "values", "note"):
+                if witness.get(key):
+                    print(f"      {key}: {witness[key]}")
+    if verdict == "compile_error":
+        return 1
+    return 2 if findings else 0
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -729,6 +817,21 @@ def build_parser() -> argparse.ArgumentParser:
                                       "mpi-checker"), default="itac")
     p.add_argument("-n", "--nprocs", type=int, default=3)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("analyze",
+                       help="run the in-tree dataflow static analyzer")
+    p.add_argument("file", nargs="?", default=None,
+                   help="mini-C file to analyze")
+    p.add_argument("-n", "--nprocs", type=int, default=3,
+                   help="rank count the per-rank interpretation assumes")
+    p.add_argument("--json", action="store_true",
+                   help="emit the verdict and findings as JSON")
+    p.add_argument("--self-test", action="store_true",
+                   help="run the analyzer's built-in contract cases")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="re-analyze a minimized fuzz corpus; fail if any "
+                        "known-bug seed is no longer flagged")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("generate", help="write a benchmark suite to disk")
     p.add_argument("suite", choices=("mbi", "corrbench", "mix"))

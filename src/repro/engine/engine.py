@@ -161,11 +161,18 @@ class EngineConfig:
     to N worker processes.  ``cache_dir=None`` disables the persistent
     store (in-process memos still apply).  ``chunk_size`` balances
     scheduling overhead against load balance.
+
+    ``min_samples_per_worker`` is the cold-path guard: a parallel run
+    only pays off once per-item work amortizes pool startup and payload
+    pickling, so batches smaller than ``workers * min_samples_per_worker``
+    stay serial even with ``workers > 0`` (set it to 1 to force fan-out,
+    as the throughput benchmark does).
     """
 
     workers: int = 0
     cache_dir: Optional[str] = None
     chunk_size: int = 16
+    min_samples_per_worker: int = 32
     start_method: str = "auto"      # 'auto' prefers fork where available
 
     def __post_init__(self):
@@ -173,6 +180,8 @@ class EngineConfig:
             raise ValueError("workers must be >= 0")
         if self.chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if self.min_samples_per_worker < 1:
+            raise ValueError("min_samples_per_worker must be >= 1")
 
 
 class ExecutionEngine:
@@ -308,7 +317,7 @@ class ExecutionEngine:
         self.counters["mapped"] = self.counters.get("mapped", 0) + len(items)
         if chunk_size is not None and chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
-        if self.config.workers > 0 and len(items) > 1:
+        if self._parallel_worthwhile(len(items)):
             if chunk_size is None:
                 groups: List[List[Any]] = [[item] for item in items]
                 worker = _map_worker
@@ -349,6 +358,19 @@ class ExecutionEngine:
         return [fn(item) for item in items]
 
     # -- core scheduling ----------------------------------------------------
+    def _parallel_worthwhile(self, n_items: int) -> bool:
+        """Whether ``n_items`` tasks justify crossing a process boundary.
+
+        Below ``workers * min_samples_per_worker`` items the fixed costs
+        (pool startup, payload pickling, result transfer) dominate and a
+        "parallel" run is slower than the serial path — the cold-path
+        regression the throughput benchmark's small regime measures.
+        """
+        if self.config.workers <= 0 or n_items <= 1:
+            return False
+        return n_items >= self.config.workers \
+            * self.config.min_samples_per_worker
+
     def _run(self, frontend: Any, featurizer: Optional[Any], stage: str,
              named_sources: Iterable[Tuple[str, str]]) -> List[Any]:
         results: List[Any] = []
@@ -387,7 +409,8 @@ class ExecutionEngine:
                                         List[Any]]]:
         """Yield ``(chunk, per-sample values)`` in submission order."""
         self.counters["chunks"] += len(chunks)
-        if self.config.workers > 0 and len(chunks) > 1:
+        n_samples = sum(len(chunk) for chunk in chunks)
+        if len(chunks) > 1 and self._parallel_worthwhile(n_samples):
             payloads = self._parallel_payloads(frontend, featurizer, chunks)
             if payloads is not None:
                 # Warm before every parallel run, not just pool creation:
@@ -515,7 +538,9 @@ def default_engine() -> ExecutionEngine:
 
 def configure(workers: Optional[int] = None,
               cache_dir: Optional[str] = None,
-              chunk_size: Optional[int] = None) -> ExecutionEngine:
+              chunk_size: Optional[int] = None,
+              min_samples_per_worker: Optional[int] = None,
+              ) -> ExecutionEngine:
     """Replace the default engine; ``None`` keeps the current setting."""
     global _DEFAULT_ENGINE
     current = default_engine().config
@@ -524,6 +549,9 @@ def configure(workers: Optional[int] = None,
         cache_dir=current.cache_dir if cache_dir is None else (cache_dir
                                                                or None),
         chunk_size=current.chunk_size if chunk_size is None else chunk_size,
+        min_samples_per_worker=(current.min_samples_per_worker
+                                if min_samples_per_worker is None
+                                else min_samples_per_worker),
         start_method=current.start_method))
     return _DEFAULT_ENGINE
 

@@ -103,12 +103,29 @@ class MatrixSpec:
                                  "train on)")
 
     def cells(self) -> List[CellSpec]:
-        """Expand the grid in a stable, documented order."""
-        return [CellSpec(train, test, method, level)
-                for method in self.methods
-                for level in self.mutation_levels
-                for train in self.train_datasets
-                for test in self.test_datasets]
+        """Expand the grid in a stable, documented order.
+
+        The ``static`` backend is training-free, so the train and
+        mutation axes would only replicate identical columns: it gets
+        one cell per test dataset (at the first mutation level, with
+        ``train == test`` where legal so it scores the same held-out
+        split as the learned identity cells).
+        """
+        out: List[CellSpec] = []
+        for method in self.methods:
+            if method == "static":
+                level = self.mutation_levels[0] if self.mutation_levels \
+                    else 0
+                for test in self.test_datasets:
+                    train = (test if test in self.train_datasets
+                             else self.train_datasets[0])
+                    out.append(CellSpec(train, test, method, level))
+                continue
+            out.extend(CellSpec(train, test, method, level)
+                       for level in self.mutation_levels
+                       for train in self.train_datasets
+                       for test in self.test_datasets)
+        return out
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -124,13 +141,14 @@ class MatrixSpec:
     def for_profile(profile: str) -> "MatrixSpec":
         """The default grid per scaling profile.
 
-        ``smoke`` keeps the PR gate to the IR2vec backend and one
-        augmentation step; ``fast``/``paper`` run the full grid — both
+        ``smoke`` keeps the PR gate to the IR2vec backend (plus the
+        training-free static-analyzer column) and one augmentation
+        step; ``fast``/``paper`` run the full grid — both learned
         backends, three mutation levels — for the nightly sweep.
         """
         if profile == "smoke":
-            return MatrixSpec()
-        return MatrixSpec(methods=("ir2vec", "gnn"),
+            return MatrixSpec(methods=("ir2vec", "static"))
+        return MatrixSpec(methods=("ir2vec", "gnn", "static"),
                           mutation_levels=(0, 1, 2))
 
 
@@ -156,6 +174,14 @@ def _evaluate_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     y_test = list(payload["y_test"])
     test_classes = list(payload["test_classes"])
+    if "y_pred" in payload:
+        # Training-free backend (the static analyzer): predictions were
+        # computed per dataset and sliced per cell — just score them.
+        y_pred = list(payload["y_pred"])
+        overall = binary_summary(y_test, y_pred)
+        per_class = per_class_binary_report(test_classes, y_pred,
+                                            classes=payload["class_names"])
+        return {"overall": overall, "per_class": per_class}
     if len(payload["y_train"]) == 0 or len(y_test) == 0:
         # Nothing to fit or nothing to score: a valid, fully-null cell.
         # Supports still reflect the (possibly non-empty) test side; the
@@ -175,6 +201,19 @@ def _evaluate_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     per_class = per_class_binary_report(test_classes, y_pred,
                                         classes=payload["class_names"])
     return {"overall": overall, "per_class": per_class}
+
+
+def _static_predict_worker(payload: Tuple[str, str, int]) -> str:
+    """Static-analyzer verdict for one sample: the engine.map job body.
+
+    A frontend rejection counts as ``Incorrect`` — the dataset labels
+    broken programs as buggy, and so does the analyzer.
+    """
+    name, source, nprocs = payload
+    from repro.verify.static.analyzer import analyze_source
+
+    verdict, _findings = analyze_source(source, name, nprocs)
+    return "Correct" if verdict == "correct" else "Incorrect"
 
 
 # ---------------------------------------------------------------------------
@@ -240,9 +279,22 @@ def run_matrix(spec: MatrixSpec, config: Optional[ReproConfig] = None,
                 mutant_sets[(name, level)] = mutation.mutants_of(
                     datasets[name], per_sample=level)
 
+    # Training-free static backend: one verdict per sample, computed once
+    # per dataset on the engine and sliced per cell — no features, no fit.
+    static_preds: Dict[str, List[str]] = {}
+    if "static" in spec.methods:
+        for name in sorted({c.test_dataset for c in spec.cells()
+                            if c.method == "static"}):
+            jobs = [(s.name, s.source, config.nprocs)
+                    for s in datasets[name].samples]
+            static_preds[name] = list(
+                engine.map(_static_predict_worker, jobs))
+
     # Featurize once per (backend, dataset) through the shared cache.
     methods: Dict[str, _MethodFeatures] = {}
     for method in spec.methods:
+        if method == "static":
+            continue
         feat_name, feat_cfg, clf_name, clf_cfg = stage_specs(method, config)
         mf = _MethodFeatures(feat_name, feat_cfg, clf_name, clf_cfg)
         featurizer = FEATURIZERS.create(feat_name, feat_cfg)
@@ -259,7 +311,8 @@ def run_matrix(spec: MatrixSpec, config: Optional[ReproConfig] = None,
 
     cells = spec.cells()
     payloads = [_cell_payload(cell, spec, config, datasets, splits,
-                              mutant_sets, methods[cell.method])
+                              mutant_sets, methods.get(cell.method),
+                              static_preds)
                 for cell in cells]
     results = engine.map(_evaluate_cell, payloads)
 
@@ -302,18 +355,45 @@ def _cell_payload(cell: CellSpec, spec: MatrixSpec, config: ReproConfig,
                   datasets: Dict[str, Dataset],
                   splits: Dict[str, Tuple[List[int], List[int]]],
                   mutant_sets: Dict[Tuple[str, int], List[Mutant]],
-                  mf: _MethodFeatures) -> Dict[str, Any]:
+                  mf: Optional[_MethodFeatures],
+                  static_preds: Optional[Dict[str, List[str]]] = None,
+                  ) -> Dict[str, Any]:
     """Materialize one cell's self-contained train/test job payload."""
     train_ds = datasets[cell.train_dataset]
     test_ds = datasets[cell.test_dataset]
-    train_features = mf.per_dataset[cell.train_dataset]
-    test_features = mf.per_dataset[cell.test_dataset]
 
     if cell.scenario == "split":
         train_idx, test_idx = splits[cell.train_dataset]
     else:
         train_idx = list(range(len(train_ds)))
         test_idx = list(range(len(test_ds)))
+
+    if cell.method == "static":
+        # Training-free backend: the analyzer scored every sample of the
+        # test dataset up front; the cell just slices the held-out side
+        # so its support matches the learned identity cells exactly.
+        preds = (static_preds or {})[cell.test_dataset]
+        test_samples = [test_ds.samples[i] for i in test_idx]
+        return {
+            "y_train": [],
+            "y_pred": [preds[i] for i in test_idx],
+            "y_test": [s.binary for s in test_samples],
+            "test_classes": [s.label for s in test_samples],
+            "class_names": sorted({s.label for s in test_ds.samples
+                                   if not s.is_correct}),
+            "provenance": {
+                "train_digest": "static:untrained",
+                "test_digest": Dataset(f"{test_ds.name}-test",
+                                       test_samples).content_digest(),
+                "config_hash": _config_hash(
+                    "static", config.nprocs, spec.test_frac,
+                    spec.split_seed, config.seed),
+                "seed": config.seed,
+            },
+        }
+
+    train_features = mf.per_dataset[cell.train_dataset]
+    test_features = mf.per_dataset[cell.test_dataset]
 
     train_samples = [train_ds.samples[i] for i in train_idx]
     X_train = take(train_features, train_idx)

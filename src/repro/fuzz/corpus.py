@@ -32,6 +32,7 @@ class CorpusCase:
     name: str
     source: str
     status: str                      # 'rejected' | 'disagreement' |
+    #                                  'static_disagreement' |
     #                                  'hard_failure'
     kind: str                        # e.g. 'compile_reject',
     #                                  'frontend_crash:RecursionError',

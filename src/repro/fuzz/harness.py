@@ -94,9 +94,12 @@ def check_source(name: str, source: str, expected: str = "correct",
 
     status: ``agree`` (everything consistent), ``rejected`` (typed
     frontend rejection), ``disagreement`` (a trusted oracle flagged an
-    expected-correct program), or ``hard_failure`` (a crash anywhere —
-    frontend, IR verifier, optimizer, graph builder, embedding,
-    simulator, or an oracle itself).
+    expected-correct program), ``static_disagreement`` (the flagging
+    trusted oracle is the in-tree dataflow analyzer — its findings carry
+    witnesses, so these triage separately instead of inflating the
+    unexplained-disagreement count), or ``hard_failure`` (a crash
+    anywhere — frontend, IR verifier, optimizer, graph builder,
+    embedding, simulator, or an oracle itself).
     """
     import numpy as np
 
@@ -177,7 +180,9 @@ def check_source(name: str, source: str, expected: str = "correct",
             oracle, verdict = alarm
             kinds = next((v.kinds for v in verdicts if v.oracle == oracle),
                          ())
-            record.update(status="disagreement",
+            status = ("static_disagreement" if oracle == "static"
+                      else "disagreement")
+            record.update(status=status,
                           kind=f"false_alarm:{verdict}", oracle=oracle,
                           detail=",".join(kinds)[:200],
                           fingerprint=",".join(kinds)[:120])
@@ -307,7 +312,8 @@ def run_campaign(config: FuzzConfig,
                                    c.fingerprint))
     findings: List[Dict[str, Any]] = []
     counts = {"agree": 0, "rejected": 0, "disagreements": 0,
-              "hard_failures": 0, "generator_rejects": 0}
+              "static_disagreements": 0, "hard_failures": 0,
+              "generator_rejects": 0}
     new_cases = minimized = 0
     for program, record in zip(programs, records):
         status = record["status"]
@@ -316,7 +322,8 @@ def run_campaign(config: FuzzConfig,
             continue
         counts["rejected" if status == "rejected" else
                "disagreements" if status == "disagreement" else
-               "hard_failures"] += 1
+               "static_disagreements" if status == "static_disagreement"
+               else "hard_failures"] += 1
         if status == "rejected" and program.origin.startswith("generated"):
             # The grammar promises well-formed programs; a rejection of
             # one is a generator (or frontend) bug, not a benign case.
@@ -388,7 +395,8 @@ def run_campaign(config: FuzzConfig,
     model: Optional[Dict[str, Any]] = None
     if pipeline is not None:
         checkable = [(p, r) for p, r in zip(programs, records)
-                     if r["status"] in ("agree", "disagreement")]
+                     if r["status"] in ("agree", "disagreement",
+                                        "static_disagreement")]
         results = pipeline.predict_batch(
             [(p.name, p.source) for p, _r in checkable])
         agreements = sum(

@@ -11,9 +11,12 @@ Oracle trust: a *trusted* oracle must never flag a correct-by-
 construction program — doing so is a :data:`disagreement` finding.
 PARCOACH is deliberately untrusted (it over-approximates by design;
 the paper measures specificity 0.088), so its false alarms are recorded
-as data, never as findings.  Misses on expected-incorrect programs are
-allowed for every oracle (all four cover deliberately partial error
-sets) and are aggregated into the report's detection table instead.
+as data, never as findings.  The in-tree dataflow analyzer
+(:mod:`repro.verify.static`) is the opposite: it only reports definite
+facts, so it runs *trusted* and its disagreements get their own triage
+class.  Misses on expected-incorrect programs are allowed for every
+oracle (each covers a deliberately partial error set) and are
+aggregated into the report's detection table instead.
 """
 
 from __future__ import annotations
@@ -22,14 +25,22 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.mpi.simulator import RunOutcome, SimReport
-from repro.verify import ITACTool, MPICheckerTool, MUSTTool, ParcoachTool
+from repro.verify import (
+    ITACTool,
+    MPICheckerTool,
+    MUSTTool,
+    ParcoachTool,
+    StaticAnalyzerTool,
+)
 
 #: Oracles whose 'incorrect' verdict on an expected-correct program is a
-#: contract violation (simulator-derived dynamics + the narrow checker).
-TRUSTED_ORACLES = ("simulator", "itac", "must", "mpi-checker")
+#: contract violation (simulator-derived dynamics, the narrow checker,
+#: and our own dataflow analyzer — which only reports definite facts).
+TRUSTED_ORACLES = ("simulator", "itac", "must", "mpi-checker", "static")
 
 #: Every oracle the harness consults, in report order.
-ORACLE_NAMES = ("simulator", "itac", "must", "parcoach", "mpi-checker")
+ORACLE_NAMES = ("simulator", "itac", "must", "parcoach", "mpi-checker",
+                "static")
 
 
 @dataclass(frozen=True)
@@ -68,6 +79,7 @@ class OracleBench:
         self.must = MUSTTool(nprocs=nprocs, max_steps=max_steps)
         self.parcoach = ParcoachTool()
         self.checker = MPICheckerTool()
+        self.static = StaticAnalyzerTool(nprocs=nprocs)
 
     def _tool_verdict(self, name: str, tool, call) -> OracleVerdict:
         unavailable = tool.unavailable_verdict()
@@ -95,6 +107,8 @@ class OracleBench:
                                lambda: self.parcoach.check_module(module)),
             self._tool_verdict("mpi-checker", self.checker,
                                lambda: self.checker.check_module(module)),
+            self._tool_verdict("static", self.static,
+                               lambda: self.static.check_module(module)),
         ]
 
 

@@ -58,7 +58,8 @@ FUZZ_SCHEMA = {
         "counts": {
             "type": "object",
             "required": ["programs", "generated", "seeded", "agree",
-                         "rejected", "disagreements", "hard_failures",
+                         "rejected", "disagreements",
+                         "static_disagreements", "hard_failures",
                          "generator_rejects", "replayed",
                          "replay_mismatches", "minimized",
                          "new_corpus_cases", "corpus_cases"],
@@ -97,6 +98,7 @@ FUZZ_SCHEMA = {
                 "properties": {
                     "name": {"type": "string"},
                     "status": {"enum": ["rejected", "disagreement",
+                                        "static_disagreement",
                                         "hard_failure"]},
                     "kind": {"type": "string"},
                     "oracle": {"type": "string"},
@@ -163,7 +165,8 @@ def render_fuzz_report(doc: Dict[str, Any]) -> str:
         f"  agree           {c['agree']:>6}",
         f"  rejected        {c['rejected']:>6}  "
         f"(generator rejects: {c['generator_rejects']})",
-        f"  disagreements   {c['disagreements']:>6}",
+        f"  disagreements   {c['disagreements']:>6}  "
+        f"(static-analyzer: {c.get('static_disagreements', 0)})",
         f"  hard failures   {c['hard_failures']:>6}",
         f"  corpus          {c['corpus_cases']:>6} cases  "
         f"(replayed {c['replayed']}, mismatches {c['replay_mismatches']}, "

@@ -1,14 +1,24 @@
-"""CFG analyses: reachability, orderings, dominators, dominance frontiers.
+"""CFG and call-graph analyses for the mini LLVM IR.
 
-Dominators use the Cooper–Harvey–Kennedy iterative algorithm; frontiers use
-the standard two-predecessor walk.  These power mem2reg's phi placement.
+CFG side: reachability, DFS orderings, dominators and post-dominators
+(Cooper–Harvey–Kennedy over the forward / reverse graph), dominance
+frontiers, and the Ferrante–Ottenstein–Warren control-dependence
+relation.  Dominators power mem2reg's phi placement; post-dominators and
+control dependence power the static MPI checkers in
+:mod:`repro.verify.static`.
+
+Call-graph side: a name-level call graph over defined functions plus
+bottom-up interprocedural *may-call-MPI* summaries, so interprocedural
+clients can ask "can a call to ``f`` reach any MPI operation?" without
+re-walking callee bodies.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set
 
-from repro.ir.module import BasicBlock, Function
+from repro.ir.instructions import CallInst
+from repro.ir.module import BasicBlock, Function, Module
 
 
 def reachable_blocks(fn: Function) -> List[BasicBlock]:
@@ -29,19 +39,25 @@ def reachable_blocks(fn: Function) -> List[BasicBlock]:
 
 
 def postorder(fn: Function) -> List[BasicBlock]:
+    """DFS postorder from the entry (iterative: the fuzz corpus holds
+    deep-nesting seeds whose CFGs overflow a recursive walk)."""
+    if not fn.blocks:
+        return []
     result: List[BasicBlock] = []
-    seen: Set[int] = set()
-
-    def visit(block: BasicBlock) -> None:
-        if id(block) in seen:
-            return
-        seen.add(id(block))
-        for succ in block.successors():
-            visit(succ)
-        result.append(block)
-
-    if fn.blocks:
-        visit(fn.entry)
+    seen: Set[int] = {id(fn.entry)}
+    stack = [(fn.entry, iter(fn.entry.successors()))]
+    while stack:
+        block, succs = stack[-1]
+        advanced = False
+        for succ in succs:
+            if id(succ) not in seen:
+                seen.add(id(succ))
+                stack.append((succ, iter(succ.successors())))
+                advanced = True
+                break
+        if not advanced:
+            result.append(block)
+            stack.pop()
     return result
 
 
@@ -109,3 +125,168 @@ def dominates(idom: Dict[BasicBlock, Optional[BasicBlock]],
             return True
         node = idom.get(node)
     return False
+
+
+def dominator_tree_children(
+        idom: Dict[BasicBlock, Optional[BasicBlock]],
+) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Children lists of a (post-)dominator tree given its idom map."""
+    children: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in idom}
+    for block, parent in idom.items():
+        if parent is not None:
+            children.setdefault(parent, []).append(block)
+    return children
+
+
+def compute_postdominators(
+        fn: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
+    """Immediate post-dominator of each reachable block.
+
+    Runs Cooper–Harvey–Kennedy on the reverse CFG rooted at a virtual
+    exit that collects every exit block (no-successor terminators, i.e.
+    ``ret`` / ``unreachable``).  Blocks that cannot reach any exit
+    (infinite loops) and exit blocks themselves map to ``None``; callers
+    must treat ``None`` as "no known post-dominator", not "entry".
+    """
+    blocks = reachable_blocks(fn)
+    result: Dict[BasicBlock, Optional[BasicBlock]] = {b: None for b in blocks}
+    if not blocks:
+        return result
+    reach = {id(b) for b in blocks}
+    exits = [b for b in blocks if not b.successors()]
+    if not exits:
+        return result
+
+    virtual = object()          # virtual exit node of the reverse CFG
+
+    def rev_succ(node):         # reverse-CFG successors = CFG predecessors
+        if node is virtual:
+            return exits
+        return [p for p in node.predecessors() if id(p) in reach]
+
+    def rev_pred(node):         # reverse-CFG predecessors = CFG successors
+        if node is virtual:
+            return []
+        succs = [s for s in node.successors() if id(s) in reach]
+        return succs if succs else [virtual]
+
+    # Iterative postorder over the reverse CFG, rooted at the virtual exit.
+    po: List[object] = []
+    seen: Set[int] = {id(virtual)}
+    stack = [(virtual, iter(rev_succ(virtual)))]
+    while stack:
+        node, succs = stack[-1]
+        advanced = False
+        for nxt in succs:
+            if id(nxt) not in seen:
+                seen.add(id(nxt))
+                stack.append((nxt, iter(rev_succ(nxt))))
+                advanced = True
+                break
+        if not advanced:
+            po.append(node)
+            stack.pop()
+    rpo = list(reversed(po))    # virtual exit first
+
+    index = {id(n): i for i, n in enumerate(rpo)}
+    ipdom: Dict[int, object] = {id(virtual): virtual}
+
+    def intersect(a, b):
+        while a is not b:
+            while index[id(a)] > index[id(b)]:
+                a = ipdom[id(a)]
+            while index[id(b)] > index[id(a)]:
+                b = ipdom[id(b)]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo[1:]:
+            preds = [p for p in rev_pred(node) if id(p) in ipdom]
+            if not preds:
+                continue
+            new_ipdom = preds[0]
+            for p in preds[1:]:
+                new_ipdom = intersect(p, new_ipdom)
+            if ipdom.get(id(node)) is not new_ipdom:
+                ipdom[id(node)] = new_ipdom
+                changed = True
+
+    for block in blocks:
+        parent = ipdom.get(id(block))
+        if parent is None or parent is virtual or parent is block:
+            result[block] = None
+        else:
+            result[block] = parent      # type: ignore[assignment]
+    return result
+
+
+def control_dependence(fn: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Block → set of branch blocks it is control-dependent on.
+
+    Ferrante–Ottenstein–Warren over the post-dominator tree: for every
+    CFG edge ``u → v`` where ``v`` does not post-dominate ``u``, every
+    block on the post-dominator-tree path from ``v`` up to (excluding)
+    ``ipdom(u)`` is control-dependent on ``u``.  Walks through regions
+    with unknown post-dominators stop conservatively.
+    """
+    ipdom = compute_postdominators(fn)
+    deps: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in ipdom}
+    for branch in ipdom:
+        succs = branch.successors()
+        if len(succs) < 2:
+            continue
+        stop = ipdom[branch]
+        for succ in succs:
+            runner: Optional[BasicBlock] = succ
+            guard = len(ipdom) + 1
+            while runner is not None and runner is not stop and guard:
+                guard -= 1
+                deps[runner].add(branch)
+                runner = ipdom.get(runner)
+    return deps
+
+
+# ---------------------------------------------------------------------------
+# Call graph and interprocedural MPI summaries
+# ---------------------------------------------------------------------------
+
+def call_graph(module: Module) -> Dict[str, Set[str]]:
+    """Name-level call graph: defined function → set of callee names
+    (including declarations and unknown externals)."""
+    graph: Dict[str, Set[str]] = {}
+    for fn in module.defined_functions():
+        callees: Set[str] = set()
+        for inst in fn.instructions():
+            if isinstance(inst, CallInst):
+                callees.add(inst.callee_name)
+        graph[fn.name] = callees
+    return graph
+
+
+def mpi_summaries(module: Module) -> Dict[str, FrozenSet[str]]:
+    """Bottom-up may-call-MPI summary per defined function.
+
+    ``summary[f]`` is the set of MPI function names a call to ``f`` may
+    transitively reach.  Computed as a fixpoint over the call graph, so
+    mutual recursion converges instead of looping.
+    """
+    from repro.mpi.api import is_mpi_call
+
+    graph = call_graph(module)
+    summary: Dict[str, Set[str]] = {name: set() for name in graph}
+    changed = True
+    while changed:
+        changed = False
+        for name, callees in graph.items():
+            current = summary[name]
+            before = len(current)
+            for callee in callees:
+                if is_mpi_call(callee):
+                    current.add(callee)
+                elif callee in summary:
+                    current |= summary[callee]
+            if len(current) != before:
+                changed = True
+    return {name: frozenset(values) for name, values in summary.items()}

@@ -11,6 +11,10 @@ endpoint                    behavior
                             or many (``{"sources": [...]}``); every sample
                             rides the micro-batcher, so concurrent
                             requests coalesce into ``predict_batch`` calls
+``POST /v1/analyze``        run the in-tree dataflow static analyzer on
+                            the same payload shape; returns each sample's
+                            verdict plus typed findings with witnesses
+                            (model-free: no batcher, no artifact needed)
 ``GET /healthz``            liveness + current model version
 ``GET /metrics``            JSON counters: batcher, queue, requests by
                             status, reloads, engine/cache stats
@@ -56,6 +60,7 @@ _ROUTES = {
     "/metrics": ("GET",),
     "/v1/model": ("GET",),
     "/v1/check": ("POST",),
+    "/v1/analyze": ("POST",),
     "/v1/reload": ("POST",),
 }
 
@@ -222,6 +227,8 @@ class DetectionServer:
                 return self._handle_model()
             if path == "/v1/check":
                 return await self._handle_check(body)
+            if path == "/v1/analyze":
+                return await self._handle_analyze(body)
             return await self._handle_reload(body)
         except _BadRequest as exc:
             return 400, {"error": str(exc)}, {}
@@ -323,6 +330,32 @@ class DetectionServer:
         # in a bulk request return 200 with per-item errors.
         status = 400 if failed == len(results) else 200
         return status, {"results": results}, {}
+
+    async def _handle_analyze(self, body: bytes,
+                              ) -> Tuple[int, Dict[str, Any],
+                                         Dict[str, str]]:
+        """Static analysis needs no model and no batcher (there is no
+        classifier call to amortize), but it is CPU-bound, so it still
+        runs off-loop to keep the server accepting while it works."""
+        payload = self._parse_json(body)
+        items = self._named_sources(payload)
+        nprocs = payload.get("nprocs", 3)
+        if not isinstance(nprocs, int) or not 2 <= nprocs <= 8:
+            raise _BadRequest("'nprocs' must be an integer in [2, 8]")
+
+        def _analyze() -> List[Dict[str, Any]]:
+            from repro.verify.static.analyzer import analyze_source
+
+            out = []
+            for name, source in items:
+                verdict, findings = analyze_source(source, name, nprocs)
+                out.append({"name": name, "verdict": verdict,
+                            "findings": [f.as_dict() for f in findings]})
+            return out
+
+        loop = asyncio.get_running_loop()
+        results = await loop.run_in_executor(None, _analyze)
+        return 200, {"results": results}, {}
 
     async def _handle_reload(self, body: bytes,
                              ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:

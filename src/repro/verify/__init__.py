@@ -13,6 +13,12 @@ here follows its original's *mechanism*:
   over-approximates (many false positives, specificity ≈ 0.09).
 * :class:`MPICheckerTool` — static AST-level checks (type usage,
   request usage along paths), detecting a narrower error set.
+* :class:`StaticAnalyzerTool` — our own dataflow analyzer over the IR
+  (:mod:`repro.verify.static`): constant-lattice argument checks,
+  per-rank abstract interpretation with communication matching, and
+  PARCOACH-style collective divergence — precise enough to be registered
+  as a *trusted* oracle in the fuzz harness, with every finding carrying
+  a machine-checkable witness.
 """
 
 from repro.verify.base import ToolUnavailable, ToolVerdict, VerificationTool
@@ -20,8 +26,10 @@ from repro.verify.itac import ITACTool
 from repro.verify.must import MUSTTool
 from repro.verify.parcoach import ParcoachTool
 from repro.verify.mpi_checker import MPICheckerTool
+from repro.verify.static.analyzer import StaticAnalyzerTool
 
 __all__ = [
     "VerificationTool", "ToolVerdict", "ToolUnavailable",
     "ITACTool", "MUSTTool", "ParcoachTool", "MPICheckerTool",
+    "StaticAnalyzerTool",
 ]

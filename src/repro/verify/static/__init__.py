@@ -1,0 +1,35 @@
+"""``repro.verify.static`` — dataflow static analysis over the mini IR.
+
+A trusted, explainable static analyzer for the MPI error taxonomy:
+
+* :mod:`.lattice` — constant lattice, folding, buffer/datatype typing;
+* :mod:`.sequence` — per-rank abstract interpretation and the
+  rendezvous scheduler over the resulting MPI call traces;
+* :mod:`.checkers` — flow-insensitive argument/buffer checks and the
+  PARCOACH-style collective-divergence check;
+* :mod:`.findings` — :class:`StaticFinding` / :class:`StaticWitness`,
+  the typed, machine-checkable report format;
+* :mod:`.analyzer` — the driver, the ``repro.verify`` tool adapter
+  (:class:`StaticAnalyzerTool`) and the embedded self-test corpus.
+"""
+
+from repro.verify.static.findings import StaticFinding, StaticWitness
+
+__all__ = [
+    "StaticFinding",
+    "StaticWitness",
+    "StaticAnalyzerTool",
+    "analyze_module",
+    "analyze_source",
+    "self_test",
+]
+
+
+def __getattr__(name):
+    # analyzer imports the frontend (and through it numpy-adjacent
+    # layers); keep the package importable for findings-only users.
+    if name in ("StaticAnalyzerTool", "analyze_module", "analyze_source",
+                "self_test"):
+        from repro.verify.static import analyzer
+        return getattr(analyzer, name)
+    raise AttributeError(name)

@@ -1,0 +1,336 @@
+"""Flow-insensitive checkers over the constant lattice and the CDG.
+
+These run on every defined function and never depend on the per-rank
+interpreter, so they still fire when :mod:`.sequence` bails out as
+imprecise.  All of them follow the same reporting discipline: a finding
+is emitted only from *definitely known* abstract values (``TOP`` means
+silence), which keeps the checker suite safe to trust in the
+differential fuzz harness.
+
+Checkers:
+
+* argument validity — constant counts, peer ranks and roots checked
+  against their domains (``count >= 0``, peers in ``[0, nprocs)`` plus
+  the wildcard/null sentinels);
+* datatype/buffer compatibility — a constant datatype handle matched
+  against the element type of the buffer the pointer argument provably
+  points at;
+* constant-count buffer overflow — ``count * sizeof(datatype)`` checked
+  against the allocation size of stack buffers;
+* PARCOACH-style collective divergence — a conditional branch whose
+  condition is tainted by ``MPI_Comm_rank`` with *different* collective
+  multisets on its two arms before the branch's immediate
+  post-dominator.  Unlike the external-tool analogue in
+  :mod:`repro.verify.parcoach`, only the rank output is tainted
+  (``MPI_Comm_size`` is the same on every rank, so branching on it
+  cannot diverge) and point-to-point calls on the arms are ignored —
+  both choices remove whole classes of false alarms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Set
+
+from repro.ir import analysis
+from repro.ir.instructions import (
+    CallInst,
+    CondBranchInst,
+    FCmpInst,
+    ICmpInst,
+    LoadInst,
+    StoreInst,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Value
+from repro.mpi.api import CallClass, MPI_CONSTANTS, MPI_FUNCTIONS
+from repro.verify.static.findings import StaticFinding, StaticWitness
+from repro.verify.static.lattice import (
+    ConstLattice,
+    allocation_bytes,
+    compatible_element,
+    datatype_kind,
+    is_const,
+    pointed_element,
+    render_abstract,
+)
+
+_PROC_NULL = MPI_CONSTANTS["MPI_PROC_NULL"]
+_ANY_SOURCE = MPI_CONSTANTS["MPI_ANY_SOURCE"]
+
+_COMM_CLASSES = {
+    CallClass.P2P_SEND, CallClass.P2P_RECV, CallClass.NB_SEND,
+    CallClass.NB_RECV, CallClass.COLLECTIVE, CallClass.NB_COLLECTIVE,
+}
+
+#: Calls where ``buf`` must hold ``count`` elements on every rank that
+#: executes the call.  Asymmetric cases (Scatter's send side is only
+#: significant at the root; Alltoall sends ``count`` elements *per
+#: destination*) are deliberately absent: sizing them needs the rank or
+#: ``nprocs``, and guessing would risk false alarms.
+_BUF_HOLDS_COUNT = frozenset({
+    "MPI_Send", "MPI_Ssend", "MPI_Rsend", "MPI_Bsend",
+    "MPI_Isend", "MPI_Issend", "MPI_Irsend", "MPI_Ibsend",
+    "MPI_Recv", "MPI_Irecv", "MPI_Sendrecv",
+    "MPI_Bcast", "MPI_Ibcast",
+    "MPI_Reduce", "MPI_Ireduce", "MPI_Allreduce", "MPI_Iallreduce",
+    "MPI_Scan", "MPI_Exscan",
+    "MPI_Gather", "MPI_Allgather",
+})
+
+#: Calls where ``recvbuf`` must hold ``recvcount`` elements on every
+#: rank (Gather/Allgather/Alltoall receive nprocs-scaled data and
+#: Reduce's recvbuf only matters at the root — all skipped).
+_RECVBUF_HOLDS_COUNT = frozenset({"MPI_Sendrecv", "MPI_Scatter",
+                                  "MPI_Iscatter"})
+
+
+def _where(fn: Function, inst: CallInst) -> str:
+    block = inst.parent.name if inst.parent else "?"
+    return f"{fn.name}:{block}"
+
+
+def _render_value(value: Value) -> str:
+    ref = getattr(value, "ref", None)
+    return ref if ref else repr(value)
+
+
+def render_condition(cond: Value) -> str:
+    """Human-readable rendering of a branch condition for witnesses."""
+    if isinstance(cond, (ICmpInst, FCmpInst)):
+        return (f"{_render_value(cond.operands[0])} {cond.predicate} "
+                f"{_render_value(cond.operands[1])}")
+    return _render_value(cond)
+
+
+# ---------------------------------------------------------------------------
+# Argument-domain and buffer checks
+# ---------------------------------------------------------------------------
+
+def check_call_arguments(fn: Function, nprocs: int) -> List[StaticFinding]:
+    findings: List[StaticFinding] = []
+    lattice = ConstLattice(fn)
+    for inst in fn.instructions():
+        if not isinstance(inst, CallInst):
+            continue
+        info = MPI_FUNCTIONS.get(inst.callee_name)
+        if info is None or info.call_class not in _COMM_CLASSES:
+            continue
+        name = inst.callee_name
+        where = _where(fn, inst)
+
+        def arg(role: str):
+            index = info.roles.get(role)
+            if index is None or index >= len(inst.args):
+                return None
+            return inst.args[index]
+
+        def folded(role: str):
+            value = arg(role)
+            return lattice.fold(value) if value is not None else None
+
+        # counts must be non-negative
+        for role in ("count", "recvcount"):
+            count = folded(role)
+            if count is not None and is_const(count) and count < 0:
+                findings.append(StaticFinding(
+                    check="argument-domain", kind="invalid_count",
+                    function=fn.name, call=name,
+                    message=(f"{name} called with negative {role} "
+                             f"{count}"),
+                    witness=StaticWitness(
+                        blocks=(where,),
+                        values=((role, render_abstract(count)),))))
+
+        # peer ranks must be in [0, nprocs) modulo the sentinels
+        for role in ("dest", "source"):
+            peer = folded(role)
+            if peer is None or not is_const(peer):
+                continue
+            if peer == _PROC_NULL:
+                continue
+            if role == "source" and peer == _ANY_SOURCE:
+                continue
+            if not 0 <= peer < nprocs:
+                findings.append(StaticFinding(
+                    check="argument-domain", kind="invalid_rank",
+                    function=fn.name, call=name,
+                    message=(f"{name} uses {role} {peer}, outside the "
+                             f"communicator [0, {nprocs})"),
+                    witness=StaticWitness(
+                        blocks=(where,),
+                        values=((role, render_abstract(peer)),
+                                ("nprocs", str(nprocs))))))
+
+        root = folded("root")
+        if root is not None and is_const(root) and not 0 <= root < nprocs:
+            findings.append(StaticFinding(
+                check="argument-domain", kind="invalid_root",
+                function=fn.name, call=name,
+                message=(f"{name} uses root {root}, outside the "
+                         f"communicator [0, {nprocs})"),
+                witness=StaticWitness(
+                    blocks=(where,),
+                    values=(("root", render_abstract(root)),
+                            ("nprocs", str(nprocs))))))
+
+        # datatype handles against the pointed-at buffer element
+        for buf_role, dtype_role, count_role in (
+                ("buf", "datatype", "count"),
+                ("recvbuf", "recvtype", "recvcount")):
+            buf = arg(buf_role)
+            dtype = folded(dtype_role)
+            if buf is None or dtype is None or not is_const(dtype):
+                continue
+            dt = datatype_kind(int(dtype))
+            if dt is None:
+                continue
+            elem = pointed_element(buf)
+            if elem is not None and not compatible_element(elem, dt):
+                findings.append(StaticFinding(
+                    check="buffer-typing", kind="datatype_mismatch",
+                    function=fn.name, call=name,
+                    message=(f"{name} passes a buffer of {elem[0]}"
+                             f"[{elem[1]} bytes] as {buf_role} but "
+                             f"declares datatype handle {int(dtype)} "
+                             f"({dt[0]}, {dt[1]} bytes)"),
+                    witness=StaticWitness(
+                        blocks=(where,),
+                        values=((f"{buf_role} element",
+                                 f"{elem[0]}/{elem[1]}B"),
+                                (dtype_role,
+                                 f"{int(dtype)} ({dt[0]}/{dt[1]}B)")))))
+            # constant-count overflow against stack allocation sizes
+            symmetric = (_BUF_HOLDS_COUNT if buf_role == "buf"
+                         else _RECVBUF_HOLDS_COUNT)
+            count = folded(count_role)
+            if name not in symmetric or count is None \
+                    or not is_const(count) or count < 0:
+                continue
+            capacity = allocation_bytes(buf)
+            if capacity is not None and count * dt[1] > capacity:
+                findings.append(StaticFinding(
+                    check="buffer-bounds", kind="buffer_overflow",
+                    function=fn.name, call=name,
+                    message=(f"{name} reads/writes {count} x {dt[1]} = "
+                             f"{count * dt[1]} bytes through {buf_role} "
+                             f"but the allocation holds only {capacity} "
+                             f"bytes"),
+                    witness=StaticWitness(
+                        blocks=(where,),
+                        values=((count_role, render_abstract(count)),
+                                ("element bytes", str(dt[1])),
+                                ("allocation bytes", str(capacity))))))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# PARCOACH-style collective divergence on rank-tainted branches
+# ---------------------------------------------------------------------------
+
+def _rank_tainted(fn: Function) -> Set[int]:
+    """ids of values derived from the ``MPI_Comm_rank`` output.
+
+    ``MPI_Comm_size`` is intentionally *not* a taint source: it returns
+    the same value on every rank, so control flow depending on it alone
+    cannot diverge between ranks.
+    """
+    tainted: Set[int] = set()
+    tainted_slots: Set[int] = set()
+    for inst in fn.instructions():
+        if isinstance(inst, CallInst) \
+                and inst.callee_name == "MPI_Comm_rank" and inst.args:
+            tainted_slots.add(id(inst.args[-1]))
+    changed = True
+    while changed:
+        changed = False
+        for inst in fn.instructions():
+            if id(inst) not in tainted:
+                if isinstance(inst, LoadInst) \
+                        and id(inst.pointer) in tainted_slots:
+                    tainted.add(id(inst))
+                    changed = True
+                elif any(id(op) in tainted for op in inst.operands):
+                    tainted.add(id(inst))
+                    changed = True
+            if isinstance(inst, StoreInst) and id(inst.value) in tainted \
+                    and id(inst.pointer) not in tainted_slots:
+                tainted_slots.add(id(inst.pointer))
+                changed = True
+    return tainted
+
+
+def _collectives_before(block: BasicBlock, stop: Optional[BasicBlock],
+                        limit: int) -> Counter:
+    """Multiset of collective names reachable from ``block`` without
+    passing through ``stop``."""
+    names: Counter = Counter()
+    seen: Set[int] = set() if stop is None else {id(stop)}
+    stack = [block]
+    while stack and limit:
+        limit -= 1
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        for inst in current.instructions:
+            if isinstance(inst, CallInst):
+                info = MPI_FUNCTIONS.get(inst.callee_name)
+                if info is not None and info.call_class in (
+                        CallClass.COLLECTIVE, CallClass.NB_COLLECTIVE):
+                    names[inst.callee_name] += 1
+        stack.extend(current.successors())
+    return names
+
+
+def check_collective_divergence(fn: Function) -> List[StaticFinding]:
+    findings: List[StaticFinding] = []
+    tainted = _rank_tainted(fn)
+    if not tainted:
+        return findings
+    ipdom: Optional[Dict[BasicBlock, Optional[BasicBlock]]] = None
+    limit = len(fn.blocks) + 8
+    for block in analysis.reachable_blocks(fn):
+        term = block.terminator
+        if not isinstance(term, CondBranchInst) \
+                or id(term.cond) not in tainted:
+            continue
+        if ipdom is None:
+            ipdom = analysis.compute_postdominators(fn)
+        join = ipdom.get(block)
+        left = _collectives_before(term.true_block, join, limit)
+        right = _collectives_before(term.false_block, join, limit)
+        if left == right:
+            continue
+        diverging = sorted((left | right).keys())
+        findings.append(StaticFinding(
+            check="collective-divergence", kind="collective_divergence",
+            function=fn.name, call="/".join(diverging),
+            message=(f"collective calls {diverging} are control-dependent "
+                     f"on the rank-dependent condition in "
+                     f"{fn.name}:{block.name}: the two branch arms execute "
+                     f"different collective sequences"),
+            witness=StaticWitness(
+                blocks=(f"{fn.name}:{block.name}",
+                        f"{fn.name}:{term.true_block.name}",
+                        f"{fn.name}:{term.false_block.name}"),
+                condition=render_condition(term.cond),
+                values=(("true-arm collectives",
+                         str(sorted(left.elements()))),
+                        ("false-arm collectives",
+                         str(sorted(right.elements())))))))
+    return findings
+
+
+def check_function(fn: Function, nprocs: int) -> List[StaticFinding]:
+    """All flow-insensitive checks for one function."""
+    findings = check_call_arguments(fn, nprocs)
+    findings.extend(check_collective_divergence(fn))
+    return findings
+
+
+def check_module(module: Module, nprocs: int) -> List[StaticFinding]:
+    findings: List[StaticFinding] = []
+    for fn in module.defined_functions():
+        findings.extend(check_function(fn, nprocs))
+    return findings

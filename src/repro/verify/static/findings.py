@@ -1,0 +1,76 @@
+"""Typed findings with machine-checkable witnesses.
+
+Every checker in :mod:`repro.verify.static` reports a
+:class:`StaticFinding`, never a bare string: the witness carries the
+block trace, the culprit branch condition, and the abstract values that
+triggered the report, so a finding can be re-checked (or refuted) by a
+human or a downstream tool without re-running the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class StaticWitness:
+    """Evidence attached to a finding.
+
+    ``blocks`` is a trace of ``function:block`` labels leading to (or
+    surrounding) the defect; ``condition`` renders the culprit branch
+    condition when control flow is involved; ``values`` are the
+    (name, abstract value) pairs the checker compared; ``note`` is
+    free-form detail (e.g. the frontend diagnostic for rejects).
+    """
+
+    blocks: Tuple[str, ...] = ()
+    condition: str = ""
+    values: Tuple[Tuple[str, str], ...] = ()
+    note: str = ""
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.blocks or self.condition or self.values or self.note)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "blocks": list(self.blocks),
+            "condition": self.condition,
+            "values": {name: value for name, value in self.values},
+            "note": self.note,
+        }
+
+
+@dataclass(frozen=True)
+class StaticFinding:
+    """One defect report from the static analyzer.
+
+    ``check`` names the checker that fired (stable identifiers, e.g.
+    ``"sequence-matching"``); ``kind`` is the error-class tag carried
+    into ``ToolVerdict.detected_kinds`` and fuzz fingerprints.
+    """
+
+    check: str
+    kind: str
+    function: str = ""
+    call: str = ""
+    message: str = ""
+    witness: StaticWitness = StaticWitness()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "check": self.check,
+            "kind": self.kind,
+            "function": self.function,
+            "call": self.call,
+            "message": self.message,
+            "witness": self.witness.as_dict(),
+        }
+
+    def dedup_key(self) -> Tuple[object, ...]:
+        """Identity for cross-checker de-duplication (message excluded:
+        two phrasings of one defect are still one defect)."""
+        return (self.check, self.kind, self.function, self.call,
+                self.witness.blocks, self.witness.condition,
+                self.witness.values)

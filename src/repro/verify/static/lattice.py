@@ -1,0 +1,348 @@
+"""Constant-propagation lattice over MPI call arguments.
+
+The domain is the classic three-level constant lattice (unreached /
+constant / ``TOP``) applied in two places:
+
+* flow-insensitively here, via unique-store folding — an ``alloca``
+  whose entire function body stores it exactly once with a foldable
+  value acts as that constant at every load; everything else is
+  ``TOP``; and
+* flow- and rank-sensitively in :mod:`repro.verify.static.sequence`,
+  where the per-rank abstract interpreter re-uses :func:`fold_binary`
+  and friends with concrete ``rank`` / ``nprocs`` values.
+
+Only *definitely known* values ever leave the lattice: every checker
+treats ``TOP`` as "don't know, don't report", which is what makes the
+analyzer safe to trust in the differential fuzz harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    CastInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    SelectInst,
+    StoreInst,
+)
+from repro.ir.module import Function
+from repro.ir.types import FloatType, IntType, PointerType, Type
+from repro.ir.values import Constant, Value
+from repro.mpi.api import DATATYPE_INFO
+
+
+class _Top:
+    """Unknown value (lattice top)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "TOP"
+
+
+TOP = _Top()
+
+#: A lattice element: a concrete Python number or :data:`TOP`.
+Abstract = Union[int, float, _Top]
+
+
+def is_const(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def join(a: Abstract, b: Abstract) -> Abstract:
+    """Least upper bound of two lattice elements."""
+    if is_const(a) and is_const(b) and a == b:
+        return a
+    return TOP
+
+
+def _mask(value: int, bits: int) -> int:
+    return value & ((1 << bits) - 1)
+
+
+def _width(type_: Type) -> int:
+    return type_.bits if isinstance(type_, IntType) else 64
+
+
+def fold_binary(opcode: str, lhs: Abstract, rhs: Abstract,
+                bits: int = 32) -> Abstract:
+    """Constant-fold one binary opcode; ``TOP`` on any unknown input or
+    undefined operation (division by zero, oversized shift)."""
+    if not (is_const(lhs) and is_const(rhs)):
+        return TOP
+    try:
+        if opcode == "add":
+            return lhs + rhs
+        if opcode == "sub":
+            return lhs - rhs
+        if opcode == "mul":
+            return lhs * rhs
+        if opcode == "sdiv":
+            return int(lhs / rhs) if rhs else TOP
+        if opcode == "udiv":
+            return _mask(int(lhs), bits) // _mask(int(rhs), bits) if rhs else TOP
+        if opcode == "srem":
+            return int(lhs) - int(lhs / rhs) * int(rhs) if rhs else TOP
+        if opcode == "urem":
+            return _mask(int(lhs), bits) % _mask(int(rhs), bits) if rhs else TOP
+        if opcode == "and":
+            return int(lhs) & int(rhs)
+        if opcode == "or":
+            return int(lhs) | int(rhs)
+        if opcode == "xor":
+            return int(lhs) ^ int(rhs)
+        if opcode == "shl":
+            return _mask(int(lhs) << int(rhs), bits) if 0 <= rhs < bits else TOP
+        if opcode == "lshr":
+            return _mask(int(lhs), bits) >> int(rhs) if 0 <= rhs < bits else TOP
+        if opcode == "ashr":
+            return int(lhs) >> int(rhs) if 0 <= rhs < bits else TOP
+        if opcode == "fadd":
+            return float(lhs) + float(rhs)
+        if opcode == "fsub":
+            return float(lhs) - float(rhs)
+        if opcode == "fmul":
+            return float(lhs) * float(rhs)
+        if opcode == "fdiv":
+            return float(lhs) / float(rhs) if rhs else TOP
+        if opcode == "frem":
+            import math
+            return math.fmod(float(lhs), float(rhs)) if rhs else TOP
+    except (OverflowError, ValueError, ZeroDivisionError):
+        return TOP
+    return TOP
+
+
+_ICMP = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+}
+_FCMP = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+}
+
+
+def fold_icmp(predicate: str, lhs: Abstract, rhs: Abstract,
+              bits: int = 32) -> Abstract:
+    if not (is_const(lhs) and is_const(rhs)):
+        return TOP
+    if predicate in _ICMP:
+        return int(_ICMP[predicate](lhs, rhs))
+    unsigned = {"ugt": "sgt", "uge": "sge", "ult": "slt", "ule": "sle"}
+    if predicate in unsigned:
+        return int(_ICMP[unsigned[predicate]](_mask(int(lhs), bits),
+                                              _mask(int(rhs), bits)))
+    return TOP
+
+
+def fold_fcmp(predicate: str, lhs: Abstract, rhs: Abstract) -> Abstract:
+    if not (is_const(lhs) and is_const(rhs)):
+        return TOP
+    fn = _FCMP.get(predicate)
+    return int(fn(float(lhs), float(rhs))) if fn else TOP
+
+
+def fold_cast(opcode: str, value: Abstract, to_type: Type) -> Abstract:
+    if not is_const(value):
+        return TOP
+    if opcode in ("zext", "sext", "fpext", "fptrunc", "bitcast"):
+        return value
+    if opcode == "trunc":
+        bits = _width(to_type)
+        masked = _mask(int(value), bits)
+        # re-sign the truncated value (i1 stays 0/1)
+        if bits > 1 and masked >= (1 << (bits - 1)):
+            masked -= 1 << bits
+        return masked
+    if opcode == "fptosi":
+        try:
+            return int(value)
+        except (OverflowError, ValueError):
+            return TOP
+    if opcode == "sitofp":
+        return float(value)
+    return TOP          # ptrtoint / inttoptr lose provenance
+
+
+def render_abstract(value: object) -> str:
+    """Human/machine-stable rendering for witnesses."""
+    if isinstance(value, _Top) or value is None:
+        return "TOP"
+    return repr(value)
+
+
+def datatype_kind(handle: object) -> Optional[tuple]:
+    """(kind, size-in-bytes) of a constant MPI datatype handle."""
+    if isinstance(handle, int):
+        return DATATYPE_INFO.get(handle)
+    return None
+
+
+def element_of(type_: Type) -> Optional[tuple]:
+    """(kind, size-in-bytes) of a scalar IR element type."""
+    if isinstance(type_, IntType):
+        return ("int", max(1, type_.bits // 8))
+    if isinstance(type_, FloatType):
+        return ("float", type_.bits // 8)
+    return None
+
+
+def compatible_element(elem: tuple, dtype: tuple) -> bool:
+    """Whether a buffer element and an MPI datatype can describe the
+    same storage.  ``char`` counts as a 1-byte integer kind."""
+    elem_kind, elem_size = elem
+    dtype_kind, dtype_size = dtype
+    if elem_size != dtype_size:
+        return False
+    numeric = {"int": "int", "char": "int", "float": "float"}
+    return numeric.get(elem_kind, elem_kind) == numeric.get(dtype_kind,
+                                                            dtype_kind)
+
+
+class ConstLattice:
+    """Flow-insensitive unique-store constant environment of a function.
+
+    ``fold(value)`` returns a Python number when ``value`` is provably
+    that constant on every path, else ``TOP``.  Loads fold through an
+    ``alloca`` only when the whole function stores it exactly once and
+    the stored value itself folds — multi-store slots (like ``rank``,
+    which is initialized and then overwritten by ``MPI_Comm_rank``) are
+    ``TOP`` by construction.
+    """
+
+    _MAX_DEPTH = 16
+
+    def __init__(self, fn: Function):
+        self._stores: Dict[int, List[StoreInst]] = {}
+        self._escaped: set = set()
+        for inst in fn.instructions():
+            if isinstance(inst, StoreInst):
+                self._stores.setdefault(id(inst.pointer), []).append(inst)
+                if isinstance(inst.value, AllocaInst):
+                    self._escaped.add(id(inst.value))
+                continue
+            if isinstance(inst, LoadInst):
+                continue
+            # an alloca whose address flows anywhere else (a call
+            # argument like &rank, a GEP, a phi...) may be written
+            # behind our back — never fold it
+            for op in inst.operands:
+                if isinstance(op, AllocaInst):
+                    self._escaped.add(id(op))
+        self._memo: Dict[int, Abstract] = {}
+
+    def fold(self, value: Value, depth: int = 0) -> Abstract:
+        if depth > self._MAX_DEPTH:
+            return TOP
+        if isinstance(value, Constant) and is_const(value.value):
+            return value.value
+        if not isinstance(value, Instruction):
+            return TOP
+        key = id(value)
+        if key in self._memo:
+            return self._memo[key]
+        self._memo[key] = TOP           # cycle guard
+        result: Abstract = TOP
+        if isinstance(value, LoadInst):
+            pointer = value.pointer
+            if (isinstance(pointer, AllocaInst)
+                    and id(pointer) not in self._escaped
+                    and isinstance(pointer.allocated_type,
+                                   (IntType, FloatType))):
+                stores = self._stores.get(id(pointer), [])
+                if len(stores) == 1:
+                    result = self.fold(stores[0].value, depth + 1)
+        elif isinstance(value, BinaryInst):
+            result = fold_binary(
+                value.opcode,
+                self.fold(value.lhs, depth + 1),
+                self.fold(value.rhs, depth + 1),
+                _width(value.lhs.type))
+        elif isinstance(value, ICmpInst):
+            result = fold_icmp(
+                value.predicate,
+                self.fold(value.operands[0], depth + 1),
+                self.fold(value.operands[1], depth + 1),
+                _width(value.operands[0].type))
+        elif isinstance(value, CastInst):
+            result = fold_cast(value.opcode,
+                               self.fold(value.operands[0], depth + 1),
+                               value.type)
+        elif isinstance(value, SelectInst):
+            cond = self.fold(value.operands[0], depth + 1)
+            if is_const(cond):
+                result = self.fold(value.operands[1 if cond else 2],
+                                   depth + 1)
+            else:
+                result = join(self.fold(value.operands[1], depth + 1),
+                              self.fold(value.operands[2], depth + 1))
+        self._memo[key] = result
+        return result
+
+
+def pointed_element(value: Value, depth: int = 6) -> Optional[tuple]:
+    """(kind, size) of the element a pointer argument points at, by
+    unwrapping casts/GEPs to a typed pointer (the frontend erases buffer
+    types to ``i8*`` right at the call).
+
+    A bare ``i8*`` is ambiguous (it may be an erased cast of anything)
+    and keeps unwrapping; an ``[N x i8]`` alloca really is a char
+    buffer and resolves to a 1-byte integer element.
+    """
+    from repro.ir.instructions import GEPInst
+    from repro.ir.types import ArrayType
+
+    if depth <= 0:
+        return None
+    if isinstance(value, AllocaInst):
+        allocated = value.allocated_type
+        if isinstance(allocated, ArrayType):
+            return element_of(allocated.element)
+        return element_of(allocated)
+    type_ = value.type
+    if isinstance(type_, PointerType):
+        pointee = type_.pointee
+        if isinstance(pointee, ArrayType):
+            return element_of(pointee.element)
+        elem = element_of(pointee)
+        if elem is not None and not (isinstance(pointee, IntType)
+                                     and pointee.bits == 8):
+            return elem
+    if isinstance(value, (CastInst, GEPInst)) and value.operands:
+        return pointed_element(value.operands[0], depth - 1)
+    return None
+
+
+def allocation_bytes(value: Value, depth: int = 6) -> Optional[int]:
+    """Definite byte size of the allocation behind a pointer argument,
+    or ``None`` when unknown (heap buffers, escaped pointers)."""
+    from repro.ir.instructions import GEPInst
+    from repro.ir.types import ArrayType
+
+    if depth <= 0:
+        return None
+    if isinstance(value, AllocaInst):
+        allocated = value.allocated_type
+        if isinstance(allocated, ArrayType):
+            elem = element_of(allocated.element)
+            return allocated.count * elem[1] if elem else None
+        elem = element_of(allocated)
+        return elem[1] if elem else None
+    if isinstance(value, (CastInst, GEPInst)) and value.operands:
+        return allocation_bytes(value.operands[0], depth - 1)
+    return None

@@ -1,0 +1,858 @@
+"""Per-rank abstract interpretation and communication-order matching.
+
+The deadlock / matching checkers need the *sequence* of MPI operations
+each rank executes, not just the set of call sites.  This module runs a
+small abstract interpreter over the IR once per rank with concrete
+``rank`` / ``nprocs`` values: scalar locals are tracked exactly, branch
+conditions fold through the lattice, and every executed MPI call is
+appended to that rank's trace.  A rendezvous scheduler then matches the
+traces — eager (buffered) sends, blocking receives, collective
+rendezvous, request completion — and reports deadlocks, envelope
+mismatches, root divergence, unmatched sends and leaked requests.
+
+Soundness contract: the interpreter raises :class:`Imprecise` the
+moment it cannot prove what a rank does (an unfoldable branch guarding
+communication, an unsupported MPI class, a step-budget blow-up).  The
+caller then *skips* the sequence checkers entirely rather than guessing
+— imprecision degrades recall, never precision.  The scheduler
+under-approximates blocking (standard sends are treated as buffered),
+so every deadlock it reports exists under MPI's weakest progress
+guarantees too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ir import analysis
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import ArrayType, FloatType, IntType, PointerType
+from repro.ir.values import Constant, ConstantString, GlobalVariable
+from repro.mpi.api import MPI_CONSTANTS, MPI_FUNCTIONS, CallClass, is_mpi_call
+from repro.verify.static.findings import StaticFinding, StaticWitness
+from repro.verify.static.lattice import (
+    TOP,
+    element_of,
+    fold_binary,
+    fold_cast,
+    fold_fcmp,
+    fold_icmp,
+    is_const,
+    render_abstract,
+)
+
+_PROC_NULL = MPI_CONSTANTS["MPI_PROC_NULL"]
+_ANY_SOURCE = MPI_CONSTANTS["MPI_ANY_SOURCE"]
+_ANY_TAG = MPI_CONSTANTS["MPI_ANY_TAG"]
+
+#: External functions with no effect the analysis cares about.
+_SAFE_EXTERNALS = frozenset({
+    "printf", "fprintf", "puts", "putchar", "fflush", "sprintf",
+    "snprintf", "free", "rand", "srand", "abs", "atoi", "exit",
+    "sqrt", "fabs", "pow", "sin", "cos", "memset", "memcpy", "sleep",
+    "usleep", "clock", "time",
+})
+
+#: MPI functions the interpreter models by name (everything else in an
+#: unsupported call class bails to :class:`Imprecise`).
+_MPI_NOOPS = frozenset({"MPI_Init", "MPI_Finalize", "MPI_Wtime",
+                        "MPI_Initialized", "MPI_Finalized",
+                        "MPI_Get_processor_name", "MPI_Error_string"})
+
+_SUPPORTED_CLASSES = {
+    CallClass.P2P_SEND, CallClass.P2P_RECV, CallClass.NB_SEND,
+    CallClass.NB_RECV, CallClass.COLLECTIVE, CallClass.NB_COLLECTIVE,
+    CallClass.COMPLETION,
+}
+
+
+class Imprecise(Exception):
+    """The interpreter lost precision; sequence checks must not run."""
+
+
+class Cell:
+    """One tracked memory object (an alloca, a global, or a heap block)."""
+
+    __slots__ = ("kind", "value", "elem", "size", "label")
+
+    def __init__(self, kind: str, label: str = "",
+                 elem: Optional[tuple] = None, size: Optional[int] = None):
+        self.kind = kind            # 'scalar' | 'buffer' | 'opaque'
+        self.value = TOP            # scalar contents (abstract)
+        self.elem = elem            # buffer element (kind, bytes)
+        self.size = size            # buffer size in bytes, if known
+        self.label = label
+
+
+class Ptr:
+    """Abstract pointer: which cell it addresses (offsets untracked)."""
+
+    __slots__ = ("cell",)
+
+    def __init__(self, cell: Cell):
+        self.cell = cell
+
+
+@dataclass
+class MPIEvent:
+    """One executed MPI operation in a rank's trace."""
+
+    name: str
+    call_class: CallClass
+    block: str
+    fields: Dict[str, object] = field(default_factory=dict)
+    buf_elem: Optional[tuple] = None
+    recv_elem: Optional[tuple] = None
+    request: Optional[int] = None           # id() of the request cell
+    requests_all: bool = False              # Waitall with unresolved array
+
+
+@dataclass
+class RankTrace:
+    rank: int
+    events: List[MPIEvent] = field(default_factory=list)
+
+
+def _element_from_type(type_) -> Optional[tuple]:
+    if isinstance(type_, ArrayType):
+        return element_of(type_.element)
+    return element_of(type_)
+
+
+class _Interpreter:
+    """Executes one function body for one concrete rank."""
+
+    def __init__(self, module: Module, rank: int, nprocs: int,
+                 max_steps: int = 60_000):
+        self.module = module
+        self.rank = rank
+        self.nprocs = nprocs
+        self.max_steps = max_steps
+        self.steps = 0
+        self.env: Dict[int, object] = {}
+        self.cells: Dict[int, Cell] = {}
+        self.globals: Dict[int, Cell] = {}
+        self.trace: List[MPIEvent] = []
+        self.summaries = analysis.mpi_summaries(module)
+        self._ipdom_cache: Dict[int, Dict[BasicBlock,
+                                          Optional[BasicBlock]]] = {}
+        self.call_stack: List[str] = []
+
+    # -- value resolution ---------------------------------------------------
+    def val(self, value) -> object:
+        if isinstance(value, Constant):
+            return value.value if is_const(value.value) else TOP
+        if isinstance(value, ConstantString):
+            return TOP
+        if isinstance(value, GlobalVariable):
+            cell = self.globals.get(id(value))
+            if cell is None:
+                if isinstance(value.value_type, (IntType, FloatType,
+                                                 PointerType)):
+                    cell = Cell("scalar", value.name)
+                else:
+                    cell = Cell("buffer", value.name,
+                                elem=_element_from_type(value.value_type))
+                self.globals[id(value)] = cell
+            return Ptr(cell)
+        return self.env.get(id(value), TOP)
+
+    def _ipdom(self, fn: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
+        cached = self._ipdom_cache.get(id(fn))
+        if cached is None:
+            cached = analysis.compute_postdominators(fn)
+            self._ipdom_cache[id(fn)] = cached
+        return cached
+
+    # -- main loop ----------------------------------------------------------
+    def run(self, fn: Function, args: Sequence[object]) -> object:
+        if fn.name in self.call_stack:
+            raise Imprecise(f"recursive call to {fn.name}")
+        if len(self.call_stack) >= 8:
+            raise Imprecise("call depth limit")
+        self.call_stack.append(fn.name)
+        try:
+            return self._run_body(fn, args)
+        finally:
+            self.call_stack.pop()
+
+    def _run_body(self, fn: Function, args: Sequence[object]) -> object:
+        for i, arg in enumerate(fn.arguments):
+            self.env[id(arg)] = args[i] if i < len(args) else TOP
+        block = fn.entry
+        prev: Optional[BasicBlock] = None
+        while True:
+            jump = self._exec_block(fn, block, prev)
+            if jump is None:
+                return self.env.get(-1, TOP)        # never used
+            kind, target = jump
+            if kind == "return":
+                return target
+            prev = block if kind == "branch" else None
+            block = target
+
+    def _exec_block(self, fn: Function, block: BasicBlock,
+                    prev: Optional[BasicBlock]):
+        for inst in block.instructions:
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise Imprecise("step budget exhausted")
+            if isinstance(inst, AllocaInst):
+                self.cells[id(inst)] = self._make_cell(inst)
+                self.env[id(inst)] = Ptr(self.cells[id(inst)])
+            elif isinstance(inst, LoadInst):
+                pointer = self.val(inst.pointer)
+                if isinstance(pointer, Ptr) and pointer.cell.kind == "scalar":
+                    self.env[id(inst)] = pointer.cell.value
+                else:
+                    self.env[id(inst)] = TOP
+            elif isinstance(inst, StoreInst):
+                pointer = self.val(inst.pointer)
+                if isinstance(pointer, Ptr):
+                    if pointer.cell.kind == "scalar":
+                        pointer.cell.value = self.val(inst.value)
+                    # buffer/opaque contents are untracked: no-op
+                else:
+                    # a store through a pointer we lost: anything we
+                    # track could alias it
+                    raise Imprecise("store through unknown pointer")
+            elif isinstance(inst, BinaryInst):
+                bits = inst.lhs.type.bits if isinstance(
+                    inst.lhs.type, IntType) else 64
+                self.env[id(inst)] = fold_binary(
+                    inst.opcode, self.val(inst.lhs), self.val(inst.rhs), bits)
+            elif isinstance(inst, ICmpInst):
+                lhs, rhs = inst.operands[0], inst.operands[1]
+                bits = lhs.type.bits if isinstance(lhs.type, IntType) else 64
+                self.env[id(inst)] = fold_icmp(
+                    inst.predicate, self.val(lhs), self.val(rhs), bits)
+            elif isinstance(inst, FCmpInst):
+                self.env[id(inst)] = fold_fcmp(
+                    inst.predicate, self.val(inst.operands[0]),
+                    self.val(inst.operands[1]))
+            elif isinstance(inst, CastInst):
+                operand = self.val(inst.operands[0])
+                if isinstance(operand, Ptr):
+                    self.env[id(inst)] = operand
+                    self._refine_buffer(operand.cell, inst)
+                else:
+                    self.env[id(inst)] = fold_cast(inst.opcode, operand,
+                                                   inst.type)
+            elif isinstance(inst, SelectInst):
+                cond = self.val(inst.operands[0])
+                if is_const(cond):
+                    self.env[id(inst)] = self.val(
+                        inst.operands[1 if cond else 2])
+                else:
+                    self.env[id(inst)] = TOP
+            elif isinstance(inst, GEPInst):
+                base = self.val(inst.pointer)
+                self.env[id(inst)] = base if isinstance(base, Ptr) else TOP
+            elif isinstance(inst, PhiInst):
+                resolved = TOP
+                if prev is not None:
+                    for value, incoming in inst.incoming:
+                        if incoming is prev:
+                            resolved = self.val(value)
+                            break
+                self.env[id(inst)] = resolved
+            elif isinstance(inst, CallInst):
+                self._exec_call(inst)
+            elif isinstance(inst, BranchInst):
+                return ("branch", inst.target)
+            elif isinstance(inst, CondBranchInst):
+                cond = self.val(inst.cond)
+                if is_const(cond):
+                    return ("branch",
+                            inst.true_block if cond else inst.false_block)
+                return self._skip_region(fn, block)
+            elif isinstance(inst, ReturnInst):
+                value = (self.val(inst.return_value)
+                         if inst.return_value is not None else TOP)
+                return ("return", value)
+            elif isinstance(inst, UnreachableInst):
+                return ("return", TOP)
+        return ("return", TOP)      # fallthrough: malformed block
+
+    def _make_cell(self, inst: AllocaInst) -> Cell:
+        allocated = inst.allocated_type
+        if isinstance(allocated, (IntType, FloatType, PointerType)):
+            return Cell("scalar", inst.name)
+        if isinstance(allocated, ArrayType):
+            elem = element_of(allocated.element)
+            size = allocated.count * elem[1] if elem else None
+            return Cell("buffer", inst.name, elem=elem, size=size)
+        return Cell("opaque", inst.name)
+
+    @staticmethod
+    def _refine_buffer(cell: Cell, cast: CastInst) -> None:
+        """``bitcast i8* (malloc) to T*`` tells us the element type."""
+        if cell.kind == "buffer" and cell.elem is None and isinstance(
+                cast.type, PointerType):
+            cell.elem = element_of(cast.type.pointee)
+
+    # -- unknown branches ---------------------------------------------------
+    def _skip_region(self, fn: Function, branch_block: BasicBlock):
+        """Jump a TOP-condition branch to its immediate post-dominator,
+        havocking everything the skipped region may write.  Bails to
+        :class:`Imprecise` if the region can communicate."""
+        ipdom = self._ipdom(fn).get(branch_block)
+        if ipdom is None:
+            raise Imprecise(
+                f"unfoldable branch in {fn.name}:{branch_block.name} "
+                "without a post-dominator")
+        region: List[BasicBlock] = []
+        seen: Set[int] = {id(ipdom)}
+        stack = [branch_block]      # the branch block re-runs on loops
+        while stack:
+            current = stack.pop()
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            region.append(current)
+            stack.extend(current.successors())
+        for current in region:
+            for inst in current.instructions:
+                if isinstance(inst, StoreInst):
+                    self._havoc_pointer(inst.pointer, fn, current)
+                elif isinstance(inst, CallInst):
+                    self._havoc_call(inst, fn, current)
+        return ("jump", ipdom)
+
+    def _havoc_call(self, inst: CallInst, fn: Function,
+                    block: BasicBlock) -> None:
+        name = inst.callee_name
+        if is_mpi_call(name) and name not in _MPI_NOOPS:
+            raise Imprecise(
+                f"MPI call {name} under unfoldable branch in "
+                f"{fn.name}:{block.name}")
+        callee = self.module.get_function(name)
+        if callee is not None and not callee.is_declaration:
+            # a defined callee may write memory we cannot enumerate
+            # (globals, pointers threaded through its body): bail
+            raise Imprecise(
+                f"call to defined {name} under unfoldable branch in "
+                f"{fn.name}:{block.name}")
+        for arg in inst.args:
+            if isinstance(arg.type, PointerType):
+                self._havoc_pointer(arg, fn, block)
+
+    def _havoc_pointer(self, value, fn: Function, block: BasicBlock,
+                       depth: int = 8) -> None:
+        """Set the cell a (possibly not-yet-executed) pointer expression
+        roots at to TOP; bail if the root is unresolvable."""
+        if depth <= 0:
+            raise Imprecise("pointer chain too deep to havoc")
+        if isinstance(value, AllocaInst):
+            cell = self.cells.get(id(value))
+            if cell is not None and cell.kind == "scalar":
+                cell.value = TOP
+            return
+        if isinstance(value, GlobalVariable):
+            resolved = self.val(value)
+            if isinstance(resolved, Ptr) and resolved.cell.kind == "scalar":
+                resolved.cell.value = TOP
+            return
+        if isinstance(value, (CastInst, GEPInst)):
+            self._havoc_pointer(value.operands[0], fn, block, depth - 1)
+            return
+        if isinstance(value, Constant):
+            return                  # string literals, null pointers
+        if isinstance(value, LoadInst):
+            # pointer loaded from a slot: havoc whatever the slot holds
+            slot = self.val(value.pointer)
+            if isinstance(slot, Ptr) and isinstance(slot.cell.value, Ptr):
+                target = slot.cell.value.cell
+                if target.kind == "scalar":
+                    target.value = TOP
+                return
+            if isinstance(slot, Ptr) and slot.cell.kind != "scalar":
+                return              # buffer contents are untracked anyway
+            raise Imprecise(
+                f"indirect store target unknown in {fn.name}:{block.name}")
+        if isinstance(value, PhiInst):
+            raise Imprecise("phi-carried pointer in skipped region")
+        # SelectInst, call results...: give up rather than guess
+        raise Imprecise(
+            f"unresolvable pointer in skipped region of {fn.name}")
+
+    # -- calls --------------------------------------------------------------
+    def _exec_call(self, inst: CallInst) -> None:
+        name = inst.callee_name
+        if name == "MPI_Comm_rank":
+            self._store_out(inst, -1, self.rank)
+            self.env[id(inst)] = 0
+            return
+        if name == "MPI_Comm_size":
+            self._store_out(inst, -1, self.nprocs)
+            self.env[id(inst)] = 0
+            return
+        if name in _MPI_NOOPS:
+            self.env[id(inst)] = TOP if name == "MPI_Wtime" else 0
+            return
+        if is_mpi_call(name):
+            self._exec_mpi(inst, name)
+            return
+        if name in ("malloc", "calloc"):
+            size = self.val(inst.args[0]) if inst.args else TOP
+            if name == "calloc" and len(inst.args) >= 2:
+                size = fold_binary("mul", size, self.val(inst.args[1]))
+            cell = Cell("buffer", f"heap:{inst.name}",
+                        size=int(size) if is_const(size) and size >= 0
+                        else None)
+            self.env[id(inst)] = Ptr(cell)
+            return
+        callee = self.module.get_function(name)
+        if callee is not None and not callee.is_declaration:
+            result = self.run(callee, [self.val(a) for a in inst.args])
+            self.env[id(inst)] = result
+            return
+        if name in _SAFE_EXTERNALS:
+            self.env[id(inst)] = TOP
+            return
+        # unknown external: it may write through any pointer argument
+        for arg in inst.args:
+            if isinstance(arg.type, PointerType):
+                resolved = self.val(arg)
+                if isinstance(resolved, Ptr):
+                    if resolved.cell.kind == "scalar":
+                        resolved.cell.value = TOP
+                else:
+                    raise Imprecise(
+                        f"unknown external {name} with untracked pointer")
+        self.env[id(inst)] = TOP
+
+    def _store_out(self, inst: CallInst, arg_index: int,
+                   value: object) -> None:
+        if not inst.args:
+            return
+        pointer = self.val(inst.args[arg_index])
+        if isinstance(pointer, Ptr) and pointer.cell.kind == "scalar":
+            pointer.cell.value = value
+
+    def _exec_mpi(self, inst: CallInst, name: str) -> None:
+        info = MPI_FUNCTIONS.get(name)
+        if info is None or info.call_class not in _SUPPORTED_CLASSES:
+            raise Imprecise(f"unmodeled MPI call {name}")
+        if info.call_class is CallClass.COMPLETION and (
+                not info.blocking or name == "MPI_Waitany"):
+            raise Imprecise(f"nondeterministic completion {name}")
+        event = MPIEvent(name=name, call_class=info.call_class,
+                         block=inst.parent.name if inst.parent else "")
+        for role, index in info.roles.items():
+            if index >= len(inst.args):
+                continue
+            arg = inst.args[index]
+            if role in ("buf", "recvbuf"):
+                elem = None
+                resolved = self.val(arg)
+                if isinstance(resolved, Ptr):
+                    elem = resolved.cell.elem
+                if role == "buf":
+                    event.buf_elem = elem
+                else:
+                    event.recv_elem = elem
+            elif role == "request":
+                resolved = self.val(arg)
+                if isinstance(resolved, Ptr):
+                    event.request = id(resolved.cell)
+                elif name == "MPI_Waitall":
+                    event.requests_all = True
+            elif role == "status":
+                continue
+            else:
+                event.fields[role] = self.val(arg)
+        self.trace.append(event)
+        self.env[id(inst)] = 0
+
+
+def interpret_rank(module: Module, rank: int, nprocs: int,
+                   max_steps: int = 60_000) -> RankTrace:
+    """Abstractly execute ``main`` for one concrete rank."""
+    main = module.get_function("main")
+    if main is None or main.is_declaration:
+        return RankTrace(rank=rank)
+    interp = _Interpreter(module, rank, nprocs, max_steps)
+    interp.run(main, [TOP, TOP])
+    return RankTrace(rank=rank, events=interp.trace)
+
+
+# ---------------------------------------------------------------------------
+# Rendezvous scheduler over per-rank traces
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Msg:
+    src: int
+    dst: int
+    tag: object
+    dtype: object
+    count: object
+    name: str
+    block: str
+    elem: Optional[tuple]
+
+
+@dataclass
+class _OpenReq:
+    kind: str                       # 'send' | 'recv'
+    rank: int
+    event: MPIEvent
+
+
+class _Bail(Exception):
+    """Scheduler hit an abstract value it cannot match on."""
+
+
+def _tag_matches(recv_tag: object, msg_tag: object) -> bool:
+    if not is_const(recv_tag) or not is_const(msg_tag):
+        return True                 # wildcard on imprecision: no false alarm
+    return recv_tag == _ANY_TAG or recv_tag == msg_tag
+
+
+def _src_matches(recv_src: int, msg_src: int) -> bool:
+    return recv_src == _ANY_SOURCE or recv_src == msg_src
+
+
+class _Scheduler:
+    def __init__(self, traces: Sequence[RankTrace], nprocs: int):
+        self.traces = list(traces)
+        self.nprocs = nprocs
+        self.pos = [0] * len(self.traces)
+        self.queue: List[_Msg] = []
+        self.open: Dict[Tuple[int, int], _OpenReq] = {}   # (rank, cellid)
+        self.findings: List[StaticFinding] = []
+        self.halted = False
+
+    # -- helpers ------------------------------------------------------------
+    def _cur(self, r: int) -> Optional[MPIEvent]:
+        trace = self.traces[r].events
+        return trace[self.pos[r]] if self.pos[r] < len(trace) else None
+
+    def _done(self, r: int) -> bool:
+        return self.pos[r] >= len(self.traces[r].events)
+
+    @staticmethod
+    def _where(rank: int, event: MPIEvent) -> str:
+        return f"rank {rank} @ main:{event.block} {event.name}"
+
+    def _valid_peer(self, peer: object, allow_any: bool) -> Optional[bool]:
+        """True valid / False invalid / None unknown."""
+        if not is_const(peer):
+            return None
+        if peer == _PROC_NULL or (allow_any and peer == _ANY_SOURCE):
+            return True
+        return 0 <= peer < self.nprocs
+
+    # -- per-event processing ----------------------------------------------
+    def _advance(self, r: int) -> bool:
+        event = self._cur(r)
+        if event is None:
+            return False
+        cls = event.call_class
+        if cls in (CallClass.P2P_SEND, CallClass.NB_SEND):
+            return self._do_send(r, event)
+        if cls in (CallClass.P2P_RECV,):
+            return self._do_recv(r, event, blocking=True)
+        if cls is CallClass.NB_RECV:
+            return self._do_irecv(r, event)
+        if cls is CallClass.COMPLETION:
+            return self._do_wait(r, event)
+        return False                # collectives advance at rendezvous
+
+    def _do_send(self, r: int, event: MPIEvent) -> bool:
+        dest = event.fields.get("dest")
+        valid = self._valid_peer(dest, allow_any=False)
+        if valid is None:
+            raise _Bail("send destination unknown")
+        if valid and dest != _PROC_NULL:
+            self.queue.append(_Msg(
+                src=r, dst=int(dest), tag=event.fields.get("tag"),
+                dtype=event.fields.get("datatype"),
+                count=event.fields.get("count"), name=event.name,
+                block=event.block, elem=event.buf_elem))
+        if event.call_class is CallClass.NB_SEND and event.request:
+            self.open[(r, event.request)] = _OpenReq("send", r, event)
+        self.pos[r] += 1
+        if event.name == "MPI_Sendrecv":
+            # the receive half runs as a synthetic blocking recv
+            recv = MPIEvent(name="MPI_Sendrecv(recv)",
+                            call_class=CallClass.P2P_RECV, block=event.block,
+                            fields={"source": event.fields.get("source"),
+                                    "tag": event.fields.get("recvtag"),
+                                    "datatype": event.fields.get("recvtype"),
+                                    "count": event.fields.get("recvcount")},
+                            buf_elem=event.recv_elem)
+            self.traces[r].events.insert(self.pos[r], recv)
+        return True
+
+    def _match(self, r: int, source: object, tag: object) -> Optional[_Msg]:
+        for i, msg in enumerate(self.queue):
+            if msg.dst != r:
+                continue
+            if is_const(source) and source != _ANY_SOURCE \
+                    and not _src_matches(int(source), msg.src):
+                continue
+            if not _tag_matches(tag, msg.tag):
+                continue
+            return self.queue.pop(i)
+        return None
+
+    def _check_envelope(self, r: int, event: MPIEvent, msg: _Msg) -> None:
+        dtype_r = event.fields.get("datatype")
+        if is_const(dtype_r) and is_const(msg.dtype) and dtype_r != msg.dtype:
+            self.findings.append(StaticFinding(
+                check="sequence-matching", kind="datatype_mismatch",
+                function="main", call=event.name,
+                message=(f"{event.name} on rank {r} receives with datatype "
+                         f"{dtype_r} but the matching {msg.name} from rank "
+                         f"{msg.src} sent datatype {msg.dtype}"),
+                witness=StaticWitness(
+                    blocks=(f"main:{msg.block}", f"main:{event.block}"),
+                    values=((f"rank {msg.src} send datatype",
+                             render_abstract(msg.dtype)),
+                            (f"rank {r} recv datatype",
+                             render_abstract(dtype_r))))))
+        count_r = event.fields.get("count")
+        if is_const(count_r) and is_const(msg.count) and count_r < msg.count:
+            self.findings.append(StaticFinding(
+                check="sequence-matching", kind="message_truncation",
+                function="main", call=event.name,
+                message=(f"{event.name} on rank {r} posts count {count_r} "
+                         f"for a message of count {msg.count} from rank "
+                         f"{msg.src}"),
+                witness=StaticWitness(
+                    blocks=(f"main:{msg.block}", f"main:{event.block}"),
+                    values=((f"rank {msg.src} send count",
+                             render_abstract(msg.count)),
+                            (f"rank {r} recv count",
+                             render_abstract(count_r))))))
+
+    def _do_recv(self, r: int, event: MPIEvent, blocking: bool) -> bool:
+        source = event.fields.get("source")
+        valid = self._valid_peer(source, allow_any=True)
+        if valid is None:
+            raise _Bail("recv source unknown")
+        if not valid or source == _PROC_NULL:
+            self.pos[r] += 1        # invalid peer reported arg-level
+            return True
+        msg = self._match(r, source, event.fields.get("tag"))
+        if msg is None:
+            return False
+        self._check_envelope(r, event, msg)
+        self.pos[r] += 1
+        return True
+
+    def _do_irecv(self, r: int, event: MPIEvent) -> bool:
+        source = event.fields.get("source")
+        valid = self._valid_peer(source, allow_any=True)
+        if valid is None:
+            raise _Bail("irecv source unknown")
+        if valid and source != _PROC_NULL and event.request:
+            self.open[(r, event.request)] = _OpenReq("recv", r, event)
+        self.pos[r] += 1
+        return True
+
+    def _do_wait(self, r: int, event: MPIEvent) -> bool:
+        if event.requests_all:
+            keys = [k for k in self.open if k[0] == r]
+        elif event.request is not None:
+            keys = [(r, event.request)] if (r, event.request) in self.open \
+                else []
+        else:
+            keys = []
+        for key in keys:
+            req = self.open[key]
+            if req.kind == "recv":
+                msg = self._match(r, req.event.fields.get("source"),
+                                  req.event.fields.get("tag"))
+                if msg is None:
+                    return False    # blocked in MPI_Wait
+                self._check_envelope(r, req.event, msg)
+            del self.open[key]
+        self.pos[r] += 1
+        return True
+
+    # -- collective rendezvous ---------------------------------------------
+    def _rendezvous(self) -> bool:
+        ranks = range(len(self.traces))
+        if any(self._done(r) for r in ranks):
+            return False
+        current = [self._cur(r) for r in ranks]
+        if not all(ev is not None and ev.call_class in
+                   (CallClass.COLLECTIVE, CallClass.NB_COLLECTIVE)
+                   for ev in current):
+            return False
+        names = {ev.name for ev in current}
+        if len(names) > 1:
+            self.findings.append(StaticFinding(
+                check="sequence-matching", kind="collective_mismatch",
+                function="main", call="/".join(sorted(names)),
+                message=("ranks reach different collectives "
+                         "simultaneously: " + "; ".join(
+                             self._where(r, current[r]) for r in ranks)),
+                witness=StaticWitness(
+                    blocks=tuple(f"main:{ev.block}" for ev in current),
+                    values=tuple((f"rank {r}", current[r].name)
+                                 for r in ranks))))
+            self.halted = True
+            return False            # analysis cannot proceed past this
+        roots = [ev.fields.get("root") for ev in current]
+        if "root" in current[0].fields and all(is_const(x) for x in roots) \
+                and len(set(roots)) > 1:
+            self.findings.append(StaticFinding(
+                check="sequence-matching", kind="root_mismatch",
+                function="main", call=current[0].name,
+                message=(f"{current[0].name} called with diverging root "
+                         f"arguments across ranks: "
+                         + ", ".join(f"rank {r} uses root {roots[r]}"
+                                     for r in ranks)),
+                witness=StaticWitness(
+                    blocks=tuple(f"main:{ev.block}" for ev in current),
+                    values=tuple((f"rank {r} root", render_abstract(roots[r]))
+                                 for r in ranks))))
+        dtypes = [ev.fields.get("datatype") for ev in current]
+        if "datatype" in current[0].fields \
+                and all(is_const(x) for x in dtypes) \
+                and len(set(dtypes)) > 1:
+            self.findings.append(StaticFinding(
+                check="sequence-matching", kind="datatype_mismatch",
+                function="main", call=current[0].name,
+                message=(f"{current[0].name} called with diverging "
+                         f"datatypes across ranks"),
+                witness=StaticWitness(
+                    blocks=tuple(f"main:{ev.block}" for ev in current),
+                    values=tuple((f"rank {r} datatype",
+                                  render_abstract(dtypes[r]))
+                                 for r in ranks))))
+        for r in ranks:
+            ev = current[r]
+            if ev.call_class is CallClass.NB_COLLECTIVE and ev.request:
+                self.open.pop((r, ev.request), None)
+            self.pos[r] += 1
+        return True
+
+    # -- terminal reporting -------------------------------------------------
+    def _report_deadlock(self) -> None:
+        stuck = [(r, self._cur(r)) for r in range(len(self.traces))
+                 if not self._done(r)]
+        # refine: a receiver starving next to a near-miss message is a
+        # tag mismatch, not a bare deadlock
+        for r, event in stuck:
+            if event.call_class not in (CallClass.P2P_RECV,
+                                        CallClass.COMPLETION):
+                continue
+            fields = event.fields
+            if event.call_class is CallClass.COMPLETION:
+                req = next((v for (rr, _), v in self.open.items()
+                            if rr == r and v.kind == "recv"), None)
+                if req is None:
+                    continue
+                fields = req.event.fields
+            source, tag = fields.get("source"), fields.get("tag")
+            for msg in self.queue:
+                if msg.dst == r and is_const(source) \
+                        and _src_matches(int(source), msg.src) \
+                        and is_const(tag) and is_const(msg.tag) \
+                        and tag != msg.tag:
+                    self.findings.append(StaticFinding(
+                        check="sequence-matching", kind="tag_mismatch",
+                        function="main", call=event.name,
+                        message=(f"rank {r} waits for tag {tag} from rank "
+                                 f"{msg.src} but the only in-flight message "
+                                 f"({msg.name}) carries tag {msg.tag}"),
+                        witness=StaticWitness(
+                            blocks=(f"main:{msg.block}",
+                                    f"main:{event.block}"),
+                            values=((f"rank {msg.src} send tag",
+                                     render_abstract(msg.tag)),
+                                    (f"rank {r} recv tag",
+                                     render_abstract(tag))))))
+                    return
+        self.findings.append(StaticFinding(
+            check="sequence-matching", kind="deadlock",
+            function="main",
+            call=stuck[0][1].name if stuck else "",
+            message="no rank can make progress: " + "; ".join(
+                self._where(r, ev) for r, ev in stuck),
+            witness=StaticWitness(
+                blocks=tuple(f"main:{ev.block}" for _, ev in stuck),
+                values=tuple((f"rank {r}", ev.name) for r, ev in stuck))))
+
+    def _report_leftovers(self) -> None:
+        for msg in self.queue:
+            self.findings.append(StaticFinding(
+                check="sequence-matching", kind="unmatched_send",
+                function="main", call=msg.name,
+                message=(f"message from rank {msg.src} to rank {msg.dst} "
+                         f"(tag {render_abstract(msg.tag)}) is never "
+                         f"received"),
+                witness=StaticWitness(
+                    blocks=(f"main:{msg.block}",),
+                    values=(("source rank", str(msg.src)),
+                            ("destination rank", str(msg.dst)),
+                            ("tag", render_abstract(msg.tag))))))
+        for (r, _), req in self.open.items():
+            self.findings.append(StaticFinding(
+                check="sequence-matching", kind="missing_wait",
+                function="main", call=req.event.name,
+                message=(f"request from {req.event.name} on rank {r} is "
+                         f"never completed by MPI_Wait/MPI_Waitall"),
+                witness=StaticWitness(
+                    blocks=(f"main:{req.event.block}",),
+                    values=((f"rank {r} request", req.event.name),))))
+
+    # -- main loop ----------------------------------------------------------
+    def run(self) -> List[StaticFinding]:
+        # Sendrecv splitting can grow traces mid-run; re-derive the
+        # guard bound each iteration and bail (imprecise) on blow-up
+        # rather than misreport half-scheduled state.
+        guard = 8 * (sum(len(t.events) for t in self.traces) + 8)
+        try:
+            while True:
+                guard -= 1
+                if guard <= 0:
+                    return []       # scheduler budget exhausted: bail
+                progress = False
+                for r in range(len(self.traces)):
+                    while self._advance(r):
+                        progress = True
+                if progress:
+                    continue
+                if all(self._done(r) for r in range(len(self.traces))):
+                    break
+                if self._rendezvous():
+                    continue
+                if self.halted:
+                    # a collective mismatch already explains the stall
+                    return self.findings
+                self._report_deadlock()
+                return self.findings
+        except _Bail:
+            return []               # imprecise: no sequence findings
+        self._report_leftovers()
+        return self.findings
+
+
+def match_traces(traces: Sequence[RankTrace],
+                 nprocs: int) -> List[StaticFinding]:
+    """Run the rendezvous scheduler over per-rank traces."""
+    return _Scheduler(traces, nprocs).run()

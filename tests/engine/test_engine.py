@@ -54,7 +54,8 @@ def test_parallel_graphs_identical_to_serial():
     feat = ProGraMLFeaturizer()
     serial = ExecutionEngine(EngineConfig(workers=0)) \
         .featurize_sources(fe, feat, named)
-    parallel = ExecutionEngine(EngineConfig(workers=2, chunk_size=3)) \
+    parallel = ExecutionEngine(EngineConfig(workers=2, chunk_size=3,
+                                            min_samples_per_worker=1)) \
         .featurize_sources(fe, feat, named)
     assert len(serial) == len(parallel) == 8
     assert all(_graphs_equal(a, b) for a, b in zip(serial, parallel))
@@ -66,7 +67,8 @@ def test_parallel_embeddings_byte_identical_to_serial():
     feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
     X_serial = ExecutionEngine(EngineConfig(workers=0)) \
         .featurize_sources(fe, feat, named)
-    X_parallel = ExecutionEngine(EngineConfig(workers=2, chunk_size=2)) \
+    X_parallel = ExecutionEngine(EngineConfig(workers=2, chunk_size=2,
+                                                min_samples_per_worker=1)) \
         .featurize_sources(fe, feat, named)
     assert X_serial.shape == X_parallel.shape == (6, 512)
     assert X_serial.dtype == X_parallel.dtype
@@ -205,7 +207,8 @@ def test_unpicklable_stage_falls_back_to_serial():
     fe = CFrontend(CFrontendConfig(opt_level="O0"))
     feat = ProGraMLFeaturizer()
     feat.poison = lambda: None           # closures cannot cross processes
-    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2))
+    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2,
+                                          min_samples_per_worker=1))
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         graphs = engine.featurize_sources(fe, feat, _named_sources(4))
@@ -290,7 +293,8 @@ def test_pipeline_predict_batch_parallel_equals_serial(tmp_path):
         engine=serial_engine)
     pipe.fit(ds)
     labels_serial = [r.label for r in pipe.predict_batch(ds.samples[:12])]
-    pipe.engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=4))
+    pipe.engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=4,
+                                               min_samples_per_worker=1))
     labels_parallel = [r.label for r in pipe.predict_batch(ds.samples[:12])]
     assert labels_serial == labels_parallel
 
@@ -353,7 +357,8 @@ def test_cli_cache_stats_and_clear(tmp_path, capsys):
 # ---------------------------------------------------------------------------
 
 def test_parallel_pool_persists_across_runs_and_closes():
-    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2))
+    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2,
+                                          min_samples_per_worker=1))
     fe = CFrontend(CFrontendConfig(opt_level="O0"))
     feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
     assert not engine.pool_active
@@ -376,7 +381,8 @@ def test_parallel_pool_persists_across_runs_and_closes():
 def test_engine_context_manager_closes_pool():
     fe = CFrontend(CFrontendConfig(opt_level="O0"))
     feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
-    with ExecutionEngine(EngineConfig(workers=2, chunk_size=2)) as engine:
+    with ExecutionEngine(EngineConfig(workers=2, chunk_size=2,
+                                      min_samples_per_worker=1)) as engine:
         engine.featurize_sources(fe, feat, _named_sources(6))
         assert engine.pool_active
     assert not engine.pool_active
@@ -396,7 +402,8 @@ def test_map_serial_and_parallel_agree_in_order():
     items = ["a", "bb", "ccc", "dddd", "ee", "f"]
     serial_engine = ExecutionEngine(EngineConfig(workers=0))
     serial = serial_engine.map(len, items)
-    with ExecutionEngine(EngineConfig(workers=2)) as parallel_engine:
+    with ExecutionEngine(EngineConfig(
+            workers=2, min_samples_per_worker=1)) as parallel_engine:
         parallel = parallel_engine.map(len, items)
     assert serial == parallel == [1, 2, 3, 4, 2, 1]
     assert serial_engine.counters["mapped"] == len(items)
@@ -404,7 +411,8 @@ def test_map_serial_and_parallel_agree_in_order():
 
 
 def test_map_unpicklable_task_falls_back_to_serial():
-    engine = ExecutionEngine(EngineConfig(workers=2))
+    engine = ExecutionEngine(EngineConfig(workers=2,
+                                          min_samples_per_worker=1))
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         out = engine.map(lambda x: x * 2, [1, 2, 3])
@@ -420,13 +428,38 @@ def test_map_single_item_runs_inline():
         assert not engine.pool_active
 
 
+def test_small_batches_stay_serial_despite_workers():
+    """The cold-path guard: below workers * min_samples_per_worker items
+    a parallel engine must not pay pool startup — the BENCH_engine small
+    corpus showed forced fan-out running ~14x slower than serial."""
+    engine = ExecutionEngine(EngineConfig(workers=2))    # threshold 64
+    assert engine.map(len, ["a", "bb", "ccc"]) == [1, 2, 3]
+    assert not engine.pool_active
+    fe = CFrontend(CFrontendConfig(opt_level="O0"))
+    feat = ProGraMLFeaturizer()
+    graphs = engine.featurize_sources(fe, feat, _named_sources(6))
+    assert len(graphs) == 6
+    assert not engine.pool_active
+    assert engine.counters["parallel_chunks"] == 0
+    # Big enough batches still fan out on the same engine.
+    assert engine.map(len, ["x"] * 64) == [1] * 64
+    assert engine.pool_active
+    engine.close()
+
+
+def test_min_samples_per_worker_validation():
+    with pytest.raises(ValueError):
+        EngineConfig(workers=2, min_samples_per_worker=0)
+
+
 def test_map_chunked_matches_per_item_and_serial():
     """chunk_size groups items per worker trip (the fuzz campaign's
     scheduling) without changing results or order."""
     items = [f"s{i}" * (i % 5 + 1) for i in range(23)]
     serial = ExecutionEngine(EngineConfig(workers=0)).map(
         len, items, chunk_size=4)
-    with ExecutionEngine(EngineConfig(workers=2)) as engine:
+    with ExecutionEngine(EngineConfig(
+            workers=2, min_samples_per_worker=1)) as engine:
         chunked = engine.map(len, items, chunk_size=4)
         per_item = engine.map(len, items)
     assert serial == chunked == per_item == [len(s) for s in items]

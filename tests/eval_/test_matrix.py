@@ -67,12 +67,28 @@ def test_cell_scenario_classification():
 def test_profile_grids():
     smoke = MatrixSpec.for_profile("smoke")
     full = MatrixSpec.for_profile("fast")
-    assert smoke.methods == ("ir2vec",)
-    assert set(full.methods) == {"ir2vec", "gnn"}
+    assert smoke.methods == ("ir2vec", "static")
+    assert set(full.methods) == {"ir2vec", "gnn", "static"}
     assert len(full.mutation_levels) > len(smoke.mutation_levels)
     # Both grids contain at least one cross-dataset combination.
     for spec in (smoke, full):
         assert any(c.scenario == "cross" for c in spec.cells())
+
+
+def test_static_cells_are_one_per_test_dataset():
+    spec = MatrixSpec(train_datasets=("mbi", "corrbench"),
+                      test_datasets=("mbi", "hypre"),
+                      methods=("ir2vec", "static"), mutation_levels=(0, 2))
+    static_cells = [c for c in spec.cells() if c.method == "static"]
+    # Training-free: no train x mutation fan-out, one cell per test side.
+    assert len(static_cells) == 2
+    assert {c.test_dataset for c in static_cells} == {"mbi", "hypre"}
+    for cell in static_cells:
+        assert cell.mutation_level == 0
+    # Identity where legal (mbi trains), first train dataset otherwise.
+    by_test = {c.test_dataset: c for c in static_cells}
+    assert by_test["mbi"].train_dataset == "mbi"
+    assert by_test["hypre"].train_dataset == "mbi"
 
 
 # ---------------------------------------------------------------------------
@@ -122,6 +138,31 @@ def test_matrix_generalization_deltas(tiny_doc):
                 entry["cross_f1"] - entry["intra_f1"])
         else:
             assert entry["delta"] is None
+
+
+def test_matrix_static_backend_scores_held_out_split():
+    """The training-free static column: no classifier fit, predictions
+    sliced to the same held-out split as the learned identity cells,
+    and perfect precision on this labeled suite (trusted-oracle bar)."""
+    spec = MatrixSpec(train_datasets=("corrbench",),
+                      test_datasets=("corrbench",),
+                      methods=("static",), mutation_levels=(0,))
+    doc = run_matrix(spec, _tiny_config(), profile="tiny")
+    (cell,) = doc["cells"]
+    assert cell["method"] == "static"
+    assert cell["scenario"] == "split"
+    assert cell["n_train"] == 0              # nothing is ever fitted
+    assert 0 < cell["n_test"] < doc["datasets"]["corrbench"]["n_samples"]
+    assert cell["per_class"]
+    overall = cell["overall"]
+    assert overall["support"] == cell["n_test"]
+    # Zero false alarms on the correct half is the analyzer's contract;
+    # precision is None only if it flagged nothing at all.
+    if overall["precision"] is not None:
+        assert overall["precision"] == 1.0
+    prov = cell["provenance"]
+    assert prov["train_digest"] == "static:untrained"
+    assert len(prov["test_digest"]) == 64
 
 
 def test_cell_payload_survives_empty_mutant_keep_list():

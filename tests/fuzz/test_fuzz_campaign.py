@@ -90,7 +90,8 @@ def test_tampered_corpus_case_fails_replay_and_campaign(tmp_path):
 def test_serial_and_parallel_campaigns_are_byte_identical():
     config = FuzzConfig(seed=21, budget=16)
     serial = run_campaign(config)
-    with ExecutionEngine(EngineConfig(workers=2)) as engine:
+    with ExecutionEngine(EngineConfig(workers=2,
+                                      min_samples_per_worker=1)) as engine:
         parallel = run_campaign(config, engine=engine)
     assert json.dumps(serial, sort_keys=True) \
         == json.dumps(parallel, sort_keys=True)
@@ -139,6 +140,45 @@ def test_disagreement_is_found_minimized_and_persisted(tmp_path):
                                    include_known_bugs=False))
     assert doc2["counts"]["replayed"] == 1
     assert doc2["counts"]["replay_mismatches"] == 0
+
+
+_STATIC_ONLY_BUG = """#include <mpi.h>
+int main(int argc, char** argv) {
+  int small[2];
+  MPI_Init(&argc, &argv);
+  MPI_Bcast(small, 8, MPI_INT, 0, MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+
+def test_static_oracle_is_trusted_and_gets_its_own_triage_class(tmp_path):
+    """A bug only the dataflow analyzer sees (constant-count buffer
+    overflow — uniform across ranks, invisible to schedule-level
+    oracles) lands in the dedicated 'static_disagreement' triage class
+    when the seed metadata claims the program is correct."""
+    from repro.fuzz.oracles import ORACLE_NAMES, TRUSTED_ORACLES
+
+    assert "static" in TRUSTED_ORACLES
+    assert "static" in ORACLE_NAMES
+    corpus_dir = str(tmp_path / "corpus")
+    seed_program = GeneratedProgram(
+        name="overflow-bcast.c", source=_STATIC_ONLY_BUG,
+        expected="correct", origin="seeded-static-disagreement")
+    doc = run_campaign(
+        FuzzConfig(seed=3, budget=0, corpus_dir=corpus_dir,
+                   include_known_bugs=False),
+        extra_seeds=[seed_program])
+    assert doc["counts"]["static_disagreements"] == 1
+    assert doc["counts"]["disagreements"] == 0
+    (finding,) = doc["findings"]
+    assert finding["status"] == "static_disagreement"
+    assert finding["oracle"] == "static"
+    (case,) = CorpusStore(corpus_dir).cases()
+    assert case.status == "static_disagreement"
+    # Like plain disagreements: recorded, never blocking.
+    assert not campaign_failed(doc)
 
 
 def test_expected_incorrect_detection_is_aggregated_not_blocking():

@@ -1,0 +1,264 @@
+"""CFG analysis edge cases: post-dominance, control dependence, call
+graph and MPI summaries on the shapes that break naive algorithms —
+unreachable blocks, self-loops, multi-exit and infinite loops, and
+functions with no MPI at all.  The static analyzer builds on these, so
+"never crashes, conservatively bails" is the contract under test.
+"""
+
+from repro.frontend import compile_c
+from repro.ir import FunctionType, I32, IRBuilder, Module
+from repro.ir.analysis import (
+    call_graph,
+    compute_dominators,
+    compute_postdominators,
+    control_dependence,
+    dominator_tree_children,
+    mpi_summaries,
+    reachable_blocks,
+)
+from repro.ir.values import Constant
+from repro.verify.static.analyzer import analyze_module
+
+
+def _fn(module_name="t", fn_name="f"):
+    m = Module(module_name)
+    fn = m.add_function(fn_name, FunctionType(I32, (I32,), False), ["x"])
+    return m, fn
+
+
+def _diamond(fn):
+    entry = fn.add_block("entry")
+    then = fn.add_block("then")
+    other = fn.add_block("else")
+    merge = fn.add_block("merge")
+    b = IRBuilder(entry)
+    cond = b.icmp("eq", fn.arguments[0], Constant(I32, 0))
+    b.cond_br(cond, then, other)
+    b.position_at_end(then)
+    b.br(merge)
+    b.position_at_end(other)
+    b.br(merge)
+    b.position_at_end(merge)
+    b.ret(Constant(I32, 0))
+    return entry, then, other, merge
+
+
+# ---------------------------------------------------------------------------
+# Post-dominators
+# ---------------------------------------------------------------------------
+
+def test_postdominators_diamond():
+    m, fn = _fn()
+    entry, then, other, merge = _diamond(fn)
+    ipdom = compute_postdominators(fn)
+    assert ipdom[entry] is merge
+    assert ipdom[then] is merge
+    assert ipdom[other] is merge
+    assert ipdom[merge] is None          # exit block: no post-dominator
+
+
+def test_postdominators_skip_unreachable_blocks():
+    m, fn = _fn()
+    entry, *_ = _diamond(fn)
+    dead = fn.add_block("dead")
+    IRBuilder(dead).ret(Constant(I32, 9))
+    ipdom = compute_postdominators(fn)
+    assert dead not in ipdom
+    assert entry in ipdom
+
+
+def test_postdominators_self_loop():
+    # entry -> loop; loop -> (loop | exit): the self-edge must not hang
+    # or corrupt the intersection walk.
+    m, fn = _fn()
+    entry = fn.add_block("entry")
+    loop = fn.add_block("loop")
+    exit_ = fn.add_block("exit")
+    b = IRBuilder(entry)
+    b.br(loop)
+    b.position_at_end(loop)
+    cond = b.icmp("slt", fn.arguments[0], Constant(I32, 10))
+    b.cond_br(cond, loop, exit_)
+    b.position_at_end(exit_)
+    b.ret(Constant(I32, 0))
+    ipdom = compute_postdominators(fn)
+    assert ipdom[entry] is loop
+    assert ipdom[loop] is exit_
+    assert ipdom[exit_] is None
+
+
+def test_postdominators_multi_exit_loop():
+    # A loop with a break edge and a normal exit: neither exit
+    # post-dominates the header, so its ipdom is the virtual exit (None).
+    m, fn = _fn()
+    entry = fn.add_block("entry")
+    header = fn.add_block("header")
+    body = fn.add_block("body")
+    brk = fn.add_block("break")
+    done = fn.add_block("done")
+    b = IRBuilder(entry)
+    b.br(header)
+    b.position_at_end(header)
+    c1 = b.icmp("slt", fn.arguments[0], Constant(I32, 10))
+    b.cond_br(c1, body, done)
+    b.position_at_end(body)
+    c2 = b.icmp("eq", fn.arguments[0], Constant(I32, 5))
+    b.cond_br(c2, brk, header)
+    b.position_at_end(brk)
+    b.ret(Constant(I32, 1))
+    b.position_at_end(done)
+    b.ret(Constant(I32, 0))
+    ipdom = compute_postdominators(fn)
+    assert ipdom[header] is None         # exits via 'done' or 'break'
+    assert ipdom[body] is None
+    assert ipdom[brk] is None and ipdom[done] is None
+
+
+def test_postdominators_infinite_loop_maps_to_none():
+    m, fn = _fn()
+    entry = fn.add_block("entry")
+    spin = fn.add_block("spin")
+    b = IRBuilder(entry)
+    b.br(spin)
+    b.position_at_end(spin)
+    b.br(spin)                            # no exit at all
+    ipdom = compute_postdominators(fn)
+    assert ipdom[entry] is None
+    assert ipdom[spin] is None
+
+
+# ---------------------------------------------------------------------------
+# Control dependence
+# ---------------------------------------------------------------------------
+
+def test_control_dependence_diamond_arms_on_branch():
+    m, fn = _fn()
+    entry, then, other, merge = _diamond(fn)
+    deps = control_dependence(fn)
+    assert deps[then] == {entry}
+    assert deps[other] == {entry}
+    assert deps[merge] == set()          # merge runs regardless
+    assert deps[entry] == set()
+
+
+def test_control_dependence_loop_body_on_header():
+    m, fn = _fn()
+    entry = fn.add_block("entry")
+    header = fn.add_block("header")
+    body = fn.add_block("body")
+    done = fn.add_block("done")
+    b = IRBuilder(entry)
+    b.br(header)
+    b.position_at_end(header)
+    cond = b.icmp("slt", fn.arguments[0], Constant(I32, 4))
+    b.cond_br(cond, body, done)
+    b.position_at_end(body)
+    b.br(header)
+    b.position_at_end(done)
+    b.ret(Constant(I32, 0))
+    deps = control_dependence(fn)
+    assert header in deps[body]
+    # The header controls its own re-execution through the back edge.
+    assert header in deps[header]
+    assert deps[done] == set()
+
+
+def test_dominator_tree_children_consistent_with_idom():
+    m, fn = _fn()
+    entry, then, other, merge = _diamond(fn)
+    idom = compute_dominators(fn)
+    children = dominator_tree_children(idom)
+    assert set(children[entry]) == {then, other, merge}
+
+
+# ---------------------------------------------------------------------------
+# Call graph / MPI summaries / analyzer robustness
+# ---------------------------------------------------------------------------
+
+_HELPERS = """
+#include <mpi.h>
+int leaf(int x) { return x + 1; }
+void talk(int rank) {
+    MPI_Barrier(MPI_COMM_WORLD);
+}
+void relay(int rank) { talk(rank); }
+int main(int argc, char **argv) {
+    int rank;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    relay(rank);
+    leaf(rank);
+    MPI_Finalize();
+    return 0;
+}
+"""
+
+
+def test_call_graph_and_transitive_mpi_summaries():
+    module = compile_c(_HELPERS, "helpers.c", "O0")
+    graph = call_graph(module)
+    assert "talk" in graph["relay"]
+    assert "relay" in graph["main"]
+    summaries = mpi_summaries(module)
+    assert "MPI_Barrier" in summaries["talk"]
+    assert "MPI_Barrier" in summaries["relay"]       # transitive
+    assert "MPI_Barrier" in summaries["main"]
+    assert summaries["leaf"] == frozenset()          # no MPI at all
+
+
+def test_mpi_summaries_mutual_recursion_converges():
+    src = """
+#include <mpi.h>
+void ping(int n);
+void pong(int n) { if (n > 0) { ping(n - 1); } }
+void ping(int n) { if (n > 0) { MPI_Barrier(MPI_COMM_WORLD); pong(n); } }
+int main(int argc, char **argv) {
+    MPI_Init(&argc, &argv);
+    ping(2);
+    MPI_Finalize();
+    return 0;
+}
+"""
+    module = compile_c(src, "recurse.c", "O0")
+    summaries = mpi_summaries(module)
+    assert "MPI_Barrier" in summaries["ping"]
+    assert "MPI_Barrier" in summaries["pong"]
+
+
+def test_analyzer_clean_on_function_without_mpi():
+    src = """
+int work(int x) {
+    int acc = 0;
+    for (int i = 0; i < x; i = i + 1) { acc = acc + i; }
+    return acc;
+}
+int main(int argc, char **argv) {
+    return work(7);
+}
+"""
+    module = compile_c(src, "nompi.c", "O0")
+    assert analyze_module(module) == []
+
+
+def test_analyzer_never_crashes_on_cfg_edge_cases():
+    # Hand-built IR with an unreachable block and a self-loop: the
+    # analyzer must stay silent (bail), never raise.
+    m, fn = _fn(fn_name="main")
+    entry = fn.add_block("entry")
+    spin = fn.add_block("spin")
+    dead = fn.add_block("dead")
+    b = IRBuilder(entry)
+    b.br(spin)
+    b.position_at_end(spin)
+    b.br(spin)
+    b.position_at_end(dead)
+    b.ret(Constant(I32, 0))
+    assert analyze_module(m) == []
+
+
+def test_reachable_blocks_empty_function():
+    m = Module("t")
+    fn = m.add_function("decl", FunctionType(I32, (), False))
+    assert reachable_blocks(fn) == []
+    assert compute_postdominators(fn) == {}
+    assert control_dependence(fn) == {}

@@ -181,7 +181,8 @@ def test_custom_featurizer_artifact_roundtrip(tmp_path, dataset):
 def test_pipeline_close_shuts_down_engine_pool(dataset):
     from repro.engine import EngineConfig, ExecutionEngine
 
-    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2))
+    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2,
+                                          min_samples_per_worker=1))
     pipeline = DetectionPipeline.from_names(
         "ir2vec", "decision-tree",
         classifier_config=DecisionTreeStageConfig(use_ga=False),
@@ -203,7 +204,8 @@ def test_pipeline_close_shuts_down_engine_pool(dataset):
 def test_pipeline_context_manager(dataset):
     from repro.engine import EngineConfig, ExecutionEngine
 
-    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2))
+    engine = ExecutionEngine(EngineConfig(workers=2, chunk_size=2,
+                                          min_samples_per_worker=1))
     with DetectionPipeline.from_names(
             "ir2vec", "decision-tree",
             classifier_config=DecisionTreeStageConfig(use_ga=False),
