@@ -1,23 +1,28 @@
-"""Throughput smoke benchmark for the corpus execution engine.
+"""Throughput benchmark for the corpus execution engine.
 
-Measures the fused compile → ir2vec-featurize hot path over an MBI smoke
-corpus in three regimes and emits ``BENCH_engine.json``:
+Measures the fused compile → ir2vec-featurize cold path over an MBI
+corpus and emits ``BENCH_engine.json``:
 
-* **cold serial** — empty persistent store, ``workers=0``;
-* **cold parallel** — empty store, worker-pool fan-out;
-* **warm serial** — second run over the store the cold-serial run filled
-  (the acceptance bar: zero recompiles, verified via cache stats).
+* **cold serial** — ``workers=0``, no persistent store (best of two
+  reps: the box this runs on is noisy and a single rep regularly
+  wobbles 30%);
+* **cold parallel** — empty store, ``workers=4`` zero-copy fan-out over
+  a corpus big enough to clear the ``min_samples_per_worker`` guard at
+  its production default;
+* **warm serial** — second run over the store the cold-serial run
+  filled (zero recompiles, verified via cache stats).
 
-In-process memos are cleared before each timed run so the numbers
-isolate the engine tiers (worker pool, persistent store) rather than
-the per-process dict caches.  The parallel ≥ 2× serial assertion only
-applies where the hardware can deliver it (≥ 4 effective cores — CI
-runners and laptops with fewer cores still record the ratio).
+Correctness is gated hard: the parallel feature matrix must be
+*byte*-identical to the serial one.  Wall-clock ratios are recorded
+always but asserted only where the hardware can deliver them (≥ 4
+effective cores) — and even then as a warning unless
+``REPRO_BENCH_STRICT=1`` opts dedicated hardware into hard gates.
 """
 
 import json
 import os
 import time
+import warnings
 
 import pytest
 
@@ -33,7 +38,8 @@ from repro.pipeline.stages import (
 
 from benchmarks.conftest import emit
 
-_CORPUS_SIZE = 48
+_CORPUS_SIZE = 192        # ≥ workers * min_samples_per_worker (4 * 32)
+_WORKERS = 4
 _OUT = "BENCH_engine.json"
 
 
@@ -44,7 +50,7 @@ def _effective_cores() -> int:
         return os.cpu_count() or 1
 
 
-def _timed_featurize(engine: ExecutionEngine, named) -> float:
+def _timed_featurize(engine: ExecutionEngine, named):
     clear_caches()            # isolate engine tiers from in-process memos
     start = time.perf_counter()
     X = engine.featurize_sources(CFrontend(CFrontendConfig(opt_level="Os")),
@@ -52,7 +58,7 @@ def _timed_featurize(engine: ExecutionEngine, named) -> float:
                                  named)
     elapsed = time.perf_counter() - start
     assert X.shape == (len(named), 512)
-    return elapsed
+    return elapsed, X
 
 
 @pytest.mark.benchmark(group="engine")
@@ -60,7 +66,6 @@ def test_engine_throughput_cold_warm_serial_parallel(tmp_path):
     named = [(s.name, s.source) for s in load_mbi(subsample=_CORPUS_SIZE)]
     n = len(named)
     cores = _effective_cores()
-    workers = max(2, min(4, cores))
 
     # The per-process IR2vec encoder is deliberately warmed outside the
     # timers: it is a once-per-process cost, not corpus throughput.
@@ -68,20 +73,35 @@ def test_engine_throughput_cold_warm_serial_parallel(tmp_path):
 
     serial_dir = tmp_path / "serial"
     parallel_dir = tmp_path / "parallel"
-    t_cold_serial = _timed_featurize(
+
+    # Cold serial, best of two reps: one pure (no store writes), one
+    # filling the store the warm run reads back.
+    t_pure, X_serial = _timed_featurize(
+        ExecutionEngine(EngineConfig(workers=0)), named)
+    t_filling, _ = _timed_featurize(
         ExecutionEngine(EngineConfig(workers=0, cache_dir=str(serial_dir))),
         named)
-    # min_samples_per_worker=1 forces fan-out: the benchmark *measures*
-    # the small-batch parallel cost the production default now avoids
-    # (48 samples < workers * 32 would otherwise stay serial by design).
-    t_cold_parallel = _timed_featurize(
-        ExecutionEngine(EngineConfig(workers=workers, chunk_size=8,
-                                     min_samples_per_worker=1,
-                                     cache_dir=str(parallel_dir))),
-        named)
+    t_cold_serial = min(t_pure, t_filling)
+
+    # Cold parallel: production defaults (adaptive chunks, shm transport,
+    # the stock min_samples_per_worker guard — which the corpus clears).
+    parallel_engine = ExecutionEngine(EngineConfig(
+        workers=_WORKERS, cache_dir=str(parallel_dir)))
+    with parallel_engine:
+        t_cold_parallel, X_parallel = _timed_featurize(parallel_engine,
+                                                       named)
+        engine_perf = parallel_engine.stats_dict()["perf"]
+        engine_counters = dict(parallel_engine.counters)
+
+    # Hard gate, hardware-independent: fan-out must not change a byte.
+    assert engine_counters["parallel_chunks"] > 0, \
+        "corpus failed to clear the min_samples_per_worker guard"
+    assert X_parallel.tobytes() == X_serial.tobytes(), \
+        "parallel features differ from serial"
+
     warm_engine = ExecutionEngine(EngineConfig(workers=0,
                                                cache_dir=str(serial_dir)))
-    t_warm = _timed_featurize(warm_engine, named)
+    t_warm, _ = _timed_featurize(warm_engine, named)
 
     # Acceptance bar: the warm re-run answers entirely from the store.
     warm_stats = warm_engine.stats["features"]
@@ -91,7 +111,7 @@ def test_engine_throughput_cold_warm_serial_parallel(tmp_path):
     results = {
         "corpus": "MBI-smoke",
         "samples": n,
-        "workers": workers,
+        "workers": _WORKERS,
         "effective_cores": cores,
         "cold_serial_sec": round(t_cold_serial, 4),
         "cold_parallel_sec": round(t_cold_parallel, 4),
@@ -103,16 +123,17 @@ def test_engine_throughput_cold_warm_serial_parallel(tmp_path):
         "warm_speedup": round(t_cold_serial / t_warm, 3),
         "warm_feature_hits": warm_stats.hits,
         "warm_feature_misses": warm_stats.misses,
+        "payload_bytes_per_task": engine_perf["payload_bytes_per_task"],
+        "pool_utilization": engine_perf["pool_utilization"],
+        "shm_tasks": engine_counters["shm_tasks"],
+        "parallel_tasks": engine_counters["tasks"],
+        "byte_identical": True,
     }
-    if results["parallel_speedup"] < 1.0:
-        # A sub-1 "speedup" means forced fan-out lost to the serial path
-        # on this corpus size — exactly the regime the engine's
-        # min_samples_per_worker guard keeps on the serial path in
-        # production.  Record it loudly instead of hiding it in a ratio.
+    if cores < _WORKERS:
         results["warning"] = (
-            f"parallel slower than serial at {n} samples "
-            f"({results['parallel_speedup']}x); production engines stay "
-            f"serial below workers*min_samples_per_worker items")
+            f"only {cores} effective core(s): parallel_speedup is a "
+            f"contention measurement, not a fan-out one; speedup gates "
+            f"not applied")
     with open(_OUT, "w", encoding="utf-8") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
     emit("Engine throughput (samples/sec)", json.dumps(results, indent=2,
@@ -120,11 +141,15 @@ def test_engine_throughput_cold_warm_serial_parallel(tmp_path):
 
     # Warm-over-cold is hardware-independent: disk reads beat recompiles.
     assert results["warm_speedup"] > 2.0
-    # Fan-out only pays where cores exist to fan onto, and wall-clock
-    # ratios flake on noisy shared runners — hard-assert them only when
-    # explicitly requested (REPRO_BENCH_STRICT=1 on dedicated hardware).
-    if os.environ.get("REPRO_BENCH_STRICT") == "1":
-        if cores >= 4:
-            assert results["parallel_speedup"] >= 2.0
-        elif cores >= 2:
-            assert results["parallel_speedup"] >= 1.2
+    # Wall-clock ratios flake on noisy shared runners — below the strict
+    # bar they warn; REPRO_BENCH_STRICT=1 (dedicated hardware) hard-fails.
+    strict = os.environ.get("REPRO_BENCH_STRICT") == "1"
+    if cores >= 4:
+        if results["parallel_speedup"] < 2.5:
+            msg = (f"parallel_speedup {results['parallel_speedup']}x "
+                   f"below the 2.5x bar on {cores} cores")
+            if strict:
+                pytest.fail(msg)
+            warnings.warn(msg, RuntimeWarning)
+    elif strict and cores >= 2:
+        assert results["parallel_speedup"] >= 1.2

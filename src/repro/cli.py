@@ -21,6 +21,7 @@ mutate         inject MPI bugs into a correct program (mutation operators)
 fuzz           differential pipeline fuzzing: ``fuzz run`` generates
                programs, cross-checks the oracles, minimizes findings
                into a replay-first corpus; ``fuzz replay`` re-checks it
+profile        time the cold pipeline per stage, write PERF_profile.json
 cache          inspect / clear the persistent engine cache
 artifact       inspect a saved pipeline artifact (manifest only, no unpickle)
 serve          run the async micro-batching HTTP detection service
@@ -636,6 +637,46 @@ def cmd_fuzz_replay(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``profile``: drive a dataset through the cold pipeline under the
+    per-stage timers and write the schema-checked profile artifact."""
+    import json
+
+    from repro.engine import default_engine
+    from repro.eval.config import ReproConfig
+    from repro.perf import collect_profile, save_profile
+
+    _apply_engine_flags(args)
+    config = getattr(ReproConfig, args.profile)()
+    samples = list(config.dataset(args.dataset))
+    if args.subsample:
+        samples = samples[:args.subsample]
+    if not samples:
+        print("error: empty dataset", file=sys.stderr)
+        return 1
+    doc = collect_profile(args.dataset, samples, method=args.method,
+                          opt_level=args.opt, engine=default_engine(),
+                          classify=not args.no_classify)
+    save_profile(doc, args.output)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(f"profiled {doc['samples']} {args.dataset} samples "
+          f"({doc['method']}, {doc['opt_level']}, "
+          f"workers={doc['workers']}): "
+          f"{doc['samples_per_sec']:.1f} samples/s")
+    width = max((len(k) for k in doc["stage_sec"]), default=0)
+    for stage, sec in sorted(doc["stage_sec"].items(),
+                             key=lambda kv: -kv[1]):
+        share = sec / doc["wall_sec"] if doc["wall_sec"] else 0.0
+        print(f"  {stage:<{width}}  {sec:>9.4f}s  {share:>6.1%}  "
+              f"(x{doc['stage_counts'][stage]})")
+    print(f"  {'total':<{width}}  {doc['stage_total_sec']:>9.4f}s  "
+          f"coverage {doc['coverage']:.1%} of {doc['wall_sec']:.4f}s wall")
+    print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine import ContentStore
 
@@ -654,16 +695,42 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"cache {cache_dir}")
     if not summary:
         print("  (empty)")
-        return 0
-    total_entries = total_bytes = 0
-    for stage, info in sorted(summary.items()):
-        print(f"  {stage:<12} {info['entries']:>8} entries  "
-              f"{info['bytes'] / 1024:>10.1f} KiB")
-        total_entries += info["entries"]
-        total_bytes += info["bytes"]
-    print(f"  {'total':<12} {total_entries:>8} entries  "
-          f"{total_bytes / 1024:>10.1f} KiB")
+    else:
+        total_entries = total_bytes = 0
+        for stage, info in sorted(summary.items()):
+            print(f"  {stage:<12} {info['entries']:>8} entries  "
+                  f"{info['bytes'] / 1024:>10.1f} KiB")
+            total_entries += info["entries"]
+            total_bytes += info["bytes"]
+        print(f"  {'total':<12} {total_entries:>8} entries  "
+              f"{total_bytes / 1024:>10.1f} KiB")
+    _print_engine_stats()
     return 0
+
+
+def _print_engine_stats() -> None:
+    """This-process execution-engine counters (the fan-out observability
+    half of ``cache stats``; zeros in a freshly started CLI process)."""
+    from repro.engine import default_engine
+
+    engine = default_engine()
+    stats = engine.stats_dict()
+    print("engine (this process)")
+    print(f"  workers={stats['workers']} "
+          f"chunk_size={engine.config.chunk_size or 'auto'} "
+          f"pool_active={stats['pool_active']}")
+    # Zero counters are noise (and a fresh CLI process is all zeros) —
+    # only activity is worth a line.
+    counters = {k: v for k, v in stats.get("counters", {}).items() if v}
+    if counters:
+        print("  " + "  ".join(f"{k}={v}" for k, v in sorted(counters.items())))
+    perf = stats.get("perf", {})
+    if perf:
+        print(f"  payload_bytes_per_task={perf['payload_bytes_per_task']:.0f} "
+              f"pool_utilization={perf['pool_utilization']:.2f} "
+              f"worker_busy_sec={perf['worker_busy_sec']:.3f} "
+              f"parallel_wall_sec={perf['parallel_wall_sec']:.3f} "
+              f"ewma_sample_sec={perf['ewma_sample_sec']:.5f}")
 
 
 def cmd_artifact(args: argparse.Namespace) -> int:
@@ -966,6 +1033,30 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("-n", "--nprocs", type=int, default=3)
     _add_engine_flags(pr)
     pr.set_defaults(func=cmd_fuzz_replay)
+
+    p = sub.add_parser("profile",
+                       help="time the cold pipeline per stage, write "
+                            "PERF_profile.json")
+    p.add_argument("dataset", choices=("mbi", "corrbench", "mix", "hypre"),
+                   help="dataset to drive through the cold path")
+    p.add_argument("--profile", default="fast",
+                   choices=("paper", "fast", "smoke"),
+                   help="scaling profile controlling subsampling "
+                        "(default: fast)")
+    p.add_argument("--method", default="ir2vec", choices=("ir2vec", "gnn"),
+                   help="featurization pipeline to profile")
+    p.add_argument("-O", "--opt", default="Os", metavar="LEVEL",
+                   help="optimization level (default: Os)")
+    p.add_argument("--subsample", type=int, default=None, metavar="N",
+                   help="profile only the first N samples")
+    p.add_argument("--no-classify", action="store_true",
+                   help="skip the classify stage (featurize only)")
+    p.add_argument("-o", "--output", default="PERF_profile.json",
+                   help="output path (default: PERF_profile.json)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full profile document as JSON")
+    _add_engine_flags(p)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("cache",
                        help="inspect / clear the persistent engine cache")

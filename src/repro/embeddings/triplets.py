@@ -13,7 +13,8 @@ call identity), abstract types, and operand kinds.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set, Tuple
+import sys
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.ir.instructions import CallInst, Instruction
 from repro.ir.module import Function, Module
@@ -23,11 +24,23 @@ from repro.ir.values import Argument, Constant, ConstantString, GlobalVariable, 
 Triple = Tuple[str, str, str]
 
 
+# Entity strings are produced once per instruction per encode/extract
+# and compared/hashed far more often than built; interned memos turn the
+# hot lookups into pointer comparisons and kill the per-call f-string
+# allocations the cold-path profile surfaced.
+_INT_TYPE_ENTITIES: Dict[int, str] = {}
+_CALL_ENTITIES: Dict[str, str] = {}
+
+
 def abstract_type(t: Type) -> str:
     if t.is_void:
         return "voidTy"
     if isinstance(t, IntType):
-        return f"i{t.bits}Ty"
+        entity = _INT_TYPE_ENTITIES.get(t.bits)
+        if entity is None:
+            entity = sys.intern(f"i{t.bits}Ty")
+            _INT_TYPE_ENTITIES[t.bits] = entity
+        return entity
     if isinstance(t, FloatType):
         return "floatTy" if t.bits == 32 else "doubleTy"
     if isinstance(t, PointerType):
@@ -39,10 +52,18 @@ def abstract_type(t: Type) -> str:
     return "unkTy"
 
 
+def _call_entity(callee_name: str) -> str:
+    entity = _CALL_ENTITIES.get(callee_name)
+    if entity is None:
+        entity = sys.intern(f"call:{callee_name}")
+        _CALL_ENTITIES[callee_name] = entity
+    return entity
+
+
 def instruction_entity(inst: Instruction) -> str:
     """Entity name for an instruction (calls keyed by callee)."""
     if isinstance(inst, CallInst):
-        return f"call:{inst.callee_name}"
+        return _call_entity(inst.callee_name)
     return inst.opcode
 
 
@@ -62,7 +83,7 @@ def operand_entity(op) -> str:
     if isinstance(op, UndefValue):
         return "undef"
     if isinstance(op, Function):
-        return f"call:{op.name}"
+        return _call_entity(op.name)
     return "value"
 
 

@@ -32,7 +32,7 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 
 #: Bump to invalidate every persisted entry after a change to how any
 #: stage computes its results (the on-disk layout namespaces on it).
-ENGINE_CACHE_VERSION = "1"
+ENGINE_CACHE_VERSION = "2"
 
 
 def code_version() -> str:

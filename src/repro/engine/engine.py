@@ -6,11 +6,19 @@ per-sample work is pure: one source at one stage config always produces
 the same IR module, embedding row, or program graph.  The engine exploits
 both facts:
 
-* **Fan-out** — samples are processed in deterministic, order-preserving
-  chunks over a ``ProcessPoolExecutor`` (``fork`` start method where the
-  platform offers it, so warm per-process memos like the IR2vec encoder
-  are inherited instead of rebuilt).  ``workers=0`` is the serial
-  fallback and the default: identical results, one process.
+* **Zero-copy fan-out** — the frontend/featurizer stages are installed
+  in workers **once per pool**, not pickled into every chunk: under the
+  ``fork`` start method (Linux) workers inherit the parent's warmed
+  stage state copy-on-write, elsewhere a one-time pool initializer ships
+  it.  Chunk payloads carry only ``(stage token, samples)``; feature
+  matrices return through ``multiprocessing.shared_memory`` segments
+  instead of the pickle result queue once they clear
+  ``EngineConfig.shm_min_bytes``.  A stage-identity token guards the
+  installed state: running different stages restarts the pool.
+* **Adaptive chunking** — ``chunk_size=0`` (the default) sizes chunks
+  from the observed per-sample latency (EWMA), targeting
+  ``~50 ms`` of work per task while keeping at least four chunks per
+  worker for load balance.  A fixed ``chunk_size > 0`` opts out.
 * **Never redo work** — every stage is backed by the persistent
   content-addressed :class:`~repro.engine.cache.ContentStore`.  A warm
   re-run of ``fit``, ``predict_batch``, an eval scenario, or a benchmark
@@ -18,7 +26,14 @@ both facts:
   stage config and the code version, so changing any input recomputes.
 
 Parallel and serial runs are bit-identical by construction: per-sample
-results are computed independently and reassembled in input order.
+results are computed independently and reassembled in input order, and
+the featurizers themselves guarantee batch-composition independence.
+``workers=0`` is the serial fallback and the default.
+
+Workers also time their stages against :data:`repro.perf.PERF` and ship
+the snapshot home with each chunk, so ``repro profile`` sees per-stage
+seconds even for fanned-out runs; ``stats_dict()`` exposes the transport
+counters (payload bytes per task, shared-memory usage, pool utilization).
 
 >>> engine = ExecutionEngine(workers=4, cache_dir="~/.cache/repro")
 >>> X = engine.featurize_sources(frontend, featurizer, named_sources)
@@ -26,11 +41,13 @@ results are computed independently and reassembled in input order.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import pickle
 import sys
 import threading
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -48,11 +65,21 @@ from typing import (
 
 import numpy as np
 
-from repro.engine.cache import CacheStats, ContentStore
+from repro.engine.cache import CacheStats, ContentStore, digest_parts
+from repro.engine.shm import load_matrix, share_rows
+from repro.perf import PERF
 
 #: Store subtrees, one per engine stage.
 COMPILE_STAGE = "compile"
 FEATURE_STAGE = "features"
+
+#: Adaptive chunking targets ~this much work per task: big enough to
+#: amortize scheduling, small enough to load-balance a 4-worker pool.
+_TARGET_CHUNK_SEC = 0.05
+_DEFAULT_CHUNK_SIZE = 16          # before any latency has been observed
+_MAX_CHUNK_SIZE = 128
+_MIN_CHUNKS_PER_WORKER = 4        # keep the pool fed near the tail
+_EWMA_ALPHA = 0.3                 # weight of the newest latency sample
 
 
 def stage_identity(stage: Any) -> str:
@@ -134,11 +161,78 @@ def _process_chunk(store: Optional[ContentStore], frontend: Any,
     return rows
 
 
-def _chunk_worker(payload: bytes) -> List[Any]:
-    """Top-level worker entry point (must be importable for pickling)."""
-    frontend, featurizer, chunk, cache_dir, version = pickle.loads(payload)
-    store = ContentStore(cache_dir, version) if cache_dir else None
-    return _process_chunk(store, frontend, featurizer, chunk)
+# ---------------------------------------------------------------------------
+# Worker-side stage state (installed once per pool, never per chunk)
+# ---------------------------------------------------------------------------
+
+class _WorkerState:
+    """Everything a stage worker needs, installed once per pool."""
+
+    __slots__ = ("token", "frontend", "featurizer", "cache_dir", "version",
+                 "shm_min_bytes")
+
+    def __init__(self, token: str, frontend: Any, featurizer: Optional[Any],
+                 cache_dir: Optional[str], version: Optional[str],
+                 shm_min_bytes: int):
+        self.token = token
+        self.frontend = frontend
+        self.featurizer = featurizer
+        self.cache_dir = cache_dir
+        self.version = version
+        self.shm_min_bytes = shm_min_bytes
+
+    def __getstate__(self):              # slots + spawn initializer pickling
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
+#: The installed stage state.  Under ``fork`` the parent sets this
+#: before pool creation and children inherit it copy-on-write (zero
+#: pickling); under ``spawn`` the pool initializer installs it once per
+#: worker process.
+_WORKER_STATE: Optional[_WorkerState] = None
+
+
+def _install_worker_state(state: Optional[_WorkerState]) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _init_worker(blob: bytes) -> None:
+    """Pool initializer for non-fork start methods."""
+    _install_worker_state(pickle.loads(blob))
+
+
+def _stage_chunk_worker(payload: bytes) -> Tuple[str, Any, float,
+                                                 Dict[str, Any]]:
+    """Process one ``(stage token, chunk)`` payload against the installed
+    state.  Returns ``(transport, value, busy_sec, perf_snapshot)`` where
+    transport is ``"shm"`` (value = matrix handle) or ``"rows"``."""
+    token, chunk = pickle.loads(payload)
+    state = _WORKER_STATE
+    if state is None or state.token != token:
+        raise RuntimeError(
+            f"engine worker has no installed state for stage token {token!r}"
+            " (pool restarted under a different stage?)")
+    start = time.perf_counter()
+    PERF.reset()
+    PERF.enabled = True
+    try:
+        store = (ContentStore(state.cache_dir, state.version)
+                 if state.cache_dir else None)
+        rows = _process_chunk(store, state.frontend, state.featurizer, chunk)
+    finally:
+        PERF.enabled = False
+    busy = time.perf_counter() - start
+    snapshot = PERF.snapshot()
+    if state.featurizer is not None:
+        handle = share_rows(rows, state.shm_min_bytes)
+        if handle is not None:
+            return ("shm", handle, busy, snapshot)
+    return ("rows", rows, busy, snapshot)
 
 
 def _map_worker(payload: bytes) -> Any:
@@ -159,27 +253,35 @@ class EngineConfig:
 
     ``workers=0`` runs serially in-process; ``workers=N`` fans chunks out
     to N worker processes.  ``cache_dir=None`` disables the persistent
-    store (in-process memos still apply).  ``chunk_size`` balances
-    scheduling overhead against load balance.
+    store (in-process memos still apply).
+
+    ``chunk_size=0`` (default) sizes chunks adaptively from observed
+    per-sample latency (~50 ms of work per task, at least four tasks per
+    worker); a positive value pins it.
 
     ``min_samples_per_worker`` is the cold-path guard: a parallel run
     only pays off once per-item work amortizes pool startup and payload
     pickling, so batches smaller than ``workers * min_samples_per_worker``
     stay serial even with ``workers > 0`` (set it to 1 to force fan-out,
     as the throughput benchmark does).
+
+    ``shm_min_bytes`` is the feature-matrix transport threshold: chunk
+    results at least this large return via shared memory instead of the
+    pickle result queue.  Negative disables shared memory entirely.
     """
 
     workers: int = 0
     cache_dir: Optional[str] = None
-    chunk_size: int = 16
+    chunk_size: int = 0
     min_samples_per_worker: int = 32
     start_method: str = "auto"      # 'auto' prefers fork where available
+    shm_min_bytes: int = 32768
 
     def __post_init__(self):
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
-        if self.chunk_size <= 0:
-            raise ValueError("chunk_size must be positive")
+        if self.chunk_size < 0:
+            raise ValueError("chunk_size must be >= 0 (0 = adaptive)")
         if self.min_samples_per_worker < 1:
             raise ValueError("min_samples_per_worker must be >= 1")
 
@@ -193,20 +295,31 @@ class ExecutionEngine:
             ContentStore(self.config.cache_dir)
             if self.config.cache_dir else None)
         #: Parent-side work counters (worker-side compiles land in the
-        #: shared store but are not mirrored here).
+        #: shared store but are not mirrored here).  ``tasks`` /
+        #: ``payload_bytes`` / ``shm_tasks`` count the parallel
+        #: transport: submitted worker tasks, bytes pickled into their
+        #: payloads, and how many returned via shared memory.
         self.counters: Dict[str, int] = {
             "compiled": 0, "featurized": 0, "chunks": 0, "parallel_chunks": 0,
-            "pool_starts": 0, "mapped": 0,
+            "pool_starts": 0, "mapped": 0, "tasks": 0, "payload_bytes": 0,
+            "shm_tasks": 0,
         }
         # The worker pool is persistent: started lazily on the first
         # parallel run and reused across calls (long-lived callers like
         # the serving loop would otherwise pay pool startup per batch).
-        # close() tears it down deterministically; the engine stays
-        # usable afterwards — the next parallel run starts a fresh pool.
-        # The lock only guards create/close (threads sharing the default
+        # It is keyed by the stage token whose state its workers hold —
+        # running a different stage restarts it.  close() tears it down
+        # deterministically; the engine stays usable afterwards.  The
+        # lock only guards create/close (threads sharing the default
         # engine must not each fork a pool and orphan one).
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_token: Optional[str] = None
         self._pool_lock = threading.Lock()
+        # Scheduling feedback: EWMA of observed per-sample seconds
+        # (drives adaptive chunk sizing) and pool-utilization inputs.
+        self._ewma_sample_sec: Optional[float] = None
+        self._worker_busy_sec = 0.0
+        self._parallel_wall_sec = 0.0
 
     # -- introspection ------------------------------------------------------
     @property
@@ -228,11 +341,26 @@ class ExecutionEngine:
         return self.store.stats if self.store is not None else {}
 
     def stats_dict(self) -> Dict[str, Any]:
+        tasks = self.counters["tasks"]
+        wall = self._parallel_wall_sec
+        capacity = wall * max(1, self.config.workers)
         return {
             "workers": self.config.workers,
             "cache_dir": self.config.cache_dir,
             "pool_active": self.pool_active,
             "counters": dict(self.counters),
+            "perf": {
+                "payload_bytes_per_task": (
+                    round(self.counters["payload_bytes"] / tasks, 1)
+                    if tasks else 0.0),
+                "worker_busy_sec": round(self._worker_busy_sec, 6),
+                "parallel_wall_sec": round(wall, 6),
+                "pool_utilization": (
+                    round(min(1.0, self._worker_busy_sec / capacity), 4)
+                    if capacity > 0 else 0.0),
+                "ewma_sample_sec": (round(self._ewma_sample_sec, 6)
+                                    if self._ewma_sample_sec else 0.0),
+            },
             "store": {stage: s.as_dict() for stage, s in self.stats.items()},
         }
 
@@ -245,6 +373,7 @@ class ExecutionEngine:
         """
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            self._pool_token = None
         if pool is not None:
             pool.shutdown(wait=True)
 
@@ -304,7 +433,10 @@ class ExecutionEngine:
         module-level callable and each item picklable; anything that
         cannot cross a process boundary falls back to serial execution
         with a warning, exactly like the stage scheduler.  Serial and
-        parallel runs return identical results in input order.
+        parallel runs return identical results in input order.  Like the
+        stage path, small batches (under ``workers *
+        min_samples_per_worker`` items) stay serial: the guard is
+        uniform across every engine entry point.
 
         ``chunk_size`` groups items per worker trip: one pickle + one
         future per *chunk* instead of per item, which is what makes
@@ -319,14 +451,12 @@ class ExecutionEngine:
             raise ValueError("chunk_size must be positive")
         if self._parallel_worthwhile(len(items)):
             if chunk_size is None:
-                groups: List[List[Any]] = [[item] for item in items]
                 worker = _map_worker
-                wraps = [(fn, item) for item in items]
+                wraps: List[Any] = [(fn, item) for item in items]
             else:
-                groups = [list(items[i:i + chunk_size])
-                          for i in range(0, len(items), chunk_size)]
                 worker = _map_chunk_worker
-                wraps = [(fn, group) for group in groups]
+                wraps = [(fn, list(items[i:i + chunk_size]))
+                         for i in range(0, len(items), chunk_size)]
             try:
                 payloads = [pickle.dumps(w) for w in wraps]
             except Exception as exc:
@@ -336,6 +466,9 @@ class ExecutionEngine:
                     stacklevel=2)
                 payloads = None
             if payloads is not None:
+                self.counters["tasks"] += len(payloads)
+                self.counters["payload_bytes"] += sum(len(p)
+                                                      for p in payloads)
                 pool = self._ensure_pool()
                 try:
                     futures = [pool.submit(worker, p) for p in payloads]
@@ -371,6 +504,34 @@ class ExecutionEngine:
         return n_items >= self.config.workers \
             * self.config.min_samples_per_worker
 
+    def _effective_chunk_size(self, n_items: int) -> int:
+        """Fixed ``config.chunk_size`` if positive, else adaptive:
+        ~``_TARGET_CHUNK_SEC`` of observed work per task, capped so every
+        worker still sees at least ``_MIN_CHUNKS_PER_WORKER`` tasks."""
+        if self.config.chunk_size > 0:
+            return self.config.chunk_size
+        ewma = self._ewma_sample_sec
+        if ewma and ewma > 0:
+            size = min(_MAX_CHUNK_SIZE,
+                       max(1, int(_TARGET_CHUNK_SEC / ewma)))
+        else:
+            size = _DEFAULT_CHUNK_SIZE
+        if self.config.workers > 0:
+            cap = math.ceil(n_items / (self.config.workers
+                                       * _MIN_CHUNKS_PER_WORKER))
+            size = min(size, max(1, cap))
+        return max(1, size)
+
+    def _observe_sample_sec(self, sec_per_sample: float) -> None:
+        if sec_per_sample <= 0:
+            return
+        if self._ewma_sample_sec is None:
+            self._ewma_sample_sec = sec_per_sample
+        else:
+            self._ewma_sample_sec = (
+                (1.0 - _EWMA_ALPHA) * self._ewma_sample_sec
+                + _EWMA_ALPHA * sec_per_sample)
+
     def _run(self, frontend: Any, featurizer: Optional[Any], stage: str,
              named_sources: Iterable[Tuple[str, str]]) -> List[Any]:
         results: List[Any] = []
@@ -395,8 +556,8 @@ class ExecutionEngine:
             # chunker, so one chunk of modules is live at a time.
             from repro.datasets.loader import iter_sample_chunks
 
-            chunks = list(iter_sample_chunks(misses,
-                                             self.config.chunk_size))
+            chunks = list(iter_sample_chunks(
+                misses, self._effective_chunk_size(len(misses))))
             for chunk, values in self._map_chunks(frontend, featurizer,
                                                   chunks):
                 for (index, _name, _source), value in zip(chunk, values):
@@ -411,68 +572,140 @@ class ExecutionEngine:
         self.counters["chunks"] += len(chunks)
         n_samples = sum(len(chunk) for chunk in chunks)
         if len(chunks) > 1 and self._parallel_worthwhile(n_samples):
-            payloads = self._parallel_payloads(frontend, featurizer, chunks)
+            payloads = self._stage_payloads(frontend, featurizer, chunks)
             if payloads is not None:
+                token, blobs = payloads
                 # Warm before every parallel run, not just pool creation:
                 # the executor spawns workers lazily, so processes forked
                 # by a *later* run (or after a featurizer change, e.g. a
                 # serving hot reload) still inherit the warm state.
                 self._warmup(featurizer)
-                pool = self._ensure_pool()
+                state = _WorkerState(
+                    token, frontend, featurizer, self.config.cache_dir,
+                    self.store.version if self.store is not None else None,
+                    self.config.shm_min_bytes)
+                wall_start = time.perf_counter()
+                pool = self._ensure_pool(state)
                 try:
-                    futures = [pool.submit(_chunk_worker, p)
-                               for p in payloads]
+                    futures = [pool.submit(_stage_chunk_worker, b)
+                               for b in blobs]
                 except RuntimeError:
                     # close() raced us (another thread tore the pool
                     # down between _ensure_pool and submit); closing is
                     # reversible by design, so retry on a fresh pool.
                     self._discard_pool(pool)
-                    pool = self._ensure_pool()
-                    futures = [pool.submit(_chunk_worker, p)
-                               for p in payloads]
+                    pool = self._ensure_pool(state)
+                    futures = [pool.submit(_stage_chunk_worker, b)
+                               for b in blobs]
+                self.counters["parallel_chunks"] += len(chunks)
+                self.counters["tasks"] += len(blobs)
+                self.counters["payload_bytes"] += sum(len(b) for b in blobs)
                 try:
-                    self.counters["parallel_chunks"] += len(chunks)
                     for chunk, future in zip(chunks, futures):
-                        yield chunk, future.result()
+                        transport, value, busy, snapshot = future.result()
+                        self._worker_busy_sec += busy
+                        self._observe_sample_sec(busy / max(1, len(chunk)))
+                        if PERF.enabled and snapshot:
+                            PERF.merge(snapshot)
+                        if transport == "shm":
+                            self.counters["shm_tasks"] += 1
+                            matrix = load_matrix(value)
+                            values = _split_batch(matrix, matrix.shape[0])
+                        else:
+                            values = value
+                        yield chunk, values
                 except BrokenProcessPool:
                     # A dead worker poisons the whole executor; drop it
                     # so the next run starts a healthy pool.
                     self._discard_pool(pool)
                     pool.shutdown(wait=False)
                     raise
+                finally:
+                    self._parallel_wall_sec += (time.perf_counter()
+                                                - wall_start)
                 return
         for chunk in chunks:
             named = [(name, source) for _i, name, source in chunk]
-            yield chunk, _process_chunk(self.store, frontend, featurizer,
-                                        named)
+            start = time.perf_counter()
+            values = _process_chunk(self.store, frontend, featurizer, named)
+            self._observe_sample_sec((time.perf_counter() - start)
+                                     / max(1, len(chunk)))
+            yield chunk, values
 
-    def _parallel_payloads(self, frontend: Any, featurizer: Optional[Any],
-                           chunks: List[List[Tuple[int, str, str]]],
-                           ) -> Optional[List[bytes]]:
-        """Pre-pickled worker payloads, or None if the stages can't cross
-        a process boundary (custom closure-y stages fall back to serial)."""
-        version = self.store.version if self.store is not None else None
+    def _stage_token(self, frontend: Any, featurizer: Optional[Any]) -> str:
+        """Identity of the worker-side state a pool must hold to run
+        these stages (stage configs + store coordinates)."""
+        version = self.store.version if self.store is not None else ""
+        return digest_parts([
+            stage_identity(frontend),
+            stage_identity(featurizer) if featurizer is not None else "",
+            self.config.cache_dir or "", version,
+        ])
+
+    def _stage_payloads(self, frontend: Any, featurizer: Optional[Any],
+                        chunks: List[List[Tuple[int, str, str]]],
+                        ) -> Optional[Tuple[str, List[bytes]]]:
+        """``(stage token, per-chunk payloads)``, or ``None`` if the
+        stages can't cross a process boundary (custom closure-y stages
+        fall back to serial).
+
+        The stages themselves are *not* in the payloads — they install
+        once per pool — but they must still be picklable for the spawn
+        initializer, so the probe runs on every platform (it also keeps
+        the serial-fallback contract identical under fork).
+        """
         try:
-            return [pickle.dumps((frontend, featurizer,
-                                  [(name, source) for _i, name, source
-                                   in chunk],
-                                  self.config.cache_dir, version))
-                    for chunk in chunks]
+            pickle.dumps((frontend, featurizer))
         except Exception as exc:     # pickling failure → serial fallback
             warnings.warn(
                 f"engine: stages are not picklable ({exc!r}); "
                 "falling back to serial execution", RuntimeWarning,
                 stacklevel=3)
             return None
+        token = self._stage_token(frontend, featurizer)
+        blobs = [pickle.dumps((token,
+                               [(name, source) for _i, name, source
+                                in chunk]))
+                 for chunk in chunks]
+        return token, blobs
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        """The persistent worker pool, started on first parallel use."""
+    def _ensure_pool(self,
+                     state: Optional[_WorkerState] = None,
+                     ) -> ProcessPoolExecutor:
+        """The persistent worker pool, started on first parallel use.
+
+        With ``state``, the pool must hold exactly that stage state:
+        a live pool keyed to the same token is reused, anything else is
+        torn down and restarted with the new state installed (fork:
+        parent-side global inherited copy-on-write; spawn: one-time
+        initializer).  Without ``state`` (generic ``map`` tasks) any
+        live pool is reused.
+        """
         with self._pool_lock:
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.config.workers,
-                    mp_context=self._mp_context())
-                self.counters["pool_starts"] += 1
+            token = state.token if state is not None else None
+            if self._pool is not None:
+                if token is None or token == self._pool_token:
+                    return self._pool
+                stale, self._pool = self._pool, None
+                stale.shutdown(wait=False)
+            context = self._mp_context()
+            initializer = None
+            initargs: Tuple[Any, ...] = ()
+            if state is not None:
+                if context.get_start_method() == "fork":
+                    # Zero-copy hand-off: forked workers inherit the
+                    # parent's global (and every warm memo under it).
+                    _install_worker_state(state)
+                else:
+                    initializer = _init_worker
+                    initargs = (pickle.dumps(state),)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                mp_context=context,
+                initializer=initializer,
+                initargs=initargs)
+            self._pool_token = token
+            self.counters["pool_starts"] += 1
             return self._pool
 
     def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
@@ -480,6 +713,7 @@ class ExecutionEngine:
         with self._pool_lock:
             if self._pool is pool:
                 self._pool = None
+                self._pool_token = None
 
     def _warmup(self, featurizer: Optional[Any]) -> None:
         """Build expensive per-process state (e.g. the IR2vec encoder)
@@ -552,7 +786,8 @@ def configure(workers: Optional[int] = None,
         min_samples_per_worker=(current.min_samples_per_worker
                                 if min_samples_per_worker is None
                                 else min_samples_per_worker),
-        start_method=current.start_method))
+        start_method=current.start_method,
+        shm_min_bytes=current.shm_min_bytes))
     return _DEFAULT_ENGINE
 
 

@@ -1,0 +1,122 @@
+"""Shared-memory transport for worker → parent feature matrices.
+
+Pickling a chunk's feature rows back through the process-pool result
+queue copies every byte twice (pickle in the worker, unpickle in the
+parent) and serializes on the queue reader thread.  For the engine's
+matrix-shaped featurizer outputs the worker instead stacks its rows into
+one ``multiprocessing.shared_memory`` segment and sends only a tiny
+``(name, shape, dtype)`` handle; the parent maps the segment, copies the
+matrix out, and unlinks it.
+
+Ownership protocol: the **creating worker** detaches and unregisters the
+segment from its ``resource_tracker`` (otherwise the tracker would
+reclaim it when the worker exits, racing the parent's read); the
+**parent** is the sole owner and always unlinks in ``load_matrix`` —
+even if the copy fails — so no segment outlives the batch that made it.
+
+Small results are not worth a segment (two extra syscalls beat one small
+pickle), which is what the engine's ``shm_min_bytes`` threshold gates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+try:
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:                      # pragma: no cover - py<3.8 only
+    resource_tracker = None              # type: ignore[assignment]
+    shared_memory = None                 # type: ignore[assignment]
+
+#: (segment name, matrix shape, numpy dtype string)
+MatrixHandle = Tuple[str, Tuple[int, ...], str]
+
+
+def shm_available() -> bool:
+    return shared_memory is not None
+
+
+def _disown(seg: Any) -> None:
+    """Drop the creating process's resource-tracker claim on ``seg``.
+
+    ``SharedMemory(create=True)`` registers the segment with the
+    caller's tracker; the parent unlinks it later, so the worker must
+    unregister or the tracker reclaims (or double-frees) it on worker
+    exit.  Registration uses the raw ``/psm_...`` name kept in ``_name``.
+    """
+    if resource_tracker is None:
+        return
+    try:
+        resource_tracker.unregister(getattr(seg, "_name", seg.name),
+                                    "shared_memory")
+    except Exception:
+        pass
+
+
+def share_matrix(matrix: np.ndarray) -> Optional[MatrixHandle]:
+    """Copy ``matrix`` into a fresh segment and hand over ownership.
+
+    Returns ``None`` when shared memory is unavailable or the segment
+    cannot be created (e.g. ``/dev/shm`` full) — callers fall back to
+    the pickle path, never fail.
+    """
+    if shared_memory is None:
+        return None
+    matrix = np.ascontiguousarray(matrix)
+    try:
+        seg = shared_memory.SharedMemory(create=True,
+                                         size=max(1, matrix.nbytes))
+    except (OSError, ValueError):
+        return None
+    try:
+        view = np.ndarray(matrix.shape, dtype=matrix.dtype, buffer=seg.buf)
+        view[...] = matrix
+        handle = (seg.name, tuple(matrix.shape), matrix.dtype.str)
+    except Exception:
+        try:
+            seg.close()
+            seg.unlink()
+        except OSError:
+            pass
+        return None
+    seg.close()
+    _disown(seg)
+    return handle
+
+
+def share_rows(rows: List[Any], min_bytes: int) -> Optional[MatrixHandle]:
+    """Stack uniform ndarray rows into a segment if they clear
+    ``min_bytes``; ``None`` (= "pickle instead") for anything else."""
+    if not rows or min_bytes < 0 or shared_memory is None:
+        return None
+    first = rows[0]
+    if not isinstance(first, np.ndarray):
+        return None
+    if any(not isinstance(r, np.ndarray) or r.shape != first.shape
+           or r.dtype != first.dtype for r in rows):
+        return None
+    matrix = np.stack(rows)
+    if matrix.nbytes < min_bytes:
+        return None
+    return share_matrix(matrix)
+
+
+def load_matrix(handle: MatrixHandle) -> np.ndarray:
+    """Copy the matrix out of a worker's segment and unlink it.
+
+    The unlink happens unconditionally: a segment whose payload cannot
+    be read must still not leak into ``/dev/shm``.
+    """
+    name, shape, dtype = handle
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+        return view.copy()
+    finally:
+        seg.close()
+        try:
+            seg.unlink()
+        except (OSError, FileNotFoundError):
+            pass

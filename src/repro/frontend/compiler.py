@@ -12,6 +12,7 @@ from repro.frontend.sema import SemaError
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
 from repro.passes import run_pipeline
+from repro.perf import PERF
 
 
 class CompileError(ValueError):
@@ -27,9 +28,10 @@ def compile_c(source: str, name: str = "module", opt_level: str = "O0",
     accepted).  Raises :class:`CompileError` on any front-end failure.
     """
     try:
-        text = preprocess(source, extra_headers)
-        unit = parse_c(text)
-        module = generate_module(unit, name)
+        with PERF.stage("compile"):
+            text = preprocess(source, extra_headers)
+            unit = parse_c(text)
+            module = generate_module(unit, name)
     except (PreprocessError, LexError, CParseError, SemaError, CodegenError) as exc:
         raise CompileError(str(exc)) from exc
     except RecursionError:
@@ -41,15 +43,18 @@ def compile_c(source: str, name: str = "module", opt_level: str = "O0",
             f"{name}: program nesting exceeds the compiler's limits") \
             from None
     if verify:
-        verify_module(module)
+        with PERF.stage("verify"):
+            verify_module(module)
     try:
-        run_pipeline(module, opt_level)
+        with PERF.stage("passes"):
+            run_pipeline(module, opt_level)
     except RecursionError:
         raise CompileError(
             f"{name}: optimizing {opt_level} exceeded the compiler's "
             "recursion limits") from None
     if verify:
-        verify_module(module)
+        with PERF.stage("verify"):
+            verify_module(module)
     return module
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import re
+import sys
 from dataclasses import dataclass
 from typing import Iterator, List
 
@@ -38,7 +39,7 @@ _TOKEN_RE = re.compile(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class Token:
     kind: str          # 'kw', 'ident', 'int', 'float', 'string', 'char', 'punct', 'eof'
     text: str
@@ -57,24 +58,37 @@ def tokenize(source: str) -> List[Token]:
     pos = 0
     line = 1
     n = len(source)
-    while pos < n:
-        m = _TOKEN_RE.match(source, pos)
-        if m is None:
+    # finditer with a contiguity check beats a match-per-token loop: the
+    # scan stays inside the regex engine, and any gap between matches is
+    # exactly the "cannot tokenize" case the old loop detected.
+    for m in _TOKEN_RE.finditer(source):
+        if m.start() != pos:
             snippet = source[pos:pos + 20]
             raise LexError(f"line {line}: cannot tokenize at {snippet!r}")
-        text = m.group(0)
-        if m.lastgroup in ("ws", "comment"):
-            line += text.count("\n")
-            pos = m.end()
-            continue
+        pos = m.end()
         kind = m.lastgroup
-        if kind == "ident" and text in KEYWORDS:
-            kind = "kw"
+        text = m.group(0)
+        if kind == "ws" or kind == "comment":
+            line += text.count("\n")
+            continue
+        if kind == "ident":
+            if text in KEYWORDS:
+                kind = "kw"
+            text = sys.intern(text)
         elif kind == "int":
             text = m.group("int")  # strip u/l suffixes
+        elif kind == "punct":
+            # Identifiers and punctuation recur heavily across a corpus
+            # (MPI_COMM_WORLD, loop variables, operators); interning
+            # makes downstream dict probes pointer comparisons.
+            text = sys.intern(text)
         assert kind is not None
         tokens.append(Token(kind, text, line))
-        line += text.count("\n")
-        pos = m.end()
+        # No token class other than ws/comment can span a newline (the
+        # string/char patterns exclude raw newlines), so `line` only
+        # advances in the whitespace branch above.
+    if pos != n:
+        snippet = source[pos:pos + 20]
+        raise LexError(f"line {line}: cannot tokenize at {snippet!r}")
     tokens.append(Token("eof", "", line))
     return tokens

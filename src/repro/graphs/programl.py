@@ -71,6 +71,13 @@ def _instruction_text(inst: Instruction) -> str:
 
 
 def build_program_graph(module: Module) -> ProgramGraph:
+    from repro.perf import PERF
+
+    with PERF.stage("graph"):
+        return _build_program_graph(module)
+
+
+def _build_program_graph(module: Module) -> ProgramGraph:
     graph = ProgramGraph()
     inst_node: Dict[int, int] = {}
     value_node: Dict[int, int] = {}

@@ -38,6 +38,24 @@ def reachable_blocks(fn: Function) -> List[BasicBlock]:
     return order
 
 
+def predecessor_map(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Predecessors of every block, computed in one pass over the CFG.
+
+    ``BasicBlock.predecessors()`` scans the whole function per call —
+    fine for one-off diagnostics, quadratic when dominators or liveness
+    ask for every block's predecessors.  Analyses on the hot compile
+    path take this precomputed map instead.  Matches the method's
+    semantics: unique predecessors, in function block order.
+    """
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in fn.blocks}
+    for block in fn.blocks:
+        for succ in block.successors():
+            lst = preds.get(succ)
+            if lst is not None and block not in lst:
+                lst.append(block)
+    return preds
+
+
 def postorder(fn: Function) -> List[BasicBlock]:
     """DFS postorder from the entry (iterative: the fuzz corpus holds
     deep-nesting seeds whose CFGs overflow a recursive walk)."""
@@ -65,11 +83,16 @@ def reverse_postorder(fn: Function) -> List[BasicBlock]:
     return list(reversed(postorder(fn)))
 
 
-def compute_dominators(fn: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
+def compute_dominators(
+        fn: Function,
+        preds: Optional[Dict[BasicBlock, List[BasicBlock]]] = None,
+) -> Dict[BasicBlock, Optional[BasicBlock]]:
     """Immediate dominator of each reachable block (entry maps to None)."""
     rpo = reverse_postorder(fn)
     if not rpo:
         return {}
+    if preds is None:
+        preds = predecessor_map(fn)
     index = {id(b): i for i, b in enumerate(rpo)}
     idom: Dict[int, BasicBlock] = {id(rpo[0]): rpo[0]}
 
@@ -85,11 +108,11 @@ def compute_dominators(fn: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
     while changed:
         changed = False
         for block in rpo[1:]:
-            preds = [p for p in block.predecessors() if id(p) in idom]
-            if not preds:
+            known = [p for p in preds.get(block, ()) if id(p) in idom]
+            if not known:
                 continue
-            new_idom = preds[0]
-            for p in preds[1:]:
+            new_idom = known[0]
+            for p in known[1:]:
                 new_idom = intersect(p, new_idom)
             if idom.get(id(block)) is not new_idom:
                 idom[id(block)] = new_idom
@@ -101,14 +124,19 @@ def compute_dominators(fn: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
     return result
 
 
-def dominance_frontiers(fn: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
-    idom = compute_dominators(fn)
+def dominance_frontiers(
+        fn: Function,
+        preds: Optional[Dict[BasicBlock, List[BasicBlock]]] = None,
+) -> Dict[BasicBlock, Set[BasicBlock]]:
+    if preds is None:
+        preds = predecessor_map(fn)
+    idom = compute_dominators(fn, preds)
     frontiers: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in idom}
     for block in idom:
-        preds = [p for p in block.predecessors() if p in idom]
-        if len(preds) < 2:
+        known = [p for p in preds.get(block, ()) if p in idom]
+        if len(known) < 2:
             continue
-        for pred in preds:
+        for pred in known:
             runner: Optional[BasicBlock] = pred
             while runner is not None and runner is not idom[block]:
                 frontiers[runner].add(block)
@@ -158,11 +186,12 @@ def compute_postdominators(
         return result
 
     virtual = object()          # virtual exit node of the reverse CFG
+    pred_map = predecessor_map(fn)
 
     def rev_succ(node):         # reverse-CFG successors = CFG predecessors
         if node is virtual:
             return exits
-        return [p for p in node.predecessors() if id(p) in reach]
+        return [p for p in pred_map.get(node, ()) if id(p) in reach]
 
     def rev_pred(node):         # reverse-CFG predecessors = CFG successors
         if node is virtual:

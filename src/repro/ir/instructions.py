@@ -68,13 +68,13 @@ class Instruction(Value):
         self.operands = []
 
     # -- classification -----------------------------------------------------
-    @property
-    def is_terminator(self) -> bool:
-        return isinstance(self, (BranchInst, CondBranchInst, ReturnInst, UnreachableInst))
-
-    @property
-    def has_side_effects(self) -> bool:
-        return isinstance(self, (StoreInst, CallInst)) or self.is_terminator
+    # Class attributes, not properties: these are checked for every
+    # instruction on every CFG walk (terminator checks alone run ~200k
+    # times over one MBI smoke corpus) and an isinstance chain per call
+    # was measurable in the cold-path profile.  Terminator / side-effect
+    # subclasses shadow them with ``True``.
+    is_terminator: bool = False
+    has_side_effects: bool = False
 
     def successors(self) -> Tuple["BasicBlock", ...]:
         return ()
@@ -118,6 +118,7 @@ class LoadInst(Instruction):
 
 class StoreInst(Instruction):
     opcode = "store"
+    has_side_effects = True
 
     def __init__(self, value: Value, pointer: Value):
         if not isinstance(pointer.type, PointerType):
@@ -203,6 +204,7 @@ class GEPInst(Instruction):
 
 class CallInst(Instruction):
     opcode = "call"
+    has_side_effects = True
 
     def __init__(self, callee: "Function | Value", args: Sequence[Value], name: str = ""):
         # ``callee`` may be a Function or an external declaration value whose
@@ -229,6 +231,8 @@ class CallInst(Instruction):
 
 class BranchInst(Instruction):
     opcode = "br"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, target: "BasicBlock"):
         super().__init__(VOID, [])
@@ -240,6 +244,8 @@ class BranchInst(Instruction):
 
 class CondBranchInst(Instruction):
     opcode = "br"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, cond: Value, true_block: "BasicBlock", false_block: "BasicBlock"):
         super().__init__(VOID, [cond])
@@ -256,6 +262,8 @@ class CondBranchInst(Instruction):
 
 class ReturnInst(Instruction):
     opcode = "ret"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, value: Optional[Value] = None):
         super().__init__(VOID, [value] if value is not None else [])
@@ -267,6 +275,8 @@ class ReturnInst(Instruction):
 
 class UnreachableInst(Instruction):
     opcode = "unreachable"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self):
         super().__init__(VOID, [])

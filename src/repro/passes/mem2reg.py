@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from repro.ir.analysis import compute_dominators, dominance_frontiers, reachable_blocks
+from repro.ir.analysis import (
+    compute_dominators,
+    dominance_frontiers,
+    predecessor_map,
+    reachable_blocks,
+)
 from repro.ir.instructions import AllocaInst, Instruction, LoadInst, PhiInst, StoreInst
 from repro.ir.module import BasicBlock, Function, Module
 from repro.ir.values import UndefValue, Value
@@ -47,8 +52,9 @@ def _promote_function(fn: Function) -> int:
     if not allocas:
         return 0
 
-    idom = compute_dominators(fn)
-    frontiers = dominance_frontiers(fn)
+    preds = predecessor_map(fn)
+    idom = compute_dominators(fn, preds)
+    frontiers = dominance_frontiers(fn, preds)
 
     # Dominator-tree children.
     children: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in reachable}
@@ -69,7 +75,7 @@ def _promote_function(fn: Function) -> int:
             else:
                 use_blocks.add(user.parent)
 
-        live_in = _live_in_blocks(alloca, def_blocks, use_blocks)
+        live_in = _live_in_blocks(alloca, def_blocks, use_blocks, preds)
 
         # Iterated dominance frontier, pruned by liveness.
         worklist = list(def_blocks)
@@ -87,6 +93,7 @@ def _promote_function(fn: Function) -> int:
                     worklist.append(frontier_block)
 
     # Rename along the dominator tree (iterative DFS to avoid recursion limits).
+    promotable = set(allocas)
     incoming: Dict[AllocaInst, Value] = {}
     stack = [(fn.entry, incoming)]
     while stack:
@@ -96,7 +103,7 @@ def _promote_function(fn: Function) -> int:
             if isinstance(inst, PhiInst) and inst in phi_owner:
                 values[phi_owner[inst]] = inst
             elif isinstance(inst, LoadInst) and isinstance(inst.pointer, AllocaInst) \
-                    and inst.pointer in set(allocas):
+                    and inst.pointer in promotable:
                 alloca = inst.pointer
                 current = values.get(alloca)
                 if current is None:
@@ -104,7 +111,7 @@ def _promote_function(fn: Function) -> int:
                 inst.replace_all_uses_with(current)
                 inst.erase()
             elif isinstance(inst, StoreInst) and isinstance(inst.pointer, AllocaInst) \
-                    and inst.pointer in set(allocas):
+                    and inst.pointer in promotable:
                 values[inst.pointer] = inst.value
                 inst.erase()
         for succ in block.successors():
@@ -131,7 +138,9 @@ def _promote_function(fn: Function) -> int:
 
 
 def _live_in_blocks(alloca: AllocaInst, def_blocks: Set[BasicBlock],
-                    use_blocks: Set[BasicBlock]) -> Set[BasicBlock]:
+                    use_blocks: Set[BasicBlock],
+                    preds: Dict[BasicBlock, List[BasicBlock]],
+                    ) -> Set[BasicBlock]:
     """Blocks where the alloca's value is live on entry (LLVM-style)."""
     worklist: List[BasicBlock] = []
     for block in use_blocks:
@@ -151,7 +160,7 @@ def _live_in_blocks(alloca: AllocaInst, def_blocks: Set[BasicBlock],
         if block in live:
             continue
         live.add(block)
-        for pred in block.predecessors():
+        for pred in preds.get(block, ()):
             if pred in def_blocks:
                 continue
             if pred not in live:

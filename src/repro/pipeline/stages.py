@@ -214,7 +214,7 @@ class IR2VecFeaturizer:
         encoder = default_encoder(self.config.seed)
         if not modules:
             return np.zeros((0, 2 * encoder.dim))
-        return np.stack([encoder.encode(m) for m in modules])
+        return encoder.encode_batch(list(modules))
 
 
 @dataclass(frozen=True)
@@ -274,11 +274,17 @@ class DecisionTreeStage:
         )
 
     def fit(self, features: np.ndarray, y: Sequence[str]) -> "DecisionTreeStage":
-        self.model.fit(np.asarray(features), np.asarray(y))
+        from repro.perf import PERF
+
+        with PERF.stage("classify"):
+            self.model.fit(np.asarray(features), np.asarray(y))
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:
-        return self.model.predict(np.asarray(features))
+        from repro.perf import PERF
+
+        with PERF.stage("classify"):
+            return self.model.predict(np.asarray(features))
 
     @property
     def selected(self) -> Optional[Tuple[int, ...]]:
@@ -324,14 +330,19 @@ class GNNStage:
     def fit(self, features: Sequence[Any], y: Sequence[str],
             vocab: Optional[Any] = None) -> "GNNStage":
         from repro.graphs.vocab import build_vocabulary
+        from repro.perf import PERF
 
         graphs = list(features)
-        self.model.fit(graphs, np.asarray(y),
-                       vocab or build_vocabulary(graphs))
+        with PERF.stage("classify"):
+            self.model.fit(graphs, np.asarray(y),
+                           vocab or build_vocabulary(graphs))
         return self
 
     def predict(self, features: Sequence[Any]) -> np.ndarray:
-        return self.model.predict(list(features))
+        from repro.perf import PERF
+
+        with PERF.stage("classify"):
+            return self.model.predict(list(features))
 
     def predict_proba(self, features: Sequence[Any]) -> np.ndarray:
         return self.model.predict_proba(list(features))

@@ -1,0 +1,288 @@
+"""Zero-copy fan-out behaviour: one-time worker state, shm transport,
+adaptive chunk sizing, crash recovery, and the small-batch guard.
+
+These pin the PR's scaling contract: parallel results are *byte*-equal
+to serial regardless of transport, the pool installs stage state once
+(not per chunk), and a crashed worker never wedges the engine.
+"""
+
+import os
+import warnings
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.engine import EngineConfig, ExecutionEngine
+from repro.engine.engine import (
+    _DEFAULT_CHUNK_SIZE,
+    _MAX_CHUNK_SIZE,
+)
+from repro.pipeline.stages import (
+    CFrontend,
+    CFrontendConfig,
+    IR2VecFeaturizer,
+    IR2VecFeaturizerConfig,
+)
+
+_TEMPLATE = """
+#include <mpi.h>
+int main(int argc, char** argv) {{
+  int rank; int buf[{n}]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {{ MPI_Send(buf, {n}, MPI_INT, 1, {tag}, MPI_COMM_WORLD); }}
+  if (rank == 1) {{ MPI_Recv(buf, {n}, MPI_INT, 0, {tag}, MPI_COMM_WORLD, &st); }}
+  MPI_Finalize();
+  return 0;
+}}
+"""
+
+
+def _named_sources(n=8):
+    return [(f"prog{i}.c", _TEMPLATE.format(n=2 + i, tag=i))
+            for i in range(n)]
+
+
+def _crash_on_boom(item):
+    if item == "BOOM":
+        os._exit(1)                      # hard worker death, not an exception
+    return len(item)
+
+
+# ---------------------------------------------------------------------------
+# Byte identity across transports
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("shm_min_bytes", [0, -1],
+                         ids=["shm-on", "shm-off"])
+def test_parallel_features_byte_identical_across_transports(shm_min_bytes):
+    """Feature bytes must not depend on whether rows rode shared memory
+    or the pickle result queue."""
+    named = _named_sources(10)
+    fe = CFrontend(CFrontendConfig(opt_level="Os"))
+    feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
+    X_serial = ExecutionEngine(EngineConfig(workers=0)) \
+        .featurize_sources(fe, feat, named)
+    with ExecutionEngine(EngineConfig(
+            workers=4, chunk_size=2, min_samples_per_worker=1,
+            shm_min_bytes=shm_min_bytes)) as engine:
+        X_parallel = engine.featurize_sources(fe, feat, named)
+        shm_tasks = engine.counters["shm_tasks"]
+    assert X_serial.tobytes() == X_parallel.tobytes()
+    if shm_min_bytes < 0:
+        assert shm_tasks == 0            # transport genuinely disabled
+    else:
+        assert shm_tasks > 0             # transport genuinely exercised
+
+
+def test_single_encode_matches_batch_row():
+    """encode(m) must be the row encode_batch would produce, or serial
+    (per-miss) and parallel (chunked) cache entries would disagree."""
+    from repro.embeddings.ir2vec import default_encoder
+
+    fe = CFrontend(CFrontendConfig(opt_level="Os"))
+    named = _named_sources(5)
+    modules = [fe.compile(src, name) for name, src in named]
+    enc = default_encoder(42)
+    batch = enc.encode_batch(modules)
+    for i, module in enumerate(modules):
+        assert enc.encode(module).tobytes() == batch[i].tobytes()
+
+
+def test_batch_rows_independent_of_batch_composition():
+    """Blocked batch aggregation must not leak state across modules: a
+    module's row is the same alone, in a pair, or mid-batch."""
+    from repro.embeddings.ir2vec import default_encoder
+
+    fe = CFrontend(CFrontendConfig(opt_level="Os"))
+    modules = [fe.compile(src, name) for name, src in _named_sources(6)]
+    enc = default_encoder(42)
+    full = enc.encode_batch(modules)
+    assert enc.encode_batch(modules[3:])[0].tobytes() == full[3].tobytes()
+    assert enc.encode_batch([modules[5]])[0].tobytes() == full[5].tobytes()
+
+
+# ---------------------------------------------------------------------------
+# One-time worker state, pool keyed by stage token
+# ---------------------------------------------------------------------------
+
+def test_pool_reused_across_runs_with_same_stages():
+    named = _named_sources(8)
+    fe = CFrontend(CFrontendConfig(opt_level="Os"))
+    feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
+    with ExecutionEngine(EngineConfig(workers=2, chunk_size=2,
+                                      min_samples_per_worker=1)) as engine:
+        engine.featurize_sources(fe, feat, named)
+        engine.featurize_sources(fe, feat, named[:4])
+        assert engine.counters["pool_starts"] == 1
+
+
+def test_pool_restarts_when_featurizer_changes():
+    """Stage state installs once per pool, so a *different* featurizer
+    must key a fresh pool — not silently reuse stale worker state."""
+    named = _named_sources(8)
+    fe = CFrontend(CFrontendConfig(opt_level="Os"))
+    with ExecutionEngine(EngineConfig(workers=2, chunk_size=2,
+                                      min_samples_per_worker=1)) as engine:
+        a = engine.featurize_sources(
+            fe, IR2VecFeaturizer(IR2VecFeaturizerConfig()), named)
+        b = engine.featurize_sources(
+            fe, IR2VecFeaturizer(seed=7), named)
+        assert engine.counters["pool_starts"] == 2
+    assert a.shape == b.shape
+    assert a.tobytes() != b.tobytes()    # different seed, different rows
+
+
+def test_chunk_payloads_exclude_stage_objects():
+    """The tentpole claim: chunk payloads carry (token, sources) only —
+    per-task bytes must stay far below one pickled frontend+featurizer."""
+    import pickle
+
+    named = _named_sources(12)
+    fe = CFrontend(CFrontendConfig(opt_level="Os"))
+    feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
+    stage_bytes = len(pickle.dumps((fe, feat)))
+    with ExecutionEngine(EngineConfig(workers=2, chunk_size=2,
+                                      min_samples_per_worker=1)) as engine:
+        engine.featurize_sources(fe, feat, named)
+        perf = engine.stats_dict()["perf"]
+    chunk_sources = len(pickle.dumps(named[:2]))
+    assert 0 < perf["payload_bytes_per_task"] < stage_bytes + chunk_sources
+    assert perf["pool_utilization"] > 0
+    assert perf["parallel_wall_sec"] > 0
+    assert perf["worker_busy_sec"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Adaptive chunk sizing
+# ---------------------------------------------------------------------------
+
+def test_adaptive_chunk_size_tracks_observed_latency():
+    engine = ExecutionEngine(EngineConfig(workers=0, chunk_size=0))
+    # No latency observed yet → the fixed default.
+    assert engine._effective_chunk_size(10_000) == _DEFAULT_CHUNK_SIZE
+    # Fast samples → bigger chunks, clamped at the ceiling.
+    engine._observe_sample_sec(1e-6)
+    assert engine._effective_chunk_size(10_000_000) == _MAX_CHUNK_SIZE
+    # Slow samples → chunk of 1, never 0.
+    engine._observe_sample_sec(10.0)
+    engine._observe_sample_sec(10.0)
+    engine._observe_sample_sec(10.0)
+    assert engine._effective_chunk_size(10_000) == 1
+
+
+def test_adaptive_chunk_size_keeps_every_worker_fed():
+    engine = ExecutionEngine(EngineConfig(workers=4, chunk_size=0))
+    engine._observe_sample_sec(1e-6)     # wants _MAX_CHUNK_SIZE
+    # 64 items over 4 workers: chunks capped so each worker sees ≥4.
+    assert engine._effective_chunk_size(64) <= 4
+    assert engine._effective_chunk_size(64) >= 1
+
+
+def test_fixed_chunk_size_overrides_adaptation():
+    engine = ExecutionEngine(EngineConfig(workers=0, chunk_size=7))
+    engine._observe_sample_sec(1e-6)
+    assert engine._effective_chunk_size(10_000) == 7
+
+
+def test_ewma_observed_in_serial_runs():
+    named = _named_sources(6)
+    fe = CFrontend(CFrontendConfig(opt_level="Os"))
+    feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
+    engine = ExecutionEngine(EngineConfig(workers=0))
+    engine.featurize_sources(fe, feat, named)
+    assert engine.stats_dict()["perf"]["ewma_sample_sec"] > 0
+
+
+def test_chunk_size_zero_means_adaptive_and_negative_rejected():
+    assert EngineConfig(chunk_size=0).chunk_size == 0
+    with pytest.raises(ValueError):
+        EngineConfig(chunk_size=-1)
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery
+# ---------------------------------------------------------------------------
+
+def test_worker_crash_raises_and_engine_recovers():
+    """A worker dying mid-task poisons the executor; the engine must
+    surface the failure and then run healthily on a fresh pool."""
+    items = ["aa", "bbb", "BOOM", "cccc"] * 4
+    with ExecutionEngine(EngineConfig(workers=2, chunk_size=1,
+                                      min_samples_per_worker=1)) as engine:
+        with pytest.raises(BrokenProcessPool):
+            engine.map(_crash_on_boom, items)
+        assert not engine.pool_active    # poisoned pool dropped eagerly
+        # Same engine, healthy input: a fresh pool serves it.
+        ok = [s for s in items if s != "BOOM"]
+        assert engine.map(_crash_on_boom, ok) == [len(s) for s in ok]
+        assert engine.counters["pool_starts"] == 2
+
+
+def test_featurize_survives_worker_crash_on_retry():
+    named = _named_sources(8)
+    fe = CFrontend(CFrontendConfig(opt_level="Os"))
+    feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
+    with ExecutionEngine(EngineConfig(workers=2, chunk_size=2,
+                                      min_samples_per_worker=1)) as engine:
+        with pytest.raises(BrokenProcessPool):
+            engine.map(_crash_on_boom, ["BOOM"] * 8)
+        X = engine.featurize_sources(fe, feat, named)
+    serial = ExecutionEngine(EngineConfig(workers=0)) \
+        .featurize_sources(fe, feat, named)
+    assert X.tobytes() == serial.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# The min_samples_per_worker guard is uniform across entry points
+# ---------------------------------------------------------------------------
+
+def test_map_honours_min_samples_per_worker_guard():
+    """`map` applies the same small-batch guard as the featurize path:
+    below workers * min_samples_per_worker it must not start a pool."""
+    with ExecutionEngine(EngineConfig(workers=4,
+                                      min_samples_per_worker=8)) as engine:
+        assert engine.map(len, ["x"] * 31) == [1] * 31
+        assert not engine.pool_active
+        assert engine.counters["parallel_chunks"] == 0
+        # At the threshold the fan-out engages.
+        assert engine.map(len, ["x"] * 32) == [1] * 32
+        assert engine.pool_active
+
+
+def test_featurize_honours_min_samples_per_worker_guard():
+    fe = CFrontend(CFrontendConfig(opt_level="O0"))
+    feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
+    with ExecutionEngine(EngineConfig(workers=2,
+                                      min_samples_per_worker=16)) as engine:
+        X = engine.featurize_sources(fe, feat, _named_sources(8))
+        assert X.shape[0] == 8
+        assert not engine.pool_active
+        assert engine.counters["parallel_chunks"] == 0
+
+
+def test_stats_dict_perf_section_shape():
+    stats = ExecutionEngine(EngineConfig(workers=0)).stats_dict()
+    perf = stats["perf"]
+    for key in ("payload_bytes_per_task", "worker_busy_sec",
+                "parallel_wall_sec", "pool_utilization",
+                "ewma_sample_sec"):
+        assert isinstance(perf[key], float)
+    assert stats["counters"]["tasks"] == 0
+    assert stats["counters"]["payload_bytes"] == 0
+    assert stats["counters"]["shm_tasks"] == 0
+
+
+def test_unpicklable_featurizer_warns_and_stays_serial_with_features():
+    fe = CFrontend(CFrontendConfig(opt_level="Os"))
+    feat = IR2VecFeaturizer(IR2VecFeaturizerConfig())
+    feat.poison = lambda: None
+    with ExecutionEngine(EngineConfig(workers=2, chunk_size=2,
+                                      min_samples_per_worker=1)) as engine:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            X = engine.featurize_sources(fe, feat, _named_sources(6))
+        assert X.shape == (6, 512)
+        assert any("serial" in str(w.message) for w in caught)
+        assert engine.counters["parallel_chunks"] == 0
+        assert not engine.pool_active

@@ -1,0 +1,67 @@
+"""Unit tests for the shared-memory worker→parent matrix transport."""
+
+import numpy as np
+import pytest
+
+from repro.engine.shm import (
+    load_matrix,
+    share_matrix,
+    share_rows,
+    shm_available,
+)
+
+pytestmark = pytest.mark.skipif(not shm_available(),
+                                reason="multiprocessing.shared_memory "
+                                       "unavailable")
+
+
+def test_share_matrix_roundtrip_is_byte_identical():
+    rng = np.random.default_rng(0)
+    matrix = rng.standard_normal((17, 512))
+    handle = share_matrix(matrix)
+    assert handle is not None
+    name, shape, dtype = handle
+    assert shape == (17, 512)
+    out = load_matrix(handle)
+    assert out.dtype == matrix.dtype
+    assert out.tobytes() == matrix.tobytes()
+    # The segment is unlinked by load_matrix: re-attaching must fail.
+    with pytest.raises(FileNotFoundError):
+        load_matrix(handle)
+
+
+def test_share_matrix_handles_noncontiguous_input():
+    base = np.arange(200, dtype=np.float64).reshape(20, 10)
+    sliced = base[::2, ::2]                      # non-contiguous view
+    handle = share_matrix(sliced)
+    assert handle is not None
+    assert load_matrix(handle).tobytes() == \
+        np.ascontiguousarray(sliced).tobytes()
+
+
+def test_share_rows_stacks_uniform_rows():
+    rows = [np.full(64, i, dtype=np.float64) for i in range(8)]
+    handle = share_rows(rows, min_bytes=0)
+    assert handle is not None
+    out = load_matrix(handle)
+    assert out.shape == (8, 64)
+    assert out.tobytes() == np.stack(rows).tobytes()
+
+
+def test_share_rows_below_threshold_returns_none():
+    rows = [np.zeros(4) for _ in range(2)]       # 64 bytes total
+    assert share_rows(rows, min_bytes=1024) is None
+
+
+def test_share_rows_negative_threshold_disables_transport():
+    rows = [np.zeros(4096) for _ in range(8)]
+    assert share_rows(rows, min_bytes=-1) is None
+
+
+def test_share_rows_rejects_nonuniform_and_nonarray_rows():
+    assert share_rows([], min_bytes=0) is None
+    assert share_rows([np.zeros(4), np.zeros(5)], min_bytes=0) is None
+    assert share_rows([np.zeros(4), np.zeros(4, dtype=np.float32)],
+                      min_bytes=0) is None
+    assert share_rows([np.zeros(4), "not-an-array"], min_bytes=0) is None
+    assert share_rows(["graph", "graph"], min_bytes=0) is None
