@@ -1,0 +1,109 @@
+"""Telemetry overhead: served throughput with tracing on vs off.
+
+The observability layer promises to be cheap enough to leave on in
+production — spans and histogram observations ride the existing request
+path, and every instrumentation site degrades to one attribute check
+when telemetry is disabled.  This benchmark prices that promise: two
+identical :class:`BackgroundServer` instances over the same warmed
+artifact, one with ``trace=True`` (the default) and one with
+``trace=False``, each load-tested with the same concurrent closed-loop
+protocol, interleaved A/B/B/A so drift on a shared runner hits both
+arms equally.
+
+Records ``obs_overhead_pct`` into ``BENCH_serving.json`` (merged — the
+serving-throughput benchmark shares the file).  The ≤5% budget is a
+hard assert only under ``REPRO_BENCH_STRICT=1`` (dedicated hardware);
+on shared CI runners a miss prints a GitHub ``::warning::`` and passes,
+the same policy as ``ci/check_perf.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.datasets import load_mbi
+from repro.ml import GAConfig
+from repro.pipeline import DecisionTreeStageConfig, DetectionPipeline
+from repro.serve import BackgroundServer, ServeConfig, run_load
+
+from benchmarks.conftest import emit
+
+_CORPUS_SIZE = 32
+_CONCURRENCY = 6
+_ROUNDS = 2                  # per arm, interleaved traced/untraced
+_BUDGET_PCT = 5.0
+_OUT = "BENCH_serving.json"
+
+
+def _measure(server, jobs):
+    stats = run_load("127.0.0.1", server.port, jobs,
+                     concurrency=_CONCURRENCY)
+    assert stats["failed"] == 0, stats
+    return stats["throughput_rps"]
+
+
+@pytest.mark.benchmark(group="serving")
+def test_tracing_overhead_within_budget(tmp_path):
+    corpus = load_mbi(subsample=_CORPUS_SIZE)
+    jobs = [(s.name, s.source) for s in corpus.samples]
+
+    pipeline = DetectionPipeline.from_names(
+        "ir2vec", "decision-tree",
+        classifier_config=DecisionTreeStageConfig(
+            ga=GAConfig(population_size=20, generations=2)),
+        method="ir2vec").fit(corpus)
+    artifact = str(tmp_path / "obs-model.rpd")
+    pipeline.save(artifact)
+    pipeline.close()
+
+    base = dict(port=0, max_batch=8, max_wait_ms=10, max_queue=512)
+    traced_rps, untraced_rps = [], []
+    # A/B/B/A: each round stands both servers up fresh and warms each
+    # before its timed pass, so neither arm owns the cold compiles and
+    # runner drift is split across the arms.
+    for round_index in range(_ROUNDS):
+        order = [(True, traced_rps), (False, untraced_rps)]
+        if round_index % 2:
+            order.reverse()
+        for trace, sink in order:
+            config = ServeConfig(trace=trace, **base)
+            with BackgroundServer(artifact, config) as server:
+                _measure(server, jobs)          # warm
+                sink.append(_measure(server, jobs))
+
+    traced = max(traced_rps)
+    untraced = max(untraced_rps)
+    overhead_pct = round((untraced - traced) / untraced * 100.0, 2) \
+        if untraced else 0.0
+
+    # Merge (not overwrite): test_serving_throughput.py shares the file,
+    # and alphabetical collection order runs this benchmark first.
+    doc = {}
+    if os.path.exists(_OUT):
+        try:
+            with open(_OUT, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {}
+    doc["obs_overhead_pct"] = overhead_pct
+    doc["obs_overhead"] = {
+        "traced_rps": traced, "untraced_rps": untraced,
+        "traced_runs": traced_rps, "untraced_runs": untraced_rps,
+        "budget_pct": _BUDGET_PCT, "rounds": _ROUNDS,
+        "requests_per_run": len(jobs), "concurrency": _CONCURRENCY,
+    }
+    with open(_OUT, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+    emit("Telemetry overhead (tracing on vs off)",
+         json.dumps(doc["obs_overhead"], indent=2, sort_keys=True))
+
+    assert traced > 0 and untraced > 0
+    if overhead_pct > _BUDGET_PCT:
+        message = (f"tracing overhead {overhead_pct:.2f}% exceeds the "
+                   f"{_BUDGET_PCT}% budget "
+                   f"(traced={traced} rps, untraced={untraced} rps)")
+        if os.environ.get("REPRO_BENCH_STRICT") == "1":
+            pytest.fail(message)
+        print(f"::warning::{message} (soft on shared runners; "
+              "REPRO_BENCH_STRICT=1 makes this a failure)")

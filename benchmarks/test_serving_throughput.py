@@ -19,6 +19,7 @@ throughput ≥ sequential and an achieved mean batch size > 1.
 """
 
 import json
+import os
 
 import pytest
 
@@ -64,8 +65,18 @@ def test_serving_microbatch_vs_sequential(tmp_path):
         "max_wait_ms": config.max_wait_ms,
         **measured,
     }
+    # Merge (not overwrite): test_obs_overhead.py shares the file and
+    # runs first in alphabetical collection order.
+    doc = {}
+    if os.path.exists(_OUT):
+        try:
+            with open(_OUT, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {}
+    doc.update(results)
     with open(_OUT, "w", encoding="utf-8") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
+        json.dump(doc, fh, indent=2, sort_keys=True)
     emit("Serving throughput (micro-batched vs sequential)",
          json.dumps(results, indent=2, sort_keys=True))
 

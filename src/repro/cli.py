@@ -26,6 +26,8 @@ cache          inspect / clear the persistent engine cache
 artifact       inspect a saved pipeline artifact (manifest only, no unpickle)
 serve          run the async micro-batching HTTP detection service
 bench-serve    load-test a served model, write BENCH_serving.json
+obs            scrape telemetry (``obs dump``) from a running server
+trace          fetch one trace by id and print its span tree
 =============  ==============================================================
 
 The corpus subcommands (``train``, ``check``, ``experiment``) accept
@@ -731,6 +733,11 @@ def _print_engine_stats() -> None:
               f"worker_busy_sec={perf['worker_busy_sec']:.3f} "
               f"parallel_wall_sec={perf['parallel_wall_sec']:.3f} "
               f"ewma_sample_sec={perf['ewma_sample_sec']:.5f}")
+        if "effective_cores" in perf:
+            pool = stats.get("pool", {})
+            print(f"  effective_cores={perf['effective_cores']} "
+                  f"pool_starts={pool.get('starts', 0)} "
+                  f"start_method={pool.get('start_method') or '-'}")
 
 
 def cmd_artifact(args: argparse.Namespace) -> int:
@@ -777,7 +784,10 @@ def _serve_config(args: argparse.Namespace):
         host=args.host, port=args.port, max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms, max_queue=args.max_queue,
         poll_interval_s=getattr(args, "poll_interval", None),
-        workers=args.workers, cache_dir=args.cache_dir)
+        workers=args.workers, cache_dir=args.cache_dir,
+        trace=False if getattr(args, "no_trace", False) else None,
+        trace_ring=getattr(args, "trace_ring", None),
+        obs_log=getattr(args, "obs_log", None))
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -839,6 +849,103 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         json.dump(results, fh, indent=2, sort_keys=True)
     print(json.dumps(results, indent=2, sort_keys=True))
     print(f"wrote {args.output}")
+    return 0
+
+
+def _obs_client(args: argparse.Namespace):
+    """Resolve --host/--port against REPRO_SERVE_* like `serve` does,
+    then open one keep-alive client to the running service."""
+    from repro.serve import ServeConfig
+    from repro.serve.loadgen import ServeClient
+
+    config = ServeConfig.from_env(host=args.host, port=args.port)
+    return ServeClient(config.host, config.port, timeout=args.timeout)
+
+
+def cmd_obs_dump(args: argparse.Namespace) -> int:
+    """``obs dump``: one-shot telemetry scrape of a running server.
+
+    JSON mode prints the /metrics document extended with the recent-trace
+    index; ``--format prometheus`` prints the exposition text verbatim
+    (pipeable into a Prometheus checker).
+    """
+    import json
+
+    client = _obs_client(args)
+    try:
+        if args.format == "prometheus":
+            text = client.metrics_text()
+            sys.stdout.write(text if text.endswith("\n") else text + "\n")
+            return 0
+        doc = client.metrics()
+        status, traces = client.request("GET", "/v1/traces")
+        if status == 200:
+            doc["traces"] = traces
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    except (OSError, RuntimeError) as exc:
+        print(f"error: cannot scrape server: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
+def _print_span_tree(spans: List[dict]) -> None:
+    known = {s["span_id"] for s in spans}
+    children: dict = {}
+    for s in spans:
+        parent = s.get("parent_id")
+        children.setdefault(parent if parent in known else None,
+                            []).append(s)
+
+    def walk(parent_id, depth: int) -> None:
+        for s in sorted(children.get(parent_id, []),
+                        key=lambda x: x.get("start_s", 0.0)):
+            attrs = s.get("attrs") or {}
+            extra = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            line = (f"{'  ' * depth}{s['name']:<{max(1, 30 - 2 * depth)}} "
+                    f"{s.get('elapsed_s', 0.0) * 1000:>9.3f}ms  "
+                    f"[{s.get('kind', '?')}] pid={s.get('process', '?')}")
+            if extra:
+                line += f"  {extra}"
+            print(line)
+            walk(s["span_id"], depth + 1)
+
+    walk(None, 0)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace <id>``: fetch one completed trace from a running server
+    and print its span tree (indentation = parenthood)."""
+    import json
+
+    client = _obs_client(args)
+    try:
+        status, doc = client.trace(args.trace_id)
+    except OSError as exc:
+        print(f"error: cannot reach server: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    if status == 404:
+        hint = ""
+        if isinstance(doc, dict) and doc.get("tracing_enabled") is False:
+            hint = " (tracing is disabled on the server)"
+        print(f"error: trace {args.trace_id!r} not found{hint}",
+              file=sys.stderr)
+        return 1
+    if status != 200:
+        print(f"error: server answered {status}: {doc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    spans = doc.get("spans", [])
+    processes = {s.get("process") for s in spans}
+    print(f"trace {doc['trace_id']}  {doc.get('name', '?')}  "
+          f"{doc.get('duration_s', 0.0) * 1000:.3f}ms  "
+          f"{len(spans)} span(s) across {len(processes)} process(es)")
+    _print_span_tree(spans)
     return 0
 
 
@@ -1093,6 +1200,15 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--max-queue", type=int, default=None, metavar="N",
                         help="queued samples before 429 backpressure "
                              "(default: $REPRO_SERVE_MAX_QUEUE or 256)")
+        sp.add_argument("--no-trace", action="store_true",
+                        help="disable trace spans / metric collection "
+                             "(default: on, or $REPRO_SERVE_TRACE)")
+        sp.add_argument("--trace-ring", type=int, default=None, metavar="N",
+                        help="completed traces kept for GET /v1/trace/<id> "
+                             "(default: $REPRO_SERVE_TRACE_RING or 256)")
+        sp.add_argument("--obs-log", default=None, metavar="PATH",
+                        help="JSON-lines event log sink: a path, or '-' "
+                             "for stderr (default: $REPRO_OBS_LOG or off)")
         _add_engine_flags(sp)
 
     p = sub.add_parser("serve",
@@ -1116,6 +1232,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="BENCH_serving.json")
     _add_serve_flags(p)
     p.set_defaults(func=cmd_bench_serve)
+
+    def _add_obs_client_flags(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--host", default=None,
+                        help="server address (default: $REPRO_SERVE_HOST "
+                             "or 127.0.0.1)")
+        sp.add_argument("--port", type=int, default=None,
+                        help="server port (default: $REPRO_SERVE_PORT "
+                             "or 8321)")
+        sp.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                        help="HTTP timeout in seconds (default: 10)")
+
+    p = sub.add_parser("obs",
+                       help="scrape telemetry from a running server")
+    osub = p.add_subparsers(dest="obs_command", required=True)
+    po = osub.add_parser("dump",
+                         help="print /metrics (+ recent traces) of a "
+                              "running server")
+    po.add_argument("--format", choices=("json", "prometheus"),
+                    default="json",
+                    help="json: metrics + trace index; prometheus: raw "
+                         "exposition text")
+    _add_obs_client_flags(po)
+    po.set_defaults(func=cmd_obs_dump)
+
+    p = sub.add_parser("trace",
+                       help="fetch one trace from a running server and "
+                            "print its span tree")
+    p.add_argument("trace_id", help="value of the X-Repro-Trace header")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw trace document")
+    _add_obs_client_flags(p)
+    p.set_defaults(func=cmd_trace)
 
     return parser
 

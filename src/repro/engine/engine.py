@@ -67,7 +67,25 @@ import numpy as np
 
 from repro.engine.cache import CacheStats, ContentStore, digest_parts
 from repro.engine.shm import load_matrix, share_rows
+from repro.obs.log import EVENTS
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.perf import PERF
+
+#: Engine fan-out telemetry (observations dropped until METRICS is
+#: enabled; sites below guard with one attribute check to keep the
+#: library hot path free even of no-op calls).
+_OBS_TASKS = METRICS.counter(
+    "repro_engine_tasks_total", "Worker tasks submitted to the pool.")
+_OBS_SHM = METRICS.counter(
+    "repro_engine_shm_tasks_total",
+    "Worker tasks whose results returned via shared memory.")
+_OBS_POOL_STARTS = METRICS.counter(
+    "repro_engine_pool_starts_total", "Worker pool (re)starts.")
+_OBS_CHUNK_SIZE = METRICS.gauge(
+    "repro_engine_chunk_size", "Most recent adaptive chunk size.")
+_OBS_WORKER_BUSY = METRICS.histogram(
+    "repro_engine_worker_busy_seconds", "Busy seconds per worker task.")
 
 #: Store subtrees, one per engine stage.
 COMPILE_STAGE = "compile"
@@ -80,6 +98,15 @@ _DEFAULT_CHUNK_SIZE = 16          # before any latency has been observed
 _MAX_CHUNK_SIZE = 128
 _MIN_CHUNKS_PER_WORKER = 4        # keep the pool fed near the tail
 _EWMA_ALPHA = 0.3                 # weight of the newest latency sample
+
+
+def effective_cores() -> int:
+    """Cores this process may actually schedule on (cgroup/affinity
+    aware where the platform exposes it, unlike ``os.cpu_count``)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def stage_identity(stage: Any) -> str:
@@ -207,11 +234,14 @@ def _init_worker(blob: bytes) -> None:
 
 
 def _stage_chunk_worker(payload: bytes) -> Tuple[str, Any, float,
-                                                 Dict[str, Any]]:
-    """Process one ``(stage token, chunk)`` payload against the installed
-    state.  Returns ``(transport, value, busy_sec, perf_snapshot)`` where
-    transport is ``"shm"`` (value = matrix handle) or ``"rows"``."""
-    token, chunk = pickle.loads(payload)
+                                                 Dict[str, Any],
+                                                 List[Dict[str, Any]]]:
+    """Process one ``(stage token, chunk, trace ctx)`` payload against
+    the installed state.  Returns ``(transport, value, busy_sec,
+    perf_snapshot, spans)`` where transport is ``"shm"`` (value = matrix
+    handle) or ``"rows"``; ``spans`` are trace spans recorded in this
+    worker (empty unless the parent shipped a trace context)."""
+    token, chunk, ctx = pickle.loads(payload)
     state = _WORKER_STATE
     if state is None or state.token != token:
         raise RuntimeError(
@@ -221,9 +251,11 @@ def _stage_chunk_worker(payload: bytes) -> Tuple[str, Any, float,
     PERF.reset()
     PERF.enabled = True
     try:
-        store = (ContentStore(state.cache_dir, state.version)
-                 if state.cache_dir else None)
-        rows = _process_chunk(store, state.frontend, state.featurizer, chunk)
+        with TRACER.worker_scope(ctx) as spans:
+            store = (ContentStore(state.cache_dir, state.version)
+                     if state.cache_dir else None)
+            rows = _process_chunk(store, state.frontend, state.featurizer,
+                                  chunk)
     finally:
         PERF.enabled = False
     busy = time.perf_counter() - start
@@ -231,8 +263,8 @@ def _stage_chunk_worker(payload: bytes) -> Tuple[str, Any, float,
     if state.featurizer is not None:
         handle = share_rows(rows, state.shm_min_bytes)
         if handle is not None:
-            return ("shm", handle, busy, snapshot)
-    return ("rows", rows, busy, snapshot)
+            return ("shm", handle, busy, snapshot, spans)
+    return ("rows", rows, busy, snapshot, spans)
 
 
 def _map_worker(payload: bytes) -> Any:
@@ -360,6 +392,20 @@ class ExecutionEngine:
                     if capacity > 0 else 0.0),
                 "ewma_sample_sec": (round(self._ewma_sample_sec, 6)
                                     if self._ewma_sample_sec else 0.0),
+                # Visible on every box so "fan-out never validated on
+                # multi-core" (ROADMAP) shows up in /metrics and
+                # `cache stats`: configured workers vs what the
+                # scheduler can actually use here.
+                "effective_cores": effective_cores(),
+            },
+            "pool": {
+                "configured_workers": self.config.workers,
+                "active": self.pool_active,
+                "starts": self.counters["pool_starts"],
+                "start_method": (self._mp_context().get_start_method()
+                                 if self.config.workers > 0 else None),
+                "min_samples_per_worker": self.config.min_samples_per_worker,
+                "chunk_size": self.config.chunk_size,
             },
             "store": {stage: s.as_dict() for stage, s in self.stats.items()},
         }
@@ -600,15 +646,30 @@ class ExecutionEngine:
                 self.counters["parallel_chunks"] += len(chunks)
                 self.counters["tasks"] += len(blobs)
                 self.counters["payload_bytes"] += sum(len(b) for b in blobs)
+                if METRICS.enabled:
+                    _OBS_TASKS.inc(len(blobs))
+                    _OBS_CHUNK_SIZE.set(max(len(c) for c in chunks))
+                if EVENTS.enabled:
+                    EVENTS.emit("engine.fanout", severity="debug",
+                                chunks=len(chunks), samples=n_samples,
+                                workers=self.config.workers)
+                wall_t0 = time.time()
                 try:
                     for chunk, future in zip(chunks, futures):
-                        transport, value, busy, snapshot = future.result()
+                        transport, value, busy, snapshot, spans = \
+                            future.result()
                         self._worker_busy_sec += busy
                         self._observe_sample_sec(busy / max(1, len(chunk)))
                         if PERF.enabled and snapshot:
                             PERF.merge(snapshot)
+                        if spans:
+                            TRACER.merge_spans(spans)
+                        if METRICS.enabled:
+                            _OBS_WORKER_BUSY.observe(busy)
                         if transport == "shm":
                             self.counters["shm_tasks"] += 1
+                            if METRICS.enabled:
+                                _OBS_SHM.inc()
                             matrix = load_matrix(value)
                             values = _split_batch(matrix, matrix.shape[0])
                         else:
@@ -621,8 +682,16 @@ class ExecutionEngine:
                     pool.shutdown(wait=False)
                     raise
                 finally:
-                    self._parallel_wall_sec += (time.perf_counter()
-                                                - wall_start)
+                    wall = time.perf_counter() - wall_start
+                    self._parallel_wall_sec += wall
+                    # record(), not span(): a context-manager span from
+                    # inside a generator would leak its context to the
+                    # consumer between yields.
+                    TRACER.record("engine.fanout", kind="engine",
+                                  start_s=wall_t0, elapsed_s=wall,
+                                  attrs={"chunks": len(chunks),
+                                         "samples": n_samples,
+                                         "workers": self.config.workers})
                 return
         for chunk in chunks:
             named = [(name, source) for _i, name, source in chunk]
@@ -663,9 +732,13 @@ class ExecutionEngine:
                 stacklevel=3)
             return None
         token = self._stage_token(frontend, featurizer)
+        # The trace context rides every chunk payload (None while
+        # tracing is off — a few bytes) so workers can attribute their
+        # stage spans to the originating request(s).
+        ctx = TRACER.capture()
         blobs = [pickle.dumps((token,
                                [(name, source) for _i, name, source
-                                in chunk]))
+                                in chunk], ctx))
                  for chunk in chunks]
         return token, blobs
 
@@ -706,6 +779,13 @@ class ExecutionEngine:
                 initargs=initargs)
             self._pool_token = token
             self.counters["pool_starts"] += 1
+            if METRICS.enabled:
+                _OBS_POOL_STARTS.inc()
+            if EVENTS.enabled:
+                EVENTS.emit("engine.pool_start",
+                            workers=self.config.workers,
+                            start_method=context.get_start_method(),
+                            staged=state is not None)
             return self._pool
 
     def _discard_pool(self, pool: ProcessPoolExecutor) -> None:

@@ -34,6 +34,17 @@ from repro.fuzz.grammar import (
 from repro.fuzz.oracles import ORACLE_NAMES, OracleBench, first_false_alarm
 from repro.fuzz.reduce import ddmin_lines
 from repro.fuzz.triage import classify_failure
+from repro.obs.log import EVENTS
+from repro.obs.metrics import METRICS
+
+_OBS_PROGRAMS = METRICS.counter(
+    "repro_fuzz_programs_total",
+    "Fuzzed programs checked, by differential-check status.",
+    labelnames=("status",))
+_OBS_MINIMIZED = METRICS.counter(
+    "repro_fuzz_minimized_total", "Findings shrunk with ddmin.")
+_OBS_CAMPAIGNS = METRICS.counter(
+    "repro_fuzz_campaigns_total", "Fuzz campaigns run in this process.")
 
 
 @dataclass(frozen=True)
@@ -283,10 +294,24 @@ def run_campaign(config: FuzzConfig,
     engine = engine or default_engine()
     store = CorpusStore(config.corpus_dir) if config.corpus_dir else None
 
+    # Long campaigns are where a progress log earns its keep: honor
+    # $REPRO_OBS_LOG even outside the server (explicit sinks still win).
+    EVENTS.configure_from_env()
+    if METRICS.enabled:
+        _OBS_CAMPAIGNS.inc()
+    if EVENTS.enabled:
+        EVENTS.emit("fuzz.campaign_start", seed=config.seed,
+                    budget=config.budget, nprocs=config.nprocs,
+                    corpus_dir=config.corpus_dir, workers=engine.workers)
+
     # 1. Replay first: the corpus is the accumulated regression surface.
     replay = replay_corpus(store, config, engine) if store is not None \
         else []
     replay_mismatches = sum(1 for e in replay if not e["ok"])
+    if EVENTS.enabled and replay:
+        EVENTS.emit("fuzz.replay_done", cases=len(replay),
+                    mismatches=replay_mismatches,
+                    severity="warning" if replay_mismatches else "info")
 
     # 2. Seeds, then fresh programs.
     seeds: List[GeneratedProgram] = []
@@ -317,9 +342,16 @@ def run_campaign(config: FuzzConfig,
     new_cases = minimized = 0
     for program, record in zip(programs, records):
         status = record["status"]
+        if METRICS.enabled:
+            _OBS_PROGRAMS.labels(status).inc()
         if status == "agree":
             counts["agree"] += 1
             continue
+        if EVENTS.enabled:
+            EVENTS.emit("fuzz.finding", severity="warning",
+                        name=program.name, status=status,
+                        kind=record["kind"], oracle=record["oracle"],
+                        origin=program.origin)
         counts["rejected" if status == "rejected" else
                "disagreements" if status == "disagreement" else
                "static_disagreements" if status == "static_disagreement"
@@ -345,6 +377,8 @@ def run_campaign(config: FuzzConfig,
         if not in_corpus:
             minimized_source = _minimize(program, record, config)
             minimized += 1
+            if METRICS.enabled:
+                _OBS_MINIMIZED.inc()
             # Mark the signature seen even without a store: later
             # duplicate findings must not each pay a full ddmin pass.
             known_signatures.add(sig)
@@ -440,6 +474,13 @@ def run_campaign(config: FuzzConfig,
         "model": model,
     }
     validate_fuzz_report(doc)          # never emit an invalid report
+    if EVENTS.enabled:
+        EVENTS.emit("fuzz.campaign_end",
+                    severity="warning" if campaign_failed(doc) else "info",
+                    programs=len(programs),
+                    hard_failures=counts["hard_failures"],
+                    disagreements=counts["disagreements"],
+                    minimized=minimized, new_corpus_cases=new_cases)
     return doc
 
 

@@ -1,0 +1,383 @@
+"""Trace spans across the serve → batcher → engine → worker chain.
+
+A *trace* is one originating request (or one campaign step); a *span*
+is one timed region attributed to it.  The context that ties them
+together is deliberately tiny — a tuple of ``(trace_id, span_id)``
+pairs — because one unit of work can serve **several** traces at once:
+a micro-batch coalesces samples from many requests, so the batch span
+and every pipeline stage span under it must attach to *all* of the
+originating traces.  Propagation is explicit at every boundary that
+drops ``contextvars``:
+
+* event loop → worker thread: :meth:`Tracer.activate` re-installs the
+  captured context inside the executor callable
+  (``loop.run_in_executor`` does **not** propagate contextvars);
+* parent → pool worker: the engine ships the captured context inside
+  each chunk payload, the worker records spans into a collect buffer
+  (:meth:`Tracer.worker_scope`) and returns them with the chunk result,
+  and the parent folds them into the still-open traces — the same
+  snapshot/merge shape perf registries use.
+
+Completed traces land in a bounded in-memory ring served by
+``GET /v1/trace/<trace_id>``.  ``repro.perf`` stage frames become child
+spans through the ``span_sink`` hook, so with tracing enabled every
+``compile``/``embed``/``classify`` timing joins back to its request —
+and with telemetry disabled the stage sites stay at one attribute check
+(see :meth:`repro.perf.PerfRegistry.stage`).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.metrics import METRICS
+
+#: One context entry per trace this work is serving.
+TraceContext = Tuple[Tuple[str, str], ...]
+
+_CTX: "contextvars.ContextVar[Optional[TraceContext]]" = \
+    contextvars.ContextVar("repro_obs_ctx", default=None)
+
+#: Stage latency by stage name, fed by the perf span sink so /metrics
+#: carries the same per-stage seconds `repro profile` reports.
+_STAGE_SEC = METRICS.histogram(
+    "repro_stage_seconds", "Pipeline stage latency by stage.",
+    labelnames=("stage",))
+
+
+def new_id() -> str:
+    """A 64-bit hex id (trace and span ids share the format)."""
+    return os.urandom(8).hex()
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Activation:
+    """Re-install a captured context in another thread (or no-op)."""
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, ctx: Optional[TraceContext]):
+        self._ctx = ctx
+
+    def __enter__(self):
+        self._token = _CTX.set(self._ctx) if self._ctx else None
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._token is not None:
+            _CTX.reset(self._token)
+        return False
+
+
+class _Span:
+    """A live span context manager, fanned out over every open trace
+    in the current context."""
+
+    __slots__ = ("_tracer", "name", "kind", "_attrs", "_entries", "_ids",
+                 "_token", "_wall", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, kind: str,
+                 attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.kind = kind
+        self._attrs = attrs
+
+    def set(self, **attrs) -> None:
+        self._attrs.update(attrs)
+
+    def __enter__(self):
+        self._entries = _CTX.get() or ()
+        self._ids = tuple(new_id() for _ in self._entries)
+        if self._entries:
+            self._token = _CTX.set(tuple(
+                (trace_id, span_id)
+                for (trace_id, _parent), span_id
+                in zip(self._entries, self._ids)))
+        else:
+            self._token = None
+        self._wall = time.time()
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        elapsed = perf_counter() - self._start
+        if self._token is not None:
+            _CTX.reset(self._token)
+        for (trace_id, parent_id), span_id in zip(self._entries, self._ids):
+            self._tracer.record_span(trace_id, span_id, parent_id,
+                                     self.name, self.kind, self._wall,
+                                     elapsed, self._attrs or None)
+        return False
+
+
+class _RootSpan:
+    """The span that opens (and on exit completes) a whole trace."""
+
+    __slots__ = ("_tracer", "trace_id", "span_id", "name", "_attrs",
+                 "_token", "_wall", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = new_id()
+        self.name = name
+        self._attrs = attrs
+
+    def set(self, **attrs) -> None:
+        self._attrs.update(attrs)
+
+    def __enter__(self):
+        self._tracer._register(self.trace_id)
+        self._token = _CTX.set(((self.trace_id, self.span_id),))
+        self._wall = time.time()
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        elapsed = perf_counter() - self._start
+        _CTX.reset(self._token)
+        root = {"trace_id": self.trace_id, "span_id": self.span_id,
+                "parent_id": None, "name": self.name, "kind": "server",
+                "start_s": round(self._wall, 6),
+                "elapsed_s": round(elapsed, 6), "process": os.getpid()}
+        if self._attrs:
+            root["attrs"] = self._attrs
+        self._tracer._finish(self.trace_id, root)
+        return False
+
+
+class Tracer:
+    """Process-wide span recorder with a bounded completed-trace ring."""
+
+    #: Per-trace span cap: stage frames are fine-grained (one span per
+    #: compile/verify/pass frame per sample), so a huge bulk request
+    #: could otherwise make a single trace unbounded.  Overflow is
+    #: counted in ``dropped``, never silently lost.
+    max_spans_per_trace = 4096
+
+    def __init__(self, ring_size: int = 256):
+        self.enabled = False
+        self.ring_size = ring_size
+        self._lock = threading.Lock()
+        self._open: Dict[str, List[Dict[str, Any]]] = {}
+        self._ring: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        #: Worker collect buffer (pool workers only, single-threaded).
+        self._collect: Optional[List[Dict[str, Any]]] = None
+        self.dropped = 0
+        self.recorded_traces = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def enable(self, ring_size: Optional[int] = None) -> None:
+        from repro.perf import PERF
+
+        if ring_size is not None:
+            self.ring_size = max(1, int(ring_size))
+        self.enabled = True
+        PERF.set_span_sink(self._stage_sink)
+
+    def disable(self) -> None:
+        from repro.perf import PERF
+
+        self.enabled = False
+        PERF.set_span_sink(None)
+        with self._lock:
+            self._open.clear()
+
+    # -- context ------------------------------------------------------------
+    def current(self) -> Optional[TraceContext]:
+        """The active context, tracing enabled or not (cheap)."""
+        return _CTX.get()
+
+    def capture(self) -> Optional[TraceContext]:
+        """The context to propagate across a boundary; ``None`` while
+        tracing is disabled so payloads stay minimal."""
+        return _CTX.get() if self.enabled else None
+
+    def activate(self, ctx: Optional[TraceContext]) -> _Activation:
+        """Context manager installing ``ctx`` (no-op for ``None``) —
+        required inside ``run_in_executor`` callables."""
+        return _Activation(ctx)
+
+    # -- spans --------------------------------------------------------------
+    def start_trace(self, name: str, trace_id: Optional[str] = None,
+                    **attrs) -> Any:
+        """Open a new trace; the returned context manager is its root
+        span and on exit moves the completed trace into the ring."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _RootSpan(self, name, trace_id or new_id(), attrs)
+
+    def span(self, name: str, kind: str = "internal", **attrs) -> Any:
+        """A child span under every trace in the current context."""
+        if not self.enabled or _CTX.get() is None:
+            return _NOOP_SPAN
+        return _Span(self, name, kind, attrs)
+
+    def record(self, name: str, kind: str = "internal",
+               start_s: float = 0.0, elapsed_s: float = 0.0,
+               attrs: Optional[Dict[str, Any]] = None,
+               ctx: Optional[TraceContext] = None) -> None:
+        """Record an already-timed leaf span under ``ctx`` (or the
+        current context) without touching the active context — safe
+        from generators, where a context-manager span would leak its
+        context to the caller between yields."""
+        if not self.enabled:
+            return
+        entries = ctx if ctx is not None else _CTX.get()
+        if not entries:
+            return
+        for trace_id, parent_id in entries:
+            self.record_span(trace_id, new_id(), parent_id, name, kind,
+                             start_s, elapsed_s, attrs)
+
+    def record_span(self, trace_id: str, span_id: str,
+                    parent_id: Optional[str], name: str, kind: str,
+                    start_s: float, elapsed_s: float,
+                    attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Low-level append of one completed span to one open trace."""
+        span = {"trace_id": trace_id, "span_id": span_id,
+                "parent_id": parent_id, "name": name, "kind": kind,
+                "start_s": round(start_s, 6),
+                "elapsed_s": round(elapsed_s, 6),
+                "process": os.getpid()}
+        if attrs:
+            span["attrs"] = attrs
+        if self._collect is not None:
+            self._collect.append(span)
+            return
+        with self._lock:
+            spans = self._open.get(trace_id)
+            if spans is None or len(spans) >= self.max_spans_per_trace:
+                self.dropped += 1       # completed/evicted trace, or full
+                return
+            spans.append(span)
+
+    # -- perf bridge --------------------------------------------------------
+    def _stage_sink(self, name: str, start_s: float,
+                    elapsed_s: float) -> None:
+        """Installed as ``PERF.span_sink``: every stage frame becomes a
+        ``stage.<name>`` span under the current context and feeds the
+        per-stage latency histogram."""
+        _STAGE_SEC.labels(name).observe(elapsed_s)
+        entries = _CTX.get()
+        if not entries:
+            return
+        for trace_id, parent_id in entries:
+            self.record_span(trace_id, new_id(), parent_id,
+                             f"stage.{name}", "stage", start_s, elapsed_s)
+
+    # -- worker transport ---------------------------------------------------
+    @contextmanager
+    def worker_scope(self, ctx: Optional[TraceContext]):
+        """Pool-worker recording scope.
+
+        With a context: spans (including perf stage frames) accumulate
+        in a buffer that the worker ships home with its chunk result.
+        Without one — including forked workers that inherited an
+        enabled tracer whose ring is a useless copy-on-write copy —
+        recording is neutralized.  Yields the buffer.
+        """
+        from repro.perf import PERF
+
+        if not ctx:
+            self.enabled = False
+            PERF.set_span_sink(None)
+            yield []
+            return
+        buffer: List[Dict[str, Any]] = []
+        self._collect = buffer
+        self.enabled = True
+        PERF.set_span_sink(self._stage_sink)
+        token = _CTX.set(tuple(ctx))
+        try:
+            yield buffer
+        finally:
+            _CTX.reset(token)
+            self._collect = None
+
+    def merge_spans(self, spans: Iterable[Dict[str, Any]]) -> None:
+        """Fold worker-recorded spans into their (still open) traces."""
+        for span in spans:
+            with self._lock:
+                open_spans = self._open.get(span["trace_id"])
+                if open_spans is None \
+                        or len(open_spans) >= self.max_spans_per_trace:
+                    self.dropped += 1
+                    continue
+                open_spans.append(span)
+
+    # -- ring ---------------------------------------------------------------
+    def _register(self, trace_id: str) -> None:
+        with self._lock:
+            self._open[trace_id] = []
+
+    def _finish(self, trace_id: str, root: Dict[str, Any]) -> None:
+        """Complete ``trace_id``: append its root span (exempt from the
+        span cap — a trace without a root is unreadable) and move the
+        trace into the ring."""
+        with self._lock:
+            spans = self._open.pop(trace_id, None)
+            if spans is None:
+                return
+            spans.append(root)
+            self.recorded_traces += 1
+            self._ring[trace_id] = {
+                "trace_id": trace_id,
+                "name": root["name"],
+                "started_at": root["start_s"],
+                "duration_s": root["elapsed_s"],
+                "spans": spans,
+            }
+            while len(self._ring) > self.ring_size:
+                self._ring.popitem(last=False)
+
+    def get_trace(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._ring.get(trace_id)
+
+    def recent(self, limit: int = 50) -> List[Dict[str, Any]]:
+        """Newest-first summaries of completed traces in the ring."""
+        with self._lock:
+            docs = list(self._ring.values())
+        return [{"trace_id": d["trace_id"], "name": d["name"],
+                 "started_at": d["started_at"],
+                 "duration_s": d["duration_s"],
+                 "n_spans": len(d["spans"])}
+                for d in reversed(docs[-limit:])]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"enabled": self.enabled,
+                    "ring_size": self.ring_size,
+                    "ring_traces": len(self._ring),
+                    "open_traces": len(self._open),
+                    "recorded_traces": self.recorded_traces,
+                    "dropped_spans": self.dropped}
+
+
+#: The process-wide tracer.
+TRACER = Tracer()

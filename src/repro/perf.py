@@ -28,7 +28,7 @@ registry and returns the schema-checked ``PERF_profile.json`` document;
 
 from __future__ import annotations
 
-from time import perf_counter
+from time import perf_counter, time
 from typing import Any, Dict, List, Optional
 
 #: Canonical stage names, in pipeline order.  Instrumentation sites may
@@ -57,7 +57,7 @@ _NOOP = _NoopStage()
 class _Stage:
     """One live timer frame; exclusive time = elapsed − nested elapsed."""
 
-    __slots__ = ("_registry", "name", "_start", "_child_sec")
+    __slots__ = ("_registry", "name", "_start", "_child_sec", "_wall")
 
     def __init__(self, registry: "PerfRegistry", name: str):
         self._registry = registry
@@ -66,6 +66,7 @@ class _Stage:
     def __enter__(self):
         self._child_sec = 0.0
         self._registry._stack.append(self)
+        self._wall = time()
         self._start = perf_counter()
         return self
 
@@ -83,17 +84,68 @@ class _Stage:
             # Parent frames exclude the whole nested interval, keeping
             # the per-stage totals disjoint.
             stack[-1]._child_sec += elapsed
+        sink = registry.span_sink
+        if sink is not None:
+            # Spans are intervals, so the sink gets *inclusive* elapsed
+            # (nesting is what the trace view renders); exclusive time
+            # stays the profile's accounting.
+            sink(self.name, self._wall, elapsed)
+        return False
+
+
+class _SpanStage:
+    """Stage frame that only feeds the trace span sink (tracing on,
+    profiling off): no exclusive-time bookkeeping, no stack."""
+
+    __slots__ = ("_registry", "name", "_wall", "_start")
+
+    def __init__(self, registry: "PerfRegistry", name: str):
+        self._registry = registry
+        self.name = name
+
+    def __enter__(self):
+        self._wall = time()
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        sink = self._registry.span_sink
+        if sink is not None:
+            sink(self.name, self._wall, perf_counter() - self._start)
         return False
 
 
 class PerfRegistry:
-    """Accumulates exclusive per-stage seconds and entry counts."""
+    """Accumulates exclusive per-stage seconds and entry counts.
+
+    Two independent consumers hang off each stage frame: the profile
+    accounting (``enabled``) and the trace span sink (``span_sink``,
+    installed by :class:`repro.obs.trace.Tracer`).  ``active`` is their
+    precomputed OR, so the disabled hot path stays one attribute check.
+    """
 
     def __init__(self):
-        self.enabled = False
+        self._enabled = False
+        self.active = False
+        self.span_sink = None
         self._self_sec: Dict[str, float] = {}
         self._counts: Dict[str, int] = {}
         self._stack: List[_Stage] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        self.active = self._enabled or self.span_sink is not None
+
+    def set_span_sink(self, sink) -> None:
+        """Install (or with ``None`` remove) the per-frame span callback
+        ``sink(stage_name, wall_start_s, elapsed_s)``."""
+        self.span_sink = sink
+        self.active = self._enabled or sink is not None
 
     def reset(self) -> None:
         self._self_sec = {}
@@ -102,9 +154,11 @@ class PerfRegistry:
 
     def stage(self, name: str):
         """Context manager timing ``name``; no-op while disabled."""
-        if not self.enabled:
+        if not self.active:
             return _NOOP
-        return _Stage(self, name)
+        if self._enabled:
+            return _Stage(self, name)
+        return _SpanStage(self, name)
 
     def snapshot(self) -> Dict[str, Any]:
         """A picklable copy of the accumulated totals (worker → parent)."""

@@ -28,6 +28,17 @@ from collections import deque
 from typing import Any, Awaitable, Callable, Deque, Dict, List, Optional, \
     Sequence, Tuple
 
+from repro.obs.metrics import METRICS
+
+_BATCH_SIZE = METRICS.histogram(
+    "repro_serve_batch_size", "Samples per dispatched micro-batch.",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128))
+_BATCH_SECONDS = METRICS.histogram(
+    "repro_serve_batch_seconds", "Runner execution time per micro-batch.")
+_REJECTED = METRICS.counter(
+    "repro_serve_rejected_samples_total",
+    "Samples refused with 429 backpressure.")
+
 
 class QueueFullError(RuntimeError):
     """The bounded request queue is at capacity; retry later."""
@@ -61,6 +72,8 @@ class BatcherMetrics:
         self.batched_samples += size
         self.max_batch_observed = max(self.max_batch_observed, size)
         self.exec_seconds += exec_seconds
+        _BATCH_SIZE.observe(size)
+        _BATCH_SECONDS.observe(exec_seconds)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -140,6 +153,7 @@ class MicroBatcher:
             raise RuntimeError("batcher is not running")
         if len(self._pending) + len(items) > self.max_queue:
             self.metrics.rejected += len(items)
+            _REJECTED.inc(len(items))
             raise QueueFullError(len(self._pending), self.max_queue)
         loop = asyncio.get_running_loop()
         futures: List[asyncio.Future] = []

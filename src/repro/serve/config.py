@@ -17,6 +17,13 @@ variable                          meaning (dataclass field)
 ``REPRO_SERVE_RETRY_AFTER``       429 Retry-After seconds (``retry_after_s``)
 ``REPRO_SERVE_POLL_INTERVAL``     artifact mtime poll secs, 0 off
                                   (``poll_interval_s``)
+``REPRO_SERVE_TRACE``             0/false disables trace collection
+                                  (``trace``; on by default)
+``REPRO_SERVE_TRACE_RING``        completed traces kept for
+                                  ``GET /v1/trace/<id>`` (``trace_ring``)
+``REPRO_OBS_LOG``                 JSON-lines event log sink: a path, or
+                                  ``-``/``stderr`` (``obs_log``; unset
+                                  disables)
 ================================  =========================================
 
 Engine sharing: ``workers`` / ``cache_dir`` configure the single
@@ -54,6 +61,13 @@ def _env_number(name: str, default, cast, minimum):
     return value
 
 
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(ENV_PREFIX + name, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in ("0", "false", "no", "off")
+
+
 @dataclass(frozen=True)
 class ServeConfig:
     """Knobs of the micro-batching detection service."""
@@ -68,6 +82,9 @@ class ServeConfig:
     max_body_bytes: int = 8 * 1024 * 1024
     workers: Optional[int] = None    # engine workers (None → $REPRO_WORKERS)
     cache_dir: Optional[str] = None  # engine cache (None → $REPRO_CACHE_DIR)
+    trace: bool = True               # trace spans + metrics + /v1/trace ring
+    trace_ring: int = 256            # completed traces kept in memory
+    obs_log: Optional[str] = None    # event-log sink (None → $REPRO_OBS_LOG)
 
     def __post_init__(self):
         if self.port < 0 or self.port > 65535:
@@ -84,6 +101,8 @@ class ServeConfig:
             raise ValueError("poll_interval_s must be >= 0")
         if self.max_body_bytes < 1:
             raise ValueError("max_body_bytes must be positive")
+        if self.trace_ring < 1:
+            raise ValueError("trace_ring must be >= 1")
 
     @classmethod
     def from_env(cls, **overrides) -> "ServeConfig":
@@ -103,6 +122,9 @@ class ServeConfig:
                                          int, 0),
             "poll_interval_s": _env_number("POLL_INTERVAL",
                                            cls.poll_interval_s, float, 0.0),
+            "trace": _env_flag("TRACE", cls.trace),
+            "trace_ring": _env_number("TRACE_RING", cls.trace_ring, int, 1),
+            "obs_log": os.environ.get("REPRO_OBS_LOG") or None,
         }
         values.update({k: v for k, v in overrides.items() if v is not None})
         return cls(**values)

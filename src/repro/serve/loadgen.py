@@ -44,13 +44,32 @@ class ServeClient:
     def request(self, method: str, path: str,
                 payload: Optional[Dict[str, Any]] = None,
                 ) -> Tuple[int, Dict[str, Any]]:
+        status, _headers, parsed = self.request_full(method, path, payload)
+        return status, parsed
+
+    def request_full(self, method: str, path: str,
+                     payload: Optional[Dict[str, Any]] = None,
+                     headers: Optional[Dict[str, str]] = None,
+                     ) -> Tuple[int, Dict[str, str], Any]:
+        """Like :meth:`request` but also returns the response headers
+        (lower-cased names) — e.g. ``X-Repro-Trace``.  Non-JSON bodies
+        (Prometheus text) come back as ``str``."""
         body = None if payload is None else json.dumps(payload)
-        headers = {} if body is None else \
-            {"Content-Type": "application/json"}
-        self._conn.request(method, path, body=body, headers=headers)
+        send_headers = dict(headers or {})
+        if body is not None:
+            send_headers.setdefault("Content-Type", "application/json")
+        self._conn.request(method, path, body=body, headers=send_headers)
         response = self._conn.getresponse()
         data = response.read()
-        return response.status, json.loads(data) if data else {}
+        resp_headers = {k.lower(): v for k, v in response.getheaders()}
+        content_type = resp_headers.get("content-type", "")
+        if not data:
+            parsed: Any = {}
+        elif "json" in content_type:
+            parsed = json.loads(data)
+        else:
+            parsed = data.decode("utf-8", errors="replace")
+        return response.status, resp_headers, parsed
 
     def check(self, source: str, name: str = "input.c",
               ) -> Tuple[int, Dict[str, Any]]:
@@ -62,6 +81,17 @@ class ServeClient:
         if status != 200:
             raise RuntimeError(f"/metrics answered {status}")
         return payload
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of /metrics."""
+        status, _headers, body = self.request_full(
+            "GET", "/metrics?format=prometheus")
+        if status != 200:
+            raise RuntimeError(f"/metrics answered {status}")
+        return body if isinstance(body, str) else json.dumps(body)
+
+    def trace(self, trace_id: str) -> Tuple[int, Dict[str, Any]]:
+        return self.request("GET", f"/v1/trace/{trace_id}")
 
     def close(self) -> None:
         self._conn.close()

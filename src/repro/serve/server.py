@@ -16,11 +16,18 @@ endpoint                    behavior
                             verdict plus typed findings with witnesses
                             (model-free: no batcher, no artifact needed)
 ``GET /healthz``            liveness + current model version
-``GET /metrics``            JSON counters: batcher, queue, requests by
-                            status, reloads, engine/cache stats
+``GET /metrics``            JSON counters by default (batcher, queue,
+                            requests by status, reloads, engine/cache
+                            stats, telemetry registry); Prometheus text
+                            via ``Accept: text/plain`` or
+                            ``?format=prometheus``
 ``GET /v1/model``           manifest summary of the served artifact
 ``POST /v1/reload``         validate + atomically swap the artifact
                             (optional ``{"path": ...}``)
+``GET /v1/trace/<id>``      one completed trace from the bounded ring:
+                            server, queue, batch, engine, and per-stage
+                            pipeline spans (including pool workers)
+``GET /v1/traces``          newest-first summaries of the trace ring
 ==========================  ===============================================
 
 Backpressure: when the bounded queue is full, ``/v1/check`` answers
@@ -28,6 +35,11 @@ Backpressure: when the bounded queue is full, ``/v1/check`` answers
 backlog.  Model inference runs in a worker thread (the event loop keeps
 accepting/parsing while a batch executes); batches capture the model
 reference at dispatch, so a hot reload never fails an in-flight request.
+
+Telemetry (docs/observability.md): every response carries an
+``X-Repro-Trace`` header and every error body a ``trace_id``; with
+tracing enabled (the serve default) the request becomes a trace whose
+spans follow the sample through queue → batch → engine → worker.
 """
 
 from __future__ import annotations
@@ -38,6 +50,9 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.log import EVENTS
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER, new_id
 from repro.pipeline.artifact import ArtifactError
 from repro.serve.batching import MicroBatcher, QueueFullError
 from repro.serve.config import ServeConfig
@@ -62,7 +77,29 @@ _ROUTES = {
     "/v1/check": ("POST",),
     "/v1/analyze": ("POST",),
     "/v1/reload": ("POST",),
+    "/v1/traces": ("GET",),
 }
+
+#: The one prefix route: ``GET /v1/trace/<trace_id>``.
+_TRACE_PREFIX = "/v1/trace/"
+
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_REQ_SECONDS = METRICS.histogram(
+    "repro_serve_request_seconds", "HTTP request handling latency by path.",
+    labelnames=("path",))
+_REQ_TOTAL = METRICS.counter(
+    "repro_serve_requests_total", "HTTP requests handled by path and status.",
+    labelnames=("path", "status"))
+_QUEUE_WAIT = METRICS.histogram(
+    "repro_serve_queue_wait_seconds",
+    "Sample wait between queue admission and batch dispatch.")
+_QUEUE_DEPTH = METRICS.gauge(
+    "repro_serve_queue_depth", "Samples currently queued for batching.")
+_UPTIME = METRICS.gauge(
+    "repro_serve_uptime_seconds", "Seconds since server start.")
+_GENERATION = METRICS.gauge(
+    "repro_serve_model_generation", "Generation of the served artifact.")
 
 
 class _BadRequest(ValueError):
@@ -78,6 +115,34 @@ class _ItemFailure:
 
     def __init__(self, exc: BaseException):
         self.error = f"{type(exc).__name__}: {exc}"
+
+
+class _QueuedSample:
+    """One sample riding the batcher, carrying its trace provenance.
+
+    The batcher stays generic — the serve layer wraps each ``(name,
+    source)`` with the submitting request's trace context and admission
+    time, which is what lets ``_run_batch`` record per-request queue
+    spans and attach the batch span to *every* coalesced trace.
+    """
+
+    __slots__ = ("name", "source", "ctx", "submitted_at")
+
+    def __init__(self, name: str, source: str, ctx, submitted_at: float):
+        self.name = name
+        self.source = source
+        self.ctx = ctx
+        self.submitted_at = submitted_at
+
+
+class _RawResponse:
+    """A non-JSON response body (Prometheus text exposition)."""
+
+    __slots__ = ("content_type", "body")
+
+    def __init__(self, content_type: str, body: bytes):
+        self.content_type = content_type
+        self.body = body
 
 
 def build_engine(config: ServeConfig):
@@ -120,6 +185,15 @@ class DetectionServer:
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
+        if self.config.trace:
+            # The server owns the process-wide telemetry switches: spans
+            # + metrics + (if configured) the JSON-lines event log.
+            TRACER.enable(ring_size=self.config.trace_ring)
+            METRICS.enabled = True
+            if self.config.obs_log:
+                EVENTS.configure(path=self.config.obs_log)
+            else:
+                EVENTS.configure_from_env()
         loop = asyncio.get_running_loop()
         if self.registry._current is None:
             await loop.run_in_executor(None, self.registry.load)
@@ -128,10 +202,13 @@ class DetectionServer:
             self._serve_connection, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
         self.started_at = time.time()
+        EVENTS.emit("serve.start", port=self.port,
+                    model_version=self.registry.current.version)
         if self.config.poll_interval_s > 0:
             self._poll_task = loop.create_task(self._poll_loop())
 
     async def stop(self) -> None:
+        EVENTS.emit("serve.stop", port=self.port)
         if self._poll_task is not None:
             self._poll_task.cancel()
             try:
@@ -148,6 +225,11 @@ class DetectionServer:
         # rather than at interpreter exit.
         if self.registry._current is not None:
             self.registry.current.pipeline.close()
+        if self.config.trace:
+            # Leave the process as we found it (tests run servers
+            # back-to-back, benchmarks compare traced vs untraced).
+            TRACER.disable()
+            METRICS.enabled = False
 
     async def _poll_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -165,13 +247,21 @@ class DetectionServer:
                 self.poll_reloads += 1
 
     # -- batching -----------------------------------------------------------
-    async def _run_batch(self, items: List[Tuple[str, str]],
+    async def _run_batch(self, items: List[_QueuedSample],
                          ) -> List[Any]:
         """One micro-batch → one ``predict_batch`` call off-loop.
 
         The model reference is captured *here*, per batch: requests
         dispatched before a reload finish on the model they started
         with, which is what makes reloads drop-free.
+
+        Tracing: a batch coalesces samples from several requests, so it
+        records one queue-wait span per sample (admission → dispatch)
+        and one batch span per *distinct originating trace*; the batch
+        span ids form the context the executor thread activates, which
+        parents every engine/stage span under them.
+        ``loop.run_in_executor`` does not propagate contextvars, hence
+        the explicit :meth:`Tracer.activate` inside the callable.
 
         Fault isolation: if the batch call fails (typically one bad
         source refusing to compile), fall back to per-item calls so
@@ -188,30 +278,63 @@ class DetectionServer:
 
         model = self.registry.current
         loop = asyncio.get_running_loop()
+        raw = [(q.name, q.source) for q in items]
+        dispatched_at = time.time()
+        parents: Dict[str, str] = {}      # trace_id → submitting span id
+        for q in items:
+            wait = max(0.0, dispatched_at - q.submitted_at)
+            _QUEUE_WAIT.observe(wait)
+            if q.ctx:
+                TRACER.record("serve.queue", kind="queue",
+                              start_s=q.submitted_at, elapsed_s=wait,
+                              ctx=q.ctx)
+                for trace_id, span_id in q.ctx:
+                    parents.setdefault(trace_id, span_id)
+        batch_ids = {trace_id: new_id() for trace_id in parents}
+        batch_ctx = tuple(batch_ids.items()) or None
+
+        def _predict(batch):
+            with TRACER.activate(batch_ctx):
+                return model.pipeline.predict_batch(batch)
+
         try:
-            results = await loop.run_in_executor(
-                None, model.pipeline.predict_batch, items)
-            return [(model, result) for result in results]
-        except Exception:
-            outcomes: List[Any] = []
-            for item in items:
-                try:
-                    result = await loop.run_in_executor(
-                        None, model.pipeline.predict_batch, [item])
-                    outcomes.append((model, result[0]))
-                except CompileError as exc:
-                    outcomes.append(_ItemFailure(exc))
-                except Exception as exc:
-                    if not is_input_fault(exc):
-                        raise
-                    outcomes.append(_ItemFailure(exc))
-            return outcomes
+            try:
+                results = await loop.run_in_executor(None, _predict, raw)
+                return [(model, result) for result in results]
+            except Exception:
+                outcomes: List[Any] = []
+                for item in raw:
+                    try:
+                        result = await loop.run_in_executor(
+                            None, _predict, [item])
+                        outcomes.append((model, result[0]))
+                    except CompileError as exc:
+                        outcomes.append(_ItemFailure(exc))
+                    except Exception as exc:
+                        if not is_input_fault(exc):
+                            raise
+                        outcomes.append(_ItemFailure(exc))
+                return outcomes
+        finally:
+            elapsed = time.time() - dispatched_at
+            for trace_id, batch_id in batch_ids.items():
+                TRACER.record_span(
+                    trace_id, batch_id, parents[trace_id],
+                    "serve.batch", "batch", dispatched_at, elapsed,
+                    {"batch_size": len(items),
+                     "traces": len(batch_ids),
+                     "model_generation": model.generation})
 
     # -- routing ------------------------------------------------------------
     async def handle(self, method: str, path: str, body: bytes,
-                     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
-        """Route one request; returns (status, JSON payload, headers)."""
+                     headers: Optional[Dict[str, str]] = None,
+                     query: str = "",
+                     ) -> Tuple[int, Any, Dict[str, str]]:
+        """Route one request; returns (status, payload, headers) where
+        the payload is a JSON-able dict or a :class:`_RawResponse`."""
         allowed = _ROUTES.get(path)
+        if allowed is None and path.startswith(_TRACE_PREFIX):
+            allowed = ("GET",)
         if allowed is None:
             return 404, {"error": f"no such endpoint {path}"}, {}
         if method not in allowed:
@@ -222,13 +345,17 @@ class DetectionServer:
             if path == "/healthz":
                 return self._handle_health()
             if path == "/metrics":
-                return 200, self.metrics(), {}
+                return self._handle_metrics(headers or {}, query)
             if path == "/v1/model":
                 return self._handle_model()
             if path == "/v1/check":
                 return await self._handle_check(body)
             if path == "/v1/analyze":
                 return await self._handle_analyze(body)
+            if path == "/v1/traces":
+                return self._handle_traces()
+            if path.startswith(_TRACE_PREFIX):
+                return self._handle_trace(path[len(_TRACE_PREFIX):])
             return await self._handle_reload(body)
         except _BadRequest as exc:
             return 400, {"error": str(exc)}, {}
@@ -238,6 +365,8 @@ class DetectionServer:
                      "retry_after_s": self.config.retry_after_s},
                     {"Retry-After": str(self.config.retry_after_s)})
         except Exception as exc:   # never kill the connection loop
+            EVENTS.emit("serve.error", severity="error", path=path,
+                        error=f"{type(exc).__name__}: {exc}")
             return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
 
     def _handle_health(self) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
@@ -246,6 +375,41 @@ class DetectionServer:
         model = self.registry.current
         return 200, {"status": "ok", "model_version": model.version,
                      "generation": model.generation}, {}
+
+    def _handle_metrics(self, headers: Dict[str, str], query: str,
+                        ) -> Tuple[int, Any, Dict[str, str]]:
+        """JSON by default; Prometheus text when the client asks for it
+        (``Accept: text/plain`` / ``application/openmetrics-text``, or
+        ``?format=prometheus``)."""
+        accept = headers.get("accept", "")
+        wants_text = ("format=prometheus" in query
+                      or "text/plain" in accept
+                      or "openmetrics" in accept)
+        if wants_text:
+            self._sync_scrape_gauges()
+            body = METRICS.render_prometheus().encode("utf-8")
+            return 200, _RawResponse(_PROM_CONTENT_TYPE, body), {}
+        return 200, self.metrics(), {}
+
+    def _handle_traces(self) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        stats = TRACER.stats()
+        stats["traces"] = TRACER.recent()
+        return 200, stats, {}
+
+    def _handle_trace(self, trace_id: str,
+                      ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        doc = TRACER.get_trace(trace_id)
+        if doc is None:
+            return 404, {"error": f"no recent trace {trace_id!r}",
+                         "tracing_enabled": TRACER.enabled,
+                         "ring_size": TRACER.ring_size}, {}
+        return 200, doc, {}
+
+    def _sync_scrape_gauges(self) -> None:
+        """Point-in-time gauges refreshed at scrape, not per request."""
+        _UPTIME.set(time.time() - self.started_at if self.started_at else 0.0)
+        _QUEUE_DEPTH.set(self.batcher.queue_depth)
+        _GENERATION.set(self.registry.generation)
 
     def _handle_model(self) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         model = self.registry.current
@@ -303,7 +467,11 @@ class DetectionServer:
                 f"bulk request of {len(items)} samples exceeds the "
                 f"queue capacity ({self.config.max_queue}); split it "
                 "into smaller requests")
-        futures = self.batcher.submit_many(items)     # atomic; may raise 429
+        ctx = TRACER.capture()
+        submitted_at = time.time()
+        queued = [_QueuedSample(name, source, ctx, submitted_at)
+                  for name, source in items]
+        futures = self.batcher.submit_many(queued)    # atomic; may raise 429
         # return_exceptions so every per-sample future is retrieved even
         # when an earlier micro-batch of this request already failed.
         outcomes = await asyncio.gather(*futures, return_exceptions=True)
@@ -343,18 +511,25 @@ class DetectionServer:
         if not isinstance(nprocs, int) or not 2 <= nprocs <= 8:
             raise _BadRequest("'nprocs' must be an integer in [2, 8]")
 
+        ctx = TRACER.capture()
+        started_at = time.time()
+
         def _analyze() -> List[Dict[str, Any]]:
             from repro.verify.static.analyzer import analyze_source
 
             out = []
-            for name, source in items:
-                verdict, findings = analyze_source(source, name, nprocs)
-                out.append({"name": name, "verdict": verdict,
-                            "findings": [f.as_dict() for f in findings]})
+            with TRACER.activate(ctx):
+                for name, source in items:
+                    verdict, findings = analyze_source(source, name, nprocs)
+                    out.append({"name": name, "verdict": verdict,
+                                "findings": [f.as_dict() for f in findings]})
             return out
 
         loop = asyncio.get_running_loop()
         results = await loop.run_in_executor(None, _analyze)
+        TRACER.record("serve.analyze", kind="internal", start_s=started_at,
+                      elapsed_s=time.time() - started_at,
+                      attrs={"samples": len(items)}, ctx=ctx)
         return 200, {"results": results}, {}
 
     async def _handle_reload(self, body: bytes,
@@ -396,6 +571,8 @@ class DetectionServer:
                         "polls": self.polls,
                         "poll_reloads": self.poll_reloads},
             "engine": None if engine is None else engine.stats_dict(),
+            "telemetry": METRICS.as_dict(),
+            "tracing": TRACER.stats(),
         }
 
     # -- raw HTTP -----------------------------------------------------------
@@ -406,10 +583,35 @@ class DetectionServer:
                 request = await self._read_request(reader, writer)
                 if request is None:
                     return
-                method, path, headers, body = request
-                status, payload, extra = await self.handle(method, path,
-                                                           body)
+                method, path, query, headers, body = request
+                started = time.perf_counter()
+                # Every request gets an id — even untraced ones — so
+                # error bodies and the X-Repro-Trace header are always
+                # correlatable (the ring only fills while tracing is on).
+                trace_id = new_id()
+                if TRACER.enabled:
+                    with TRACER.start_trace(f"{method} {path}",
+                                            trace_id=trace_id) as root:
+                        status, payload, extra = await self.handle(
+                            method, path, body, headers, query)
+                        root.set(status=status)
+                else:
+                    status, payload, extra = await self.handle(
+                        method, path, body, headers, query)
                 self._count(status)
+                extra = dict(extra)
+                extra["X-Repro-Trace"] = trace_id
+                if status >= 400 and isinstance(payload, dict):
+                    payload.setdefault("trace_id", trace_id)
+                if METRICS.enabled:
+                    # Bound label cardinality: arbitrary 404 paths must
+                    # not mint unbounded metric series.
+                    label = (path if path in _ROUTES
+                             else _TRACE_PREFIX + "<id>"
+                             if path.startswith(_TRACE_PREFIX) else "other")
+                    _REQ_SECONDS.labels(label).observe(
+                        time.perf_counter() - started)
+                    _REQ_TOTAL.labels(label, status).inc()
                 keep_alive = headers.get("connection",
                                          "keep-alive").lower() != "close"
                 self._write_response(writer, status, payload, extra,
@@ -438,13 +640,16 @@ class DetectionServer:
                 error: str) -> None:
         """Protocol-level refusal: respond, count it, close after."""
         self._count(status)
-        self._write_response(writer, status, {"error": error}, {},
+        trace_id = new_id()
+        self._write_response(writer, status,
+                             {"error": error, "trace_id": trace_id},
+                             {"X-Repro-Trace": trace_id},
                              keep_alive=False)
 
     async def _read_request(self, reader: asyncio.StreamReader,
                             writer: asyncio.StreamWriter,
-                            ) -> Optional[Tuple[str, str, Dict[str, str],
-                                                bytes]]:
+                            ) -> Optional[Tuple[str, str, str,
+                                                Dict[str, str], bytes]]:
         request_line = await reader.readline()
         if not request_line:
             return None                       # clean EOF between requests
@@ -487,17 +692,22 @@ class DetectionServer:
                          f"body exceeds {self.config.max_body_bytes} bytes")
             return None
         body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method.upper(), path, headers, body
+        path, _sep, query = target.partition("?")
+        return method.upper(), path, query, headers, body
 
     @staticmethod
     def _write_response(writer: asyncio.StreamWriter, status: int,
-                        payload: Dict[str, Any], extra: Dict[str, str],
+                        payload: Any, extra: Dict[str, str],
                         keep_alive: bool) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _RawResponse):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         headers = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]

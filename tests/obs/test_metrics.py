@@ -1,0 +1,198 @@
+"""Metric primitives: registration, histogram math, merge algebra,
+and the Prometheus text exposition (validated with the same checker
+CI runs against a live server)."""
+
+import math
+import os
+import sys
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "ci"))
+from check_metrics import check_text  # noqa: E402
+
+
+@pytest.fixture()
+def registry():
+    r = MetricsRegistry()
+    r.enabled = True
+    return r
+
+
+# -- enable gate ------------------------------------------------------------
+
+def test_disabled_registry_drops_observations():
+    r = MetricsRegistry()          # disabled by default
+    counter = r.counter("repro_t_total", "t")
+    hist = r.histogram("repro_t_seconds", "t")
+    counter.inc()
+    hist.observe(0.5)
+    assert counter.labels().value == 0.0
+    assert hist.quantile(0.5) is None
+    assert r.snapshot() == {}
+
+
+def test_registration_is_idempotent_but_kind_checked(registry):
+    a = registry.counter("repro_x_total", "x")
+    assert registry.counter("repro_x_total", "x") is a
+    with pytest.raises(ValueError):
+        registry.gauge("repro_x_total", "x")
+    with pytest.raises(ValueError):
+        registry.counter("repro_x_total", "x", labelnames=("path",))
+    with pytest.raises(ValueError):
+        registry.counter("0bad", "starts with a digit")
+
+
+def test_labels_arity_checked(registry):
+    c = registry.counter("repro_l_total", "l", labelnames=("a", "b"))
+    with pytest.raises(ValueError):
+        c.labels("only-one")
+    c.labels("x", "y").inc(2)
+    assert c.labels("x", "y").value == 2.0
+
+
+# -- histogram edge cases (the satellite) -----------------------------------
+
+def test_empty_histogram_quantiles_are_none(registry):
+    h = registry.histogram("repro_h_seconds", "h")
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert h.quantile(q) is None
+
+
+def test_single_observation_lands_in_its_bucket(registry):
+    h = registry.histogram("repro_h1_seconds", "h", buckets=(1.0, 2.0, 4.0))
+    h.observe(1.5)
+    for q in (0.01, 0.5, 0.99):
+        value = h.quantile(q)
+        assert 1.0 <= value <= 2.0, q
+
+
+def test_observations_beyond_top_bucket_clamp(registry):
+    h = registry.histogram("repro_h2_seconds", "h", buckets=(1.0, 2.0))
+    for _ in range(10):
+        h.observe(100.0)           # all land in the +Inf overflow bucket
+    # The overflow bucket has no upper edge: quantiles clamp to the top
+    # declared bound instead of inventing a number.
+    assert h.quantile(0.5) == 2.0
+    assert h.quantile(0.99) == 2.0
+    child = h.labels()
+    assert child.count == 10
+    assert child.counts[-1] == 10
+    assert child.sum == pytest.approx(1000.0)
+
+
+def test_quantile_interpolates_within_bucket(registry):
+    h = registry.histogram("repro_h3_seconds", "h", buckets=(0.0, 10.0))
+    for _ in range(100):
+        h.observe(5.0)
+    # 100 observations spread (by assumption) across (0, 10]: the median
+    # interpolates to the middle of the winning bucket.
+    assert h.quantile(0.5) == pytest.approx(5.0)
+    assert 0.0 < h.quantile(0.1) < h.quantile(0.9) <= 10.0
+
+
+def test_default_buckets_are_sorted_and_used(registry):
+    h = registry.histogram("repro_h4_seconds", "h")
+    assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
+    h.observe(0.003)
+    assert h.labels().counts[2] == 1   # (0.0025, 0.005]
+
+
+# -- merge algebra ----------------------------------------------------------
+
+def _filled(series):
+    r = MetricsRegistry()
+    r.enabled = True
+    c = r.counter("repro_m_total", "m", labelnames=("who",))
+    h = r.histogram("repro_m_seconds", "m", buckets=(1.0, 2.0, 4.0))
+    for who, values in series.items():
+        for v in values:
+            c.labels(who).inc()
+            h.observe(v)
+    return r
+
+
+def _totals(r):
+    doc = r.as_dict()
+    return {
+        "counter": sorted((s["labels"]["who"], s["value"])
+                          for s in doc["repro_m_total"]["series"]),
+        "hist": [(s["count"], s["sum"]) for s in
+                 doc["repro_m_seconds"]["series"]],
+    }
+
+
+def test_merge_is_commutative():
+    a = _filled({"a": [0.5, 1.5], "b": [3.0]})
+    b = _filled({"b": [0.1], "c": [9.0, 9.0]})
+    ab = MetricsRegistry(); ab.enabled = True
+    ab.merge(a.snapshot()); ab.merge(b.snapshot())
+    ba = MetricsRegistry(); ba.enabled = True
+    ba.merge(b.snapshot()); ba.merge(a.snapshot())
+    assert _totals(ab) == _totals(ba)
+
+
+def test_merge_is_associative():
+    snaps = [
+        _filled({"a": [0.5]}).snapshot(),
+        _filled({"a": [1.5], "b": [2.5]}).snapshot(),
+        _filled({"b": [8.0]}).snapshot(),
+    ]
+    left = MetricsRegistry(); left.enabled = True
+    mid = MetricsRegistry(); mid.enabled = True
+    for s in snaps:                      # ((1 ⊕ 2) ⊕ 3)
+        left.merge(s)
+    mid.merge(snaps[1]); mid.merge(snaps[2])
+    right = MetricsRegistry(); right.enabled = True
+    right.merge(snaps[0]); right.merge(mid.snapshot())   # (1 ⊕ (2 ⊕ 3))
+    assert _totals(left) == _totals(right)
+
+
+def test_merge_rejects_bucket_mismatch():
+    a = MetricsRegistry(); a.enabled = True
+    a.histogram("repro_mm_seconds", "m", buckets=(1.0, 2.0)).observe(0.5)
+    b = MetricsRegistry(); b.enabled = True
+    b.histogram("repro_mm_seconds", "m", buckets=(1.0, 8.0)).observe(0.5)
+    with pytest.raises(ValueError):
+        b.merge(a.snapshot())
+
+
+def test_snapshot_skips_zero_series_and_is_picklable(registry):
+    import pickle
+
+    registry.counter("repro_z_total", "z").inc(0)       # stays zero
+    registry.counter("repro_nz_total", "nz").inc(3)
+    snap = registry.snapshot()
+    assert "repro_z_total" not in snap
+    assert pickle.loads(pickle.dumps(snap)) == snap
+
+
+# -- exposition -------------------------------------------------------------
+
+def test_prometheus_output_passes_the_ci_checker(registry):
+    c = registry.counter("repro_req_total", "Requests.",
+                         labelnames=("path", "status"))
+    c.labels("/v1/check", 200).inc(7)
+    c.labels('quo"te\\path\nx', 500).inc()
+    registry.gauge("repro_up", "Up.").set(1)
+    h = registry.histogram("repro_lat_seconds", "Latency.")
+    for v in (0.002, 0.03, 0.3, 42.0):
+        h.observe(v)
+    text = registry.render_prometheus()
+    assert check_text(text) == []
+    assert "# TYPE repro_lat_seconds histogram" in text
+    assert 'le="+Inf"' in text
+    assert "repro_req_total" in text
+
+
+def test_as_dict_reports_quantiles(registry):
+    h = registry.histogram("repro_q_seconds", "q", buckets=(0.0, 10.0))
+    for _ in range(10):
+        h.observe(5.0)
+    series = registry.as_dict()["repro_q_seconds"]["series"][0]
+    assert series["count"] == 10
+    assert 0.0 < series["p50"] <= 10.0
+    assert series["p50"] <= series["p90"] <= series["p99"]
+    assert not math.isnan(series["sum"])
