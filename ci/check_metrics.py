@@ -238,19 +238,39 @@ def check_text(text: str) -> List[str]:
     return errors
 
 
+def declared_families(text: str) -> set:
+    """Family names with a ``# TYPE`` declaration in the payload."""
+    return {line.split()[2] for line in text.split("\n")
+            if line.startswith("# TYPE ") and len(line.split()) >= 3}
+
+
 def main(argv=None) -> int:
-    args = sys.argv[1:] if argv is None else list(argv)
-    path = args[0] if args else "-"
-    if path == "-":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="check_metrics",
+        description="Validate Prometheus text exposition format 0.0.4.")
+    parser.add_argument("path", nargs="?", default="-",
+                        help="exposition file, or '-' for stdin")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="fail unless this metric family is declared "
+                             "(repeatable; e.g. --require "
+                             "repro_fleet_cas_hits_total)")
+    args = parser.parse_args(sys.argv[1:] if argv is None else list(argv))
+    if args.path == "-":
         text = sys.stdin.read()
     else:
-        with open(path, "r", encoding="utf-8") as fh:
+        with open(args.path, "r", encoding="utf-8") as fh:
             text = fh.read()
     errors = check_text(text)
+    declared = declared_families(text)
+    for family in args.require:
+        if family not in declared:
+            errors.append(f"required family {family!r} is not declared")
     for error in errors:
         print(f"check_metrics: {error}", file=sys.stderr)
-    families = len({line.split()[2] for line in text.split("\n")
-                    if line.startswith("# TYPE ")})
+    families = len(declared)
     samples = sum(1 for line in text.split("\n")
                   if line.strip() and not line.startswith("#"))
     if errors:

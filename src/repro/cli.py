@@ -26,6 +26,10 @@ cache          inspect / clear the persistent engine cache
 artifact       inspect a saved pipeline artifact (manifest only, no unpickle)
 serve          run the async micro-batching HTTP detection service
 bench-serve    load-test a served model, write BENCH_serving.json
+fleet          run N serve replicas behind one digest-routing front door
+               with a fleet-shared compile cache (network CAS)
+bench-fleet    measure 1-vs-N replica cold-path scaling, merge a
+               ``fleet`` section into BENCH_serving.json
 obs            scrape telemetry (``obs dump``) from a running server
 trace          fetch one trace by id and print its span tree
 =============  ==============================================================
@@ -852,6 +856,68 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_config(args: argparse.Namespace, *, ephemeral: bool = False):
+    from repro.fleet import FleetConfig
+
+    port = args.port
+    if ephemeral and port is None \
+            and not os.environ.get("REPRO_FLEET_PORT"):
+        port = 0
+    return FleetConfig.from_env(
+        host=args.host, port=port, replicas=args.replicas,
+        cas_max_bytes=args.cas_max_bytes, workers=args.workers,
+        cache_dir=args.cache_dir,
+        request_timeout_s=getattr(args, "request_timeout", None))
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``fleet``: N replica subprocesses, one front door, one shared CAS."""
+    from repro.fleet import serve_fleet
+    from repro.pipeline import ArtifactError
+
+    try:
+        config = _fleet_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        serve_fleet(args.model, config)
+    except (ArtifactError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_bench_fleet(args: argparse.Namespace) -> int:
+    """``bench-fleet``: cold-path scaling of 1 vs N replicas; merges a
+    ``fleet`` section into BENCH_serving.json (see repro.fleet.bench)."""
+    import json
+
+    from repro.fleet.bench import run_bench
+    from repro.pipeline import ArtifactError
+
+    try:
+        config = _fleet_config(args, ephemeral=True)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        results = run_bench(
+            args.model, args.output, replicas=config.replicas,
+            requests=args.requests, concurrency=args.concurrency,
+            workers=config.workers, timeout=config.request_timeout_s,
+            target_speedup=args.target_speedup)
+    except (ArtifactError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except SystemExit as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(results, indent=2, sort_keys=True))
+    print(f"merged 'fleet' section into {args.output}")
+    return 0
+
+
 def _obs_client(args: argparse.Namespace):
     """Resolve --host/--port against REPRO_SERVE_* like `serve` does,
     then open one keep-alive client to the running service."""
@@ -1232,6 +1298,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="BENCH_serving.json")
     _add_serve_flags(p)
     p.set_defaults(func=cmd_bench_serve)
+
+    def _add_fleet_flags(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--host", default=None,
+                        help="front-door bind address (default: "
+                             "$REPRO_FLEET_HOST or 127.0.0.1)")
+        sp.add_argument("--port", type=int, default=None,
+                        help="front-door port, 0 = ephemeral (default: "
+                             "$REPRO_FLEET_PORT or 8320)")
+        sp.add_argument("--replicas", type=int, default=None, metavar="N",
+                        help="serve subprocesses behind the front door "
+                             "(default: $REPRO_FLEET_REPLICAS or 2)")
+        sp.add_argument("--cas-max-bytes", type=int, default=None,
+                        metavar="B",
+                        help="shared CAS byte budget (default: "
+                             "$REPRO_FLEET_CAS_MAX_BYTES or 256 MiB)")
+        sp.add_argument("--request-timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-replica forward timeout (default: "
+                             "$REPRO_FLEET_REQUEST_TIMEOUT or 300)")
+        sp.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="engine workers per replica (default: "
+                             "each replica's $REPRO_WORKERS policy)")
+        sp.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="base cache dir; replica i gets "
+                             "PATH/replica<i> (default: a temp dir)")
+
+    p = sub.add_parser("fleet",
+                       help="run N serve replicas behind a digest-routing "
+                            "front door with a shared network CAS")
+    p.add_argument("model", help="pipeline artifact every replica serves")
+    _add_fleet_flags(p)
+    p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser("bench-fleet",
+                       help="measure 1-vs-N replica cold-path scaling, "
+                            "merge a 'fleet' section into "
+                            "BENCH_serving.json")
+    p.add_argument("model", help="pipeline artifact every replica serves")
+    p.add_argument("--requests", type=int, default=12, metavar="N",
+                   help="cold sources per run (default: 12)")
+    p.add_argument("--concurrency", type=int, default=4, metavar="C",
+                   help="closed-loop client threads (default: 4)")
+    p.add_argument("--target-speedup", type=float, default=1.6,
+                   metavar="X",
+                   help="cold-path speedup gate; soft unless "
+                        "REPRO_BENCH_STRICT=1 (default: 1.6)")
+    p.add_argument("-o", "--output", default="BENCH_serving.json")
+    _add_fleet_flags(p)
+    p.set_defaults(func=cmd_bench_fleet)
 
     def _add_obs_client_flags(sp: argparse.ArgumentParser) -> None:
         sp.add_argument("--host", default=None,

@@ -127,6 +127,22 @@ def _cacheable(stage: Any) -> bool:
     return getattr(stage, "config", None) is not None
 
 
+def _build_store(cache_dir: Optional[str], cas_addr: Optional[str],
+                 version: Optional[str] = None) -> Optional[ContentStore]:
+    """The engine's stage store: plain local disk, or — when a fleet
+    CAS address is configured — the two-tier store (local disk in front
+    of the shared network CAS) so one replica's cold compile becomes
+    every replica's warm hit.  Imported lazily: the engine must not
+    depend on the fleet layer unless a fleet is actually in play."""
+    if not cache_dir:
+        return None
+    if cas_addr:
+        from repro.fleet.cas import TieredStore
+
+        return TieredStore(cache_dir, cas_addr, version)
+    return ContentStore(cache_dir, version)
+
+
 def _compile_parts(frontend: Any, name: str, source: str) -> Tuple[str, ...]:
     return (stage_identity(frontend), name, source)
 
@@ -196,17 +212,18 @@ class _WorkerState:
     """Everything a stage worker needs, installed once per pool."""
 
     __slots__ = ("token", "frontend", "featurizer", "cache_dir", "version",
-                 "shm_min_bytes")
+                 "shm_min_bytes", "cas_addr")
 
     def __init__(self, token: str, frontend: Any, featurizer: Optional[Any],
                  cache_dir: Optional[str], version: Optional[str],
-                 shm_min_bytes: int):
+                 shm_min_bytes: int, cas_addr: Optional[str] = None):
         self.token = token
         self.frontend = frontend
         self.featurizer = featurizer
         self.cache_dir = cache_dir
         self.version = version
         self.shm_min_bytes = shm_min_bytes
+        self.cas_addr = cas_addr
 
     def __getstate__(self):              # slots + spawn initializer pickling
         return {name: getattr(self, name) for name in self.__slots__}
@@ -252,8 +269,8 @@ def _stage_chunk_worker(payload: bytes) -> Tuple[str, Any, float,
     PERF.enabled = True
     try:
         with TRACER.worker_scope(ctx) as spans:
-            store = (ContentStore(state.cache_dir, state.version)
-                     if state.cache_dir else None)
+            store = _build_store(state.cache_dir, state.cas_addr,
+                                 state.version)
             rows = _process_chunk(store, state.frontend, state.featurizer,
                                   chunk)
     finally:
@@ -300,6 +317,12 @@ class EngineConfig:
     ``shm_min_bytes`` is the feature-matrix transport threshold: chunk
     results at least this large return via shared memory instead of the
     pickle result queue.  Negative disables shared memory entirely.
+
+    ``cas_addr`` (``host:port``) attaches the persistent store to a
+    fleet-shared network CAS (see :mod:`repro.fleet.cas`): local misses
+    consult the fleet tier before recomputing, and local stores are
+    published so sibling replicas never redo the work.  Requires
+    ``cache_dir``; ignored without one.
     """
 
     workers: int = 0
@@ -308,6 +331,7 @@ class EngineConfig:
     min_samples_per_worker: int = 32
     start_method: str = "auto"      # 'auto' prefers fork where available
     shm_min_bytes: int = 32768
+    cas_addr: Optional[str] = None
 
     def __post_init__(self):
         if self.workers < 0:
@@ -323,9 +347,8 @@ class ExecutionEngine:
 
     def __init__(self, config: Optional[EngineConfig] = None, **overrides):
         self.config = config or EngineConfig(**overrides)
-        self.store: Optional[ContentStore] = (
-            ContentStore(self.config.cache_dir)
-            if self.config.cache_dir else None)
+        self.store: Optional[ContentStore] = _build_store(
+            self.config.cache_dir, self.config.cas_addr)
         #: Parent-side work counters (worker-side compiles land in the
         #: shared store but are not mirrored here).  ``tasks`` /
         #: ``payload_bytes`` / ``shm_tasks`` count the parallel
@@ -408,6 +431,9 @@ class ExecutionEngine:
                 "chunk_size": self.config.chunk_size,
             },
             "store": {stage: s.as_dict() for stage, s in self.stats.items()},
+            # Two-tier fleet CAS counters (None on plain local stores).
+            "cas": (self.store.cas_stats()
+                    if hasattr(self.store, "cas_stats") else None),
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -629,7 +655,7 @@ class ExecutionEngine:
                 state = _WorkerState(
                     token, frontend, featurizer, self.config.cache_dir,
                     self.store.version if self.store is not None else None,
-                    self.config.shm_min_bytes)
+                    self.config.shm_min_bytes, self.config.cas_addr)
                 wall_start = time.perf_counter()
                 pool = self._ensure_pool(state)
                 try:
@@ -709,6 +735,7 @@ class ExecutionEngine:
             stage_identity(frontend),
             stage_identity(featurizer) if featurizer is not None else "",
             self.config.cache_dir or "", version,
+            self.config.cas_addr or "",
         ])
 
     def _stage_payloads(self, frontend: Any, featurizer: Optional[Any],
@@ -840,13 +867,16 @@ def default_engine() -> ExecutionEngine:
     """The process-wide engine every pipeline uses unless given its own.
 
     First use builds it from the ``REPRO_WORKERS`` / ``REPRO_CACHE_DIR``
-    environment variables (serial, uncached when unset).
+    / ``REPRO_CAS_ADDR`` environment variables (serial, uncached when
+    unset); ``REPRO_CAS_ADDR`` is how fleet replica subprocesses attach
+    their engines to the shared network CAS.
     """
     global _DEFAULT_ENGINE
     if _DEFAULT_ENGINE is None:
         _DEFAULT_ENGINE = ExecutionEngine(EngineConfig(
             workers=_env_workers(),
-            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None))
+            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+            cas_addr=os.environ.get("REPRO_CAS_ADDR") or None))
     return _DEFAULT_ENGINE
 
 
@@ -867,7 +897,8 @@ def configure(workers: Optional[int] = None,
                                 if min_samples_per_worker is None
                                 else min_samples_per_worker),
         start_method=current.start_method,
-        shm_min_bytes=current.shm_min_bytes))
+        shm_min_bytes=current.shm_min_bytes,
+        cas_addr=current.cas_addr))
     return _DEFAULT_ENGINE
 
 

@@ -480,18 +480,19 @@ def _generalization(cell_docs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
 # ---------------------------------------------------------------------------
 
 def save_matrix_artifact(doc: Dict[str, Any], path: str) -> None:
-    from repro.eval.schema import validate_matrix_artifact
+    """Write the matrix in envelope form (kind + content digest)."""
+    from repro.eval.schema import MATRIX_KIND
+    from repro.schema import save_envelope
 
-    validate_matrix_artifact(doc)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    save_envelope(doc, path, kind=MATRIX_KIND)
 
 
 def load_matrix_artifact(path: str) -> Dict[str, Any]:
-    from repro.eval.schema import validate_matrix_artifact
+    """Read a matrix artifact — envelope form, or a legacy flat file
+    such as a committed baseline — and return the flat document."""
+    from repro.eval.schema import MATRIX_KIND
+    from repro.schema import validate_kind
 
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    validate_matrix_artifact(doc)
-    return doc
+    return validate_kind(MATRIX_KIND, doc)

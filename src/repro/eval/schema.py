@@ -1,207 +1,28 @@
-"""Schema checking for the evaluation-matrix artifact.
+"""Schema checking for the evaluation-matrix artifact (compat shim).
 
-The artifact is the quality contract CI gates on, so it is validated on
-*both* ends: :func:`repro.eval.matrix.run_matrix` refuses to emit an
-invalid document and :mod:`repro.eval.compare` refuses to gate on one.
-The validator implements the small JSON-Schema subset the artifact
-needs (types, required keys, nested properties, items, enums, nullable
-unions) in the stdlib — no external dependency, stable error paths.
+The validator and the matrix schema now live in :mod:`repro.schema`
+(the unified artifact-envelope package); this module keeps the old
+import surface alive.  ``EVAL_matrix.json`` is validated on both ends
+as before: :func:`repro.eval.matrix.run_matrix` refuses to emit an
+invalid document and :mod:`repro.eval.compare` refuses to gate on one —
+both now through :func:`repro.schema.validate_kind`, which accepts the
+envelope form *and* legacy flat files (e.g. committed baselines).
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping, Sequence, Union
+from typing import Any
 
+from repro.schema import SchemaError, validate  # noqa: F401  (re-export)
+from repro.schema.kinds import MATRIX_SCHEMA  # noqa: F401  (re-export)
 
-class SchemaError(ValueError):
-    """A document does not match the schema; ``path`` locates the issue."""
-
-    def __init__(self, path: str, message: str):
-        self.path = path
-        super().__init__(f"{path}: {message}")
-
-
-_TYPE_CHECKS = {
-    "object": lambda v: isinstance(v, Mapping),
-    "array": lambda v: isinstance(v, (list, tuple)),
-    "string": lambda v: isinstance(v, str),
-    # bool is an int subclass in Python; keep the JSON types disjoint.
-    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
-    "number": lambda v: (isinstance(v, (int, float))
-                         and not isinstance(v, bool)),
-    "boolean": lambda v: isinstance(v, bool),
-    "null": lambda v: v is None,
-}
-
-
-def validate(doc: Any, schema: Mapping[str, Any], path: str = "$") -> None:
-    """Recursively check ``doc`` against ``schema``; raise SchemaError.
-
-    Supported keywords: ``type`` (name or list of names), ``enum``,
-    ``const``, ``required``, ``properties``,
-    ``additionalProperties: {schema}`` (applied to keys not named in
-    ``properties``), ``items``, and ``minItems``.
-    """
-    types: Union[str, Sequence[str], None] = schema.get("type")
-    if types is not None:
-        names = (types,) if isinstance(types, str) else tuple(types)
-        unknown = [n for n in names if n not in _TYPE_CHECKS]
-        if unknown:
-            raise SchemaError(path, f"schema names unknown types {unknown}")
-        if not any(_TYPE_CHECKS[name](doc) for name in names):
-            raise SchemaError(
-                path, f"expected {' or '.join(names)}, "
-                      f"got {type(doc).__name__} ({doc!r:.80})")
-    if "const" in schema and doc != schema["const"]:
-        raise SchemaError(path, f"expected {schema['const']!r}, got {doc!r}")
-    if "enum" in schema and doc not in schema["enum"]:
-        raise SchemaError(path, f"{doc!r} not in {schema['enum']!r}")
-
-    if isinstance(doc, Mapping):
-        for key in schema.get("required", ()):
-            if key not in doc:
-                raise SchemaError(path, f"missing required key {key!r}")
-        properties: Mapping[str, Any] = schema.get("properties", {})
-        for key, sub in properties.items():
-            if key in doc:
-                validate(doc[key], sub, f"{path}.{key}")
-        extra = schema.get("additionalProperties")
-        if isinstance(extra, Mapping):
-            for key, value in doc.items():
-                if key not in properties:
-                    validate(value, extra, f"{path}.{key}")
-    if isinstance(doc, (list, tuple)):
-        if len(doc) < schema.get("minItems", 0):
-            raise SchemaError(path, f"expected at least "
-                                    f"{schema['minItems']} items, "
-                                    f"got {len(doc)}")
-        items = schema.get("items")
-        if isinstance(items, Mapping):
-            for i, value in enumerate(doc):
-                validate(value, items, f"{path}[{i}]")
-
-
-# ---------------------------------------------------------------------------
-# The matrix artifact schema
-# ---------------------------------------------------------------------------
-
-_NULLABLE_NUMBER = {"type": ["number", "null"]}
-
-#: Overall and per-class metric blocks share this shape.
-_METRIC_BLOCK = {
-    "type": "object",
-    "required": ["precision", "recall", "f1", "support"],
-    "properties": {
-        "TP": {"type": "integer"}, "TN": {"type": "integer"},
-        "FP": {"type": "integer"}, "FN": {"type": "integer"},
-        "precision": _NULLABLE_NUMBER,
-        "recall": _NULLABLE_NUMBER,
-        "f1": _NULLABLE_NUMBER,
-        "accuracy": _NULLABLE_NUMBER,
-        "support": {"type": "integer"},
-    },
-}
-
-_CELL_SCHEMA = {
-    "type": "object",
-    "required": ["id", "train_dataset", "test_dataset", "method",
-                 "mutation_level", "scenario", "n_train", "n_test",
-                 "overall", "per_class", "provenance"],
-    "properties": {
-        "id": {"type": "string"},
-        "train_dataset": {"type": "string"},
-        "test_dataset": {"type": "string"},
-        "method": {"type": "string"},
-        "mutation_level": {"type": "integer"},
-        "scenario": {"enum": ["split", "cross"]},
-        "n_train": {"type": "integer"},
-        "n_test": {"type": "integer"},
-        "overall": _METRIC_BLOCK,
-        "per_class": {"type": "object",
-                      "additionalProperties": _METRIC_BLOCK},
-        "provenance": {
-            "type": "object",
-            "required": ["train_digest", "test_digest", "config_hash",
-                         "seed"],
-            "properties": {
-                "train_digest": {"type": "string"},
-                "test_digest": {"type": "string"},
-                "config_hash": {"type": "string"},
-                "seed": {"type": "integer"},
-            },
-        },
-    },
-}
-
-MATRIX_SCHEMA = {
-    "type": "object",
-    "required": ["kind", "schema_version", "repro_version", "profile",
-                 "seed", "spec", "datasets", "cells", "generalization"],
-    "properties": {
-        "kind": {"const": "repro-eval-matrix"},
-        "schema_version": {"type": "integer"},
-        "repro_version": {"type": "string"},
-        "profile": {"type": "string"},
-        "seed": {"type": "integer"},
-        "spec": {
-            "type": "object",
-            "required": ["train_datasets", "test_datasets", "methods",
-                         "mutation_levels", "test_frac", "split_seed"],
-            "properties": {
-                "train_datasets": {"type": "array", "minItems": 1,
-                                   "items": {"type": "string"}},
-                "test_datasets": {"type": "array", "minItems": 1,
-                                  "items": {"type": "string"}},
-                "methods": {"type": "array", "minItems": 1,
-                            "items": {"type": "string"}},
-                "mutation_levels": {"type": "array", "minItems": 1,
-                                    "items": {"type": "integer"}},
-                "test_frac": {"type": "number"},
-                "split_seed": {"type": "integer"},
-            },
-        },
-        "datasets": {
-            "type": "object",
-            "additionalProperties": {
-                "type": "object",
-                "required": ["digest", "n_samples"],
-                "properties": {"digest": {"type": "string"},
-                               "n_samples": {"type": "integer"}},
-            },
-        },
-        "cells": {"type": "array", "minItems": 1, "items": _CELL_SCHEMA},
-        "generalization": {
-            "type": "array",
-            "items": {
-                "type": "object",
-                "required": ["method", "mutation_level", "train_dataset",
-                             "test_dataset", "intra_f1", "cross_f1",
-                             "delta"],
-                "properties": {
-                    "method": {"type": "string"},
-                    "mutation_level": {"type": "integer"},
-                    "train_dataset": {"type": "string"},
-                    "test_dataset": {"type": "string"},
-                    "intra_f1": _NULLABLE_NUMBER,
-                    "cross_f1": _NULLABLE_NUMBER,
-                    "delta": _NULLABLE_NUMBER,
-                },
-            },
-        },
-    },
-}
+MATRIX_KIND = "repro-eval-matrix"
 
 
 def validate_matrix_artifact(doc: Any) -> None:
     """Raise :class:`SchemaError` unless ``doc`` is a valid matrix
-    artifact of a schema version this code understands."""
-    validate(doc, MATRIX_SCHEMA)
-    version = doc["schema_version"]
-    if version != 1:
-        raise SchemaError("$.schema_version",
-                          f"unsupported schema version {version} "
-                          f"(this build understands 1)")
-    cell_ids: List[str] = [cell["id"] for cell in doc["cells"]]
-    if len(set(cell_ids)) != len(cell_ids):
-        dupes = sorted({c for c in cell_ids if cell_ids.count(c) > 1})
-        raise SchemaError("$.cells", f"duplicate cell ids {dupes}")
+    artifact (envelope or flat form) of a schema version this code
+    understands."""
+    from repro.schema import validate_kind
+
+    validate_kind(MATRIX_KIND, doc)

@@ -1,0 +1,156 @@
+"""Fleet benchmark: cold-heavy scaling, 1 replica vs N.
+
+The scenario the fleet exists for: a stream of *never-seen* sources
+(every one needs a cold compile — the expensive path) spread across
+replicas by content digest.  With a shared CAS, N replicas give close
+to N× on that stream because each digest is compiled exactly once in
+the whole fleet, on whichever replica owns it; without sharing they
+would each pay their own compiles on any reroute or overlap.
+
+Protocol (``repro bench-fleet`` and CI's fleet-smoke job):
+
+1. 1-replica fleet, fresh corpus A, ``run_load`` → baseline cold rps;
+2. N-replica fleet, fresh corpus B (same size/shape), ``run_load`` →
+   scaled cold rps; then corpus B *again* → warm rps + fleet CAS stats
+   (hits prove the network tier, not just local warmth);
+3. merge a ``"fleet"`` section into ``BENCH_serving.json``.
+
+The ≥ ``target_speedup`` gate is *soft* by default (a
+``::warning::`` line): cold compiles are CPU-bound, so on a 1-core
+runner two replicas time-share one core and the ratio is noise.  Set
+``REPRO_BENCH_STRICT=1`` on machines with real parallelism to make it
+a hard failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.frontdoor import BackgroundFleet
+from repro.serve.loadgen import ServeClient, run_load
+
+_TEMPLATE = """#include <mpi.h>
+/* {tag} */
+int main(int argc, char** argv) {{
+  int rank; int buf[{width}]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) {{ MPI_Send(buf, {width}, MPI_INT, 1, {tagno},
+                             MPI_COMM_WORLD); }}
+  if (rank == 1) {{ MPI_Recv(buf, {width}, MPI_INT, 0, {tagno},
+                             MPI_COMM_WORLD, &st); }}
+  MPI_Finalize();
+  return 0;
+}}
+"""
+
+
+def cold_corpus(count: int, label: str) -> List[Tuple[str, str]]:
+    """``count`` never-before-seen sources: every one is a distinct
+    digest (unique tag comment *and* buffer width / message tag, so the
+    IR differs too) → a guaranteed cold compile somewhere in the fleet.
+    """
+    jobs = []
+    for i in range(count):
+        tag = f"{label}-cold-{i}"
+        jobs.append((f"{tag}.c",
+                     _TEMPLATE.format(tag=tag, width=4 + (i % 13),
+                                      tagno=5 + i)))
+    return jobs
+
+
+def _fleet_doc(host: str, port: int) -> Dict[str, Any]:
+    client = ServeClient(host, port)
+    try:
+        status, doc = client.request("GET", "/v1/fleet")
+        if status != 200:
+            raise RuntimeError(f"/v1/fleet answered {status}")
+        return doc
+    finally:
+        client.close()
+
+
+def measure_fleet(model_path: str, *, replicas: int = 2,
+                  requests: int = 12, concurrency: int = 4,
+                  workers: Optional[int] = None,
+                  timeout: float = 300.0,
+                  host: str = "127.0.0.1") -> Dict[str, Any]:
+    """The bench protocol; returns the ``"fleet"`` results section."""
+    single_jobs = cold_corpus(requests, "single")
+    multi_jobs = cold_corpus(requests, "multi")
+
+    def _config(n: int) -> FleetConfig:
+        return FleetConfig(host=host, port=0, replicas=n, workers=workers,
+                           request_timeout_s=timeout)
+
+    with BackgroundFleet(model_path, _config(1)) as fleet:
+        single = run_load(host, fleet.port, single_jobs,
+                          concurrency=concurrency, timeout=timeout)
+
+    with BackgroundFleet(model_path, _config(replicas)) as fleet:
+        multi_cold = run_load(host, fleet.port, multi_jobs,
+                              concurrency=concurrency, timeout=timeout)
+        multi_warm = run_load(host, fleet.port, multi_jobs,
+                              concurrency=concurrency, timeout=timeout)
+        topology = _fleet_doc(host, fleet.port)
+
+    speedup = (round(multi_cold["throughput_rps"]
+                     / single["throughput_rps"], 3)
+               if single["throughput_rps"] else None)
+    return {
+        "replicas": replicas,
+        "requests_per_run": requests,
+        "concurrency": concurrency,
+        "single_replica_cold": single,
+        "multi_replica_cold": multi_cold,
+        "multi_replica_warm": multi_warm,
+        "cold_speedup": speedup,
+        "warm_vs_cold": (round(multi_warm["throughput_rps"]
+                               / multi_cold["throughput_rps"], 3)
+                         if multi_cold["throughput_rps"] else None),
+        "cas": topology.get("cas"),
+        "routing": topology.get("routing"),
+    }
+
+
+def run_bench(model_path: str, output: str = "BENCH_serving.json", *,
+              replicas: int = 2, requests: int = 12, concurrency: int = 4,
+              workers: Optional[int] = None, timeout: float = 300.0,
+              target_speedup: float = 1.6) -> Dict[str, Any]:
+    """Measure, merge into ``output`` under ``"fleet"``, apply the gate.
+
+    Returns the results section; raises ``SystemExit`` on a hard-gate
+    miss (``REPRO_BENCH_STRICT=1``), prints a ``::warning::`` otherwise.
+    """
+    results = measure_fleet(model_path, replicas=replicas,
+                            requests=requests, concurrency=concurrency,
+                            workers=workers, timeout=timeout)
+    doc: Dict[str, Any] = {}
+    if os.path.exists(output):
+        try:
+            with open(output, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {}
+    doc["fleet"] = results
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+
+    for run in ("single_replica_cold", "multi_replica_cold",
+                "multi_replica_warm"):
+        if results[run]["failed"]:
+            raise SystemExit(
+                f"fleet bench: {results[run]['failed']} failed requests "
+                f"in {run}: {results[run]['failures']}")
+    speedup = results["cold_speedup"] or 0.0
+    if speedup < target_speedup:
+        message = (f"fleet cold-path speedup {speedup} < target "
+                   f"{target_speedup} with {replicas} replicas "
+                   f"(CPU-bound compiles need real cores to scale)")
+        if os.environ.get("REPRO_BENCH_STRICT", "") == "1":
+            raise SystemExit(f"fleet bench: {message}")
+        print(f"::warning::{message}", flush=True)
+    return results

@@ -1,0 +1,184 @@
+"""Replica lifecycle: spawn, readiness, liveness, kill.
+
+Each replica is one ``repro serve`` subprocess — the *unchanged* single
+-process service — wired into the fleet purely through environment:
+
+* ``REPRO_CAS_ADDR``   → its engine builds a
+  :class:`~repro.fleet.cas.TieredStore` instead of a plain local store;
+* ``REPRO_CACHE_DIR``  → a replica-*private* subtree
+  (``<base>/replica<i>``), so any cross-replica cache warmth observable
+  in tests can only have traveled through the network CAS;
+* ``REPRO_WORKERS``    → per-replica engine pool size.
+
+Liveness is ``Popen.poll()``-based: a killed replica reads as dead on
+the very next routing decision, no health-check loop required.  Stdout
+and stderr land in per-replica log files next to the cache subtree.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, List, Optional
+
+from repro.fleet.config import FleetConfig
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (bind-and-release)."""
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def _repo_pythonpath() -> str:
+    """``sys.path`` root of the ``repro`` package, prepended to the
+    child's ``PYTHONPATH`` so replicas import the same build."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    return f"{src}{os.pathsep}{existing}" if existing else src
+
+
+@dataclass
+class Replica:
+    """One serve subprocess and its coordinates."""
+
+    index: int
+    host: str
+    port: int
+    proc: subprocess.Popen
+    cache_dir: str
+    log_path: str
+    log_file: Optional[IO[bytes]] = field(default=None, repr=False)
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    @property
+    def addr(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"index": self.index, "port": self.port,
+                "pid": self.proc.pid, "alive": self.alive,
+                "cache_dir": self.cache_dir}
+
+
+class ReplicaSupervisor:
+    """Spawns and owns the fleet's ``repro serve`` subprocesses."""
+
+    def __init__(self, model_path: str, config: FleetConfig,
+                 cas_addr: str):
+        self.model_path = model_path
+        self.config = config
+        self.cas_addr = cas_addr
+        self.replicas: List[Replica] = []
+        self._base_dir: Optional[str] = config.cache_dir
+        self._owns_base_dir = config.cache_dir is None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> List[Replica]:
+        """Spawn every replica and block until all answer ``/healthz``
+        (or raise after ``startup_timeout_s``, tearing down spawned
+        processes)."""
+        if self._base_dir is None:
+            self._base_dir = tempfile.mkdtemp(prefix="repro-fleet-")
+        os.makedirs(self._base_dir, exist_ok=True)
+        try:
+            for index in range(self.config.replicas):
+                self.replicas.append(self._spawn(index))
+            deadline = time.time() + self.config.startup_timeout_s
+            for replica in self.replicas:
+                self._await_ready(replica, deadline)
+        except BaseException:
+            self.stop()
+            raise
+        return self.replicas
+
+    def _spawn(self, index: int) -> Replica:
+        cache_dir = os.path.join(self._base_dir, f"replica{index}")
+        os.makedirs(cache_dir, exist_ok=True)
+        port = free_port(self.config.host)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _repo_pythonpath()
+        env["REPRO_CAS_ADDR"] = self.cas_addr
+        env["REPRO_CACHE_DIR"] = cache_dir
+        if self.config.workers is not None:
+            env["REPRO_WORKERS"] = str(self.config.workers)
+        log_path = os.path.join(self._base_dir, f"replica{index}.log")
+        log_file = open(log_path, "ab")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", self.model_path,
+             "--host", self.config.host, "--port", str(port)],
+            env=env, stdout=log_file, stderr=subprocess.STDOUT,
+            stdin=subprocess.DEVNULL)
+        return Replica(index=index, host=self.config.host, port=port,
+                       proc=proc, cache_dir=cache_dir, log_path=log_path,
+                       log_file=log_file)
+
+    def _await_ready(self, replica: Replica, deadline: float) -> None:
+        import http.client
+
+        while time.time() < deadline:
+            if not replica.alive:
+                raise RuntimeError(
+                    f"replica {replica.index} exited with code "
+                    f"{replica.proc.returncode} during startup "
+                    f"(log: {replica.log_path})")
+            try:
+                conn = http.client.HTTPConnection(replica.host,
+                                                  replica.port, timeout=5)
+                try:
+                    conn.request("GET", "/healthz")
+                    if conn.getresponse().status == 200:
+                        return
+                finally:
+                    conn.close()
+            except OSError:
+                pass
+            time.sleep(0.2)
+        raise RuntimeError(
+            f"replica {replica.index} not ready within "
+            f"{self.config.startup_timeout_s}s (log: {replica.log_path})")
+
+    def kill(self, index: int) -> None:
+        """Hard-kill one replica (the failure-injection hook)."""
+        replica = self.replicas[index]
+        if replica.alive:
+            replica.proc.kill()
+            replica.proc.wait(timeout=30)
+
+    def alive(self) -> List[Replica]:
+        return [r for r in self.replicas if r.alive]
+
+    def stop(self) -> None:
+        for replica in self.replicas:
+            if replica.alive:
+                replica.proc.terminate()
+        deadline = time.time() + 30
+        for replica in self.replicas:
+            try:
+                replica.proc.wait(timeout=max(0.1,
+                                              deadline - time.time()))
+            except subprocess.TimeoutExpired:
+                replica.proc.kill()
+                replica.proc.wait(timeout=10)
+            if replica.log_file is not None:
+                try:
+                    replica.log_file.close()
+                except OSError:
+                    pass
+                replica.log_file = None
+        if self._owns_base_dir and self._base_dir \
+                and os.path.isdir(self._base_dir):
+            shutil.rmtree(self._base_dir, ignore_errors=True)
+            self._base_dir = None

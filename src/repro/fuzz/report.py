@@ -2,10 +2,11 @@
 
 ``FUZZ_report.json`` is a generated artifact (untracked, like
 ``BENCH_*``/``EVAL_*``) that CI uploads and gates on, so — exactly like
-the evaluation-matrix artifact — it is validated on both ends with the
-stdlib JSON-Schema subset from :mod:`repro.eval.schema`: the harness
-refuses to emit an invalid document and the replay/gating tooling
-refuses to consume one.
+the evaluation-matrix artifact — it is validated on both ends: the
+harness refuses to emit an invalid document and the replay/gating
+tooling refuses to consume one.  The schema and validator now live in
+the unified envelope package (:mod:`repro.schema`); reports are written
+in envelope form and legacy flat files keep loading.
 """
 
 from __future__ import annotations
@@ -13,145 +14,36 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
-from repro.eval.schema import SchemaError, validate
+from repro.schema import SchemaError, validate  # noqa: F401  (re-export)
+from repro.schema.kinds import FUZZ_SCHEMA  # noqa: F401  (re-export)
 
-_SIGNATURE = {
-    "type": "object",
-    "required": ["status", "kind", "oracle"],
-    "properties": {
-        "status": {"type": "string"},
-        "kind": {"type": "string"},
-        "oracle": {"type": "string"},
-    },
-}
-
-_NULLABLE_STRING = {"type": ["string", "null"]}
-
-FUZZ_SCHEMA = {
-    "type": "object",
-    "required": ["kind", "schema_version", "repro_version", "config",
-                 "oracles", "counts", "detection", "replay", "findings",
-                 "model"],
-    "properties": {
-        "kind": {"const": "repro-fuzz-report"},
-        "schema_version": {"type": "integer"},
-        "repro_version": {"type": "string"},
-        "config": {
-            "type": "object",
-            "required": ["seed", "budget", "nprocs", "max_steps",
-                         "max_stmts", "bug_ratio", "corpus_dir",
-                         "include_known_bugs", "chunk_size"],
-            "properties": {
-                "seed": {"type": "integer"},
-                "budget": {"type": "integer"},
-                "nprocs": {"type": "integer"},
-                "max_steps": {"type": "integer"},
-                "max_stmts": {"type": "integer"},
-                "bug_ratio": {"type": "number"},
-                "corpus_dir": _NULLABLE_STRING,
-                "include_known_bugs": {"type": "boolean"},
-                "chunk_size": {"type": "integer"},
-            },
-        },
-        "oracles": {"type": "array", "minItems": 1,
-                    "items": {"type": "string"}},
-        "counts": {
-            "type": "object",
-            "required": ["programs", "generated", "seeded", "agree",
-                         "rejected", "disagreements",
-                         "static_disagreements", "hard_failures",
-                         "generator_rejects", "replayed",
-                         "replay_mismatches", "minimized",
-                         "new_corpus_cases", "corpus_cases"],
-            "additionalProperties": {"type": "integer"},
-        },
-        "detection": {
-            "type": "object",
-            "additionalProperties": {
-                "type": "object",
-                "required": ["detected", "missed", "skipped"],
-                "additionalProperties": {"type": "integer"},
-            },
-        },
-        "replay": {
-            "type": "array",
-            "items": {
-                "type": "object",
-                "required": ["digest", "name", "ok", "recorded",
-                             "observed"],
-                "properties": {
-                    "digest": {"type": "string"},
-                    "name": {"type": "string"},
-                    "ok": {"type": "boolean"},
-                    "recorded": _SIGNATURE,
-                    "observed": _SIGNATURE,
-                },
-            },
-        },
-        "findings": {
-            "type": "array",
-            "items": {
-                "type": "object",
-                "required": ["name", "status", "kind", "oracle",
-                             "expected", "origin", "source",
-                             "minimized_source", "digest", "in_corpus"],
-                "properties": {
-                    "name": {"type": "string"},
-                    "status": {"enum": ["rejected", "disagreement",
-                                        "static_disagreement",
-                                        "hard_failure"]},
-                    "kind": {"type": "string"},
-                    "oracle": {"type": "string"},
-                    "detail": {"type": "string"},
-                    "expected": {"enum": ["correct", "incorrect"]},
-                    "origin": {"type": "string"},
-                    "source": {"type": "string"},
-                    "minimized_source": _NULLABLE_STRING,
-                    "digest": _NULLABLE_STRING,
-                    "in_corpus": {"type": "boolean"},
-                },
-            },
-        },
-        "model": {
-            "type": ["object", "null"],
-            "required": ["method", "checked", "agreements",
-                         "disagreements"],
-            "properties": {
-                "method": {"type": "string"},
-                "checked": {"type": "integer"},
-                "agreements": {"type": "integer"},
-                "disagreements": {"type": "integer"},
-            },
-        },
-    },
-}
+FUZZ_KIND = "repro-fuzz-report"
 
 
 def validate_fuzz_report(doc: Any) -> None:
-    """Raise :class:`~repro.eval.schema.SchemaError` unless ``doc`` is a
-    fuzz report this build understands."""
-    validate(doc, FUZZ_SCHEMA)
-    version = doc["schema_version"]
-    if version != 1:
-        raise SchemaError("$.schema_version",
-                          f"unsupported fuzz report schema {version} "
-                          f"(this build understands 1)")
+    """Raise :class:`~repro.schema.SchemaError` unless ``doc`` is a
+    fuzz report (envelope or flat form) this build understands."""
+    from repro.schema import validate_kind
+
+    validate_kind(FUZZ_KIND, doc)
 
 
 def save_fuzz_report(doc: Dict[str, Any], path: str) -> None:
-    """Validate and write the report (sorted keys → byte-stable)."""
-    validate_fuzz_report(doc)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    """Validate and write the report in envelope form (sorted keys →
+    byte-stable)."""
+    from repro.schema import save_envelope
+
+    save_envelope(doc, path, kind=FUZZ_KIND)
 
 
 def load_fuzz_report(path: str) -> Dict[str, Any]:
-    """Read and validate a report written by :func:`save_fuzz_report`."""
+    """Read a report written by :func:`save_fuzz_report` (or a legacy
+    flat file) and return the flat document."""
+    from repro.schema import validate_kind
+
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    validate_fuzz_report(doc)
-    return doc
+    return validate_kind(FUZZ_KIND, doc)
 
 
 def render_fuzz_report(doc: Dict[str, Any]) -> str:

@@ -136,14 +136,19 @@ class _Span:
 class _RootSpan:
     """The span that opens (and on exit completes) a whole trace."""
 
-    __slots__ = ("_tracer", "trace_id", "span_id", "name", "_attrs",
-                 "_token", "_wall", "_start")
+    __slots__ = ("_tracer", "trace_id", "span_id", "parent_id", "name",
+                 "_attrs", "_token", "_wall", "_start")
 
     def __init__(self, tracer: "Tracer", name: str, trace_id: str,
-                 attrs: Dict[str, Any]):
+                 attrs: Dict[str, Any],
+                 parent_id: Optional[str] = None):
         self._tracer = tracer
         self.trace_id = trace_id
         self.span_id = new_id()
+        # A remote parent (the fleet front door's root span) makes this
+        # whole trace a subtree of a cross-process trace: the merged
+        # span set renders front door → replica → worker as one tree.
+        self.parent_id = parent_id
         self.name = name
         self._attrs = attrs
 
@@ -161,7 +166,8 @@ class _RootSpan:
         elapsed = perf_counter() - self._start
         _CTX.reset(self._token)
         root = {"trace_id": self.trace_id, "span_id": self.span_id,
-                "parent_id": None, "name": self.name, "kind": "server",
+                "parent_id": self.parent_id, "name": self.name,
+                "kind": "server",
                 "start_s": round(self._wall, 6),
                 "elapsed_s": round(elapsed, 6), "process": os.getpid()}
         if self._attrs:
@@ -224,12 +230,15 @@ class Tracer:
 
     # -- spans --------------------------------------------------------------
     def start_trace(self, name: str, trace_id: Optional[str] = None,
-                    **attrs) -> Any:
+                    parent_id: Optional[str] = None, **attrs) -> Any:
         """Open a new trace; the returned context manager is its root
-        span and on exit moves the completed trace into the ring."""
+        span and on exit moves the completed trace into the ring.
+        ``parent_id`` links the root under a span of an upstream
+        process (cross-hop propagation via ``X-Repro-Parent``)."""
         if not self.enabled:
             return _NOOP_SPAN
-        return _RootSpan(self, name, trace_id or new_id(), attrs)
+        return _RootSpan(self, name, trace_id or new_id(), attrs,
+                         parent_id=parent_id)
 
     def span(self, name: str, kind: str = "internal", **attrs) -> Any:
         """A child span under every trace in the current context."""

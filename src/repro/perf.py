@@ -192,66 +192,37 @@ PERF = PerfRegistry()
 # The PERF_profile.json artifact
 # ---------------------------------------------------------------------------
 
-PROFILE_SCHEMA = {
-    "type": "object",
-    "required": ["kind", "schema_version", "dataset", "samples", "method",
-                 "opt_level", "workers", "wall_sec", "samples_per_sec",
-                 "stage_sec", "stage_counts", "stage_total_sec", "coverage"],
-    "properties": {
-        "kind": {"const": "repro-perf-profile"},
-        "schema_version": {"type": "integer"},
-        "dataset": {"type": "string"},
-        "samples": {"type": "integer"},
-        "method": {"type": "string"},
-        "opt_level": {"type": "string"},
-        "workers": {"type": "integer"},
-        "wall_sec": {"type": "number"},
-        "samples_per_sec": {"type": "number"},
-        "stage_sec": {"type": "object",
-                      "additionalProperties": {"type": "number"}},
-        "stage_counts": {"type": "object",
-                         "additionalProperties": {"type": "integer"}},
-        "stage_total_sec": {"type": "number"},
-        "coverage": {"type": "number"},
-        "engine_counters": {"type": "object"},
-        "notes": {"type": "string"},
-    },
-}
+#: Envelope kind name; the schema itself lives in the unified envelope
+#: registry (:mod:`repro.schema.kinds`) — imported lazily below so that
+#: importing repro.perf stays dependency-light (every instrumentation
+#: site imports it).
+PROFILE_KIND = "repro-perf-profile"
 
 
 def validate_profile(doc: Any) -> None:
-    """Raise :class:`repro.eval.schema.SchemaError` on a malformed
-    profile document, and on stage names outside :data:`STAGES`."""
-    from repro.eval.schema import SchemaError, validate
+    """Raise :class:`repro.schema.SchemaError` on a malformed profile
+    document (envelope or flat form), and on stage names outside
+    :data:`STAGES`."""
+    from repro.schema import validate_kind
 
-    validate(doc, PROFILE_SCHEMA)
-    if doc["schema_version"] != SCHEMA_VERSION:
-        raise SchemaError("$.schema_version",
-                          f"unsupported schema version "
-                          f"{doc['schema_version']} (this build "
-                          f"understands {SCHEMA_VERSION})")
-    unknown = sorted(set(doc["stage_sec"]) - set(STAGES))
-    if unknown:
-        raise SchemaError("$.stage_sec", f"unknown stages {unknown}")
+    validate_kind(PROFILE_KIND, doc)
 
 
 def save_profile(doc: Dict[str, Any], path: str) -> None:
-    """Validate and atomically-ish write ``doc`` as JSON to ``path``."""
-    import json
+    """Validate and write ``doc`` in envelope form."""
+    from repro.schema import save_envelope
 
-    validate_profile(doc)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    save_envelope(doc, path, kind=PROFILE_KIND)
 
 
 def load_profile(path: str) -> Dict[str, Any]:
     import json
 
+    from repro.schema import validate_kind
+
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    validate_profile(doc)
-    return doc
+    return validate_kind(PROFILE_KIND, doc)
 
 
 # ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, Tuple
 
 from repro.pipeline.registry import CLASSIFIERS, FEATURIZERS, FRONTENDS
 from repro.pipeline.pipeline import DetectionPipeline
+from repro.schema import SchemaError, is_envelope, make_envelope, validate_kind
 
 SCHEMA_VERSION = 1
 FORMAT_NAME = "repro.detection-pipeline"
@@ -103,7 +104,11 @@ def save_pipeline(pipeline: DetectionPipeline, path: str) -> None:
         blobs[blob_name] = state
         manifest["stages"][role]["state"] = blob_name
 
-    payload = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    # The manifest is persisted in the unified envelope form (kind +
+    # schema/repro versions + content digest over the payload); loaders
+    # unwrap it — and still accept pre-envelope flat manifests.
+    envelope = make_envelope(manifest)
+    payload = json.dumps(envelope, indent=2, sort_keys=True) + "\n"
     if str(path).endswith(".zip"):
         with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
             zf.writestr(MANIFEST_NAME, payload)
@@ -125,9 +130,17 @@ def save_pipeline(pipeline: DetectionPipeline, path: str) -> None:
 
 def _parse_manifest(payload: str, where: str) -> Dict[str, Any]:
     try:
-        return json.loads(payload)
+        doc = json.loads(payload)
     except json.JSONDecodeError as exc:
         raise ArtifactError(f"{where} is not valid JSON: {exc}") from None
+    if is_envelope(doc):
+        # Envelope form: framing + digest are checked here, and the
+        # flat manifest is handed to the rest of the loader unchanged.
+        try:
+            return validate_kind(FORMAT_NAME, doc)
+        except SchemaError as exc:
+            raise ArtifactError(f"{where}: {exc}") from None
+    return doc
 
 
 def _open_container(path: str) -> Tuple[Dict[str, Any],
@@ -179,30 +192,18 @@ def _open_container(path: str) -> Tuple[Dict[str, Any],
 
 
 def validate_manifest(manifest: Dict[str, Any]) -> None:
+    """Validate a manifest (flat or envelope form) through the unified
+    schema registry, mapping violations to :class:`ArtifactError`."""
     if not isinstance(manifest, dict):
         raise ArtifactError("manifest must be a JSON object")
-    if manifest.get("format") != FORMAT_NAME:
+    if not is_envelope(manifest) and manifest.get("format") != FORMAT_NAME:
         raise ArtifactError(
             f"unrecognized artifact format {manifest.get('format')!r} "
             f"(expected {FORMAT_NAME!r})")
-    version = manifest.get("schema_version")
-    if not isinstance(version, int) or version < 1:
-        raise ArtifactError(f"bad schema_version {version!r}")
-    if version > SCHEMA_VERSION:
-        raise ArtifactError(
-            f"artifact schema v{version} is newer than this build "
-            f"(supports up to v{SCHEMA_VERSION}); upgrade repro to load it")
-    stages = manifest.get("stages")
-    if not isinstance(stages, dict):
-        raise ArtifactError("manifest is missing its 'stages' table")
-    for role in ("frontend", "featurizer", "classifier"):
-        entry = stages.get(role)
-        if not isinstance(entry, dict) or "name" not in entry:
-            raise ArtifactError(f"manifest stage {role!r} is missing or "
-                                "has no 'name'")
-    if manifest.get("label_mode") not in ("binary", "type"):
-        raise ArtifactError(
-            f"bad label_mode {manifest.get('label_mode')!r}")
+    try:
+        validate_kind(FORMAT_NAME, manifest)
+    except SchemaError as exc:
+        raise ArtifactError(str(exc)) from None
 
 
 def inspect_artifact(path: str) -> Dict[str, Any]:

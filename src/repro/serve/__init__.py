@@ -27,6 +27,7 @@ from repro.serve.server import (
     BackgroundServer,
     DetectionServer,
     build_engine,
+    error_response,
     serve,
 )
 
@@ -35,5 +36,6 @@ __all__ = [
     "MicroBatcher", "BatcherMetrics", "QueueFullError",
     "ModelRegistry", "LoadedModel", "artifact_mtime",
     "DetectionServer", "BackgroundServer", "serve", "build_engine",
+    "error_response",
     "ServeClient", "run_load", "batching_delta", "measure_regimes",
 ]

@@ -37,9 +37,15 @@ accepting/parsing while a batch executes); batches capture the model
 reference at dispatch, so a hot reload never fails an in-flight request.
 
 Telemetry (docs/observability.md): every response carries an
-``X-Repro-Trace`` header and every error body a ``trace_id``; with
+``X-Repro-Trace`` header, and every non-2xx JSON body the one error
+shape ``{"error": {"code", "message", "trace_id"}}`` built by
+:func:`error_response` (the fleet front door uses the same helper, so
+clients see one surface no matter which tier refused them).  With
 tracing enabled (the serve default) the request becomes a trace whose
-spans follow the sample through queue → batch → engine → worker.
+spans follow the sample through queue → batch → engine → worker; a
+well-formed incoming ``X-Repro-Trace``/``X-Repro-Parent`` pair (sent by
+the front door) is adopted, making the replica's spans a subtree of the
+fleet-level trace.
 """
 
 from __future__ import annotations
@@ -145,6 +151,42 @@ class _RawResponse:
         self.body = body
 
 
+def error_response(status: int, code: str, message: str, *,
+                   headers: Optional[Dict[str, str]] = None,
+                   retry_after: Optional[int] = None,
+                   **fields: Any) -> Tuple[int, Dict[str, Any],
+                                           Dict[str, str]]:
+    """The one error surface every non-2xx JSON body uses — here and in
+    the fleet front door::
+
+        {"error": {"code": "queue_full", "message": "...",
+                   "trace_id": "..."}}
+
+    ``code`` is a stable machine-readable slug; ``message`` is for
+    humans.  The connection handler stamps ``trace_id`` into the error
+    object at write time (it owns the id).  Extra ``fields`` land at the
+    top level next to ``"error"`` (e.g. the per-sample ``results`` of an
+    all-failed bulk check); ``retry_after`` also sets the ``Retry-After``
+    header so load-balancers can honor backpressure without parsing JSON.
+    """
+    body: Dict[str, Any] = {"error": {"code": code, "message": message}}
+    body.update(fields)
+    extra = dict(headers or {})
+    if retry_after is not None:
+        body["retry_after_s"] = retry_after
+        extra["Retry-After"] = str(retry_after)
+    return status, body, extra
+
+
+def _valid_trace_id(value: str) -> bool:
+    """Shape check for ids arriving in ``X-Repro-Trace`` /
+    ``X-Repro-Parent`` headers (16 lowercase hex chars, the shape
+    :func:`repro.obs.trace.new_id` mints) so a hostile client can't
+    inject arbitrary strings into trace storage or response headers."""
+    return (len(value) == 16
+            and all(c in "0123456789abcdef" for c in value))
+
+
 def build_engine(config: ServeConfig):
     """The one engine every served model runs on (pool + cache shared
     across hot reloads).  Without explicit serve-level settings this is
@@ -161,7 +203,8 @@ def build_engine(config: ServeConfig):
         workers=(config.workers if config.workers is not None
                  else _env_workers()),
         cache_dir=(config.cache_dir
-                   or os.environ.get("REPRO_CACHE_DIR") or None)))
+                   or os.environ.get("REPRO_CACHE_DIR") or None),
+        cas_addr=os.environ.get("REPRO_CAS_ADDR") or None))
 
 
 class DetectionServer:
@@ -336,11 +379,13 @@ class DetectionServer:
         if allowed is None and path.startswith(_TRACE_PREFIX):
             allowed = ("GET",)
         if allowed is None:
-            return 404, {"error": f"no such endpoint {path}"}, {}
+            return error_response(404, "not_found",
+                                  f"no such endpoint {path}")
         if method not in allowed:
-            return (405, {"error": f"{path} only accepts "
-                                   f"{' / '.join(allowed)}"},
-                    {"Allow": ", ".join(allowed)})
+            return error_response(
+                405, "method_not_allowed",
+                f"{path} only accepts {' / '.join(allowed)}",
+                headers={"Allow": ", ".join(allowed)})
         try:
             if path == "/healthz":
                 return self._handle_health()
@@ -358,20 +403,20 @@ class DetectionServer:
                 return self._handle_trace(path[len(_TRACE_PREFIX):])
             return await self._handle_reload(body)
         except _BadRequest as exc:
-            return 400, {"error": str(exc)}, {}
+            return error_response(400, "bad_request", str(exc))
         except QueueFullError as exc:
-            return (429,
-                    {"error": str(exc),
-                     "retry_after_s": self.config.retry_after_s},
-                    {"Retry-After": str(self.config.retry_after_s)})
+            return error_response(429, "queue_full", str(exc),
+                                  retry_after=self.config.retry_after_s)
         except Exception as exc:   # never kill the connection loop
             EVENTS.emit("serve.error", severity="error", path=path,
                         error=f"{type(exc).__name__}: {exc}")
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+            return error_response(500, "internal",
+                                  f"{type(exc).__name__}: {exc}")
 
     def _handle_health(self) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         if self.registry._current is None:
-            return 503, {"status": "loading"}, {}
+            return error_response(503, "model_loading",
+                                  "no model loaded yet", status="loading")
         model = self.registry.current
         return 200, {"status": "ok", "model_version": model.version,
                      "generation": model.generation}, {}
@@ -400,9 +445,10 @@ class DetectionServer:
                       ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         doc = TRACER.get_trace(trace_id)
         if doc is None:
-            return 404, {"error": f"no recent trace {trace_id!r}",
-                         "tracing_enabled": TRACER.enabled,
-                         "ring_size": TRACER.ring_size}, {}
+            return error_response(404, "trace_not_found",
+                                  f"no recent trace {trace_id!r}",
+                                  tracing_enabled=TRACER.enabled,
+                                  ring_size=TRACER.ring_size)
         return 200, doc, {}
 
     def _sync_scrape_gauges(self) -> None:
@@ -412,7 +458,14 @@ class DetectionServer:
         _GENERATION.set(self.registry.generation)
 
     def _handle_model(self) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
-        model = self.registry.current
+        # Lock-free read of the atomic reference: during a reload the old
+        # model answers until the swap lands, and before the very first
+        # load completes this is an orderly 503, not a 500.
+        model = self.registry._current
+        if model is None:
+            return error_response(503, "model_loading",
+                                  "no model loaded yet (initial load or "
+                                  "reload still in progress)")
         payload = dict(model.info)
         payload.update({"generation": model.generation,
                         "loaded_at": model.loaded_at,
@@ -496,8 +549,12 @@ class DetectionServer:
             })
         # All samples bad → the request itself was bad; partial failures
         # in a bulk request return 200 with per-item errors.
-        status = 400 if failed == len(results) else 200
-        return status, {"results": results}, {}
+        if failed == len(results):
+            return error_response(
+                400, "all_samples_failed",
+                f"all {len(results)} sample(s) failed; see results",
+                results=results)
+        return 200, {"results": results}, {}
 
     async def _handle_analyze(self, body: bytes,
                               ) -> Tuple[int, Dict[str, Any],
@@ -544,7 +601,8 @@ class DetectionServer:
                                                path)
         except ArtifactError as exc:
             # The old model keeps serving; the caller gets the reason.
-            return 400, {"error": str(exc), "reloaded": False}, {}
+            return error_response(400, "reload_failed", str(exc),
+                                  reloaded=False)
         return 200, {"reloaded": True, "model_version": model.version,
                      "generation": model.generation,
                      "path": model.path}, {}
@@ -588,10 +646,19 @@ class DetectionServer:
                 # Every request gets an id — even untraced ones — so
                 # error bodies and the X-Repro-Trace header are always
                 # correlatable (the ring only fills while tracing is on).
-                trace_id = new_id()
+                # A well-formed incoming X-Repro-Trace (the fleet front
+                # door forwarding a request) is adopted instead, and the
+                # optional X-Repro-Parent makes this request's root span
+                # a child of the forwarder's — one trace across the hop.
+                incoming = headers.get("x-repro-trace", "")
+                trace_id = incoming if _valid_trace_id(incoming) \
+                    else new_id()
+                parent = headers.get("x-repro-parent", "")
+                parent_id = parent if _valid_trace_id(parent) else None
                 if TRACER.enabled:
                     with TRACER.start_trace(f"{method} {path}",
-                                            trace_id=trace_id) as root:
+                                            trace_id=trace_id,
+                                            parent_id=parent_id) as root:
                         status, payload, extra = await self.handle(
                             method, path, body, headers, query)
                         root.set(status=status)
@@ -601,8 +668,9 @@ class DetectionServer:
                 self._count(status)
                 extra = dict(extra)
                 extra["X-Repro-Trace"] = trace_id
-                if status >= 400 and isinstance(payload, dict):
-                    payload.setdefault("trace_id", trace_id)
+                if status >= 400 and isinstance(payload, dict) \
+                        and isinstance(payload.get("error"), dict):
+                    payload["error"].setdefault("trace_id", trace_id)
                 if METRICS.enabled:
                     # Bound label cardinality: arbitrary 404 paths must
                     # not mint unbounded metric series.
@@ -637,12 +705,13 @@ class DetectionServer:
             self.requests_by_status.get(status, 0) + 1
 
     def _reject(self, writer: asyncio.StreamWriter, status: int,
-                error: str) -> None:
+                code: str, message: str) -> None:
         """Protocol-level refusal: respond, count it, close after."""
         self._count(status)
         trace_id = new_id()
-        self._write_response(writer, status,
-                             {"error": error, "trace_id": trace_id},
+        _status, body, _extra = error_response(status, code, message)
+        body["error"]["trace_id"] = trace_id
+        self._write_response(writer, status, body,
                              {"X-Repro-Trace": trace_id},
                              keep_alive=False)
 
@@ -657,7 +726,8 @@ class DetectionServer:
             method, target, _version = \
                 request_line.decode("latin-1").split(None, 2)
         except ValueError:
-            self._reject(writer, 400, "malformed request line")
+            self._reject(writer, 400, "bad_request",
+                         "malformed request line")
             return None
         headers: Dict[str, str] = {}
         while True:
@@ -667,7 +737,7 @@ class DetectionServer:
             if len(headers) >= _MAX_HEADERS:
                 # Keep the whole server bounded: queue, body, *and*
                 # header section.
-                self._reject(writer, 400,
+                self._reject(writer, 400, "bad_request",
                              f"too many headers (max {_MAX_HEADERS})")
                 return None
             name, _sep, value = line.decode("latin-1").partition(":")
@@ -676,7 +746,7 @@ class DetectionServer:
             # Without decoding chunked bodies we could not stay in sync
             # on a keep-alive stream; refuse + close instead of
             # misreading the chunks as the next request.
-            self._reject(writer, 400,
+            self._reject(writer, 400, "bad_request",
                          "Transfer-Encoding is not supported; send a "
                          "Content-Length body")
             return None
@@ -685,10 +755,10 @@ class DetectionServer:
         except ValueError:
             length = -1
         if length < 0:                  # unparsable or negative
-            self._reject(writer, 400, "bad Content-Length")
+            self._reject(writer, 400, "bad_request", "bad Content-Length")
             return None
         if length > self.config.max_body_bytes:
-            self._reject(writer, 413,
+            self._reject(writer, 413, "payload_too_large",
                          f"body exceeds {self.config.max_body_bytes} bytes")
             return None
         body = await reader.readexactly(length) if length else b""

@@ -1,0 +1,28 @@
+"""Shared fixtures for the fleet tests.
+
+Same session-scoped smoke model as ``tests/serve`` (trained once, saved
+as an ``.rpd`` artifact that replica subprocesses load at startup), plus
+one module-scoped two-replica fleet: spawning replicas is the expensive
+part, so every e2e test drives the same fleet, ordered so destructive
+tests (replica kill) run last.
+"""
+
+import pytest
+
+from repro.datasets import load_corrbench
+from repro.ml import GAConfig
+from repro.pipeline import DecisionTreeStageConfig, DetectionPipeline
+
+
+@pytest.fixture(scope="session")
+def artifact(tmp_path_factory):
+    corpus = load_corrbench(subsample=40)
+    pipeline = DetectionPipeline.from_names(
+        "ir2vec", "decision-tree",
+        classifier_config=DecisionTreeStageConfig(
+            ga=GAConfig(population_size=20, generations=2)),
+        method="ir2vec").fit(corpus)
+    path = str(tmp_path_factory.mktemp("fleet-artifacts") / "model.rpd")
+    pipeline.save(path)
+    pipeline.close()
+    return path

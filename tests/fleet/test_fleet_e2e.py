@@ -1,0 +1,171 @@
+"""Fleet end-to-end: real replica subprocesses behind the front door.
+
+One two-replica fleet serves the whole module (replica startup is the
+expensive part).  Tests are ordered: read-only checks first, then the
+destructive replica-kill campaign last — after it, only one replica is
+alive, which is itself part of what that test asserts.
+
+The two acceptance points from the fleet design:
+
+* **shared warmth** — a digest compiled cold on one replica is served
+  warm by another, observable as fleet CAS hits (> 0) rather than a
+  recompile, because each replica's local cache directory is private;
+* **failure transparency** — killing a replica mid-campaign produces
+  zero 5xx responses and byte-identical verdicts, with rerouting
+  visible in the front door's counters.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.fleet import BackgroundFleet, FleetConfig
+from repro.fleet.bench import cold_corpus
+from repro.serve import ServeClient, run_load
+
+_REPLICAS = 2
+
+
+@pytest.fixture(scope="module")
+def fleet(artifact):
+    config = FleetConfig(port=0, replicas=_REPLICAS,
+                         request_timeout_s=600.0)
+    with BackgroundFleet(artifact, config) as background:
+        yield background
+
+
+@pytest.fixture()
+def client(fleet):
+    c = ServeClient(fleet.config.host, fleet.port, timeout=600.0)
+    yield c
+    c.close()
+
+
+def _fleet_doc(client):
+    status, doc = client.request("GET", "/v1/fleet")
+    assert status == 200
+    return doc
+
+
+def test_health_reports_topology(client, fleet):
+    status, doc = client.request("GET", "/healthz")
+    assert status == 200
+    assert doc["status"] == "ok"
+    assert doc["replicas_alive"] == _REPLICAS
+    assert doc["replicas_total"] == _REPLICAS
+    assert doc["cas"] == fleet.door.cas.addr
+
+
+def test_fleet_topology_endpoint(client):
+    doc = _fleet_doc(client)
+    assert len(doc["replicas"]) == _REPLICAS
+    ports = {r["port"] for r in doc["replicas"]}
+    assert len(ports) == _REPLICAS            # distinct sockets
+    dirs = {r["cache_dir"] for r in doc["replicas"]}
+    assert len(dirs) == _REPLICAS             # private local caches
+    assert doc["cas"]["kind"] == "repro-cas-stats"
+
+
+def test_model_is_forwarded_from_a_replica(client):
+    status, doc = client.request("GET", "/v1/model")
+    assert status == 200
+    assert doc["generation"] >= 1
+    assert "version" in doc
+
+
+def test_error_surface_matches_single_process_service(client):
+    status, doc = client.request("GET", "/nope")
+    assert status == 404
+    assert doc["error"]["code"] == "not_found"
+    assert doc["error"]["trace_id"]
+    status, doc = client.request("POST", "/v1/check", {"wrong": "shape"})
+    assert status == 400
+    assert doc["error"]["code"] == "bad_request"
+    status, doc = client.request("POST", "/healthz", {})
+    assert status == 405
+    assert doc["error"]["code"] == "method_not_allowed"
+
+
+def test_check_is_routed_and_trace_is_merged(client, fleet):
+    [(name, source)] = cold_corpus(1, "trace")
+    status, headers, doc = client.request_full(
+        "POST", "/v1/check", {"name": name, "source": source})
+    assert status == 200
+    assert isinstance(doc["results"][0]["label"], str)
+    assert isinstance(doc["results"][0]["is_correct"], bool)
+    trace_id = headers["x-repro-trace"]
+
+    status, trace = client.request("GET", f"/v1/trace/{trace_id}")
+    assert status == 200
+    assert trace["replica_rings_consulted"] >= 1
+    spans = trace["spans"]
+    names = [s["name"] for s in spans]
+    assert "fleet.forward" in names
+
+    # The replica's root span is a child of the front door's: one tree
+    # across the process hop.
+    front_pid = os.getpid()
+    front_root = next(s for s in spans
+                      if s.get("process") == front_pid
+                      and not s.get("parent_id")
+                      and s["name"] == "POST /v1/check")
+    replica_root = next(s for s in spans
+                        if s.get("process") not in (front_pid, None)
+                        and s["name"] == "POST /v1/check")
+    assert replica_root["parent_id"] == front_root["span_id"]
+
+
+def test_prometheus_metrics_include_fleet_families(client):
+    status, _headers, text = client.request_full(
+        "GET", "/metrics?format=prometheus")
+    assert status == 200
+    assert "repro_fleet_requests_total" in text
+    assert "repro_fleet_replicas_alive" in text
+    assert "repro_fleet_cas_hits_total" in text
+
+
+def test_campaign_survives_replica_kill_with_cas_warmth(client, fleet):
+    """The tentpole acceptance test: kill a replica mid-campaign.
+
+    Pass 1 (both replicas): every digest compiles cold on its rendezvous
+    owner and is published to the fleet CAS.  Pass 2 (one replica
+    killed): the survivor inherits the dead replica's digests; they are
+    *warm* for the fleet even though the survivor never compiled them —
+    zero 5xx, byte-identical verdicts, and fleet CAS hits prove the
+    warmth crossed the network tier, not a shared directory.
+    """
+    jobs = cold_corpus(6, "campaign")
+    host = fleet.config.host
+
+    first = run_load(host, fleet.port, jobs, concurrency=2, timeout=600.0)
+    assert first["failed"] == 0, first["failures"]
+    doc = _fleet_doc(client)
+    assert doc["cas"]["counters"]["puts"] > 0     # cold results published
+    baseline = {}
+    for name, source in jobs:
+        status, payload = client.request(
+            "POST", "/v1/check", {"name": name, "source": source})
+        assert status == 200
+        baseline[name] = json.dumps(payload, sort_keys=True)
+
+    hits_before = doc["cas"]["counters"]["hits"]
+    fleet.kill_replica(0)
+
+    second = run_load(host, fleet.port, jobs, concurrency=2, timeout=600.0)
+    assert second["failed"] == 0, second["failures"]   # zero non-200s
+    for name, source in jobs:
+        status, payload = client.request(
+            "POST", "/v1/check", {"name": name, "source": source})
+        assert status == 200
+        assert json.dumps(payload, sort_keys=True) == baseline[name]
+
+    status, doc = client.request("GET", "/healthz")
+    assert status == 200
+    assert doc["replicas_alive"] == _REPLICAS - 1
+
+    doc = _fleet_doc(client)
+    assert doc["routing"]["rerouted"] > 0          # failover happened
+    assert doc["cas"]["counters"]["hits"] > hits_before
+    dead = [r for r in doc["replicas"] if not r["alive"]]
+    assert [r["index"] for r in dead] == [0]

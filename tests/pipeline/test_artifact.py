@@ -18,6 +18,7 @@ from repro.pipeline import (
     save_pipeline,
 )
 from repro.pipeline.artifact import FORMAT_NAME, MANIFEST_NAME, validate_manifest
+from repro.schema import payload_digest, validate_envelope
 
 SMOKE_GA = GAConfig(population_size=20, generations=2)
 
@@ -62,7 +63,12 @@ def test_manifest_contents(fitted, tmp_path):
     path = str(tmp_path / "model.rpd")
     save_pipeline(fitted, path)
     with open(os.path.join(path, MANIFEST_NAME)) as fh:
-        manifest = json.load(fh)
+        envelope = json.load(fh)
+    # On disk the manifest is a unified artifact envelope with a
+    # content digest over the payload; validation returns it flat.
+    assert envelope["kind"] == FORMAT_NAME
+    assert envelope["digest"] == payload_digest(envelope["payload"])
+    manifest = validate_envelope(envelope)
     validate_manifest(manifest)                  # self-consistent
     assert manifest["format"] == FORMAT_NAME
     assert manifest["schema_version"] == SCHEMA_VERSION
@@ -95,11 +101,26 @@ def test_corrupt_manifest_rejected(fitted, tmp_path):
     save_pipeline(fitted, path)
     manifest_path = os.path.join(path, MANIFEST_NAME)
     with open(manifest_path) as fh:
-        manifest = json.load(fh)
-    manifest["schema_version"] = SCHEMA_VERSION + 1
+        envelope = json.load(fh)
+    envelope["schema_version"] = SCHEMA_VERSION + 1
     with open(manifest_path, "w") as fh:
-        json.dump(manifest, fh)
+        json.dump(envelope, fh)
     with pytest.raises(ArtifactError, match="newer than this build"):
+        load_pipeline(path)
+
+
+def test_tampered_payload_rejected_by_digest(fitted, tmp_path):
+    """Envelope integrity: editing the payload without recomputing the
+    content digest is detected before any stage is rebuilt."""
+    path = str(tmp_path / "model.rpd")
+    save_pipeline(fitted, path)
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    with open(manifest_path) as fh:
+        envelope = json.load(fh)
+    envelope["payload"]["method"] = "tampered"
+    with open(manifest_path, "w") as fh:
+        json.dump(envelope, fh)
+    with pytest.raises(ArtifactError, match="digest mismatch"):
         load_pipeline(path)
 
 
@@ -125,11 +146,12 @@ def test_unknown_stage_name_rejected(fitted, tmp_path):
     save_pipeline(fitted, path)
     manifest_path = os.path.join(path, MANIFEST_NAME)
     with open(manifest_path) as fh:
-        manifest = json.load(fh)
-    manifest["stages"]["featurizer"]["name"] = "never-registered"
-    manifest["stages"]["featurizer"]["config"] = {}
+        envelope = json.load(fh)
+    envelope["payload"]["stages"]["featurizer"]["name"] = "never-registered"
+    envelope["payload"]["stages"]["featurizer"]["config"] = {}
+    envelope["digest"] = payload_digest(envelope["payload"])
     with open(manifest_path, "w") as fh:
-        json.dump(manifest, fh)
+        json.dump(envelope, fh)
     with pytest.raises(ArtifactError, match="never-registered"):
         load_pipeline(path)
 

@@ -146,6 +146,58 @@ def test_unpicklable_blob_becomes_artifact_error(tmp_path, artifact_v1):
     assert registry.current is served
 
 
+def test_reload_lock_covers_load_while_reads_stay_lockfree(artifact_v1,
+                                                           artifact_v2):
+    """Lock-scope contract: ``_reload_lock`` is held across the whole
+    validate+load+swap (a competing reload serializes behind it), while
+    readers never touch the lock — mid-reload they instantly observe the
+    consistent old model, never a torn half-swap."""
+    import threading
+
+    from repro.pipeline import load_pipeline
+
+    entered = threading.Event()
+    release = threading.Event()
+
+    def loader(path):
+        if path == artifact_v2:
+            entered.set()
+            assert release.wait(timeout=60)
+        return load_pipeline(path)
+
+    registry = ModelRegistry(artifact_v1, loader=loader)
+    first = registry.load()
+
+    worker = threading.Thread(target=registry.load, args=(artifact_v2,))
+    worker.start()
+    try:
+        assert entered.wait(timeout=60)
+        # The loader runs *inside* the lock's scope.
+        assert registry._reload_lock.locked()
+        # Lock-free readers (the /v1/model and /metrics paths) return
+        # immediately and see generation-consistent state.
+        seen = []
+
+        def read():
+            model = registry._current
+            seen.append((model.generation, registry.generation))
+
+        readers = [threading.Thread(target=read) for _ in range(8)]
+        started = time.time()
+        for t in readers:
+            t.start()
+        for t in readers:
+            t.join(timeout=10)
+        assert time.time() - started < 10, "reader blocked on reload lock"
+        assert len(seen) == 8 and all(pair == (1, 1) for pair in seen)
+        assert registry.current is first
+    finally:
+        release.set()
+        worker.join(timeout=120)
+    assert registry.current.generation == 2
+    assert registry.generation == 2
+
+
 def test_poll_detects_mtime_preserving_rollback(tmp_path, artifact_v1,
                                                 artifact_v2):
     """A rollback restored with copystat'd (older) mtimes still counts

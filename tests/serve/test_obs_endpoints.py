@@ -85,7 +85,9 @@ def test_error_bodies_carry_trace_id(server):
             status, headers, body = client.request_full(method, path,
                                                         payload)
             assert status >= 400
-            assert body["trace_id"] == headers["x-repro-trace"], path
+            assert body["error"]["code"], path
+            assert body["error"]["trace_id"] == \
+                headers["x-repro-trace"], path
     finally:
         client.close()
 

@@ -119,7 +119,9 @@ def test_bad_requests_and_unknown_routes(server):
     assert client.request("GET", "/v1/check")[0] == 405
 
     status, payload = client.request("POST", "/v1/check", {"nope": 1})
-    assert status == 400 and "source" in payload["error"]
+    assert status == 400
+    assert payload["error"]["code"] == "bad_request"
+    assert "source" in payload["error"]["message"]
     status, payload = client.request("POST", "/v1/check", {"sources": []})
     assert status == 400
     status, payload = client.request("POST", "/v1/check",
@@ -195,7 +197,8 @@ def test_queue_overflow_returns_429_with_retry_after(artifact_v1):
             if status == 429:
                 assert retry_after == "7"
                 assert payload["retry_after_s"] == 7
-                assert "queue is full" in payload["error"]
+                assert payload["error"]["code"] == "queue_full"
+                assert "queue is full" in payload["error"]["message"]
             else:
                 assert status == 200 and retry_after is None
 
@@ -306,7 +309,8 @@ def test_bulk_larger_than_queue_is_a_400_not_a_429(artifact_v1):
         status, payload = client.request("POST", "/v1/check", {
             "sources": [CHECK_SRC] * 5})
         assert status == 400
-        assert "exceeds the queue capacity" in payload["error"]
+        assert payload["error"]["code"] == "bad_request"
+        assert "exceeds the queue capacity" in payload["error"]["message"]
         # A right-sized bulk still goes through afterwards.
         status, payload = client.request("POST", "/v1/check", {
             "sources": [CHECK_SRC] * 4})
@@ -484,6 +488,53 @@ def test_unbounded_header_section_is_rejected(server):
     assert b"too many headers" in data
 
 
+def test_model_and_metrics_answer_during_slow_reload(artifact_v1,
+                                                     artifact_v2):
+    """While a reload is mid-swap (loader still running under the
+    registry lock), ``GET /v1/model``, ``/metrics``, and ``/healthz``
+    must keep answering 200 from the old model — reads are lock-free."""
+    entered = threading.Event()
+    release = threading.Event()
+
+    def loader(path):
+        if path == artifact_v2:
+            entered.set()
+            assert release.wait(timeout=60)
+        return load_pipeline(path)
+
+    registry = ModelRegistry(artifact_v1, loader=loader)
+    config = ServeConfig(port=0, max_batch=2, max_wait_ms=5)
+    with BackgroundServer(config=config, registry=registry) as handle:
+        client = _client(handle)
+        outcome = {}
+
+        def fire_reload():
+            slow = _client(handle)
+            try:
+                outcome["reload"] = slow.request(
+                    "POST", "/v1/reload", {"path": artifact_v2})
+            finally:
+                slow.close()
+
+        worker = threading.Thread(target=fire_reload)
+        worker.start()
+        try:
+            assert entered.wait(timeout=60)
+            status, model = client.request("GET", "/v1/model")
+            assert status == 200 and model["generation"] == 1
+            status, metrics = client.request("GET", "/metrics")
+            assert status == 200 and metrics["model"]["generation"] == 1
+            assert client.request("GET", "/healthz")[0] == 200
+        finally:
+            release.set()
+            worker.join(timeout=120)
+        status, payload = outcome["reload"]
+        assert status == 200 and payload["reloaded"] is True
+        status, model = client.request("GET", "/v1/model")
+        assert status == 200 and model["generation"] == 2
+        client.close()
+
+
 def test_server_fault_is_a_500_not_a_400(artifact_v1):
     """A broken model must read as a server fault (retry me), never as
     a client error — only compile failures are the client's problem."""
@@ -499,5 +550,6 @@ def test_server_fault_is_a_500_not_a_400(artifact_v1):
         client = _client(handle)
         status, payload = client.check(CHECK_SRC)
         assert status == 500
-        assert "MemoryError" in payload["error"]
+        assert payload["error"]["code"] == "internal"
+        assert "MemoryError" in payload["error"]["message"]
         client.close()
