@@ -643,6 +643,99 @@ def cmd_fuzz_replay(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def cmd_repair(args: argparse.Namespace) -> int:
+    """``repair``: rule-based automated repair validated by the
+    differential harness.
+
+    Input is one file, a stored fuzz corpus (``--corpus``), and/or a
+    seed-deterministic batch of grammar mutants (``--seed``/``--budget``
+    — the ground-truth denominator for the repair rate).  Writes the
+    schema-checked ``REPAIR_report.json``.  Exit 0 when every case ends
+    clean (repaired or validated no-op); 1 when cases stay unrepaired or
+    the ``--baseline`` repair-rate gate fails; 2 on usage errors.  When
+    a ``--baseline`` gate applies (ground truth present), the gate is
+    the sole pass criterion — unrepaired cases without mutation
+    metadata are data, not failures."""
+    import json
+
+    from repro.repair import (
+        RepairConfig,
+        RepairTask,
+        build_report,
+        corpus_tasks,
+        generated_tasks,
+        repair_tasks,
+        render_repair_report,
+        save_repair_report,
+    )
+
+    _apply_engine_flags(args)
+    try:
+        config = RepairConfig(nprocs=args.nprocs,
+                              max_attempts=args.max_attempts)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tasks = []
+    if args.file:
+        if not os.path.isfile(args.file):
+            print(f"error: no such file {args.file!r}", file=sys.stderr)
+            return 2
+        with open(args.file, "r", encoding="utf-8") as fh:
+            tasks.append(RepairTask(name=os.path.basename(args.file),
+                                    source=fh.read()))
+    if args.corpus:
+        if not os.path.isdir(args.corpus):
+            print(f"error: corpus directory {args.corpus!r} does not "
+                  "exist", file=sys.stderr)
+            return 2
+        tasks.extend(corpus_tasks(args.corpus))
+    if args.budget:
+        tasks.extend(generated_tasks(args.seed, args.budget,
+                                     nprocs=args.nprocs,
+                                     include_correct=args.include_correct))
+    if not tasks:
+        print("error: nothing to repair (give a file, --corpus, or "
+              "--budget)", file=sys.stderr)
+        return 2
+    entries = repair_tasks(tasks, config)
+    doc = build_report(entries, config, corpus_dir=args.corpus,
+                       seed=args.seed if args.budget else None,
+                       budget=args.budget or None)
+    save_repair_report(doc, args.output)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(render_repair_report(doc))
+        print(f"wrote {args.output}")
+    failed = doc["counts"]["unrepaired"] > 0
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                floor = float(json.load(fh)["min_repair_rate"])
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: unusable baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        rate = doc["repair_rate"]
+        if rate is None:
+            print("baseline gate skipped: no ground-truth mutation "
+                  "metadata in this run")
+        elif rate < floor:
+            print(f"baseline gate FAILED: repair rate {rate:.2f} < "
+                  f"{floor:.2f}")
+            failed = True
+        else:
+            # An applicable gate *is* the pass criterion: cases without
+            # mutation metadata (e.g. committed compile-reject known
+            # bugs) are reported as data, not failures.
+            print(f"baseline gate ok: repair rate {rate:.2f} >= "
+                  f"{floor:.2f}")
+            failed = False
+    return 1 if failed else 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """``profile``: drive a dataset through the cold pipeline under the
     per-stage timers and write the schema-checked profile artifact."""
@@ -1206,6 +1299,33 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("-n", "--nprocs", type=int, default=3)
     _add_engine_flags(pr)
     pr.set_defaults(func=cmd_fuzz_replay)
+
+    p = sub.add_parser("repair",
+                       help="rule-based automated repair validated by "
+                            "the differential harness")
+    p.add_argument("file", nargs="?", default=None,
+                   help="one mini-C source to repair")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="repair every stored fuzz-corpus case")
+    p.add_argument("--seed", type=int, default=7,
+                   help="grammar seed for generated mutants (default 7)")
+    p.add_argument("--budget", type=int, default=0, metavar="N",
+                   help="generate N grammar programs and repair the "
+                        "mutated ones (ground-truth repair rate)")
+    p.add_argument("--include-correct", action="store_true",
+                   help="also run generated correct programs (the "
+                        "no-false-repair control group)")
+    p.add_argument("--nprocs", type=int, default=3)
+    p.add_argument("--max-attempts", type=int, default=12, metavar="N",
+                   help="candidate patches gated per case (default 12)")
+    p.add_argument("-o", "--output", default="REPAIR_report.json")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="JSON {\"min_repair_rate\": R} gate — exit 1 "
+                        "when the ground-truth repair rate drops below R")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON")
+    _add_engine_flags(p)
+    p.set_defaults(func=cmd_repair)
 
     p = sub.add_parser("profile",
                        help="time the cold pipeline per stage, write "

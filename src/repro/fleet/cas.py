@@ -46,10 +46,13 @@ CAS degrades every :class:`TieredStore` to its local tier (counted in
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import os
 import pickle
+import shutil
 import socket
+import tempfile
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
@@ -96,6 +99,8 @@ register_kind(KindSpec(
             "entries": {"type": "integer"},
             "bytes": {"type": "integer"},
             "max_bytes": {"type": "integer"},
+            "disk_entries": {"type": "integer"},
+            "disk_bytes": {"type": "integer"},
             "counters": {"type": "object"},
         },
     },
@@ -109,6 +114,12 @@ _CAS_PUTS = METRICS.counter(
     "repro_fleet_cas_puts_total", "Blobs published to the fleet CAS.")
 _CAS_EVICTIONS = METRICS.counter(
     "repro_fleet_cas_evictions_total", "Blobs evicted to stay under budget.")
+_CAS_SPILLS = METRICS.counter(
+    "repro_fleet_cas_spills_total",
+    "Evicted blobs spilled to the disk tier instead of dropped.")
+_CAS_DISK_HITS = METRICS.counter(
+    "repro_fleet_cas_disk_hits_total",
+    "Fleet CAS GETs answered from the disk spill tier.")
 _CAS_BYTES = METRICS.gauge(
     "repro_fleet_cas_bytes", "Bytes currently held by the fleet CAS.")
 _CAS_ENTRIES = METRICS.gauge(
@@ -130,23 +141,34 @@ class CASServer:
     """Byte-bounded in-memory blob store behind the wire protocol above.
 
     Single-threaded by construction — all mutation happens on the owning
-    event loop — so there is no locking.  Eviction is LRU by *bytes*:
-    the store never holds more than ``max_bytes`` of values.
+    event loop — so there is no locking.  Eviction is LRU by *bytes* —
+    the memory tier never holds more than ``max_bytes`` of values — but
+    evicted blobs **spill to a disk tier** instead of vanishing (unless
+    ``spill=False``): under budget pressure a hot entry costs one file
+    read on its next GET, never a fleet-wide re-compile.  A disk hit is
+    promoted back into memory (which may spill something colder).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 max_bytes: int = 256 * 1024 * 1024):
+                 max_bytes: int = 256 * 1024 * 1024,
+                 spill: bool = True, spill_dir: Optional[str] = None):
         if max_bytes < 1:
             raise ValueError("max_bytes must be positive")
         self.host = host
         self.config_port = port
         self.max_bytes = max_bytes
+        self.spill = spill
         self.port: Optional[int] = None
         self._data: "OrderedDict[str, bytes]" = OrderedDict()
         self.bytes_stored = 0
+        self._disk: Dict[str, int] = {}       # key → spilled blob size
+        self.disk_bytes = 0
+        self._spill_dir = spill_dir
+        self._owns_spill_dir = spill and spill_dir is None
         self.counters: Dict[str, int] = {
             "gets": 0, "hits": 0, "misses": 0, "puts": 0, "has": 0,
-            "evictions": 0, "errors": 0, "connections": 0,
+            "evictions": 0, "spills": 0, "disk_hits": 0, "errors": 0,
+            "connections": 0,
         }
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -165,39 +187,113 @@ class CASServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._owns_spill_dir and self._spill_dir \
+                and os.path.isdir(self._spill_dir):
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
+            self._disk.clear()
+            self.disk_bytes = 0
+
+    # -- disk tier ----------------------------------------------------------
+    def _path(self, key: str) -> str:
+        # Keys are engine store keys ("<stage>:<digest>"); hash them so
+        # the filename is always filesystem-safe and length-bounded.
+        name = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return os.path.join(self._spill_dir, name)
+
+    def _spill(self, key: str, value: bytes) -> None:
+        if not self.spill:
+            return
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="repro-cas-spill-")
+        try:
+            with open(self._path(key), "wb") as fh:
+                fh.write(value)
+        except OSError:                       # a full disk degrades to LRU
+            self.counters["errors"] += 1
+            return
+        old = self._disk.pop(key, None)
+        if old is not None:
+            self.disk_bytes -= old
+        self._disk[key] = len(value)
+        self.disk_bytes += len(value)
+        self.counters["spills"] += 1
+        if METRICS.enabled:
+            _CAS_SPILLS.inc()
+
+    def _disk_get(self, key: str) -> Optional[bytes]:
+        size = self._disk.get(key)
+        if size is None:
+            return None
+        try:
+            with open(self._path(key), "rb") as fh:
+                return fh.read()
+        except OSError:
+            self._disk.pop(key, None)
+            self.disk_bytes -= size
+            self.counters["errors"] += 1
+            return None
+
+    def _disk_drop(self, key: str) -> None:
+        size = self._disk.pop(key, None)
+        if size is None:
+            return
+        self.disk_bytes -= size
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            pass
 
     # -- the store ----------------------------------------------------------
     def _get(self, key: str) -> Optional[bytes]:
         self.counters["gets"] += 1
         value = self._data.get(key)
-        if value is None:
-            self.counters["misses"] += 1
+        if value is not None:
+            self._data.move_to_end(key)
+            self.counters["hits"] += 1
             if METRICS.enabled:
-                _CAS_MISSES.inc()
-            return None
-        self._data.move_to_end(key)
-        self.counters["hits"] += 1
+                _CAS_HITS.inc()
+            return value
+        value = self._disk_get(key)
+        if value is not None:
+            # Promote: hot again, so it belongs in memory (this may
+            # spill something colder to make room).
+            self._insert(key, value)
+            self._disk_drop(key)
+            self.counters["hits"] += 1
+            self.counters["disk_hits"] += 1
+            if METRICS.enabled:
+                _CAS_HITS.inc()
+                _CAS_DISK_HITS.inc()
+            return value
+        self.counters["misses"] += 1
         if METRICS.enabled:
-            _CAS_HITS.inc()
-        return value
+            _CAS_MISSES.inc()
+        return None
 
-    def _put(self, key: str, value: bytes) -> None:
+    def _insert(self, key: str, value: bytes) -> None:
         old = self._data.pop(key, None)
         if old is not None:
             self.bytes_stored -= len(old)
         self._data[key] = value
         self.bytes_stored += len(value)
-        self.counters["puts"] += 1
         while self.bytes_stored > self.max_bytes and len(self._data) > 1:
-            _evicted_key, evicted = self._data.popitem(last=False)
+            evicted_key, evicted = self._data.popitem(last=False)
             self.bytes_stored -= len(evicted)
             self.counters["evictions"] += 1
             if METRICS.enabled:
                 _CAS_EVICTIONS.inc()
+            self._spill(evicted_key, evicted)
         if METRICS.enabled:
-            _CAS_PUTS.inc()
             _CAS_BYTES.set(self.bytes_stored)
             _CAS_ENTRIES.set(len(self._data))
+
+    def _put(self, key: str, value: bytes) -> None:
+        self._insert(key, value)
+        self._disk_drop(key)                  # memory copy is authoritative
+        self.counters["puts"] += 1
+        if METRICS.enabled:
+            _CAS_PUTS.inc()
 
     def stats(self) -> Dict[str, Any]:
         """Flat stats document (``repro-cas-stats`` kind)."""
@@ -207,6 +303,8 @@ class CASServer:
             "entries": len(self._data),
             "bytes": self.bytes_stored,
             "max_bytes": self.max_bytes,
+            "disk_entries": len(self._disk),
+            "disk_bytes": self.disk_bytes,
             "counters": dict(self.counters),
         }
 
@@ -222,7 +320,7 @@ class CASServer:
             return STATUS_OK, b""
         if op == OP_HAS:
             self.counters["has"] += 1
-            present = key in self._data
+            present = key in self._data or key in self._disk
             return (STATUS_OK, b"\x01") if present \
                 else (STATUS_NOT_FOUND, b"")
         if op == OP_STATS:
@@ -278,8 +376,8 @@ class BackgroundCAS:
     """A :class:`CASServer` on its own thread + loop (tests, benches)."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 max_bytes: int = 256 * 1024 * 1024):
-        self.server = CASServer(host, port, max_bytes)
+                 max_bytes: int = 256 * 1024 * 1024, spill: bool = True):
+        self.server = CASServer(host, port, max_bytes, spill=spill)
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None

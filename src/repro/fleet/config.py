@@ -24,6 +24,15 @@ variable                          meaning (dataclass field)
                                   (``trace``)
 ``REPRO_FLEET_TRACE_RING``        completed front-door traces kept
                                   (``trace_ring``)
+``REPRO_FLEET_RESTART``           0/false disables replica auto-restart
+                                  (``restart``)
+``REPRO_FLEET_RESTART_BACKOFF``   base restart backoff seconds, doubled
+                                  per consecutive attempt
+                                  (``restart_backoff_s``)
+``REPRO_FLEET_RESTART_POLL``      supervision-loop poll interval seconds
+                                  (``restart_poll_s``)
+``REPRO_FLEET_CAS_SPILL``         0/false disables the CAS disk spill
+                                  tier (``cas_spill``)
 ================================  =========================================
 
 ``cache_dir`` is the *base* directory: the supervisor gives replica *i*
@@ -84,6 +93,10 @@ class FleetConfig:
     cache_dir: Optional[str] = None    # base dir; replicas get subdirs
     trace: bool = True
     trace_ring: int = 256
+    restart: bool = True               # auto-restart crashed replicas
+    restart_backoff_s: float = 0.5     # doubled per attempt, capped 30s
+    restart_poll_s: float = 0.5        # supervision-loop poll interval
+    cas_spill: bool = True             # spill LRU-evicted blobs to disk
 
     def __post_init__(self):
         if self.port < 0 or self.port > 65535:
@@ -102,6 +115,10 @@ class FleetConfig:
             raise ValueError("max_body_bytes must be positive")
         if self.trace_ring < 1:
             raise ValueError("trace_ring must be >= 1")
+        if self.restart_backoff_s <= 0:
+            raise ValueError("restart_backoff_s must be positive")
+        if self.restart_poll_s <= 0:
+            raise ValueError("restart_poll_s must be positive")
 
     @classmethod
     def from_env(cls, **overrides) -> "FleetConfig":
@@ -129,6 +146,13 @@ class FleetConfig:
                                              float, 1.0),
             "trace": _env_flag("TRACE", cls.trace),
             "trace_ring": _env_number("TRACE_RING", cls.trace_ring, int, 1),
+            "restart": _env_flag("RESTART", cls.restart),
+            "restart_backoff_s": _env_number("RESTART_BACKOFF",
+                                             cls.restart_backoff_s,
+                                             float, 0.05),
+            "restart_poll_s": _env_number("RESTART_POLL",
+                                          cls.restart_poll_s, float, 0.05),
+            "cas_spill": _env_flag("CAS_SPILL", cls.cas_spill),
         }
         values.update({k: v for k, v in overrides.items() if v is not None})
         return cls(**values)

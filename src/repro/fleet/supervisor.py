@@ -13,6 +13,13 @@ Each replica is one ``repro serve`` subprocess — the *unchanged* single
 Liveness is ``Popen.poll()``-based: a killed replica reads as dead on
 the very next routing decision, no health-check loop required.  Stdout
 and stderr land in per-replica log files next to the cache subtree.
+
+Crash recovery: the front door's supervision loop polls
+:meth:`ReplicaSupervisor.maybe_restart`, which respawns replicas that
+died *unexpectedly* (exponential backoff per index).  A replica taken
+down through :meth:`kill` is *decommissioned* — it is never respawned,
+so failure-injection tests keep their "dead stays dead" semantics; use
+:meth:`crash` to simulate an unexpected death the loop should heal.
 """
 
 from __future__ import annotations
@@ -82,8 +89,12 @@ class ReplicaSupervisor:
         self.config = config
         self.cas_addr = cas_addr
         self.replicas: List[Replica] = []
+        self.restarts = 0
         self._base_dir: Optional[str] = config.cache_dir
         self._owns_base_dir = config.cache_dir is None
+        self._no_restart: set = set()          # decommissioned indices
+        # index → (consecutive restart attempts, earliest next attempt)
+        self._backoff: Dict[int, tuple] = {}
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> List[Replica]:
@@ -151,11 +162,71 @@ class ReplicaSupervisor:
             f"{self.config.startup_timeout_s}s (log: {replica.log_path})")
 
     def kill(self, index: int) -> None:
-        """Hard-kill one replica (the failure-injection hook)."""
+        """Hard-kill and *decommission* one replica: the supervision
+        loop will never respawn it (dead stays dead)."""
+        self._no_restart.add(index)
         replica = self.replicas[index]
         if replica.alive:
             replica.proc.kill()
             replica.proc.wait(timeout=30)
+
+    def crash(self, index: int) -> None:
+        """Hard-kill one replica *without* decommissioning it — an
+        unexpected crash :meth:`maybe_restart` is expected to heal."""
+        replica = self.replicas[index]
+        if replica.alive:
+            replica.proc.kill()
+            replica.proc.wait(timeout=30)
+
+    def restart(self, index: int) -> Replica:
+        """Respawn one dead replica in place and block until ready.
+
+        The replacement listens on a *fresh* OS-assigned port (the old
+        one may sit in TIME_WAIT or have been reclaimed), reuses the
+        replica's private cache subtree, and appends to its log file.
+        """
+        old = self.replicas[index]
+        if old.log_file is not None:
+            try:
+                old.log_file.close()
+            except OSError:
+                pass
+            old.log_file = None
+        replica = self._spawn(index)
+        self.replicas[index] = replica
+        self._await_ready(replica,
+                          time.time() + self.config.startup_timeout_s)
+        return replica
+
+    def maybe_restart(self) -> List[tuple]:
+        """Respawn every unexpectedly-dead replica whose backoff window
+        has elapsed; returns ``[(index, old_port), ...]`` for each one
+        actually restarted.
+
+        Backoff is exponential per index (``restart_backoff_s`` doubling
+        per consecutive attempt, capped at 30s) and resets once a
+        restarted replica is seen alive again — a crash-looping replica
+        can't hog the supervision loop.
+        """
+        restarted: List[tuple] = []
+        now = time.monotonic()
+        for index, replica in enumerate(self.replicas):
+            if replica.alive:
+                self._backoff.pop(index, None)
+                continue
+            if index in self._no_restart:
+                continue
+            attempts, next_at = self._backoff.get(index, (0, 0.0))
+            if now < next_at:
+                continue
+            delay = min(30.0,
+                        self.config.restart_backoff_s * (2 ** attempts))
+            self._backoff[index] = (attempts + 1, now + delay)
+            old_port = replica.port
+            self.restart(index)
+            self.restarts += 1
+            restarted.append((index, old_port))
+        return restarted
 
     def alive(self) -> List[Replica]:
         return [r for r in self.replicas if r.alive]

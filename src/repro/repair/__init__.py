@@ -1,0 +1,55 @@
+"""``repro.repair`` — rule-based automated repair closing the loop.
+
+Detection without repair leaves every campaign finding as a report; this
+package turns findings into candidate patches.  Three layers:
+
+* :mod:`.operators` — **inverse mutation operators**: for each bug
+  injector in :mod:`repro.datasets.mutation` (call removal, tag / count /
+  rank / root perturbation, datatype swap, detached ``MPI_Isend``), a
+  rule that proposes candidate patches from the program text, localized
+  by the mutation's own syntactic signature (the ``/* call removed by
+  mutation */`` marker, a ``-1`` count, a ``9999`` peer, a literal
+  ``rank`` root, an uncompleted ``&mut_req``) and ranked by any
+  :class:`~repro.verify.static.StaticFinding` witnesses available.
+* :mod:`.gate` — the **validation gate**: every candidate re-runs the
+  full differential harness (compile O0+O2 with IR verification →
+  program graph → embedding → simulation → verify-tool analogues +
+  static analyzer) and is accepted only if every trusted oracle goes
+  clean *and* compilation is byte-deterministic.
+* :mod:`.runner` / :mod:`.report` — corpus-scale orchestration through
+  the execution engine and the schema-checked ``REPAIR_report.json``
+  envelope artifact (kind ``repro-repair-report``).
+
+Served online as ``POST /v1/repair`` (:mod:`repro.serve`, routed by the
+fleet front door) and offline as ``repro repair <file|--corpus>``.
+"""
+
+from repro.repair.gate import GateVerdict, deterministic_compile, run_gate
+from repro.repair.operators import INVERSE_RULES, CandidatePatch, propose
+from repro.repair.report import (
+    REPAIR_KIND,
+    load_repair_report,
+    render_repair_report,
+    save_repair_report,
+    validate_repair_report,
+)
+from repro.repair.runner import (
+    RepairConfig,
+    RepairTask,
+    build_report,
+    corpus_tasks,
+    generated_tasks,
+    hint_from_origin,
+    repair_source,
+    repair_tasks,
+)
+
+__all__ = [
+    "CandidatePatch", "INVERSE_RULES", "propose",
+    "GateVerdict", "run_gate", "deterministic_compile",
+    "REPAIR_KIND", "validate_repair_report", "save_repair_report",
+    "load_repair_report", "render_repair_report",
+    "RepairConfig", "RepairTask", "repair_source", "repair_tasks",
+    "corpus_tasks", "generated_tasks", "build_report",
+    "hint_from_origin",
+]

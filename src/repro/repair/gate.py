@@ -1,0 +1,82 @@
+"""The repair validation gate — the differential harness as judge.
+
+A candidate patch is *accepted* only when the full detection chain that
+found the bug can no longer find anything: compile at O0 and O2 with IR
+verification, program graph, embedding, runtime simulation, and every
+trusted verify-tool analogue plus the static dataflow analyzer — all
+clean (:func:`repro.fuzz.harness.check_source` returning ``agree``), and
+the compile must be **byte-deterministic**: two independent compilations
+at each opt level print identical IR, so an accepted patch can never
+smuggle nondeterminism past the fleet's content-addressed cache (routing
+and caching both key on byte identity).
+
+The same gate runs on the *unpatched* input first: a program the gate
+already accepts needs no repair, and the runner turns that into a
+validated no-op instead of a patch — the "zero false repairs" half of
+the acceptance bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Trusted-oracle verdicts that count as "the bug is still there".
+FAILING_VERDICTS = ("incorrect", "timeout", "runtime_error")
+
+
+@dataclass(frozen=True)
+class GateVerdict:
+    """Outcome of one gate run over one source."""
+
+    clean: bool                  # every trusted oracle clean + det. compile
+    status: str                  # harness status (agree/rejected/...)
+    kind: str
+    oracle: str                  # first complaining oracle, if any
+    detail: str
+    deterministic: bool          # double-compile printed identical IR
+    oracles: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"clean": self.clean, "status": self.status,
+                "kind": self.kind, "oracle": self.oracle,
+                "detail": self.detail,
+                "deterministic": self.deterministic,
+                "oracles": dict(self.oracles)}
+
+
+def deterministic_compile(name: str, source: str) -> bool:
+    """True iff two compilations at each opt level print identical IR."""
+    from repro.frontend import compile_c
+    from repro.ir.printer import print_module
+
+    for opt_level in ("O0", "O2"):
+        first = print_module(compile_c(source, name, opt_level,
+                                       verify=True))
+        second = print_module(compile_c(source, name, opt_level,
+                                        verify=True))
+        if first != second:
+            return False
+    return True
+
+
+def run_gate(name: str, source: str, nprocs: int = 3,
+             max_steps: int = 120_000) -> GateVerdict:
+    """Push one source through the whole harness; judge it."""
+    from repro.fuzz.harness import check_source
+
+    record = check_source(name, source, expected="correct",
+                          nprocs=nprocs, max_steps=max_steps)
+    agreed = record["status"] == "agree"
+    deterministic = False
+    if agreed:
+        try:
+            deterministic = deterministic_compile(name, source)
+        except Exception:                      # a flaky compile is a veto
+            deterministic = False
+    return GateVerdict(clean=agreed and deterministic,
+                       status=record["status"], kind=record["kind"],
+                       oracle=record["oracle"],
+                       detail=record["detail"],
+                       deterministic=deterministic,
+                       oracles=dict(record["oracles"]))

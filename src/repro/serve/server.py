@@ -15,6 +15,10 @@ endpoint                    behavior
                             the same payload shape; returns each sample's
                             verdict plus typed findings with witnesses
                             (model-free: no batcher, no artifact needed)
+``POST /v1/repair``         propose and gate-validate rule-based repairs
+                            (``repro.repair``) on the same payload shape;
+                            returns per-sample outcome, unified diff, and
+                            trusted-oracle verdicts before/after
 ``GET /healthz``            liveness + current model version
 ``GET /metrics``            JSON counters by default (batcher, queue,
                             requests by status, reloads, engine/cache
@@ -82,6 +86,7 @@ _ROUTES = {
     "/v1/model": ("GET",),
     "/v1/check": ("POST",),
     "/v1/analyze": ("POST",),
+    "/v1/repair": ("POST",),
     "/v1/reload": ("POST",),
     "/v1/traces": ("GET",),
 }
@@ -106,6 +111,10 @@ _UPTIME = METRICS.gauge(
     "repro_serve_uptime_seconds", "Seconds since server start.")
 _GENERATION = METRICS.gauge(
     "repro_serve_model_generation", "Generation of the served artifact.")
+_REPAIR_REQUESTS = METRICS.counter(
+    "repro_repair_requests_total",
+    "Samples served by POST /v1/repair, by repair outcome.",
+    labelnames=("outcome",))
 
 
 class _BadRequest(ValueError):
@@ -397,6 +406,8 @@ class DetectionServer:
                 return await self._handle_check(body)
             if path == "/v1/analyze":
                 return await self._handle_analyze(body)
+            if path == "/v1/repair":
+                return await self._handle_repair(body)
             if path == "/v1/traces":
                 return self._handle_traces()
             if path.startswith(_TRACE_PREFIX):
@@ -585,6 +596,53 @@ class DetectionServer:
         loop = asyncio.get_running_loop()
         results = await loop.run_in_executor(None, _analyze)
         TRACER.record("serve.analyze", kind="internal", start_s=started_at,
+                      elapsed_s=time.time() - started_at,
+                      attrs={"samples": len(items)}, ctx=ctx)
+        return 200, {"results": results}, {}
+
+    async def _handle_repair(self, body: bytes,
+                             ) -> Tuple[int, Dict[str, Any],
+                                        Dict[str, str]]:
+        """Rule-based repair behind the differential-harness gate
+        (:mod:`repro.repair`).  Model-free like ``/v1/analyze`` — every
+        candidate is judged by the trusted oracles, not the classifier —
+        and CPU-bound, so it runs off-loop.  Optional payload fields:
+        ``nprocs`` (communicator size, [2, 8]), ``max_attempts``
+        (gate-run budget per sample, [1, 64]), ``operator`` (a
+        mutation-operator name used as a localization hint)."""
+        from repro.repair import INVERSE_RULES, repair_source
+
+        payload = self._parse_json(body)
+        items = self._named_sources(payload)
+        nprocs = payload.get("nprocs", 3)
+        if not isinstance(nprocs, int) or not 2 <= nprocs <= 8:
+            raise _BadRequest("'nprocs' must be an integer in [2, 8]")
+        max_attempts = payload.get("max_attempts", 12)
+        if not isinstance(max_attempts, int) or not 1 <= max_attempts <= 64:
+            raise _BadRequest(
+                "'max_attempts' must be an integer in [1, 64]")
+        hint = payload.get("operator")
+        if hint is not None and hint not in INVERSE_RULES:
+            raise _BadRequest(
+                f"'operator' must be one of {sorted(INVERSE_RULES)}")
+
+        ctx = TRACER.capture()
+        started_at = time.time()
+
+        def _repair() -> List[Dict[str, Any]]:
+            out = []
+            with TRACER.activate(ctx):
+                for name, source in items:
+                    out.append(repair_source(
+                        name, source, nprocs=nprocs,
+                        max_attempts=max_attempts, hint=hint))
+            return out
+
+        loop = asyncio.get_running_loop()
+        results = await loop.run_in_executor(None, _repair)
+        for entry in results:
+            _REPAIR_REQUESTS.labels(entry["outcome"]).inc()
+        TRACER.record("serve.repair", kind="internal", start_s=started_at,
                       elapsed_s=time.time() - started_at,
                       attrs={"samples": len(items)}, ctx=ctx)
         return 200, {"results": results}, {}

@@ -70,7 +70,8 @@ def test_stats_is_a_validated_envelope(cas):
 
 
 def test_lru_eviction_stays_under_byte_budget():
-    with BackgroundCAS(max_bytes=100) as cas:
+    # spill=False pins the pure-LRU behavior: over budget, blobs drop.
+    with BackgroundCAS(max_bytes=100, spill=False) as cas:
         client = CASClient(cas.addr)
         try:
             for i in range(10):
@@ -81,6 +82,31 @@ def test_lru_eviction_stays_under_byte_budget():
             # Newest keys survive, oldest were evicted.
             assert client.has("compile:k9")
             assert not client.has("compile:k0")
+        finally:
+            client.close()
+
+
+def test_eviction_spills_to_disk_and_every_key_stays_retrievable():
+    # Default spill tier: budget pressure costs a file read, never a
+    # lost blob — the fleet never re-compiles what it already published.
+    with BackgroundCAS(max_bytes=100) as cas:
+        client = CASClient(cas.addr)
+        try:
+            for i in range(10):
+                assert client.put(f"compile:k{i}", b"x" * 40)
+            doc = client.stats()
+            assert doc["bytes"] <= 100
+            assert doc["counters"]["evictions"] >= 8
+            assert doc["counters"]["spills"] >= 8
+            assert doc["disk_entries"] >= 8
+            assert client.has("compile:k0")   # spilled, not gone
+            for i in range(10):
+                assert client.get(f"compile:k{i}") == b"x" * 40
+            doc = client.stats()
+            assert doc["counters"]["misses"] == 0
+            assert doc["counters"]["disk_hits"] >= 8
+            # Promotions respect the memory budget too.
+            assert doc["bytes"] <= 100
         finally:
             client.close()
 

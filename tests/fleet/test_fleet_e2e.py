@@ -17,6 +17,7 @@ The two acceptance points from the fleet design:
 
 import json
 import os
+import time
 
 import pytest
 
@@ -29,8 +30,12 @@ _REPLICAS = 2
 
 @pytest.fixture(scope="module")
 def fleet(artifact):
+    # The tiny CAS budget is deliberate: campaign blobs overflow it, so
+    # the kill test's warmth assertions only hold if eviction *spills*
+    # to the disk tier instead of dropping hot entries.
     config = FleetConfig(port=0, replicas=_REPLICAS,
-                         request_timeout_s=600.0)
+                         request_timeout_s=600.0,
+                         cas_max_bytes=4 * 1024)
     with BackgroundFleet(artifact, config) as background:
         yield background
 
@@ -123,6 +128,89 @@ def test_prometheus_metrics_include_fleet_families(client):
     assert "repro_fleet_requests_total" in text
     assert "repro_fleet_replicas_alive" in text
     assert "repro_fleet_cas_hits_total" in text
+    assert "repro_fleet_connections_reused_total" in text
+    assert "repro_fleet_restarts_total" in text
+    assert "repro_repair_requests_total" in text
+
+
+def test_front_door_pools_replica_connections(client, fleet):
+    """Regression: forwards must reuse keep-alive connections, not open
+    a fresh TCP connection per request."""
+    jobs = cold_corpus(2, "pool")
+    host = fleet.config.host
+    first = run_load(host, fleet.port, jobs * 3, concurrency=2,
+                     timeout=600.0)
+    assert first["failed"] == 0, first["failures"]
+    doc = _fleet_doc(client)
+    assert doc["routing"]["conn_reused"] > 0
+    opened_before = doc["routing"]["conn_opened"]
+    reused_before = doc["routing"]["conn_reused"]
+
+    # A second identical bulk campaign rides the warm pool: more reuse,
+    # (almost) no new connections.
+    second = run_load(host, fleet.port, jobs * 3, concurrency=2,
+                      timeout=600.0)
+    assert second["failed"] == 0, second["failures"]
+    doc = _fleet_doc(client)
+    assert doc["routing"]["conn_reused"] > reused_before
+    assert doc["routing"]["conn_opened"] <= opened_before + 2
+
+
+def test_repair_is_routed_through_the_front_door(client):
+    """The tentpole acceptance point: POST /v1/repair answers with the
+    patch and both oracle verdicts, end to end through the fleet."""
+    correct = """#include <mpi.h>
+int main(int argc, char** argv) {
+  int rank; int buf[4]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { MPI_Send(buf, 4, MPI_INT, 1, 5, MPI_COMM_WORLD); }
+  if (rank == 1) { MPI_Recv(buf, 4, MPI_INT, 0, 5, MPI_COMM_WORLD, &st); }
+  MPI_Finalize();
+  return 0;
+}
+"""
+    buggy = correct.replace("MPI_INT, 1, 5,", "MPI_INT, 1, 105,")
+    status, doc = client.request(
+        "POST", "/v1/repair",
+        {"name": "buggy.c", "source": buggy, "operator": "tag_mismatch",
+         "max_attempts": 4})
+    assert status == 200
+    [entry] = doc["results"]
+    assert entry["outcome"] == "repaired"
+    assert entry["patch"].startswith("--- a/buggy.c")
+    assert entry["before"]["clean"] is False
+    assert entry["after"]["clean"] is True
+
+
+def test_crashed_replica_is_auto_restarted(client, fleet):
+    """An *unexpected* replica death heals: the supervision loop
+    respawns it (fresh port, same cache subtree) and the topology
+    recovers to full strength."""
+    doc = _fleet_doc(client)
+    old_port = doc["replicas"][1]["port"]
+    fleet.crash_replica(1)
+
+    deadline = time.time() + 180
+    while time.time() < deadline:
+        status, health = client.request("GET", "/healthz")
+        if status == 200 and health["replicas_alive"] == _REPLICAS:
+            break
+        time.sleep(1.0)
+    else:
+        pytest.fail("crashed replica was not restarted in time")
+
+    doc = _fleet_doc(client)
+    assert doc["routing"]["restarts"] >= 1
+    assert all(r["alive"] for r in doc["replicas"])
+    assert doc["replicas"][1]["port"] != old_port
+
+    # The recovered fleet still serves routed work end to end.
+    [(name, source)] = cold_corpus(1, "post-restart")
+    status, payload = client.request(
+        "POST", "/v1/check", {"name": name, "source": source})
+    assert status == 200
+    assert isinstance(payload["results"][0]["is_correct"], bool)
 
 
 def test_campaign_survives_replica_kill_with_cas_warmth(client, fleet):
@@ -150,6 +238,13 @@ def test_campaign_survives_replica_kill_with_cas_warmth(client, fleet):
         baseline[name] = json.dumps(payload, sort_keys=True)
 
     hits_before = doc["cas"]["counters"]["hits"]
+    misses_before = doc["cas"]["counters"]["misses"]
+    restarts_before = doc["routing"]["restarts"]
+    # The tiny fixture budget forced evictions during the cold pass —
+    # all spilled to disk, none dropped.
+    assert doc["cas"]["counters"]["evictions"] > 0
+    assert doc["cas"]["counters"]["spills"] == \
+        doc["cas"]["counters"]["evictions"]
     fleet.kill_replica(0)
 
     second = run_load(host, fleet.port, jobs, concurrency=2, timeout=600.0)
@@ -167,5 +262,10 @@ def test_campaign_survives_replica_kill_with_cas_warmth(client, fleet):
     doc = _fleet_doc(client)
     assert doc["routing"]["rerouted"] > 0          # failover happened
     assert doc["cas"]["counters"]["hits"] > hits_before
+    # No re-compiles under budget pressure: every digest the survivor
+    # inherited was answered from memory or the disk spill tier.
+    assert doc["cas"]["counters"]["misses"] == misses_before
     dead = [r for r in doc["replicas"] if not r["alive"]]
     assert [r["index"] for r in dead] == [0]
+    # kill() decommissions: dead stays dead, restarts don't resurrect it.
+    assert doc["routing"]["restarts"] == restarts_before

@@ -1,0 +1,99 @@
+"""Inverse-operator unit tests: pure source → source, no gate runs.
+
+The strongest property an inverse rule can have is *exact* recovery:
+applying a mutation operator and then proposing repairs must offer the
+original program back, byte for byte.  Every operator in
+``repro.datasets.mutation`` has that property on the canonical
+point-to-point (and, for ``root_divergence``, broadcast) shapes.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets.mutation import OPERATORS
+from repro.repair import INVERSE_RULES, propose
+
+CORRECT = """#include <mpi.h>
+int main(int argc, char** argv) {
+  int rank; int buf[4]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { MPI_Send(buf, 4, MPI_INT, 1, 5, MPI_COMM_WORLD); }
+  if (rank == 1) { MPI_Recv(buf, 4, MPI_INT, 0, 5, MPI_COMM_WORLD, &st); }
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+BCAST = """#include <mpi.h>
+int main(int argc, char** argv) {
+  int rank; int data[8];
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Bcast(data, 8, MPI_INT, 0, MPI_COMM_WORLD);
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+
+def _mutate(op: str, source: str, seed: int = 0) -> str:
+    result = OPERATORS[op](source, "mbi", random.Random(seed))
+    assert result is not None, f"{op} produced no mutation"
+    return result[0]
+
+
+def test_inverse_rules_cover_every_mutation_operator():
+    # Same keys, same stable order: a new mutation operator without an
+    # inverse is a hole in the repair surface and fails loudly here.
+    assert list(INVERSE_RULES) == list(OPERATORS)
+
+
+@pytest.mark.parametrize("op,base", [
+    ("drop_call", CORRECT),
+    ("tag_mismatch", CORRECT),
+    ("datatype_mismatch", CORRECT),
+    ("invalid_count", CORRECT),
+    ("invalid_rank", CORRECT),
+    ("detach_wait", CORRECT),
+    ("root_divergence", BCAST),
+])
+def test_mutation_then_propose_recovers_original_exactly(op, base):
+    mutated = _mutate(op, base)
+    assert mutated != base
+    candidates = propose(mutated, hint=op)
+    assert candidates, f"no candidates for {op} mutant"
+    assert base in [c.source for c in candidates]
+
+
+def test_hinted_rule_is_tried_first():
+    mutated = _mutate("tag_mismatch", CORRECT)
+    candidates = propose(mutated, hint="tag_mismatch")
+    assert candidates[0].operator == "restore_tag"
+
+
+def test_drop_call_marker_recovers_the_guard():
+    # The mutation leaves the guard in the marker's indentation; the
+    # rebuilt statement must be guarded again, not rank-uniform.
+    mutated = _mutate("drop_call", CORRECT)
+    assert "/* call removed by mutation */" in mutated
+    [restored] = [c.source for c in propose(mutated, hint="drop_call")
+                  if c.operator == "restore_dropped_call"]
+    assert "/* call removed by mutation */" not in restored
+    assert restored.count("if (rank ==") == 2
+
+
+def test_propose_deduplicates_and_never_offers_the_input_back():
+    mutated = _mutate("invalid_rank", CORRECT)
+    candidates = propose(mutated)
+    sources = [c.source for c in candidates]
+    assert len(sources) == len(set(sources))
+    assert mutated not in sources
+
+
+def test_propose_is_deterministic():
+    mutated = _mutate("datatype_mismatch", CORRECT)
+    first = [(c.operator, c.source) for c in propose(mutated)]
+    second = [(c.operator, c.source) for c in propose(mutated)]
+    assert first == second

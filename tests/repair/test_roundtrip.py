@@ -1,0 +1,92 @@
+"""Repair round-trip through the real validation gate.
+
+The two acceptance properties of the repair subsystem:
+
+* **repair rate** — grammar mutants with ground-truth ``|mutated:<op>``
+  provenance end clean (repaired, or validated-undetectable) at >= 80%;
+* **zero false repairs** — generated-*correct* programs come back as
+  validated no-ops with an empty patch, never a spurious edit.
+
+Both run single-process (``workers=0``): the per-case primitive is pure,
+so the fleet/CI runs with worker pools exercise the same code path.
+"""
+
+import pytest
+
+from repro.engine import EngineConfig, ExecutionEngine
+from repro.repair import (
+    RepairConfig,
+    build_report,
+    generated_tasks,
+    load_repair_report,
+    repair_tasks,
+    save_repair_report,
+)
+
+_SEED = 7
+_BUDGET = 30
+
+
+@pytest.fixture(scope="module")
+def engine():
+    with ExecutionEngine(EngineConfig(workers=0)) as eng:
+        yield eng
+
+
+@pytest.fixture(scope="module")
+def mutant_entries(engine):
+    tasks = generated_tasks(_SEED, _BUDGET)
+    assert tasks, "seed budget produced no mutants"
+    assert all(t.hint is not None for t in tasks)
+    return repair_tasks(tasks, RepairConfig(), engine=engine)
+
+
+def test_ground_truth_repair_rate_meets_the_bar(mutant_entries):
+    report = build_report(mutant_entries, RepairConfig(),
+                          seed=_SEED, budget=_BUDGET)
+    assert report["counts"]["with_ground_truth"] == len(mutant_entries)
+    assert report["repair_rate"] is not None
+    assert report["repair_rate"] >= 0.8
+
+
+def test_repaired_cases_carry_full_provenance(mutant_entries):
+    repaired = [e for e in mutant_entries if e["outcome"] == "repaired"]
+    assert repaired
+    for entry in repaired:
+        assert entry["patch"].startswith("--- a/")
+        assert entry["repaired_source"]
+        assert entry["before"]["clean"] is False
+        assert entry["after"]["clean"] is True
+        assert entry["after"]["deterministic"] is True
+        assert entry["attempts"] >= 1
+        # Every trusted oracle signed off on the patched program (the
+        # untrusted parcoach analogue may still grumble — by design).
+        from repro.fuzz.oracles import TRUSTED_ORACLES
+
+        assert all(entry["after"]["oracles"][o] == "correct"
+                   for o in TRUSTED_ORACLES
+                   if o in entry["after"]["oracles"])
+
+
+def test_correct_programs_are_validated_noops(engine):
+    # The no-false-repair control group: generated-correct programs must
+    # never be patched.
+    tasks = [t for t in generated_tasks(_SEED, 16, include_correct=True)
+             if t.hint is None][:6]
+    assert tasks
+    entries = repair_tasks(tasks, RepairConfig(), engine=engine)
+    for entry in entries:
+        assert entry["outcome"] == "already_clean"
+        assert entry["repaired"] is False
+        assert entry["patch"] == ""
+        assert entry["repaired_source"] is None
+        assert entry["before"]["clean"] is True
+
+
+def test_report_round_trips_through_the_envelope(mutant_entries, tmp_path):
+    report = build_report(mutant_entries, RepairConfig(),
+                          seed=_SEED, budget=_BUDGET)
+    path = str(tmp_path / "REPAIR_report.json")
+    save_repair_report(report, path)
+    loaded = load_repair_report(path)
+    assert loaded == report

@@ -1,0 +1,93 @@
+"""``POST /v1/repair`` end-to-end over a real socket.
+
+Model-free like ``/v1/analyze``: the served pipeline plays no part —
+every candidate patch is judged by the trusted-oracle gate inside the
+server process.  The endpoint returns the patch, both gate verdicts,
+and per-case provenance.
+"""
+
+import pytest
+
+from repro.serve import BackgroundServer, ServeClient, ServeConfig
+
+CORRECT = """#include <mpi.h>
+int main(int argc, char** argv) {
+  int rank; int buf[4]; MPI_Status st;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  if (rank == 0) { MPI_Send(buf, 4, MPI_INT, 1, 5, MPI_COMM_WORLD); }
+  if (rank == 1) { MPI_Recv(buf, 4, MPI_INT, 0, 5, MPI_COMM_WORLD, &st); }
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+#: Tag 5 → 105 on the send: the ``tag_mismatch`` mutation, verbatim.
+BUGGY = CORRECT.replace("MPI_INT, 1, 5,", "MPI_INT, 1, 105,")
+
+
+@pytest.fixture(scope="module")
+def server(artifact_v1):
+    with BackgroundServer(artifact_v1, ServeConfig(port=0)) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    c = ServeClient("127.0.0.1", server.port, timeout=600.0)
+    yield c
+    c.close()
+
+
+def test_repair_returns_patch_and_oracle_verdicts(client):
+    status, doc = client.request(
+        "POST", "/v1/repair",
+        {"name": "buggy.c", "source": BUGGY, "operator": "tag_mismatch",
+         "max_attempts": 4})
+    assert status == 200
+    [entry] = doc["results"]
+    assert entry["outcome"] == "repaired"
+    # Two byte-different repairs are valid: tag-100 on the send, or
+    # aligning the receive up to the send's tag — either way the pair
+    # matches again and the gate accepted it.
+    assert entry["operator"] in ("restore_tag", "align_tag")
+    assert entry["patch"].startswith("--- a/buggy.c")
+    assert entry["before"]["clean"] is False
+    assert entry["after"]["clean"] is True
+    assert entry["after"]["deterministic"] is True
+    assert entry["repaired_source"] in (
+        CORRECT, CORRECT.replace(" 5,", " 105,"))
+
+
+def test_repair_of_correct_program_is_a_validated_noop(client):
+    status, doc = client.request(
+        "POST", "/v1/repair", {"name": "fine.c", "source": CORRECT})
+    assert status == 200
+    [entry] = doc["results"]
+    assert entry["outcome"] == "already_clean"
+    assert entry["patch"] == ""
+    assert entry["repaired_source"] is None
+
+
+def test_repair_rejects_bad_payloads(client):
+    status, doc = client.request("POST", "/v1/repair", {"wrong": "shape"})
+    assert status == 400
+    assert doc["error"]["code"] == "bad_request"
+
+    status, doc = client.request(
+        "POST", "/v1/repair",
+        {"name": "x.c", "source": CORRECT, "operator": "not_an_operator"})
+    assert status == 400
+
+    status, doc = client.request(
+        "POST", "/v1/repair",
+        {"name": "x.c", "source": CORRECT, "nprocs": 99})
+    assert status == 400
+
+
+def test_repair_metrics_are_exposed(client):
+    status, _headers, text = client.request_full(
+        "GET", "/metrics?format=prometheus")
+    assert status == 200
+    assert "repro_repair_requests_total" in text
+    assert "repro_repair_cases_total" in text
